@@ -1,0 +1,199 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+
+#include "index/star_index.h"
+
+namespace cirank {
+namespace bench {
+
+double BenchScale() {
+  const char* env = std::getenv("CIRANK_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+namespace {
+int Scaled(int base, double scale) {
+  const int v = static_cast<int>(base * scale);
+  return v < 4 ? 4 : v;
+}
+}  // namespace
+
+ImdbGenOptions ImdbBenchOptions(double scale) {
+  ImdbGenOptions opts;
+  opts.num_movies = Scaled(1500, scale);
+  opts.num_actors = Scaled(2000, scale);
+  opts.num_actresses = Scaled(1000, scale);
+  opts.num_directors = Scaled(300, scale);
+  opts.num_producers = Scaled(200, scale);
+  opts.num_companies = Scaled(100, scale);
+  opts.seed = 1001;
+  return opts;
+}
+
+DblpGenOptions DblpBenchOptions(double scale) {
+  DblpGenOptions opts;
+  opts.num_papers = Scaled(2500, scale);
+  opts.num_authors = Scaled(1800, scale);
+  opts.num_conferences = 24;
+  opts.seed = 2002;
+  return opts;
+}
+
+BenchSetup MakeImdbSetup(int num_queries, bool user_log_style,
+                         uint64_t query_seed, double scale,
+                         double ambiguous_prob) {
+  BenchSetup setup;
+  auto ds = BuildImdbDataset(ImdbBenchOptions(scale));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "imdb generation failed: %s\n",
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup.dataset = std::make_unique<Dataset>(std::move(ds).value());
+  auto engine = CiRankEngine::Build(setup.dataset->graph);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup.engine = std::make_unique<CiRankEngine>(std::move(engine).value());
+
+  QueryGenOptions qopts;
+  qopts.num_queries = num_queries;
+  qopts.user_log_style = user_log_style;
+  qopts.ambiguous_prob = ambiguous_prob;
+  qopts.seed = query_seed;
+  auto queries = GenerateQueries(*setup.dataset, qopts);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "query generation failed: %s\n",
+                 queries.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup.queries = std::move(queries).value();
+  return setup;
+}
+
+BenchSetup MakeDblpSetup(int num_queries, uint64_t query_seed, double scale,
+                         double ambiguous_prob) {
+  BenchSetup setup;
+  auto ds = BuildDblpDataset(DblpBenchOptions(scale));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dblp generation failed: %s\n",
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup.dataset = std::make_unique<Dataset>(std::move(ds).value());
+  auto engine = CiRankEngine::Build(setup.dataset->graph);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup.engine = std::make_unique<CiRankEngine>(std::move(engine).value());
+
+  QueryGenOptions qopts;
+  qopts.num_queries = num_queries;
+  qopts.ambiguous_prob = ambiguous_prob;
+  qopts.seed = query_seed;
+  auto queries = GenerateQueries(*setup.dataset, qopts);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "query generation failed: %s\n",
+                 queries.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup.queries = std::move(queries).value();
+  return setup;
+}
+
+void PrintFigureHeader(const std::string& figure,
+                       const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s -- %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintDatasetLine(const Dataset& ds) {
+  std::printf("dataset %-5s : %zu nodes, %zu edges\n", ds.name.c_str(),
+              ds.graph.num_nodes(), ds.graph.num_edges());
+}
+
+void RunIndexFigure(BenchSetup setup, const char* label) {
+  PrintDatasetLine(*setup.dataset);
+  const CiRankEngine& engine = *setup.engine;
+
+  Timer build_timer;
+  auto index = StarIndex::Build(setup.dataset->graph, engine.model());
+  if (!index.ok()) {
+    std::fprintf(stderr, "star index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "star index: %zu star nodes, %.1f MiB, built in %.2f s\n",
+      index->num_star_nodes(),
+      static_cast<double>(index->MemoryBytes()) / (1024.0 * 1024.0),
+      build_timer.ElapsedSeconds());
+
+  // Keep only structurally interesting queries (those needing connectors).
+  // CIRANK_BENCH_QUERIES / CIRANK_BENCH_BUDGET trade fidelity for runtime
+  // on slow machines.
+  size_t max_queries = 8;
+  if (const char* env = std::getenv("CIRANK_BENCH_QUERIES")) {
+    const int v = std::atoi(env);
+    if (v > 0) max_queries = static_cast<size_t>(v);
+  }
+  int64_t budget = 100000;
+  if (const char* env = std::getenv("CIRANK_BENCH_BUDGET")) {
+    const long long v = std::atoll(env);
+    if (v > 0) budget = v;
+  }
+  std::vector<LabeledQuery> queries;
+  for (const LabeledQuery& lq : setup.queries) {
+    if (lq.kind == LabeledQuery::Kind::kTwoNonAdjacent ||
+        lq.kind == LabeledQuery::Kind::kThreePlus) {
+      queries.push_back(lq);
+    }
+    if (queries.size() == max_queries) break;
+  }
+  if (queries.empty()) queries = setup.queries;
+
+  std::printf("%-4s %-24s %-24s\n", "D", "upper-bound search (s)",
+              "+ star index (s)");
+  for (uint32_t d : {4u, 5u, 6u}) {
+    TimingStats plain_time, indexed_time;
+    long long plain_budget_hits = 0, indexed_budget_hits = 0;
+    for (const LabeledQuery& lq : queries) {
+      SearchOptions opts;
+      opts.k = 5;
+      opts.max_diameter = d;
+      opts.max_expansions = budget;
+
+      Timer t;
+      SearchStats stats;
+      (void)engine.Search(lq.query, opts, &stats);
+      plain_time.Add(t.ElapsedSeconds());
+      plain_budget_hits += stats.budget_exhausted ? 1 : 0;
+
+      opts.bounds = &index.value();
+      t.Reset();
+      (void)engine.Search(lq.query, opts, &stats);
+      indexed_time.Add(t.ElapsedSeconds());
+      indexed_budget_hits += stats.budget_exhausted ? 1 : 0;
+    }
+    std::printf("%-4u %-24.3f %-24.3f", d, plain_time.mean(),
+                indexed_time.mean());
+    if (plain_budget_hits + indexed_budget_hits > 0) {
+      std::printf("  [budget hits: %lld plain, %lld indexed]",
+                  plain_budget_hits, indexed_budget_hits);
+    }
+    std::printf("\n");
+  }
+  std::printf("(%s, k=5, averaged over %zu connector queries)\n\n", label,
+              queries.size());
+}
+
+}  // namespace bench
+}  // namespace cirank

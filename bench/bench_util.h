@@ -1,0 +1,63 @@
+// Shared helpers for the paper-reproduction bench binaries: default bench
+// scales for the synthetic IMDB/DBLP datasets, engine assembly, and table
+// printing. Every bench prints the rows/series of one paper figure; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+#ifndef CIRANK_BENCH_BENCH_UTIL_H_
+#define CIRANK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "datasets/query_gen.h"
+#include "eval/experiment.h"
+#include "util/timer.h"
+
+namespace cirank {
+namespace bench {
+
+// Laptop-scale stand-ins for the paper's full datasets (IMDB 3.4M nodes,
+// DBLP 2.1M). The schemas, edge weights, and skew match; sizes are chosen
+// so each bench finishes in minutes. Override via environment variable
+// CIRANK_BENCH_SCALE (e.g. 0.5 or 2.0).
+double BenchScale();
+
+ImdbGenOptions ImdbBenchOptions(double scale = BenchScale());
+DblpGenOptions DblpBenchOptions(double scale = BenchScale());
+
+// An engine plus its dataset, queries, and rankers, ready for experiments.
+struct BenchSetup {
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<CiRankEngine> engine;
+  std::vector<LabeledQuery> queries;
+};
+
+// Builds the dataset+engine and generates `num_queries` labeled queries.
+// `ambiguous_prob` is the per-target probability of a surname-only keyword;
+// the effectiveness figures use the default (ambiguity is what separates
+// the rankers), while the timing figures pass 0 to mirror the paper's
+// complex queries with "clear meaning and no ambiguity".
+BenchSetup MakeImdbSetup(int num_queries, bool user_log_style,
+                         uint64_t query_seed, double scale = BenchScale(),
+                         double ambiguous_prob = 0.35);
+BenchSetup MakeDblpSetup(int num_queries, uint64_t query_seed,
+                         double scale = BenchScale(),
+                         double ambiguous_prob = 0.35);
+
+// Prints a header naming the figure and the dataset sizes involved.
+void PrintFigureHeader(const std::string& figure,
+                       const std::string& description);
+void PrintDatasetLine(const Dataset& ds);
+
+// Shared driver for Figs. 11 and 12: builds the star index, then reports
+// average top-5 search time for D in {4,5,6} with and without the index.
+void RunIndexFigure(BenchSetup setup, const char* label);
+
+}  // namespace bench
+}  // namespace cirank
+
+#endif  // CIRANK_BENCH_BENCH_UTIL_H_

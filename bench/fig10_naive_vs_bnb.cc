@@ -1,0 +1,120 @@
+// Reproduces Fig. 10: average top-k search time of the naive algorithm
+// (Sec. IV-A) versus the branch-and-bound algorithm (Sec. IV-B) on
+// the bench-scale IMDB and DBLP datasets.
+//
+// Two substitutions, documented in EXPERIMENTS.md: (1) the paper samples
+// its 3.4M/2.1M-node graphs down to 10% because that is the size where the
+// naive algorithm is feasible at all; our bench-scale datasets (~5k nodes)
+// already sit well below that threshold, so they play the role of the
+// paper's samples directly. (2) The regime the paper's naive algorithm
+// suffers in -- and the reason it "can easily run out of memory" -- is
+// queries whose keywords match many tuples, making the per-root
+// combination space explode; we therefore use topic-word queries (common
+// title/topic words, document frequency 2-10% of the star table), the
+// analog of common words in AOL queries. The naive search runs with a
+// large combination budget; branch-and-bound is capped at 150k expansions
+// (it returns its top-5 and reports whether the budget hit).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/naive_search.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace cirank {
+namespace {
+
+// 2-keyword topic queries from moderately common words.
+std::vector<Query> TopicQueries(const InvertedIndex& index, size_t graph_size,
+                                int count, uint64_t seed) {
+  const uint32_t min_df =
+      std::max(10u, static_cast<uint32_t>(graph_size / 200));
+  const uint32_t max_df =
+      std::max(20u, static_cast<uint32_t>(graph_size / 8));
+  std::vector<std::string> terms = index.FrequentTerms(min_df, max_df);
+  Rng rng(seed);
+  std::vector<Query> out;
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < count && attempts++ < 1000 &&
+         terms.size() >= 2) {
+    Query q;
+    q.keywords.push_back(terms[rng.NextUint(terms.size())]);
+    for (int tries = 0; tries < 20 && q.keywords.size() < 2; ++tries) {
+      std::string t = terms[rng.NextUint(terms.size())];
+      if (t != q.keywords[0]) q.keywords.push_back(std::move(t));
+    }
+    if (q.keywords.size() == 2) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+void RunDataset(const bench::BenchSetup& setup, const char* label,
+                uint64_t seed) {
+  bench::PrintDatasetLine(*setup.dataset);
+  const CiRankEngine& engine = *setup.engine;
+
+  std::vector<Query> queries = TopicQueries(
+      engine.index(), setup.dataset->graph.num_nodes(), 6, seed);
+  if (queries.empty()) {
+    std::fprintf(stderr, "no topic queries available\n");
+    return;
+  }
+
+  TimingStats naive_time, bnb_time;
+  long long naive_generated = 0;
+  long long bnb_popped = 0;
+  long long budget_hits = 0;
+  for (const Query& q : queries) {
+    Timer t;
+    NaiveSearchOptions nopts;
+    nopts.k = 5;
+    nopts.max_diameter = 4;
+    nopts.max_combinations_per_root = 300000;
+    nopts.max_paths_per_source = 64;
+    SearchStats nstats;
+    (void)NaiveSearch(engine.scorer(), q, nopts, &nstats);
+    naive_time.Add(t.ElapsedSeconds());
+    naive_generated += nstats.generated;
+
+    t.Reset();
+    SearchOptions sopts;
+    sopts.k = 5;
+    sopts.max_diameter = 4;
+    sopts.max_expansions = 150000;
+    SearchStats bstats;
+    (void)engine.Search(q, sopts, &bstats);
+    bnb_time.Add(t.ElapsedSeconds());
+    bnb_popped += bstats.popped;
+    budget_hits += bstats.budget_exhausted ? 1 : 0;
+  }
+
+  std::printf("%-18s naive=%8.3f s   branch-and-bound=%8.3f s   "
+              "(avg over %lld topic queries, k=5, D=4)\n",
+              label, naive_time.mean(), bnb_time.mean(),
+              static_cast<long long>(naive_time.count()));
+  std::printf("%-18s naive scored %lld trees total; B&B expanded %lld "
+              "candidates total (%lld budget-capped runs)\n",
+              "", naive_generated, bnb_popped, budget_hits);
+}
+
+}  // namespace
+}  // namespace cirank
+
+int main() {
+  using namespace cirank;
+  bench::PrintFigureHeader(
+      "Figure 10",
+      "average search time: naive vs branch-and-bound");
+
+  bench::BenchSetup imdb = bench::MakeImdbSetup(
+      /*num_queries=*/2, /*user_log_style=*/false, /*query_seed=*/1010,
+      bench::BenchScale(), /*ambiguous_prob=*/0.0);
+  RunDataset(imdb, "IMDB", 77);
+
+  bench::BenchSetup dblp = bench::MakeDblpSetup(
+      /*num_queries=*/2, /*query_seed=*/1011,
+      bench::BenchScale(), /*ambiguous_prob=*/0.0);
+  RunDataset(dblp, "DBLP", 78);
+  return 0;
+}

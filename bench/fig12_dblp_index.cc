@@ -1,0 +1,17 @@
+// Reproduces Fig. 12: average top-5 search time on the (synthetic) DBLP
+// dataset for maximal tree diameters D in {4, 5, 6}, with and without the
+// star index (the Paper table is the star table). Same expected shape as
+// Fig. 11, at somewhat higher absolute times in the paper.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cirank;
+  bench::PrintFigureHeader(
+      "Figure 12",
+      "DBLP average top-5 search time vs diameter, with/without star index");
+  bench::RunIndexFigure(
+      bench::MakeDblpSetup(/*num_queries=*/30, /*query_seed=*/1201,
+                           bench::BenchScale(), /*ambiguous_prob=*/0.0),
+      "DBLP");
+  return 0;
+}

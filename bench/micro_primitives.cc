@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the core primitives: PageRank power
+// iteration, RWMP tree scoring, upper-bound evaluation, and index lookups.
+// These are not paper figures; they quantify the building blocks so the
+// figure-level timings can be interpreted.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/bounds.h"
+#include "core/naive_search.h"
+#include "index/star_index.h"
+#include "util/random.h"
+
+namespace cirank {
+namespace {
+
+// Shared state, built once (dataset generation dominates otherwise).
+struct MicroState {
+  MicroState() {
+    auto ds = BuildImdbDataset(bench::ImdbBenchOptions(0.25));
+    dataset = std::make_unique<Dataset>(std::move(ds).value());
+    auto eng = CiRankEngine::Build(dataset->graph);
+    engine = std::make_unique<CiRankEngine>(std::move(eng).value());
+    star_index = std::make_unique<StarIndex>(
+        StarIndex::Build(dataset->graph, engine->model()).value());
+
+    // A representative 3-node answer: actor - movie - actor.
+    const Graph& g = dataset->graph;
+    for (NodeId m : dataset->star_entities) {
+      std::vector<NodeId> actors;
+      for (const Edge& e : g.out_edges(m)) {
+        if (g.relation_of(e.to) == 1) actors.push_back(e.to);
+      }
+      if (actors.size() >= 2 &&
+          g.text_of(actors[0]) != g.text_of(actors[1])) {
+        query = Query::Parse(g.text_of(actors[0]) + " " +
+                             g.text_of(actors[1]));
+        tree = std::make_unique<Jtt>(
+            Jtt::Create(m, {{m, actors[0]}, {m, actors[1]}}).value());
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<CiRankEngine> engine;
+  std::unique_ptr<StarIndex> star_index;
+  Query query;
+  std::unique_ptr<Jtt> tree;
+};
+
+MicroState& State() {
+  static MicroState* state = new MicroState();
+  return *state;
+}
+
+void BM_PageRank(benchmark::State& bench_state) {
+  MicroState& s = State();
+  PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0.0;  // fixed iteration count for stable timing
+  for (auto _ : bench_state) {
+    auto result = ComputePageRank(s.dataset->graph, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  bench_state.SetItemsProcessed(bench_state.iterations() * 20 *
+                                static_cast<int64_t>(
+                                    s.dataset->graph.num_edges()));
+}
+BENCHMARK(BM_PageRank)->Unit(benchmark::kMillisecond);
+
+void BM_TreeScore(benchmark::State& bench_state) {
+  MicroState& s = State();
+  for (auto _ : bench_state) {
+    TreeScore ts = s.engine->ScoreTree(*s.tree, s.query);
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_TreeScore)->Unit(benchmark::kMicrosecond);
+
+void BM_UpperBound(benchmark::State& bench_state) {
+  MicroState& s = State();
+  UpperBoundCalculator calc(s.engine->scorer(), s.query, 4, nullptr);
+  Candidate c;
+  c.tree = *s.tree;
+  c.covered = calc.all_keywords_mask();
+  c.diameter = s.tree->Diameter();
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(calc.UpperBound(c));
+  }
+}
+BENCHMARK(BM_UpperBound)->Unit(benchmark::kMicrosecond);
+
+void BM_StarIndexLookup(benchmark::State& bench_state) {
+  MicroState& s = State();
+  const size_t n = s.dataset->graph.num_nodes();
+  Rng rng(9);
+  for (auto _ : bench_state) {
+    NodeId a = static_cast<NodeId>(rng.NextUint(n));
+    NodeId b = static_cast<NodeId>(rng.NextUint(n));
+    benchmark::DoNotOptimize(s.star_index->DistanceLowerBound(a, b));
+    benchmark::DoNotOptimize(s.star_index->TransmissionBound(a, b));
+  }
+}
+BENCHMARK(BM_StarIndexLookup);
+
+void BM_TopKSearchIndexed(benchmark::State& bench_state) {
+  MicroState& s = State();
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = 4;
+  opts.bounds = s.star_index.get();
+  for (auto _ : bench_state) {
+    auto result = s.engine->Search(s.query, opts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TopKSearchIndexed)->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateAnswers(benchmark::State& bench_state) {
+  MicroState& s = State();
+  EnumerateOptions opts;
+  opts.max_diameter = 4;
+  opts.max_answers = 200;
+  for (auto _ : bench_state) {
+    auto pool = EnumerateAnswers(s.dataset->graph, s.engine->index(),
+                                 s.query, opts);
+    benchmark::DoNotOptimize(pool);
+  }
+}
+BENCHMARK(BM_EnumerateAnswers)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cirank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,184 @@
+// Interactive keyword-search CLI over a synthetic or saved database graph.
+//
+//   $ ./build/examples/cirank_cli --dataset imdb --k 5 --diameter 4
+//   > tom hanks
+//   #1 score=...  JTT(...)
+//
+// Options:
+//   --dataset imdb|dblp     generate a synthetic dataset (default imdb)
+//   --load PATH             load a graph saved with SaveGraphToFile instead
+//   --save PATH             save the generated graph and exit
+//   --scale S               generator scale factor (default 0.25)
+//   --k N                   answers per query (default 5)
+//   --diameter D            answer-tree diameter limit (default 4)
+//   --no-index              disable the star index
+// Queries are read line by line from stdin; empty line or EOF quits.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "graph/serialize.h"
+#include "index/star_index.h"
+#include "util/timer.h"
+
+using namespace cirank;
+
+namespace {
+
+struct CliOptions {
+  std::string dataset = "imdb";
+  std::string load_path;
+  std::string save_path;
+  double scale = 0.25;
+  int k = 5;
+  uint32_t diameter = 4;
+  bool use_index = true;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dataset") {
+      const char* v = next();
+      if (!v) return false;
+      opts->dataset = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (!v) return false;
+      opts->load_path = v;
+    } else if (arg == "--save") {
+      const char* v = next();
+      if (!v) return false;
+      opts->save_path = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      opts->scale = std::atof(v);
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      opts->k = std::atoi(v);
+    } else if (arg == "--diameter") {
+      const char* v = next();
+      if (!v) return false;
+      opts->diameter = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--no-index") {
+      opts->use_index = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Graph> MakeGraph(const CliOptions& opts) {
+  if (!opts.load_path.empty()) return LoadGraphFromFile(opts.load_path);
+  if (opts.dataset == "imdb") {
+    ImdbGenOptions gen;
+    gen.num_movies = static_cast<int>(4000 * opts.scale);
+    gen.num_actors = static_cast<int>(5000 * opts.scale);
+    gen.num_actresses = static_cast<int>(3000 * opts.scale);
+    gen.num_directors = static_cast<int>(800 * opts.scale);
+    gen.num_producers = static_cast<int>(500 * opts.scale);
+    gen.num_companies = static_cast<int>(300 * opts.scale);
+    auto ds = BuildImdbDataset(gen);
+    if (!ds.ok()) return ds.status();
+    return std::move(ds->graph);
+  }
+  if (opts.dataset == "dblp") {
+    DblpGenOptions gen;
+    gen.num_papers = static_cast<int>(6000 * opts.scale);
+    gen.num_authors = static_cast<int>(4000 * opts.scale);
+    gen.num_conferences = 24;
+    auto ds = BuildDblpDataset(gen);
+    if (!ds.ok()) return ds.status();
+    return std::move(ds->graph);
+  }
+  return Status::InvalidArgument("unknown dataset: " + opts.dataset);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return 1;
+
+  Timer setup_timer;
+  auto graph = MakeGraph(opts);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph setup failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  if (!opts.save_path.empty()) {
+    Status st = SaveGraphToFile(*graph, opts.save_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %zu nodes / %zu edges to %s\n", graph->num_nodes(),
+                graph->num_edges(), opts.save_path.c_str());
+    return 0;
+  }
+
+  auto engine = CiRankEngine::Build(*graph);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<StarIndex> index = Status::FailedPrecondition("index disabled");
+  if (opts.use_index) {
+    index = StarIndex::Build(*graph, engine->model());
+    if (!index.ok()) {
+      std::fprintf(stderr, "star index unavailable (%s); continuing\n",
+                   index.status().ToString().c_str());
+    }
+  }
+
+  std::printf("ready: %zu nodes, %zu edges, %s star index (%.1f s setup)\n",
+              graph->num_nodes(), graph->num_edges(),
+              index.ok() ? "with" : "without",
+              setup_timer.ElapsedSeconds());
+  std::printf("type keywords (empty line quits):\n");
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    Query query = Query::Parse(line);
+    if (query.empty()) continue;
+
+    SearchOptions sopts;
+    sopts.k = opts.k;
+    sopts.max_diameter = opts.diameter;
+    sopts.max_expansions = 500000;
+    if (index.ok()) sopts.bounds = &index.value();
+
+    Timer t;
+    SearchStats stats;
+    auto answers = engine->Search(query, sopts, &stats);
+    if (!answers.ok()) {
+      std::printf("  error: %s\n", answers.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %zu answers in %.3f s (%lld candidates expanded%s)\n",
+                answers->size(), t.ElapsedSeconds(),
+                static_cast<long long>(stats.popped),
+                stats.budget_exhausted ? ", budget hit" : "");
+    for (size_t i = 0; i < answers->size(); ++i) {
+      std::printf("  #%zu score=%.5g %s\n", i + 1, (*answers)[i].score,
+                  (*answers)[i].tree.ToString(*graph).c_str());
+    }
+  }
+  return 0;
+}

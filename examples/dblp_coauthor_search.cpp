@@ -1,0 +1,78 @@
+// DBLP co-author search: the paper's motivating scenario (Sec. I) on a
+// synthetic DBLP-schema dataset. Queries two author names and shows that
+// CI-Rank surfaces the best-cited connecting papers first, while an
+// IR-style ranking cannot tell the connecting papers apart.
+//
+//   $ ./build/examples/dblp_coauthor_search
+#include <cstdio>
+
+#include "baselines/spark.h"
+#include "core/engine.h"
+#include "datasets/dblp_gen.h"
+#include "datasets/query_gen.h"
+
+using namespace cirank;
+
+int main() {
+  DblpGenOptions gen;
+  gen.num_papers = 1200;
+  gen.num_authors = 800;
+  gen.num_conferences = 16;
+  gen.seed = 12;
+  auto dataset = BuildDblpDataset(gen);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed\n");
+    return 1;
+  }
+  std::printf("synthetic DBLP: %zu nodes, %zu edges\n",
+              dataset->graph.num_nodes(), dataset->graph.num_edges());
+
+  auto engine = CiRankEngine::Build(dataset->graph);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed\n");
+    return 1;
+  }
+
+  // Pick a pair of co-authors of some paper to play Papakonstantinou/Ullman.
+  QueryGenOptions qopts;
+  qopts.num_queries = 4;
+  qopts.frac_two_nonadjacent = 1.0;
+  qopts.frac_three_plus = 0.0;
+  qopts.ambiguous_prob = 0.0;
+  qopts.seed = 99;
+  auto queries = GenerateQueries(*dataset, qopts);
+  if (!queries.ok() || queries->empty()) {
+    std::fprintf(stderr, "query generation failed\n");
+    return 1;
+  }
+
+  SparkScorer spark(engine->index());
+  for (const LabeledQuery& lq : *queries) {
+    std::string rendered;
+    for (const std::string& k : lq.query.keywords) {
+      rendered += rendered.empty() ? k : " " + k;
+    }
+    std::printf("\nquery: \"%s\"\n", rendered.c_str());
+
+    SearchOptions opts;
+    opts.k = 3;
+    opts.max_diameter = 3;
+    opts.max_expansions = 30000;
+    auto answers = engine->Search(lq.query, opts);
+    if (!answers.ok() || answers->empty()) {
+      std::printf("  (no answers)\n");
+      continue;
+    }
+    for (size_t i = 0; i < answers->size(); ++i) {
+      const RankedAnswer& a = (*answers)[i];
+      std::printf("  #%zu ci=%.4g spark=%.3f  %s\n", i + 1, a.score,
+                  spark.Score(a.tree, lq.query),
+                  a.tree.ToString(dataset->graph).c_str());
+    }
+  }
+
+  std::printf("\nNote how answers connected through heavily cited papers"
+              " rank first under CI-Rank while their SPARK scores are flat"
+              " or even prefer shorter titles.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "baselines/banks.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace cirank {
+
+BanksScorer::BanksScorer(const Graph& graph, std::vector<double> importance)
+    : graph_(&graph), importance_(std::move(importance)) {
+  double max_imp = 0.0;
+  for (double p : importance_) max_imp = std::max(max_imp, p);
+  if (max_imp > 0.0) {
+    for (double& p : importance_) p /= max_imp;
+  }
+}
+
+double BanksScorer::NodeScore(const Jtt& tree, const Query& query,
+                              const InvertedIndex& index) const {
+  (void)query;
+  (void)index;
+  // Average importance of the root and the leaves; intermediate nodes are
+  // deliberately ignored (that is BANKS' design).
+  double total = importance_[tree.root()];
+  size_t count = 1;
+  for (NodeId v : tree.nodes()) {
+    if (v == tree.root()) continue;
+    if (tree.TreeNeighbors(v).size() == 1) {
+      total += importance_[v];
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+double BanksScorer::EdgeScore(const Jtt& tree) const {
+  double cost_sum = 0.0;
+  for (const auto& [parent, child] : tree.edges()) {
+    const double w_fwd = graph_->edge_weight(parent, child);
+    const double w_bwd = graph_->edge_weight(child, parent);
+    const double mean = (w_fwd + w_bwd) / 2.0;
+    cost_sum += mean > 0.0 ? 1.0 / mean : 10.0;
+  }
+  return 1.0 / (1.0 + cost_sum);
+}
+
+double BanksScorer::Score(const Jtt& tree, const Query& query,
+                          const InvertedIndex& index) const {
+  return NodeScore(tree, query, index) * EdgeScore(tree);
+}
+
+Result<std::vector<RankedAnswer>> BanksSearch(
+    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Query& query, const BanksSearchOptions& options) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+
+  // Per keyword: multi-source Dijkstra backwards along in-edges (an answer
+  // path runs root -> keyword node, so we walk keyword node -> root against
+  // edge direction). Costs are reciprocal mean edge weights.
+  const size_t m = query.size();
+  struct Label {
+    double cost = std::numeric_limits<double>::infinity();
+    NodeId next_hop = kInvalidNode;  // toward the keyword node
+  };
+  std::vector<std::vector<Label>> labels(
+      m, std::vector<Label>(graph.num_nodes()));
+
+  auto edge_cost = [&](NodeId a, NodeId b) {
+    const double w = (graph.edge_weight(a, b) + graph.edge_weight(b, a)) / 2.0;
+    return w > 0.0 ? 1.0 / w : 10.0;
+  };
+
+  int64_t iterations = 0;
+  for (size_t ki = 0; ki < m; ++ki) {
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (NodeId v : index.MatchingNodes(query.keywords[ki])) {
+      labels[ki][v] = Label{0.0, kInvalidNode};
+      heap.push({0.0, v});
+    }
+    std::vector<uint32_t> hop_count(graph.num_nodes(),
+                                    std::numeric_limits<uint32_t>::max());
+    for (NodeId v : index.MatchingNodes(query.keywords[ki])) hop_count[v] = 0;
+    while (!heap.empty()) {
+      auto [cost, v] = heap.top();
+      heap.pop();
+      if (cost > labels[ki][v].cost) continue;
+      if (++iterations > options.max_iterations) break;
+      if (hop_count[v] >= options.max_diameter) continue;
+      for (const Edge& e : graph.in_edges(v)) {
+        const NodeId u = e.to;  // predecessor in graph direction
+        const double c = cost + edge_cost(u, v);
+        if (c < labels[ki][u].cost) {
+          labels[ki][u] = Label{c, v};
+          hop_count[u] = hop_count[v] + 1;
+          heap.push({c, u});
+        }
+      }
+    }
+  }
+
+  // Roots where all keywords meet; assemble one tree per root from the
+  // per-keyword best paths.
+  struct Scored {
+    Jtt tree;
+    double score;
+  };
+  std::vector<Scored> found;
+  std::set<std::string> seen;
+  for (NodeId r = 0; r < graph.num_nodes(); ++r) {
+    bool all = true;
+    for (size_t ki = 0; ki < m; ++ki) {
+      if (labels[ki][r].cost == std::numeric_limits<double>::infinity()) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+
+    std::set<std::pair<NodeId, NodeId>> undirected;
+    std::set<NodeId> nodes{r};
+    for (size_t ki = 0; ki < m; ++ki) {
+      NodeId v = r;
+      while (labels[ki][v].next_hop != kInvalidNode) {
+        NodeId n = labels[ki][v].next_hop;
+        undirected.insert({std::min(v, n), std::max(v, n)});
+        nodes.insert(n);
+        v = n;
+      }
+    }
+    if (undirected.size() + 1 != nodes.size()) continue;  // paths collided
+
+    // Orient from the root.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    std::set<NodeId> placed{r};
+    std::vector<NodeId> frontier{r};
+    while (!frontier.empty()) {
+      NodeId u = frontier.back();
+      frontier.pop_back();
+      for (const auto& [a, b] : undirected) {
+        NodeId other = kInvalidNode;
+        if (a == u && !placed.count(b)) other = b;
+        if (b == u && !placed.count(a)) other = a;
+        if (other == kInvalidNode) continue;
+        edges.emplace_back(u, other);
+        placed.insert(other);
+        frontier.push_back(other);
+      }
+    }
+    Result<Jtt> tree = Jtt::Create(r, std::move(edges));
+    if (!tree.ok()) continue;
+    if (tree->Diameter() > options.max_diameter) continue;
+    if (!tree->CoversAllKeywords(query, index)) continue;
+    if (!seen.insert(tree->CanonicalKey()).second) continue;
+    const double s = scorer.Score(*tree, query, index);
+    found.push_back(Scored{std::move(tree).value(), s});
+  }
+
+  std::sort(found.begin(), found.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tree.CanonicalKey() < b.tree.CanonicalKey();
+  });
+  std::vector<RankedAnswer> out;
+  for (size_t i = 0; i < found.size() && i < static_cast<size_t>(options.k);
+       ++i) {
+    out.push_back(RankedAnswer{std::move(found[i].tree), found[i].score});
+  }
+  return out;
+}
+
+}  // namespace cirank

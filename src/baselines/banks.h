@@ -1,0 +1,59 @@
+// BANKS baseline (Bhalotia et al., ICDE'02), as characterized in
+// Sec. II-B.2 of the CI-Rank paper: the answer-tree score combines
+//   * a node score: the average (normalized) importance of the ROOT and the
+//     LEAF nodes only -- intermediate free nodes are ignored, which is the
+//     deficiency the Bloom/Wood/Mortensen example exposes; and
+//   * an edge score: 1 / (1 + sum of edge costs), where an edge's cost is
+//     the reciprocal of the mean of its two directed graph weights (strong
+//     foreign-key connections are cheap).
+// The combined score is their product. The module also implements BANKS'
+// backward expanding search so the baseline can run standalone.
+#ifndef CIRANK_BASELINES_BANKS_H_
+#define CIRANK_BASELINES_BANKS_H_
+
+#include <vector>
+
+#include "core/bnb_search.h"
+#include "core/jtt.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+class BanksScorer {
+ public:
+  // `importance` is any positive per-node importance vector (we feed it the
+  // same PageRank scores CI-Rank uses, so BANKS is not handicapped on
+  // information -- only on how it uses it).
+  BanksScorer(const Graph& graph, std::vector<double> importance);
+
+  double Score(const Jtt& tree, const Query& query,
+               const InvertedIndex& index) const;
+
+  double NodeScore(const Jtt& tree, const Query& query,
+                   const InvertedIndex& index) const;
+  double EdgeScore(const Jtt& tree) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<double> importance_;  // normalized to max = 1
+};
+
+struct BanksSearchOptions {
+  int k = 10;
+  uint32_t max_diameter = 4;
+  // Iteration budget for the backward expanding search.
+  int64_t max_iterations = 200000;
+};
+
+// BANKS' backward expanding search: Dijkstra-style expansion from every
+// keyword-matching node toward common roots; each discovered root yields an
+// answer tree assembled from the per-keyword best paths.
+Result<std::vector<RankedAnswer>> BanksSearch(const Graph& graph,
+                                              const InvertedIndex& index,
+                                              const BanksScorer& scorer,
+                                              const Query& query,
+                                              const BanksSearchOptions& options);
+
+}  // namespace cirank
+
+#endif  // CIRANK_BASELINES_BANKS_H_

@@ -1,0 +1,147 @@
+#include "baselines/bidirectional.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace cirank {
+
+namespace {
+
+// Per-(keyword, node) reach record during activation spreading.
+struct Reach {
+  double activation = 0.0;
+  uint32_t hops = std::numeric_limits<uint32_t>::max();
+  NodeId toward_keyword = kInvalidNode;  // next hop toward the cluster
+};
+
+}  // namespace
+
+Result<std::vector<RankedAnswer>> BidirectionalSearch(
+    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Query& query, const BidirectionalSearchOptions& options) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (options.activation_decay <= 0.0 || options.activation_decay >= 1.0) {
+    return Status::InvalidArgument("activation_decay must be in (0, 1)");
+  }
+
+  const size_t m = query.size();
+  std::vector<std::vector<Reach>> reach(m,
+                                        std::vector<Reach>(graph.num_nodes()));
+
+  // One shared frontier prioritized by activation (the "bidirectional"
+  // element: clusters reached from important matches spread first).
+  struct Entry {
+    double activation;
+    uint32_t cluster;
+    NodeId node;
+    bool operator<(const Entry& other) const {
+      return activation < other.activation;
+    }
+  };
+  std::priority_queue<Entry> frontier;
+
+  for (size_t ki = 0; ki < m; ++ki) {
+    const std::vector<NodeId> matches =
+        index.MatchingNodes(query.keywords[ki]);
+    if (matches.empty()) return std::vector<RankedAnswer>{};
+    // Initial activation splits the cluster's unit mass over its origins.
+    const double a0 = 1.0 / static_cast<double>(matches.size());
+    for (NodeId v : matches) {
+      reach[ki][v] = Reach{a0, 0, kInvalidNode};
+      frontier.push(Entry{a0, static_cast<uint32_t>(ki), v});
+    }
+  }
+
+  const uint32_t radius = options.max_diameter;
+  int64_t iterations = 0;
+  while (!frontier.empty() && iterations < options.max_iterations) {
+    ++iterations;
+    Entry e = frontier.top();
+    frontier.pop();
+    const Reach& cur = reach[e.cluster][e.node];
+    if (e.activation < cur.activation) continue;  // stale
+    if (cur.hops >= radius) continue;
+    // Spread backward along in-edges: an answer path runs root -> keyword
+    // node, so reachability grows against edge direction.
+    for (const Edge& in : graph.in_edges(e.node)) {
+      const NodeId u = in.to;
+      const double spread = e.activation * options.activation_decay;
+      Reach& r = reach[e.cluster][u];
+      if (spread > r.activation) {
+        r = Reach{spread, cur.hops + 1, e.node};
+        frontier.push(Entry{spread, e.cluster, u});
+      }
+    }
+  }
+
+  // Roots reached by every cluster yield answers.
+  struct Scored {
+    Jtt tree;
+    double score;
+  };
+  std::vector<Scored> found;
+  std::set<std::string> seen;
+  for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+    bool all = true;
+    for (size_t ki = 0; ki < m; ++ki) {
+      if (reach[ki][root].activation <= 0.0) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+
+    std::set<std::pair<NodeId, NodeId>> undirected;
+    std::set<NodeId> nodes{root};
+    for (size_t ki = 0; ki < m; ++ki) {
+      NodeId v = root;
+      while (reach[ki][v].toward_keyword != kInvalidNode) {
+        const NodeId n = reach[ki][v].toward_keyword;
+        undirected.insert({std::min(v, n), std::max(v, n)});
+        nodes.insert(n);
+        v = n;
+      }
+    }
+    if (undirected.size() + 1 != nodes.size()) continue;  // paths collided
+
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    std::set<NodeId> placed{root};
+    std::vector<NodeId> stack{root};
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& [a, b] : undirected) {
+        NodeId other = kInvalidNode;
+        if (a == u && !placed.count(b)) other = b;
+        if (b == u && !placed.count(a)) other = a;
+        if (other == kInvalidNode) continue;
+        edges.emplace_back(u, other);
+        placed.insert(other);
+        stack.push_back(other);
+      }
+    }
+    Result<Jtt> tree = Jtt::Create(root, std::move(edges));
+    if (!tree.ok()) continue;
+    if (tree->Diameter() > options.max_diameter) continue;
+    if (!tree->CoversAllKeywords(query, index)) continue;
+    if (!seen.insert(tree->CanonicalKey()).second) continue;
+    found.push_back(
+        Scored{*tree, scorer.Score(*tree, query, index)});
+  }
+
+  std::sort(found.begin(), found.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tree.CanonicalKey() < b.tree.CanonicalKey();
+  });
+  std::vector<RankedAnswer> out;
+  for (size_t i = 0; i < found.size() && i < static_cast<size_t>(options.k);
+       ++i) {
+    out.push_back(RankedAnswer{std::move(found[i].tree), found[i].score});
+  }
+  return out;
+}
+
+}  // namespace cirank

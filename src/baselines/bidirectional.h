@@ -1,0 +1,34 @@
+// Bidirectional expanding search (Kacholia et al., VLDB'05), the second
+// graph-based baseline the CI-Rank paper critiques in Sec. I/II-B: like
+// BANKS it scores only the root and the keyword-matching leaves, but its
+// search spreads *activation* -- keyword clusters emit activation that
+// decays as it spreads, and the frontier is prioritized by activation so
+// hubs near important keyword matches are explored first. Nodes reached by
+// all keyword clusters become answer roots; answers are assembled from the
+// per-cluster best paths and scored with the BANKS scoring function (the
+// two systems share the root+leaf scoring scheme in the paper's analysis).
+#ifndef CIRANK_BASELINES_BIDIRECTIONAL_H_
+#define CIRANK_BASELINES_BIDIRECTIONAL_H_
+
+#include "baselines/banks.h"
+#include "core/bnb_search.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+struct BidirectionalSearchOptions {
+  int k = 10;
+  uint32_t max_diameter = 4;
+  // Multiplicative activation decay per hop (mu in the original paper).
+  double activation_decay = 0.5;
+  // Frontier pops before the search gives up.
+  int64_t max_iterations = 500000;
+};
+
+Result<std::vector<RankedAnswer>> BidirectionalSearch(
+    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Query& query, const BidirectionalSearchOptions& options = {});
+
+}  // namespace cirank
+
+#endif  // CIRANK_BASELINES_BIDIRECTIONAL_H_

@@ -1,0 +1,34 @@
+#include "baselines/discover2.h"
+
+#include <cmath>
+
+namespace cirank {
+
+double Discover2Scorer::NodeScore(NodeId v, const Query& query) const {
+  const Graph& graph = index_->graph();
+  const RelationId rel = graph.relation_of(v);
+  const double dl = index_->NodeTokenCount(v);
+  const double avdl = index_->AvgTokenCount(rel);
+  const double n_rel = index_->RelationSize(rel);
+
+  double score = 0.0;
+  for (const std::string& k : query.keywords) {
+    const uint32_t tf = index_->TermFrequency(v, k);
+    if (tf == 0) continue;
+    const uint32_t df = index_->DocFrequency(k, rel);
+    const double idf = (n_rel + 1.0) / static_cast<double>(df);
+    const double tf_part = 1.0 + std::log(1.0 + std::log(tf));
+    const double norm =
+        (1.0 - s_) + s_ * (avdl > 0.0 ? dl / avdl : 1.0);
+    score += tf_part / norm * std::log(idf);
+  }
+  return score;
+}
+
+double Discover2Scorer::Score(const Jtt& tree, const Query& query) const {
+  double total = 0.0;
+  for (NodeId v : tree.nodes()) total += NodeScore(v, query);
+  return total / static_cast<double>(tree.size());
+}
+
+}  // namespace cirank

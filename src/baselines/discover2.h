@@ -1,0 +1,37 @@
+// DISCOVER2-style TF-IDF scoring (Hristidis, Gravano, Papakonstantinou,
+// VLDB'03), as summarized in Sec. II-B.1 of the CI-Rank paper:
+//   score(T, Q)  = sum_v score(v, Q) / size(T)
+//   score(v, Q)  = sum_{k in v cap Q}
+//                    (1 + ln(1 + ln(tf_k(v))))
+//                    / ((1 - s) + s * dl_v / avdl_{Rel(v)})
+//                    * ln(idf_k),
+//   idf_k        = (N_{Rel(v)} + 1) / df_k(Rel(v)).
+// Pure text scoring: node importance plays no role, which is exactly the
+// deficiency the motivating TSIMMIS example exposes.
+#ifndef CIRANK_BASELINES_DISCOVER2_H_
+#define CIRANK_BASELINES_DISCOVER2_H_
+
+#include "core/jtt.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+class Discover2Scorer {
+ public:
+  // `s` is the pivoted-normalization slope constant.
+  explicit Discover2Scorer(const InvertedIndex& index, double s = 0.2)
+      : index_(&index), s_(s) {}
+
+  double Score(const Jtt& tree, const Query& query) const;
+
+  // The per-node IR score (exposed for tests).
+  double NodeScore(NodeId v, const Query& query) const;
+
+ private:
+  const InvertedIndex* index_;
+  double s_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_BASELINES_DISCOVER2_H_

@@ -1,0 +1,74 @@
+#include "baselines/spark.h"
+
+#include <cmath>
+#include <set>
+
+namespace cirank {
+
+double SparkScorer::ScoreA(const Jtt& tree, const Query& query) const {
+  const Graph& graph = index_->graph();
+
+  // Total text length of the tree and the distinct relations involved.
+  double dl_t = 0.0;
+  std::set<RelationId> relations;
+  for (NodeId v : tree.nodes()) {
+    dl_t += index_->NodeTokenCount(v);
+    relations.insert(graph.relation_of(v));
+  }
+  double avdl_cn = 0.0;  // a CN* tuple concatenates one tuple per relation
+  for (RelationId r : relations) avdl_cn += index_->AvgTokenCount(r);
+
+  double score = 0.0;
+  for (const std::string& k : query.keywords) {
+    uint32_t tf_t = 0;
+    double best_idf = 0.0;
+    for (NodeId v : tree.nodes()) {
+      const uint32_t tf = index_->TermFrequency(v, k);
+      if (tf == 0) continue;
+      tf_t += tf;
+      const RelationId rel = graph.relation_of(v);
+      const uint32_t df = index_->DocFrequency(k, rel);
+      const double idf =
+          (static_cast<double>(index_->RelationSize(rel)) + 1.0) / df;
+      best_idf = std::max(best_idf, idf);
+    }
+    if (tf_t == 0) continue;
+    const double tf_part = 1.0 + std::log(1.0 + std::log(tf_t));
+    const double norm =
+        (1.0 - params_.s) +
+        params_.s * (avdl_cn > 0.0 ? dl_t / avdl_cn : 1.0);
+    score += tf_part / norm * std::log(best_idf);
+  }
+  return score;
+}
+
+double SparkScorer::ScoreB(const Jtt& tree, const Query& query) const {
+  if (query.empty()) return 0.0;
+  // Extended-Boolean completeness with binary hits: distance of the hit
+  // vector from the all-ones corner under the L_p norm.
+  double missing = 0.0;
+  for (const std::string& k : query.keywords) {
+    bool hit = false;
+    for (NodeId v : tree.nodes()) {
+      if (index_->TermFrequency(v, k) > 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) missing += 1.0;
+  }
+  return 1.0 - std::pow(missing / static_cast<double>(query.size()),
+                        1.0 / params_.p);
+}
+
+double SparkScorer::ScoreC(const Jtt& tree, const Query& query) const {
+  (void)query;
+  return (1.0 + params_.s1) /
+         (1.0 + params_.s1 * static_cast<double>(tree.size()));
+}
+
+double SparkScorer::Score(const Jtt& tree, const Query& query) const {
+  return ScoreA(tree, query) * ScoreB(tree, query) * ScoreC(tree, query);
+}
+
+}  // namespace cirank

@@ -1,0 +1,55 @@
+// SPARK scoring (Luo, Lin, Wang, Zhou, SIGMOD'07), the state-of-the-art
+// IR-style baseline of Sec. II-B.1:
+//   score(T, Q) = score_a * score_b * score_c
+//   score_a(T, Q) = sum_{k in T cap Q}
+//       (1 + ln(1 + ln(tf_k(T)))) / ((1-s) + s * dl_T / avdl_{CN*(T)})
+//       * ln(idf_k),   tf_k(T) = sum_v tf_k(v)
+// where CN*(T) is the join of the relations containing the keywords.
+//
+// Substitutions (the CI-Rank paper itself omits the exact score_b/score_c
+// formulas "due to the limited space"):
+//   * CN*(T) statistics are approximated from per-relation statistics of the
+//     keyword-matching nodes' relations: idf_k uses the relation of the
+//     keyword's matches with the largest (N+1)/df ratio, and avdl_{CN*} is
+//     the sum of avdl over the distinct relations appearing in T (a join
+//     tuple concatenates one tuple per relation).
+//   * score_b follows SPARK's extended-Boolean completeness with binary
+//     keyword hits and p = 2.
+//   * score_c is the monotone size normalization
+//     (1 + s1) / (1 + s1 * size(T)).
+// These preserve the two behaviours the CI-Rank paper relies on: SPARK is
+// text-only (ignores importance) and prefers trees with smaller dl_T.
+#ifndef CIRANK_BASELINES_SPARK_H_
+#define CIRANK_BASELINES_SPARK_H_
+
+#include "core/jtt.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+struct SparkParams {
+  double s = 0.2;    // pivoted normalization slope
+  double p = 2.0;    // extended-Boolean norm for completeness
+  double s1 = 0.15;  // size normalization strength
+};
+
+class SparkScorer {
+ public:
+  explicit SparkScorer(const InvertedIndex& index, SparkParams params = {})
+      : index_(&index), params_(params) {}
+
+  double Score(const Jtt& tree, const Query& query) const;
+
+  // The three factors, exposed for tests and ablation.
+  double ScoreA(const Jtt& tree, const Query& query) const;
+  double ScoreB(const Jtt& tree, const Query& query) const;
+  double ScoreC(const Jtt& tree, const Query& query) const;
+
+ private:
+  const InvertedIndex* index_;
+  SparkParams params_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_BASELINES_SPARK_H_

@@ -1,0 +1,212 @@
+#include "core/bnb_search.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+
+namespace cirank {
+
+namespace {
+
+// Identity of a candidate inside the search: the root matters because the
+// same underlying tree rooted differently offers different expansions.
+std::string CandidateKey(const Candidate& c) {
+  return std::to_string(c.root()) + "|" + c.tree.CanonicalKey();
+}
+
+// Maintains the current top-k answers, deduplicated by canonical tree key.
+class TopKAnswers {
+ public:
+  explicit TopKAnswers(size_t k) : k_(k) {}
+
+  // Returns true when the answer is new (not a duplicate tree).
+  bool Offer(const Jtt& tree, double score) {
+    std::string key = tree.CanonicalKey();
+    if (!seen_.insert(std::move(key)).second) return false;
+    answers_.push_back(RankedAnswer{tree, score});
+    std::sort(answers_.begin(), answers_.end(),
+              [](const RankedAnswer& a, const RankedAnswer& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.tree.CanonicalKey() < b.tree.CanonicalKey();
+              });
+    if (answers_.size() > k_) answers_.resize(k_);
+    return true;
+  }
+
+  bool Full() const { return answers_.size() >= k_; }
+  double MinScore() const {
+    return answers_.empty() ? 0.0 : answers_.back().score;
+  }
+  std::vector<RankedAnswer> Take() { return std::move(answers_); }
+
+ private:
+  size_t k_;
+  std::vector<RankedAnswer> answers_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
+    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
+    SearchStats* stats) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (query.size() > 31) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
+  }
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+
+  SearchStats local_stats;
+  SearchStats& st = stats != nullptr ? *stats : local_stats;
+  st = SearchStats{};
+
+  const Graph& graph = scorer.model().graph();
+  const InvertedIndex& index = scorer.index();
+  UpperBoundCalculator calc(scorer, query, options.max_diameter,
+                            options.bounds);
+  const KeywordMask all = calc.all_keywords_mask();
+
+  // Candidate arena; the priority queue and root registry hold indices.
+  std::vector<Candidate> arena;
+  using QueueEntry = std::pair<double, size_t>;  // (upper bound, arena index)
+  std::priority_queue<QueueEntry> queue;
+  // Registry entries carry the cheap merge pre-filter fields inline so hub
+  // roots with thousands of candidates can be scanned without touching the
+  // candidates themselves.
+  struct RegistryEntry {
+    size_t idx;
+    uint32_t non_root_leaves;
+    KeywordMask covered;
+  };
+  std::map<NodeId, std::vector<RegistryEntry>> by_root;
+  std::set<std::string> seen_candidates;
+  TopKAnswers answers(static_cast<size_t>(options.k));
+
+  auto non_root_leaves = [](const Candidate& c) {
+    if (c.tree.size() <= 1) return 0u;
+    uint32_t leaves = 0;
+    const size_t root_index = c.tree.IndexOf(c.root());
+    for (size_t i = 0; i < c.tree.size(); ++i) {
+      if (i != root_index && c.tree.NeighborIndices(i).size() == 1) {
+        ++leaves;
+      }
+    }
+    return leaves;
+  };
+
+  // Admits a candidate: dedup, score if complete answer, enqueue, register.
+  auto admit = [&](Candidate&& c) -> bool {
+    if (c.diameter > options.max_diameter) return false;
+    if (!IsViableCandidate(c, query, index)) return false;
+    std::string key = CandidateKey(c);
+    if (!seen_candidates.insert(std::move(key)).second) return false;
+    ++st.generated;
+
+    if (c.IsComplete(all) && c.tree.IsReduced(query, index)) {
+      TreeScore ts = scorer.Score(c.tree, query);
+      if (answers.Offer(c.tree, ts.score)) ++st.answers_found;
+    }
+
+    c.upper_bound = calc.UpperBound(c);
+    arena.push_back(std::move(c));
+    const size_t idx = arena.size() - 1;
+    if (arena[idx].upper_bound > 0.0) {
+      queue.push({arena[idx].upper_bound, idx});
+    }
+    by_root[arena[idx].root()].push_back(RegistryEntry{
+        idx, non_root_leaves(arena[idx]), arena[idx].covered});
+    return true;
+  };
+
+  // Merges a freshly admitted candidate against everything registered at its
+  // root, cascading so multi-way merges are reachable (closure of Alg. 1's
+  // Smerge step).
+  const uint32_t max_leaves = static_cast<uint32_t>(query.size());
+  auto merge_closure = [&](size_t start_idx) {
+    std::vector<size_t> worklist{start_idx};
+    while (!worklist.empty()) {
+      const size_t idx = worklist.back();
+      worklist.pop_back();
+      const NodeId root = arena[idx].root();
+      const uint32_t my_leaves = non_root_leaves(arena[idx]);
+      const KeywordMask my_mask = arena[idx].covered;
+      // Snapshot: admit() may grow the registry while we iterate.
+      std::vector<RegistryEntry> partners = by_root[root];
+      for (const RegistryEntry& other : partners) {
+        if (other.idx == idx) continue;
+        // Fast pre-filters: the merged tree keeps both sides' non-root
+        // leaves, so it can only stay viable when their counts fit within
+        // |Q|; the strict rule additionally needs coverage growth.
+        if (my_leaves + other.non_root_leaves > max_leaves) continue;
+        if (options.strict_merge_rule) {
+          const KeywordMask merged_mask = my_mask | other.covered;
+          if (merged_mask == my_mask || merged_mask == other.covered) {
+            continue;
+          }
+        }
+        Result<Candidate> merged = MergeCandidates(
+            arena[idx], arena[other.idx], options.strict_merge_rule);
+        if (!merged.ok()) continue;
+        const size_t before = arena.size();
+        if (admit(std::move(merged).value())) {
+          worklist.push_back(before);
+        }
+      }
+    }
+  };
+
+  // Seed with single-node candidates for every non-free node (line 3-6).
+  {
+    std::set<NodeId> seeds;
+    for (const std::string& k : query.keywords) {
+      for (NodeId v : index.MatchingNodes(k)) seeds.insert(v);
+    }
+    for (NodeId v : seeds) {
+      Candidate c;
+      c.tree = Jtt(v);
+      c.covered = NodeKeywordMask(v, query, index);
+      c.diameter = 0;
+      admit(std::move(c));
+    }
+  }
+
+  while (!queue.empty()) {
+    auto [ub, idx] = queue.top();
+    queue.pop();
+    if (ub < arena[idx].upper_bound) continue;  // stale (should not happen)
+
+    // Stopping rule (lines 9-11): nothing left can beat the k-th answer.
+    if (answers.Full() && ub <= answers.MinScore()) {
+      st.proven_optimal = true;
+      break;
+    }
+    ++st.popped;
+    if (options.max_expansions > 0 && st.popped > options.max_expansions) {
+      st.budget_exhausted = true;
+      break;
+    }
+
+    // Tree growing (line 12): every graph neighbor of the root not yet in
+    // the tree becomes a new root.
+    const Candidate& c = arena[idx];
+    const NodeId root = c.root();
+    std::vector<NodeId> neighbors;
+    for (const Edge& e : graph.out_edges(root)) {
+      if (!c.tree.contains(e.to)) neighbors.push_back(e.to);
+    }
+    for (NodeId nb : neighbors) {
+      Candidate grown = GrowCandidate(arena[idx], nb, query, index);
+      const size_t before = arena.size();
+      if (admit(std::move(grown))) {
+        merge_closure(before);
+      }
+    }
+  }
+
+  if (queue.empty()) st.proven_optimal = !st.budget_exhausted;
+  return answers.Take();
+}
+
+}  // namespace cirank

@@ -1,0 +1,58 @@
+// Branch-and-bound top-k search (Algorithm 1 of Sec. IV-B). Candidate trees
+// are expanded by tree growing and tree merging, prioritized by their upper
+// bounds; the search stops once the best remaining upper bound cannot beat
+// the current k-th answer (Theorem 1 guarantees optimality).
+#ifndef CIRANK_CORE_BNB_SEARCH_H_
+#define CIRANK_CORE_BNB_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/candidate.h"
+#include "core/scorer.h"
+
+namespace cirank {
+
+struct SearchOptions {
+  // Number of answers to return.
+  int k = 10;
+  // Answer-tree diameter limit D (Sec. IV, "we put a limit D on the diameter
+  // of answer trees").
+  uint32_t max_diameter = 4;
+  // Safety valve: maximum number of candidates dequeued before the search
+  // gives up optimality and returns the best answers found. 0 = unlimited.
+  int64_t max_expansions = 0;
+  // Optional pairwise bound provider from the index module; null disables
+  // index-assisted bounds.
+  const PairwiseBoundProvider* bounds = nullptr;
+  // Use the paper's literal merge rule ("the result covers more keywords
+  // than either input"). Off by default: the strict rule can make some
+  // valid answers unreachable; the default relies on candidate-viability
+  // pruning instead (see candidate.h), which preserves Theorem 1.
+  bool strict_merge_rule = false;
+};
+
+struct RankedAnswer {
+  Jtt tree;
+  double score = 0.0;
+};
+
+struct SearchStats {
+  int64_t popped = 0;          // candidates dequeued and expanded
+  int64_t generated = 0;       // candidates created by grow/merge
+  int64_t answers_found = 0;   // distinct complete answers scored
+  bool budget_exhausted = false;
+  bool proven_optimal = false;
+};
+
+// Runs Algorithm 1. Returns answers sorted by descending score (ties broken
+// deterministically). Fails on empty queries, queries with more than 31
+// keywords, or non-positive k.
+Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
+    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
+    SearchStats* stats = nullptr);
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_BNB_SEARCH_H_

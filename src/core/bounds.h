@@ -1,0 +1,103 @@
+// Upper bounds for branch-and-bound candidates (Sec. IV-B). The bound
+// combines the paper's complete estimate (best achievable score once the
+// missing keywords are supplied through the root) and potential estimate
+// (best contribution of additional non-free nodes appended to a complete
+// tree), constructed so that ub(C) >= score(T) for every answer tree T
+// derivable from C (Lemma 1):
+//   * growing a tree adds edges only at the current root, so split fractions
+//     at non-root nodes are final and flows between existing nodes can only
+//     shrink;
+//   * a node's score is a min over message types, so adding sources can only
+//     lower it;
+//   * outside sources must route through the root, so their flows are
+//     bounded by emission x transmission-bound x in-tree transmission.
+#ifndef CIRANK_CORE_BOUNDS_H_
+#define CIRANK_CORE_BOUNDS_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/scorer.h"
+#include "graph/traversal.h"
+
+namespace cirank {
+
+// Pairwise pre-computed bounds (Sec. V). The default implementation knows
+// nothing and returns the trivially admissible values; the index module
+// provides tighter ones (naive and star indexes).
+class PairwiseBoundProvider {
+ public:
+  virtual ~PairwiseBoundProvider() = default;
+
+  // Upper bound on the product of dampening factors over the interior nodes
+  // of any directed path from `from` to `to` (the complement of the paper's
+  // "minimal loss" LS). Must be >= the true maximum; 1.0 when unknown.
+  virtual double TransmissionBound(NodeId from, NodeId to) const {
+    (void)from;
+    (void)to;
+    return 1.0;
+  }
+
+  // Lower bound on the hop distance from `from` to `to`; 0 when unknown and
+  // kUnreachable when provably unreachable.
+  virtual uint32_t DistanceLowerBound(NodeId from, NodeId to) const {
+    (void)from;
+    (void)to;
+    return 0;
+  }
+};
+
+// Computes ub(C) = max(ce(C), pe(C)) for candidates of one query. Holds
+// per-query caches; not thread-safe.
+class UpperBoundCalculator {
+ public:
+  // `bounds` may be null (no index); all references must outlive the
+  // calculator. `max_diameter` is the answer-tree diameter limit D.
+  UpperBoundCalculator(const TreeScorer& scorer, const Query& query,
+                       uint32_t max_diameter,
+                       const PairwiseBoundProvider* bounds);
+
+  // Upper bound on the score of any answer tree derivable from `c`.
+  // Returns 0 when some missing keyword provably cannot be supplied.
+  double UpperBound(const Candidate& c) const;
+
+  KeywordMask all_keywords_mask() const { return all_mask_; }
+
+ private:
+  struct SourceInfo {
+    NodeId node;
+    double emission;
+  };
+
+  // Max over graph out-neighbors b of r of dampening(b); cached per root.
+  double NeighborDampening(NodeId r) const;
+
+  // Max over x in En(k) of emission(x) * (bound on transmission x -> r),
+  // restricted to x that can still fit within the diameter limit given the
+  // root's eccentricity inside the candidate.
+  double AttachBound(size_t keyword_idx, NodeId r, uint32_t root_ecc) const;
+
+  // Max over x in En(Q) of (bound on transmission r -> x) * dampening(x).
+  double OutsideBound(NodeId r, uint32_t root_ecc) const;
+
+  const TreeScorer* scorer_;
+  const Query* query_;
+  uint32_t max_diameter_;
+  const PairwiseBoundProvider* bounds_;  // nullable
+  KeywordMask all_mask_ = 0;
+
+  // En(k) with emissions, per keyword index.
+  std::vector<std::vector<SourceInfo>> keyword_sources_;
+
+  mutable std::map<NodeId, double> neighbor_damp_cache_;
+  // Only used when bounds_ == nullptr (no distance information, so the
+  // value does not depend on the candidate).
+  mutable std::map<std::pair<size_t, NodeId>, double> attach_cache_;
+  mutable std::map<NodeId, double> outside_cache_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_BOUNDS_H_

@@ -1,0 +1,80 @@
+#include "core/candidate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cirank {
+
+KeywordMask NodeKeywordMask(NodeId v, const Query& query,
+                            const InvertedIndex& index) {
+  assert(query.size() <= 31);
+  KeywordMask mask = 0;
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    if (index.TermFrequency(v, query.keywords[i]) > 0) {
+      mask |= KeywordMask{1} << i;
+    }
+  }
+  return mask;
+}
+
+Candidate GrowCandidate(const Candidate& c, NodeId new_root,
+                        const Query& query, const InvertedIndex& index) {
+  assert(!c.tree.contains(new_root));
+  std::vector<std::pair<NodeId, NodeId>> edges = c.tree.edges();
+  edges.emplace_back(new_root, c.root());
+  Result<Jtt> tree = Jtt::Create(new_root, std::move(edges));
+  assert(tree.ok());
+
+  Candidate grown;
+  grown.tree = std::move(tree).value();
+  grown.covered = c.covered | NodeKeywordMask(new_root, query, index);
+  grown.diameter = grown.tree.Diameter();
+  return grown;
+}
+
+Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
+                                  bool strict_coverage_growth) {
+  if (a.root() != b.root()) {
+    return Status::InvalidArgument("merge requires a common root");
+  }
+  // Sanity check (cycle avoidance): node sets may only share the root.
+  for (NodeId v : a.tree.nodes()) {
+    if (v != a.root() && b.tree.contains(v)) {
+      return Status::InvalidArgument("merge would create a cycle");
+    }
+  }
+  const KeywordMask merged_mask = a.covered | b.covered;
+  if (strict_coverage_growth &&
+      (merged_mask == a.covered || merged_mask == b.covered)) {
+    return Status::InvalidArgument(
+        "merge must cover strictly more keywords than both inputs");
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges = a.tree.edges();
+  edges.insert(edges.end(), b.tree.edges().begin(), b.tree.edges().end());
+  Result<Jtt> tree = Jtt::Create(a.root(), std::move(edges));
+  if (!tree.ok()) return tree.status();
+
+  Candidate merged;
+  merged.tree = std::move(tree).value();
+  merged.covered = merged_mask;
+  merged.diameter = merged.tree.Diameter();
+  return merged;
+}
+
+bool IsViableCandidate(const Candidate& c, const Query& query,
+                       const InvertedIndex& index) {
+  if (c.tree.size() == 1) {
+    // Seeds are non-free nodes; always viable.
+    return true;
+  }
+  std::vector<NodeId> non_root_leaves;
+  for (NodeId v : c.tree.nodes()) {
+    if (v != c.root() && c.tree.TreeNeighbors(v).size() == 1) {
+      non_root_leaves.push_back(v);
+    }
+  }
+  return MatchableToDistinctKeywords(non_root_leaves, query, index);
+}
+
+}  // namespace cirank

@@ -1,0 +1,61 @@
+// Candidate trees for the branch-and-bound search (Sec. IV-B) and the
+// grow/merge expansion operators. A candidate is a rooted tree covering at
+// least one query keyword; the expansion invariant is that a candidate can
+// only connect to the rest of a larger tree through its root.
+#ifndef CIRANK_CORE_CANDIDATE_H_
+#define CIRANK_CORE_CANDIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/jtt.h"
+#include "core/rwmp.h"
+
+namespace cirank {
+
+// Bitmask over query keyword positions (limited to 31 keywords).
+using KeywordMask = uint32_t;
+
+struct Candidate {
+  Jtt tree;
+  KeywordMask covered = 0;
+  // max(ce, pe); filled by UpperBoundCalculator.
+  double upper_bound = 0.0;
+  uint32_t diameter = 0;
+
+  NodeId root() const { return tree.root(); }
+  bool IsComplete(KeywordMask all) const { return (covered & all) == all; }
+};
+
+// Keyword coverage mask of a single node.
+KeywordMask NodeKeywordMask(NodeId v, const Query& query,
+                            const InvertedIndex& index);
+
+// Tree growing: creates a candidate rooted at `new_root` whose single child
+// subtree is `c` (adds the tree edge new_root -- c.root()). `new_root` must
+// not already appear in `c`.
+Candidate GrowCandidate(const Candidate& c, NodeId new_root,
+                        const Query& query, const InvertedIndex& index);
+
+// Tree merging: combines two candidates sharing the same root into one whose
+// children are the union of both child sets. Fails (returns error) when the
+// roots differ, the node sets overlap beyond the root (cycle sanity check),
+// or -- when `strict_coverage_growth` is set (the paper's phrasing of the
+// merge rule) -- the merged coverage does not strictly exceed both inputs.
+// The strict rule can make some valid answers unreachable (e.g. two sibling
+// branches with identical keyword masks), so the search defaults to the
+// relaxed rule and prunes with IsViableCandidate instead.
+Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
+                                  bool strict_coverage_growth = false);
+
+// A candidate can still expand into a valid answer only if its non-root
+// degree-1 nodes (which can never gain edges -- only the root does) are
+// matchable to distinct query keywords. Every rooted subtree of a valid
+// answer satisfies this, so pruning on it preserves completeness while
+// bounding candidate trees to at most |Q|+1 leaves.
+bool IsViableCandidate(const Candidate& c, const Query& query,
+                       const InvertedIndex& index);
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_CANDIDATE_H_

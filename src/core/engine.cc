@@ -1,0 +1,37 @@
+#include "core/engine.h"
+
+namespace cirank {
+
+Result<CiRankEngine> CiRankEngine::Build(const Graph& graph,
+                                         const CiRankOptions& options) {
+  CIRANK_RETURN_IF_ERROR(options.rwmp.Validate());
+
+  CiRankEngine engine;
+  engine.graph_ = &graph;
+  engine.options_ = options;
+  engine.index_ = std::make_unique<InvertedIndex>(graph);
+
+  Result<PageRankResult> pr = ComputePageRank(graph, options.pagerank);
+  if (!pr.ok()) return pr.status();
+
+  Result<RwmpModel> model =
+      RwmpModel::Create(graph, std::move(pr->scores), options.rwmp);
+  if (!model.ok()) return model.status();
+  engine.model_ = std::make_unique<RwmpModel>(std::move(model).value());
+  engine.scorer_ =
+      std::make_unique<TreeScorer>(*engine.model_, *engine.index_);
+  return engine;
+}
+
+Result<std::vector<RankedAnswer>> CiRankEngine::Search(
+    const Query& query, SearchStats* stats) const {
+  return Search(query, options_.search, stats);
+}
+
+Result<std::vector<RankedAnswer>> CiRankEngine::Search(
+    const Query& query, const SearchOptions& options,
+    SearchStats* stats) const {
+  return BranchAndBoundSearch(*scorer_, query, options, stats);
+}
+
+}  // namespace cirank

@@ -1,0 +1,75 @@
+// CiRankEngine: the public entry point of the library. Owns the derived
+// state for one data graph (inverted index, PageRank importance, RWMP
+// model) and serves top-k keyword queries.
+//
+// Typical use:
+//   Graph graph = ...;                       // build via GraphBuilder
+//   auto engine = CiRankEngine::Build(graph);
+//   auto answers = engine->Search(Query::Parse("papakonstantinou ullman"));
+#ifndef CIRANK_CORE_ENGINE_H_
+#define CIRANK_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bnb_search.h"
+#include "core/naive_search.h"
+#include "core/rwmp.h"
+#include "core/scorer.h"
+#include "graph/graph.h"
+#include "rw/pagerank.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+struct CiRankOptions {
+  RwmpParams rwmp;          // alpha and g (Eq. 2)
+  PageRankOptions pagerank;  // teleport constant etc. (Eq. 1)
+  SearchOptions search;      // defaults for Search() calls
+};
+
+class CiRankEngine {
+ public:
+  // Builds the index, runs PageRank, and derives the RWMP model. `graph`
+  // must outlive the engine.
+  static Result<CiRankEngine> Build(const Graph& graph,
+                                    const CiRankOptions& options = {});
+
+  CiRankEngine(CiRankEngine&&) = default;
+  CiRankEngine& operator=(CiRankEngine&&) = default;
+
+  // Top-k search with the engine's default options.
+  Result<std::vector<RankedAnswer>> Search(const Query& query,
+                                           SearchStats* stats = nullptr) const;
+
+  // Top-k search with explicit per-call options.
+  Result<std::vector<RankedAnswer>> Search(const Query& query,
+                                           const SearchOptions& options,
+                                           SearchStats* stats = nullptr) const;
+
+  // Scores one externally assembled answer tree (e.g. for re-ranking or the
+  // example programs).
+  TreeScore ScoreTree(const Jtt& tree, const Query& query) const {
+    return scorer_->Score(tree, query);
+  }
+
+  const Graph& graph() const { return *graph_; }
+  const InvertedIndex& index() const { return *index_; }
+  const RwmpModel& model() const { return *model_; }
+  const TreeScorer& scorer() const { return *scorer_; }
+  const CiRankOptions& options() const { return options_; }
+
+ private:
+  CiRankEngine() = default;
+
+  const Graph* graph_ = nullptr;
+  CiRankOptions options_;
+  // unique_ptr members keep internal cross-pointers stable under moves.
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<RwmpModel> model_;
+  std::unique_ptr<TreeScorer> scorer_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cirank {
+
+Status FeedbackModel::RecordClick(NodeId v, double weight) {
+  if (v >= clicks_.size()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("click weight must be positive");
+  }
+  clicks_[v] += weight;
+  return Status::OK();
+}
+
+Status FeedbackModel::RecordAnswer(const std::vector<NodeId>& matched_nodes,
+                                   const std::vector<NodeId>& connector_nodes,
+                                   double weight) {
+  for (NodeId v : matched_nodes) {
+    CIRANK_RETURN_IF_ERROR(RecordClick(v, weight));
+  }
+  for (NodeId v : connector_nodes) {
+    CIRANK_RETURN_IF_ERROR(RecordClick(v, weight * 0.5));
+  }
+  return Status::OK();
+}
+
+double FeedbackModel::total_clicks() const {
+  return std::accumulate(clicks_.begin(), clicks_.end(), 0.0);
+}
+
+Result<std::vector<double>> FeedbackModel::TeleportVector(
+    const FeedbackOptions& options) const {
+  if (clicks_.empty()) return Status::FailedPrecondition("no nodes");
+  if (options.smoothing <= 0.0) {
+    return Status::InvalidArgument("smoothing must be positive");
+  }
+  if (options.strength < 0.0) {
+    return Status::InvalidArgument("strength must be non-negative");
+  }
+  if (options.max_share_multiple <= 1.0) {
+    return Status::InvalidArgument("max_share_multiple must exceed 1");
+  }
+
+  const size_t n = clicks_.size();
+  const double total = total_clicks();
+  std::vector<double> u(n);
+  // Mass = smoothing baseline + normalized click share scaled by strength.
+  for (size_t v = 0; v < n; ++v) {
+    const double share = total > 0.0 ? clicks_[v] / total : 0.0;
+    u[v] = options.smoothing / static_cast<double>(n) +
+           options.strength * share;
+  }
+  // Cap runaway shares, then normalize to a probability vector.
+  double sum = std::accumulate(u.begin(), u.end(), 0.0);
+  const double cap = options.max_share_multiple * sum / static_cast<double>(n);
+  for (double& x : u) x = std::min(x, cap);
+  sum = std::accumulate(u.begin(), u.end(), 0.0);
+  for (double& x : u) x /= sum;
+  return u;
+}
+
+double FeedbackModel::EdgeBoost(NodeId from, NodeId to,
+                                double intensity) const {
+  const double total = total_clicks();
+  if (total <= 0.0 || intensity <= 0.0) return 1.0;
+  const double share = (clicks_[from] + clicks_[to]) / total;
+  return 1.0 + intensity * std::min(1.0, share);
+}
+
+Result<Graph> FeedbackModel::ReweightGraph(const Graph& graph,
+                                           double intensity) const {
+  if (graph.num_nodes() != clicks_.size()) {
+    return Status::InvalidArgument(
+        "feedback model was built for a different graph");
+  }
+  GraphBuilder builder(graph.schema());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    builder.AddNode(graph.relation_of(v), graph.text_of(v),
+                    graph.external_key_of(v));
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Edge& e : graph.out_edges(v)) {
+      CIRANK_RETURN_IF_ERROR(builder.AddEdge(
+          v, e.to, e.type, e.weight * EdgeBoost(v, e.to, intensity)));
+    }
+  }
+  return builder.Finalize();
+}
+
+}  // namespace cirank

@@ -1,0 +1,105 @@
+// Joined tuple trees (JTTs): the answer form of Definition 3. A JTT is a
+// subtree of the data graph whose leaves are keyword-matching nodes (and
+// whose root matches a keyword when it has only one child).
+#ifndef CIRANK_CORE_JTT_H_
+#define CIRANK_CORE_JTT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "text/inverted_index.h"
+#include "util/status.h"
+
+namespace cirank {
+
+// True when `nodes` can be matched to *distinct* query keywords they
+// contain (bipartite matching). This is the core of Definition 3's "leaves
+// come from R" condition and of the search's candidate-viability pruning.
+bool MatchableToDistinctKeywords(const std::vector<NodeId>& nodes,
+                                 const Query& query,
+                                 const InvertedIndex& index);
+
+// An undirected tree over graph nodes, stored as a rooted edge list with a
+// cached index-based adjacency (trees are tiny and immutable, and the
+// search scores millions of them, so tree operations avoid heap-heavy
+// containers). Two JTTs with the same node/edge sets are the same answer
+// regardless of the root used while assembling them; CanonicalKey()
+// reflects that.
+class Jtt {
+ public:
+  Jtt() = default;
+
+  // Single-node tree.
+  explicit Jtt(NodeId single) : root_(single), nodes_{single}, adjacency_{{}} {}
+
+  // Builds a tree from a root plus (parent, child) edges. Fails when the
+  // edges do not form a tree rooted at `root` or reference duplicate nodes.
+  static Result<Jtt> Create(NodeId root,
+                            std::vector<std::pair<NodeId, NodeId>> edges);
+
+  NodeId root() const { return root_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }  // sorted
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edges_;
+  }
+
+  size_t size() const { return nodes_.size(); }
+  bool contains(NodeId v) const;
+
+  // Position of v in nodes(), or nodes().size() when absent. O(log n).
+  size_t IndexOf(NodeId v) const;
+
+  // Indices (into nodes()) of the tree neighbors of the node at `index`.
+  const std::vector<uint32_t>& NeighborIndices(size_t index) const {
+    return adjacency_[index];
+  }
+
+  // Undirected neighbors of v within the tree (by node id).
+  std::vector<NodeId> TreeNeighbors(NodeId v) const;
+
+  // Tree degree of v (0 when v is not in the tree).
+  size_t DegreeOf(NodeId v) const;
+
+  // Longest path length (in edges) between any two tree nodes.
+  uint32_t Diameter() const;
+
+  // Longest path length (in edges) from v to any tree node.
+  uint32_t EccentricityOf(NodeId v) const;
+
+  // Unique nodes on the undirected tree path from `a` to `b`, inclusive.
+  std::vector<NodeId> PathBetween(NodeId a, NodeId b) const;
+
+  // True when every edge exists in `graph` (in both directions, as the FK
+  // modeling guarantees).
+  bool EdgesExistIn(const Graph& graph) const;
+
+  // Definition 3 check: the degree-<=1 nodes are matchable to distinct
+  // query keywords.
+  bool IsReduced(const Query& query, const InvertedIndex& index) const;
+
+  // True when the tree nodes jointly cover every query keyword.
+  bool CoversAllKeywords(const Query& query, const InvertedIndex& index) const;
+
+  // Root-independent identity: sorted node list plus sorted undirected
+  // edge list.
+  std::string CanonicalKey() const;
+
+  // Human-readable rendering using node text, e.g. for example programs.
+  std::string ToString(const Graph& graph) const;
+
+ private:
+  // BFS distances (in tree edges) from the node at `start_index`.
+  void DistancesFrom(size_t start_index, std::vector<uint32_t>* dist) const;
+
+  NodeId root_ = kInvalidNode;
+  std::vector<NodeId> nodes_;                     // sorted, unique
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // (parent, child)
+  std::vector<std::vector<uint32_t>> adjacency_;  // parallel to nodes_
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_JTT_H_

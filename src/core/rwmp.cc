@@ -1,0 +1,66 @@
+#include "core/rwmp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cirank {
+
+Status RwmpParams::Validate() const {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (!(g > 1.0)) {
+    return Status::InvalidArgument("g must be > 1");
+  }
+  return Status::OK();
+}
+
+Result<RwmpModel> RwmpModel::Create(const Graph& graph,
+                                    std::vector<double> importance,
+                                    const RwmpParams& params) {
+  CIRANK_RETURN_IF_ERROR(params.Validate());
+  if (importance.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "importance vector size must equal the node count");
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+
+  RwmpModel model;
+  model.graph_ = &graph;
+  model.params_ = params;
+
+  double p_min = *std::min_element(importance.begin(), importance.end());
+  if (p_min <= 0.0) {
+    return Status::InvalidArgument("importance values must be positive");
+  }
+  model.p_min_ = p_min;
+  model.total_surfers_ = 1.0 / p_min;
+
+  const double log_g = std::log(params.g);
+  model.dampening_.resize(importance.size());
+  double max_d = 0.0;
+  for (size_t v = 0; v < importance.size(); ++v) {
+    const double ratio = importance[v] / p_min;  // >= 1
+    const double steps = 1.0 + std::log(ratio) / log_g;
+    const double d = 1.0 - std::pow(1.0 - params.alpha, steps);
+    model.dampening_[v] = d;
+    max_d = std::max(max_d, d);
+  }
+  model.max_dampening_ = max_d;
+  model.importance_ = std::move(importance);
+  return model;
+}
+
+double RwmpModel::Emission(NodeId v, const Query& query,
+                           const InvertedIndex& index) const {
+  const uint32_t total_tokens = index.NodeTokenCount(v);
+  if (total_tokens == 0) return 0.0;
+  const uint32_t matched = index.MatchedTokenCount(v, query);
+  if (matched == 0) return 0.0;
+  return total_surfers_ * importance_[v] * static_cast<double>(matched) /
+         static_cast<double>(total_tokens);
+}
+
+}  // namespace cirank

@@ -1,0 +1,75 @@
+// The Random Walk with Message Passing (RWMP) model of Sec. III. This class
+// holds the per-node importance values (from PageRank), the derived
+// dampening rates (Eq. 2), and the message-emission formula; the tree scorer
+// performs the actual message propagation on top of it.
+#ifndef CIRANK_CORE_RWMP_H_
+#define CIRANK_CORE_RWMP_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "text/inverted_index.h"
+#include "util/status.h"
+
+namespace cirank {
+
+struct RwmpParams {
+  // Probability that a surfer keeps the messages in one in-node talk step.
+  // The minimum possible dampening rate. Paper default: 0.15 (Sec. VI-B).
+  double alpha = 0.15;
+  // Talk-group size g; controls how quickly the number of informed surfers
+  // grows, hence the log base in Eq. 2. Paper default: 20.
+  double g = 20.0;
+
+  Status Validate() const;
+};
+
+// Immutable per-query-independent model state. Build once per (graph,
+// importance, params) triple and share across queries.
+class RwmpModel {
+ public:
+  // `importance` must be a positive probability vector over graph nodes
+  // (typically PageRankResult::scores).
+  static Result<RwmpModel> Create(const Graph& graph,
+                                  std::vector<double> importance,
+                                  const RwmpParams& params = {});
+
+  const Graph& graph() const { return *graph_; }
+  const RwmpParams& params() const { return params_; }
+
+  double importance(NodeId v) const { return importance_[v]; }
+  const std::vector<double>& importance_vector() const { return importance_; }
+
+  // Dampening rate d_i = 1 - (1-alpha)^(1 + log_g(p_i / p_min)), Eq. 2.
+  // Monotonically increasing in p_i; always in [alpha, 1).
+  double dampening(NodeId v) const { return dampening_[v]; }
+  const std::vector<double>& dampening_vector() const { return dampening_; }
+
+  // Largest dampening rate over all nodes (used by upper bounds).
+  double max_dampening() const { return max_dampening_; }
+
+  double p_min() const { return p_min_; }
+
+  // Total number of random surfers t = 1 / p_min.
+  double total_surfers() const { return total_surfers_; }
+
+  // Message emission count r_ii = t * p_i * |v_i ∩ Q| / |v_i| (Sec. III-C.1).
+  // Zero for nodes with no text or no matching token.
+  double Emission(NodeId v, const Query& query,
+                  const InvertedIndex& index) const;
+
+ private:
+  RwmpModel() = default;
+
+  const Graph* graph_ = nullptr;
+  RwmpParams params_;
+  std::vector<double> importance_;
+  std::vector<double> dampening_;
+  double p_min_ = 0.0;
+  double total_surfers_ = 0.0;
+  double max_dampening_ = 0.0;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_RWMP_H_

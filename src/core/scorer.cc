@@ -1,0 +1,131 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cirank {
+
+namespace {
+
+// Index-based split denominators: out_weight[i] = sum over tree neighbors n
+// of w(nodes[i] -> n).
+void BuildOutWeights(const Graph& graph, const Jtt& tree,
+                     std::vector<double>* out_weight) {
+  const size_t n = tree.size();
+  out_weight->assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId v = tree.nodes()[i];
+    for (uint32_t nb : tree.NeighborIndices(i)) {
+      (*out_weight)[i] += graph.edge_weight(v, tree.nodes()[nb]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Flow> TreeScorer::Propagate(const Jtt& tree, NodeId source,
+                                        double emission) const {
+  const Graph& graph = model_->graph();
+  const size_t n = tree.size();
+  const size_t source_index = tree.IndexOf(source);
+
+  std::vector<double> out_weight;
+  BuildOutWeights(graph, tree, &out_weight);
+
+  std::vector<double> post(n, 0.0);
+  post[source_index] = emission;
+
+  // Iterative DFS carrying the arrival (pre-dampening) count.
+  struct Item {
+    uint32_t node;
+    uint32_t from;
+    double arrival;
+  };
+  std::vector<Item> stack;
+  stack.reserve(n);
+
+  if (out_weight[source_index] > 0.0) {
+    for (uint32_t nb : tree.NeighborIndices(source_index)) {
+      const double share =
+          graph.edge_weight(source, tree.nodes()[nb]) /
+          out_weight[source_index];
+      stack.push_back(Item{nb, static_cast<uint32_t>(source_index),
+                           emission * share});
+    }
+  }
+
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    // Dampening applies at every node the message passes through or reaches.
+    const double f = item.arrival * model_->dampening(tree.nodes()[item.node]);
+    post[item.node] = f;
+    const double w_total = out_weight[item.node];
+    if (w_total <= 0.0) continue;
+    for (uint32_t nb : tree.NeighborIndices(item.node)) {
+      if (nb == item.from) continue;  // back-flowing messages are discarded
+      const double share =
+          graph.edge_weight(tree.nodes()[item.node], tree.nodes()[nb]) /
+          w_total;
+      stack.push_back(Item{nb, item.node, f * share});
+    }
+  }
+
+  std::vector<Flow> flows;
+  flows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    flows.push_back(Flow{tree.nodes()[i], post[i]});
+  }
+  return flows;
+}
+
+TreeScore TreeScorer::Score(const Jtt& tree, const Query& query) const {
+  // Non-free nodes of the tree and their emissions.
+  std::vector<size_t> sources;  // indices into tree.nodes()
+  std::vector<double> emissions;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const double e = model_->Emission(tree.nodes()[i], query, *index_);
+    if (e > 0.0) {
+      sources.push_back(i);
+      emissions.push_back(e);
+    }
+  }
+
+  TreeScore result;
+  if (sources.empty()) return result;
+
+  if (sources.size() == 1) {
+    // Convention for single-source trees: the node's own emission.
+    result.node_scores.push_back(
+        NodeScore{tree.nodes()[sources[0]], emissions[0]});
+    result.score = emissions[0];
+    return result;
+  }
+
+  // flow_at[i][d]: post-dampening count of source i's messages at the tree
+  // node with index sources[d].
+  std::vector<std::vector<double>> flow_at(
+      sources.size(), std::vector<double>(sources.size(), 0.0));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::vector<Flow> flows =
+        Propagate(tree, tree.nodes()[sources[i]], emissions[i]);
+    for (size_t d = 0; d < sources.size(); ++d) {
+      flow_at[i][d] = flows[sources[d]].count;
+    }
+  }
+
+  double total = 0.0;
+  for (size_t d = 0; d < sources.size(); ++d) {
+    double least = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (i == d) continue;
+      least = std::min(least, flow_at[i][d]);
+    }
+    result.node_scores.push_back(NodeScore{tree.nodes()[sources[d]], least});
+    total += least;
+  }
+  result.score = total / static_cast<double>(sources.size());
+  return result;
+}
+
+}  // namespace cirank

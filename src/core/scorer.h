@@ -1,0 +1,64 @@
+// Scoring of answer trees under RWMP (Sec. III-C.3). Each keyword-matching
+// ("non-free") node emits messages; messages travel along tree edges,
+// splitting proportionally to edge weights and shedding mass at every node
+// they pass through or arrive at (the dampening of Eq. 2). A node's score is
+// the size of its least populous incoming message type (Eq. 3) and the tree
+// score is the average over non-free nodes (Eq. 4).
+#ifndef CIRANK_CORE_SCORER_H_
+#define CIRANK_CORE_SCORER_H_
+
+#include <vector>
+
+#include "core/jtt.h"
+#include "core/rwmp.h"
+
+namespace cirank {
+
+struct NodeScore {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+};
+
+struct TreeScore {
+  // Eq. 4: average of non-free node scores. 0 for trees with no non-free
+  // node (not valid answers anyway).
+  double score = 0.0;
+  std::vector<NodeScore> node_scores;  // one entry per non-free node
+};
+
+// Flow of one source's messages measured at a tree node.
+struct Flow {
+  NodeId node = kInvalidNode;
+  // Post-dampening message count at this node (f in the paper's notation;
+  // equals the emission for the source itself).
+  double count = 0.0;
+};
+
+class TreeScorer {
+ public:
+  // All referenced objects must outlive the scorer.
+  TreeScorer(const RwmpModel& model, const InvertedIndex& index)
+      : model_(&model), index_(&index) {}
+
+  // Scores a tree for a query. Nodes matching no keyword contribute no score
+  // term; when the tree has a single non-free node its score is its own
+  // emission count (see DESIGN.md, "Single-source trees").
+  TreeScore Score(const Jtt& tree, const Query& query) const;
+
+  // Propagates `emission` message units from `source` through the tree and
+  // returns the post-dampening flow at every tree node (the source's entry
+  // carries the emission itself). Exposed for the bound calculator and tests.
+  std::vector<Flow> Propagate(const Jtt& tree, NodeId source,
+                              double emission) const;
+
+  const RwmpModel& model() const { return *model_; }
+  const InvertedIndex& index() const { return *index_; }
+
+ private:
+  const RwmpModel* model_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_SCORER_H_

@@ -1,0 +1,30 @@
+// A generated benchmark dataset: the data graph plus the *planted* ground
+// truth that the evaluation oracle uses and the ranking algorithms never
+// see. The planted popularity is expressed in the topology (popular papers
+// receive more citations, popular movies larger casts), which is how
+// CI-Rank can recover it via PageRank while IR-style baselines cannot --
+// the central effect the paper's experiments measure.
+#ifndef CIRANK_DATASETS_DATASET_H_
+#define CIRANK_DATASETS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cirank {
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+  // Planted per-node popularity in [0, 1]; hidden ground truth.
+  std::vector<double> true_popularity;
+  // Nodes of the star (connector) relation(s): movies / papers.
+  std::vector<NodeId> star_entities;
+  // All nodes grouped by relation, for query generation.
+  std::vector<std::vector<NodeId>> nodes_by_relation;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_DATASETS_DATASET_H_

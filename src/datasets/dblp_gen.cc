@@ -1,0 +1,158 @@
+#include "datasets/dblp_gen.h"
+
+#include <cmath>
+#include <set>
+
+#include "datasets/names.h"
+#include "util/random.h"
+
+namespace cirank {
+
+DblpSchema MakeDblpSchema() {
+  DblpSchema s;
+  s.paper = s.schema.AddRelation("Paper");
+  s.author = s.schema.AddRelation("Author");
+  s.conference = s.schema.AddRelation("Conference");
+
+  // Table II weights.
+  s.conf_paper =
+      s.schema.AddEdgeType("publishes", s.conference, s.paper, 0.5);
+  s.paper_conf =
+      s.schema.AddEdgeType("published_at", s.paper, s.conference, 0.5);
+  s.author_paper = s.schema.AddEdgeType("writes", s.author, s.paper, 1.0);
+  s.paper_author =
+      s.schema.AddEdgeType("written_by", s.paper, s.author, 1.0);
+  s.cites = s.schema.AddEdgeType("cites", s.paper, s.paper, 0.5);
+  s.cited_by = s.schema.AddEdgeType("cited_by", s.paper, s.paper, 0.1);
+  return s;
+}
+
+namespace {
+
+double PlantedPopularity(size_t rank, double skew) {
+  return 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+}
+
+}  // namespace
+
+Result<Dataset> BuildDblpDataset(const DblpGenOptions& options) {
+  if (options.num_papers <= 1 || options.num_authors <= 0 ||
+      options.num_conferences <= 0) {
+    return Status::InvalidArgument("entity counts must be positive");
+  }
+  if (options.min_authors_per_paper < 1 ||
+      options.max_authors_per_paper < options.min_authors_per_paper) {
+    return Status::InvalidArgument("invalid authors-per-paper range");
+  }
+  if (options.min_citations < 0 ||
+      options.max_citations < options.min_citations) {
+    return Status::InvalidArgument("invalid citation range");
+  }
+
+  Rng rng(options.seed);
+  DblpSchema s = MakeDblpSchema();
+  GraphBuilder builder(s.schema);
+
+  Dataset ds;
+  ds.name = "dblp";
+
+  std::vector<NodeId> papers, authors, conferences;
+  for (int i = 0; i < options.num_papers; ++i) {
+    papers.push_back(
+        builder.AddNode(s.paper, MakeTitle(CsWords(), &rng), i));
+    ds.true_popularity.push_back(
+        PlantedPopularity(static_cast<size_t>(i), options.zipf_skew));
+  }
+  for (int i = 0; i < options.num_authors; ++i) {
+    authors.push_back(builder.AddNode(s.author, MakePersonName(&rng), i));
+    ds.true_popularity.push_back(
+        PlantedPopularity(static_cast<size_t>(i), options.zipf_skew));
+  }
+  for (int i = 0; i < options.num_conferences; ++i) {
+    std::string name(
+        ConferenceNames()[static_cast<size_t>(i) % ConferenceNames().size()]);
+    if (static_cast<size_t>(i) >= ConferenceNames().size()) {
+      name += " workshop";
+    }
+    conferences.push_back(builder.AddNode(s.conference, std::move(name), i));
+    ds.true_popularity.push_back(
+        PlantedPopularity(static_cast<size_t>(i), options.zipf_skew));
+  }
+
+  std::vector<bool> author_used(authors.size(), false);
+  std::vector<bool> conf_used(conferences.size(), false);
+
+  ZipfSampler paper_pick(papers.size(), options.sampling_skew);
+  ZipfSampler author_pick(authors.size(), options.sampling_skew);
+  ZipfSampler conf_pick(conferences.size(), options.sampling_skew);
+
+  for (size_t pi = 0; pi < papers.size(); ++pi) {
+    const NodeId p = papers[pi];
+
+    const int n_authors =
+        options.min_authors_per_paper +
+        static_cast<int>(rng.NextUint(static_cast<uint64_t>(
+            options.max_authors_per_paper - options.min_authors_per_paper +
+            1)));
+    std::set<size_t> team;
+    while (static_cast<int>(team.size()) < n_authors) {
+      team.insert(author_pick.Sample(&rng));
+    }
+    for (size_t ai : team) {
+      author_used[ai] = true;
+      CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+          authors[ai], p, s.author_paper, s.paper_author));
+    }
+
+    const size_t ci = conf_pick.Sample(&rng);
+    conf_used[ci] = true;
+    CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+        conferences[ci], p, s.conf_paper, s.paper_conf));
+
+    // Citations to popularity-weighted targets: popular papers accumulate
+    // many in-citations, planting importance in the topology.
+    const int n_cites =
+        options.min_citations +
+        static_cast<int>(rng.NextUint(static_cast<uint64_t>(
+            options.max_citations - options.min_citations + 1)));
+    std::set<size_t> cited;
+    int attempts = 0;
+    while (static_cast<int>(cited.size()) < n_cites &&
+           attempts < 10 * n_cites + 16) {
+      ++attempts;
+      const size_t target = paper_pick.Sample(&rng);
+      if (target == pi) continue;
+      cited.insert(target);
+    }
+    for (size_t ti : cited) {
+      CIRANK_RETURN_IF_ERROR(
+          builder.AddBidirectionalEdge(p, papers[ti], s.cites, s.cited_by));
+    }
+  }
+
+  // Attach never-sampled authors/conferences to a random paper so the graph
+  // has no isolated nodes (every real DBLP author wrote something).
+  for (size_t i = 0; i < authors.size(); ++i) {
+    if (author_used[i]) continue;
+    const NodeId p = papers[rng.NextUint(papers.size())];
+    CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+        authors[i], p, s.author_paper, s.paper_author));
+  }
+  for (size_t i = 0; i < conferences.size(); ++i) {
+    if (conf_used[i]) continue;
+    const NodeId p = papers[rng.NextUint(papers.size())];
+    CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+        conferences[i], p, s.conf_paper, s.paper_conf));
+  }
+
+  ds.graph = builder.Finalize();
+  ds.star_entities = papers;
+  ds.nodes_by_relation.resize(ds.graph.schema().num_relations());
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    ds.nodes_by_relation[static_cast<size_t>(ds.graph.relation_of(v))]
+        .push_back(v);
+  }
+  return ds;
+}
+
+}  // namespace cirank

@@ -1,0 +1,45 @@
+// Synthetic DBLP-schema dataset generator (Fig. 1(a): Conference 1:n Paper,
+// Author m:n Paper, Paper m:n Paper citations). Planted Zipf popularity is
+// expressed as in-citations: each paper cites a popularity-weighted sample
+// of other papers, so highly popular papers accumulate many citations --
+// exactly the signal the paper's motivating TSIMMIS example relies on.
+// Edge weights follow Table II (note the asymmetric citation weights:
+// citing -> cited 0.5, cited -> citing 0.1).
+#ifndef CIRANK_DATASETS_DBLP_GEN_H_
+#define CIRANK_DATASETS_DBLP_GEN_H_
+
+#include "datasets/dataset.h"
+#include "util/status.h"
+
+namespace cirank {
+
+struct DblpSchema {
+  Schema schema;
+  RelationId paper, author, conference;
+  EdgeTypeId conf_paper, paper_conf;
+  EdgeTypeId author_paper, paper_author;
+  EdgeTypeId cites, cited_by;
+};
+
+DblpSchema MakeDblpSchema();
+
+struct DblpGenOptions {
+  int num_papers = 6000;
+  int num_authors = 4000;
+  int num_conferences = 24;
+  double zipf_skew = 1.0;
+  // Gentler skew for sampling authors/conferences/citation targets; see
+  // ImdbGenOptions::sampling_skew for the rationale.
+  double sampling_skew = 0.5;
+  int min_authors_per_paper = 1;
+  int max_authors_per_paper = 4;
+  int min_citations = 2;
+  int max_citations = 16;
+  uint64_t seed = 2;
+};
+
+Result<Dataset> BuildDblpDataset(const DblpGenOptions& options = {});
+
+}  // namespace cirank
+
+#endif  // CIRANK_DATASETS_DBLP_GEN_H_

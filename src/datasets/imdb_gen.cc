@@ -1,0 +1,204 @@
+#include "datasets/imdb_gen.h"
+
+#include <cmath>
+#include <set>
+
+#include "datasets/names.h"
+#include "util/random.h"
+
+namespace cirank {
+
+ImdbSchema MakeImdbSchema() {
+  ImdbSchema s;
+  s.movie = s.schema.AddRelation("Movie");
+  s.actor = s.schema.AddRelation("Actor");
+  s.actress = s.schema.AddRelation("Actress");
+  s.director = s.schema.AddRelation("Director");
+  s.producer = s.schema.AddRelation("Producer");
+  s.company = s.schema.AddRelation("Company");
+
+  // Table II weights.
+  s.actor_movie = s.schema.AddEdgeType("acts_in", s.actor, s.movie, 1.0);
+  s.movie_actor = s.schema.AddEdgeType("cast_actor", s.movie, s.actor, 1.0);
+  s.actress_movie =
+      s.schema.AddEdgeType("acts_in_f", s.actress, s.movie, 1.0);
+  s.movie_actress =
+      s.schema.AddEdgeType("cast_actress", s.movie, s.actress, 1.0);
+  s.director_movie =
+      s.schema.AddEdgeType("directs", s.director, s.movie, 1.0);
+  s.movie_director =
+      s.schema.AddEdgeType("directed_by", s.movie, s.director, 1.0);
+  s.producer_movie =
+      s.schema.AddEdgeType("produces", s.producer, s.movie, 0.5);
+  s.movie_producer =
+      s.schema.AddEdgeType("produced_by", s.movie, s.producer, 0.5);
+  s.company_movie =
+      s.schema.AddEdgeType("finances", s.company, s.movie, 0.5);
+  s.movie_company =
+      s.schema.AddEdgeType("financed_by", s.movie, s.company, 0.5);
+  s.director_acts_movie =
+      s.schema.AddEdgeType("director_acts_in", s.director, s.movie, 1.0);
+  s.movie_director_acts =
+      s.schema.AddEdgeType("cast_director", s.movie, s.director, 1.0);
+  return s;
+}
+
+namespace {
+
+// Planted popularity of the entity with creation rank r (Zipf, max = 1).
+double PlantedPopularity(size_t rank, double skew) {
+  return 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+}
+
+}  // namespace
+
+Result<Dataset> BuildImdbDataset(const ImdbGenOptions& options) {
+  if (options.num_movies <= 0 || options.num_actors <= 0 ||
+      options.num_actresses <= 0 || options.num_directors <= 0 ||
+      options.num_producers <= 0 || options.num_companies <= 0) {
+    return Status::InvalidArgument("entity counts must be positive");
+  }
+
+  Rng rng(options.seed);
+  ImdbSchema s = MakeImdbSchema();
+  GraphBuilder builder(s.schema);
+
+  Dataset ds;
+  ds.name = "imdb";
+
+  auto add_entities = [&](RelationId rel, int count, bool person,
+                          std::vector<NodeId>* out) {
+    for (int i = 0; i < count; ++i) {
+      std::string text = person ? MakePersonName(&rng)
+                                : MakeTitle(TitleWords(), &rng);
+      out->push_back(builder.AddNode(rel, std::move(text), i));
+      ds.true_popularity.push_back(
+          PlantedPopularity(static_cast<size_t>(i), options.zipf_skew));
+    }
+  };
+
+  std::vector<NodeId> movies, actors, actresses, directors, producers,
+      companies;
+  add_entities(s.movie, options.num_movies, /*person=*/false, &movies);
+  add_entities(s.actor, options.num_actors, /*person=*/true, &actors);
+  add_entities(s.actress, options.num_actresses, /*person=*/true, &actresses);
+  add_entities(s.director, options.num_directors, /*person=*/true,
+               &directors);
+  add_entities(s.producer, options.num_producers, /*person=*/true,
+               &producers);
+  auto add_companies = [&]() {
+    for (int i = 0; i < options.num_companies; ++i) {
+      std::string text = MakeTitle(CompanyWords(), &rng);
+      companies.push_back(builder.AddNode(s.company, std::move(text), i));
+      ds.true_popularity.push_back(
+          PlantedPopularity(static_cast<size_t>(i), options.zipf_skew));
+    }
+  };
+  add_companies();
+
+  // Popularity-weighted samplers (rank == creation index).
+  // Track which supporting entities got at least one movie so the tail of
+  // the Zipf distribution does not end up as isolated nodes (every real
+  // IMDB person/company is attached to some title).
+  std::vector<bool> actor_used(actors.size(), false);
+  std::vector<bool> actress_used(actresses.size(), false);
+  std::vector<bool> director_used(directors.size(), false);
+  std::vector<bool> producer_used(producers.size(), false);
+  std::vector<bool> company_used(companies.size(), false);
+
+  ZipfSampler actor_pick(actors.size(), options.sampling_skew);
+  ZipfSampler actress_pick(actresses.size(), options.sampling_skew);
+  ZipfSampler director_pick(directors.size(), options.sampling_skew);
+  ZipfSampler producer_pick(producers.size(), options.sampling_skew);
+  ZipfSampler company_pick(companies.size(), options.sampling_skew);
+
+  for (size_t mi = 0; mi < movies.size(); ++mi) {
+    const NodeId m = movies[mi];
+    const double pop = PlantedPopularity(mi, options.zipf_skew);
+
+    // Popular movies have larger casts.
+    const int n_actors =
+        options.base_cast +
+        static_cast<int>(std::floor(options.max_extra_cast * pop));
+    std::set<size_t> cast;
+    while (static_cast<int>(cast.size()) < n_actors) {
+      cast.insert(actor_pick.Sample(&rng));
+    }
+    for (size_t ai : cast) {
+      actor_used[ai] = true;
+      CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+          actors[ai], m, s.actor_movie, s.movie_actor));
+    }
+
+    const int n_actresses =
+        1 + static_cast<int>(std::floor(options.max_extra_actresses * pop));
+    std::set<size_t> fcast;
+    while (static_cast<int>(fcast.size()) < n_actresses) {
+      fcast.insert(actress_pick.Sample(&rng));
+    }
+    for (size_t ai : fcast) {
+      actress_used[ai] = true;
+      CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+          actresses[ai], m, s.actress_movie, s.movie_actress));
+    }
+
+    const size_t di = director_pick.Sample(&rng);
+    director_used[di] = true;
+    CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+        directors[di], m, s.director_movie, s.movie_director));
+    if (rng.NextBool(options.dual_role_prob)) {
+      // Merged person node: the director also acts in this movie; the
+      // parallel edges coalesce into one double-weight connection.
+      CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+          directors[di], m, s.director_acts_movie, s.movie_director_acts));
+    }
+
+    if (rng.NextBool(options.producer_prob)) {
+      const size_t pi = producer_pick.Sample(&rng);
+      producer_used[pi] = true;
+      CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+          producers[pi], m, s.producer_movie, s.movie_producer));
+    }
+    if (rng.NextBool(options.company_prob)) {
+      const size_t ci = company_pick.Sample(&rng);
+      company_used[ci] = true;
+      CIRANK_RETURN_IF_ERROR(builder.AddBidirectionalEdge(
+          companies[ci], m, s.company_movie, s.movie_company));
+    }
+  }
+
+  // Attach every unused entity to a uniformly random movie so no node is
+  // isolated; uniform (not Zipf) placement keeps the planted skew intact.
+  auto rescue = [&](const std::vector<bool>& used,
+                    const std::vector<NodeId>& nodes, EdgeTypeId out,
+                    EdgeTypeId back) -> Status {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (used[i]) continue;
+      const NodeId m = movies[rng.NextUint(movies.size())];
+      CIRANK_RETURN_IF_ERROR(
+          builder.AddBidirectionalEdge(nodes[i], m, out, back));
+    }
+    return Status::OK();
+  };
+  CIRANK_RETURN_IF_ERROR(
+      rescue(actor_used, actors, s.actor_movie, s.movie_actor));
+  CIRANK_RETURN_IF_ERROR(
+      rescue(actress_used, actresses, s.actress_movie, s.movie_actress));
+  CIRANK_RETURN_IF_ERROR(
+      rescue(director_used, directors, s.director_movie, s.movie_director));
+  CIRANK_RETURN_IF_ERROR(
+      rescue(producer_used, producers, s.producer_movie, s.movie_producer));
+  CIRANK_RETURN_IF_ERROR(
+      rescue(company_used, companies, s.company_movie, s.movie_company));
+
+  ds.graph = builder.Finalize();
+  ds.star_entities = movies;
+  ds.nodes_by_relation.resize(ds.graph.schema().num_relations());
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    ds.nodes_by_relation[static_cast<size_t>(ds.graph.relation_of(v))]
+        .push_back(v);
+  }
+  return ds;
+}
+
+}  // namespace cirank

@@ -1,0 +1,211 @@
+#include "datasets/micro_graphs.h"
+
+#include <cassert>
+#include <string>
+
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+
+namespace cirank {
+
+namespace {
+
+// All micro graphs call through this to finish the Dataset bookkeeping.
+void Finish(Dataset* ds, GraphBuilder* builder) {
+  ds->graph = builder->Finalize();
+  ds->nodes_by_relation.resize(ds->graph.schema().num_relations());
+  for (NodeId v = 0; v < ds->graph.num_nodes(); ++v) {
+    ds->nodes_by_relation[static_cast<size_t>(ds->graph.relation_of(v))]
+        .push_back(v);
+  }
+  ds->true_popularity.resize(ds->graph.num_nodes(), 0.1);
+}
+
+void Check(const Status& st) {
+  assert(st.ok());
+  (void)st;
+}
+
+}  // namespace
+
+TsimmisExample BuildTsimmisExample() {
+  DblpSchema s = MakeDblpSchema();
+  GraphBuilder b(s.schema);
+  TsimmisExample ex;
+  ex.dataset.name = "tsimmis";
+
+  ex.papakonstantinou = b.AddNode(s.author, "yannis papakonstantinou");
+  ex.ullman = b.AddNode(s.author, "jeffrey ullman");
+  ex.paper_a = b.AddNode(s.paper, "capability based mediation in tsimmis");
+  ex.paper_b =
+      b.AddNode(s.paper,
+                "the tsimmis project integration of heterogeneous "
+                "information sources");
+  NodeId garcia = b.AddNode(s.author, "hector garcia molina");
+  NodeId conf = b.AddNode(s.conference, "ipsj");
+
+  for (NodeId p : {ex.paper_a, ex.paper_b}) {
+    Check(b.AddBidirectionalEdge(ex.papakonstantinou, p, s.author_paper,
+                                 s.paper_author));
+    Check(b.AddBidirectionalEdge(ex.ullman, p, s.author_paper,
+                                 s.paper_author));
+    Check(b.AddBidirectionalEdge(garcia, p, s.author_paper, s.paper_author));
+    Check(b.AddBidirectionalEdge(conf, p, s.conf_paper, s.paper_conf));
+  }
+
+  // Paper (a) is cited 7 times, paper (b) 38 times (the counts reported in
+  // Sec. II-B.1).
+  auto add_citers = [&](NodeId target, int count, const char* prefix) {
+    for (int i = 0; i < count; ++i) {
+      NodeId citer =
+          b.AddNode(s.paper, std::string(prefix) + " citing work " +
+                                 std::to_string(i));
+      Check(b.AddBidirectionalEdge(citer, target, s.cites, s.cited_by));
+    }
+  };
+  add_citers(ex.paper_a, 7, "mediation");
+  add_citers(ex.paper_b, 38, "integration");
+
+  Finish(&ex.dataset, &b);
+  ex.dataset.star_entities = {ex.paper_a, ex.paper_b};
+  return ex;
+}
+
+CostarExample BuildCostarExample() {
+  ImdbSchema s = MakeImdbSchema();
+  GraphBuilder b(s.schema);
+  CostarExample ex;
+  ex.dataset.name = "costar";
+
+  ex.bloom = b.AddNode(s.actor, "orlando bloom");
+  ex.wood = b.AddNode(s.actor, "elijah wood");
+  ex.mortensen = b.AddNode(s.actor, "viggo mortensen");
+  ex.popular_movie = b.AddNode(s.movie, "fellowship rings");
+  ex.obscure_movie = b.AddNode(s.movie, "forgotten reel");
+
+  for (NodeId a : {ex.bloom, ex.wood, ex.mortensen}) {
+    for (NodeId m : {ex.popular_movie, ex.obscure_movie}) {
+      Check(b.AddBidirectionalEdge(a, m, s.actor_movie, s.movie_actor));
+    }
+  }
+
+  // The popular movie has a large additional cast, a director, and a
+  // company; its co-stars also appear elsewhere so the popular movie sits in
+  // a well-connected neighborhood.
+  NodeId director = b.AddNode(s.director, "peter jackson");
+  Check(b.AddBidirectionalEdge(director, ex.popular_movie, s.director_movie,
+                               s.movie_director));
+  NodeId company = b.AddNode(s.company, "wingnut films");
+  Check(b.AddBidirectionalEdge(company, ex.popular_movie, s.company_movie,
+                               s.movie_company));
+  for (int i = 0; i < 12; ++i) {
+    NodeId extra =
+        b.AddNode(s.actor, "supporting player " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(extra, ex.popular_movie, s.actor_movie,
+                                 s.movie_actor));
+    NodeId other = b.AddNode(s.movie, "other feature " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(extra, other, s.actor_movie,
+                                 s.movie_actor));
+  }
+
+  Finish(&ex.dataset, &b);
+  ex.dataset.star_entities = {ex.popular_movie, ex.obscure_movie};
+  return ex;
+}
+
+FreeNodeDominationExample BuildFreeNodeDominationExample() {
+  ImdbSchema s = MakeImdbSchema();
+  GraphBuilder b(s.schema);
+  FreeNodeDominationExample ex;
+  ex.dataset.name = "free_node_domination";
+
+  ex.wilson_cruz = b.AddNode(s.actor, "wilson cruz");
+  ex.charlie_wilsons_war = b.AddNode(s.movie, "charlie wilson war");
+  ex.tom_hanks = b.AddNode(s.actor, "tom hanks");
+  ex.tribute = b.AddNode(s.movie, "america tribute to heroes");
+  ex.penelope_cruz = b.AddNode(s.actress, "penelope cruz");
+
+  // The spurious T2 path: Charlie Wilson's War -- Tom Hanks -- Tribute --
+  // Penelope Cruz.
+  Check(b.AddBidirectionalEdge(ex.tom_hanks, ex.charlie_wilsons_war,
+                               s.actor_movie, s.movie_actor));
+  Check(b.AddBidirectionalEdge(ex.tom_hanks, ex.tribute, s.actor_movie,
+                               s.movie_actor));
+  Check(b.AddBidirectionalEdge(ex.penelope_cruz, ex.tribute,
+                               s.actress_movie, s.movie_actress));
+
+  // Wilson Cruz has a modest filmography.
+  for (int i = 0; i < 2; ++i) {
+    NodeId m = b.AddNode(s.movie, "indie drama " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(ex.wilson_cruz, m, s.actor_movie,
+                                 s.movie_actor));
+  }
+  // Penelope Cruz is fairly popular...
+  for (int i = 0; i < 6; ++i) {
+    NodeId m = b.AddNode(s.movie, "romance feature " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(ex.penelope_cruz, m, s.actress_movie,
+                                 s.movie_actress));
+  }
+  // ...and Tom Hanks is extremely popular.
+  for (int i = 0; i < 30; ++i) {
+    NodeId m = b.AddNode(s.movie, "blockbuster " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(ex.tom_hanks, m, s.actor_movie,
+                                 s.movie_actor));
+  }
+  // Give Charlie Wilson's War and Tribute supporting casts.
+  for (int i = 0; i < 4; ++i) {
+    NodeId a = b.AddNode(s.actor, "ensemble member " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(a, ex.charlie_wilsons_war, s.actor_movie,
+                                 s.movie_actor));
+    Check(b.AddBidirectionalEdge(a, ex.tribute, s.actor_movie,
+                                 s.movie_actor));
+  }
+
+  Finish(&ex.dataset, &b);
+  ex.dataset.star_entities = {ex.charlie_wilsons_war, ex.tribute};
+  return ex;
+}
+
+StarVsChainExample BuildStarVsChainExample() {
+  // A generic one-relation schema suffices for the structural example.
+  Schema schema;
+  RelationId entity = schema.AddRelation("Entity");
+  EdgeTypeId link = schema.AddEdgeType("link", entity, entity, 1.0);
+  GraphBuilder b(schema);
+  StarVsChainExample ex;
+  ex.dataset.name = "star_vs_chain";
+
+  // Shared keyword nodes.
+  NodeId k1 = b.AddNode(entity, "alpha");
+  NodeId k2 = b.AddNode(entity, "beta");
+  NodeId k3 = b.AddNode(entity, "gamma");
+  NodeId k4 = b.AddNode(entity, "delta");
+
+  // Star answer: free hub connected to all four keyword nodes.
+  NodeId hub = b.AddNode(entity, "hub");
+  for (NodeId k : {k1, k2, k3, k4}) {
+    Check(b.AddBidirectionalEdge(k, hub, link, link));
+  }
+
+  // Chain answer: k1 - k2 - c - k3 - k4, with the free node c in the middle.
+  NodeId c = b.AddNode(entity, "connector");
+  Check(b.AddBidirectionalEdge(k1, k2, link, link));
+  Check(b.AddBidirectionalEdge(k2, c, link, link));
+  Check(b.AddBidirectionalEdge(c, k3, link, link));
+  Check(b.AddBidirectionalEdge(k3, k4, link, link));
+
+  // Filler neighbors so hub and connector have equal degree (hence nearly
+  // equal importance) and the structural difference is the only signal.
+  for (int i = 0; i < 2; ++i) {
+    NodeId f = b.AddNode(entity, "filler " + std::to_string(i));
+    Check(b.AddBidirectionalEdge(f, c, link, link));
+  }
+
+  ex.star_nodes = {k1, k2, k3, k4, hub};
+  ex.chain_nodes = {k1, k2, c, k3, k4};
+  Finish(&ex.dataset, &b);
+  ex.dataset.star_entities = {hub, c};
+  return ex;
+}
+
+}  // namespace cirank

@@ -1,0 +1,62 @@
+// Hand-built micro graphs reproducing the paper's motivating examples
+// (Sections I-III). Used by tests and the ablation bench to check that each
+// documented pitfall of prior scoring functions actually manifests, and
+// that CI-Rank avoids it.
+#ifndef CIRANK_DATASETS_MICRO_GRAPHS_H_
+#define CIRANK_DATASETS_MICRO_GRAPHS_H_
+
+#include <vector>
+
+#include "datasets/dataset.h"
+
+namespace cirank {
+
+// Fig. 2 / Sec. II-B.1: DBLP graph where authors "yannis papakonstantinou"
+// and "jeffrey ullman" co-authored two TSIMMIS papers; paper (b) has many
+// more citations than paper (a). Node handles are exposed so tests can name
+// the expected answers.
+struct TsimmisExample {
+  Dataset dataset;
+  NodeId papakonstantinou, ullman;
+  NodeId paper_a;  // "capability based mediation tsimmis" (7 citations)
+  NodeId paper_b;  // "tsimmis project integration heterogeneous" (38 cites)
+};
+TsimmisExample BuildTsimmisExample();
+
+// Fig. 3 / Sec. II-B.2: IMDB graph where actors Bloom, Wood, and Mortensen
+// co-star in two movies of very different popularity; BANKS cannot tell the
+// two apart because the connecting movie is an intermediate free node.
+struct CostarExample {
+  Dataset dataset;
+  NodeId bloom, wood, mortensen;
+  NodeId popular_movie;    // heavily connected
+  NodeId obscure_movie;    // barely connected
+};
+CostarExample BuildCostarExample();
+
+// Fig. 4 / Sec. III-B: the free-node domination example. The query
+// "wilson cruz" should return the single actor node T1, but averaging the
+// importance of all nodes ranks the spurious T2 (Charlie Wilson's War --
+// Tom Hanks -- Tribute -- Penelope Cruz) higher because Tom Hanks is very
+// important.
+struct FreeNodeDominationExample {
+  Dataset dataset;
+  NodeId wilson_cruz;      // the intended single-node answer
+  NodeId charlie_wilsons_war, tom_hanks, tribute, penelope_cruz;
+};
+FreeNodeDominationExample BuildFreeNodeDominationExample();
+
+// Sec. III-B alternative 3: two trees with identical node importances and
+// sizes but different shapes -- T1 a star around a free hub, T2 a chain --
+// which avg-importance/size scoring cannot distinguish.
+struct StarVsChainExample {
+  Dataset dataset;
+  // Keyword nodes k1..k4 and hub/chain connectors.
+  std::vector<NodeId> star_nodes;   // nodes of the star answer
+  std::vector<NodeId> chain_nodes;  // nodes of the chain answer
+};
+StarVsChainExample BuildStarVsChainExample();
+
+}  // namespace cirank
+
+#endif  // CIRANK_DATASETS_MICRO_GRAPHS_H_

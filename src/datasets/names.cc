@@ -1,0 +1,167 @@
+#include "datasets/names.h"
+
+namespace cirank {
+
+namespace {
+
+constexpr std::string_view kFirstNames[] = {
+    "james",   "mary",    "robert",  "patricia", "john",    "jennifer",
+    "michael", "linda",   "david",   "elizabeth", "william", "barbara",
+    "richard", "susan",   "joseph",  "jessica",  "thomas",  "sarah",
+    "charles", "karen",   "chris",   "lisa",     "daniel",  "nancy",
+    "matthew", "betty",   "anthony", "sandra",   "mark",    "margaret",
+    "donald",  "ashley",  "steven",  "kimberly", "andrew",  "emily",
+    "paul",    "donna",   "joshua",  "michelle", "kenneth", "carol",
+    "kevin",   "amanda",  "brian",   "melissa",  "george",  "deborah",
+    "timothy", "stephanie", "ronald", "rebecca", "jason",   "laura",
+    "edward",  "sharon",  "jeffrey", "cynthia",  "ryan",    "kathleen",
+    "jacob",   "amy",     "gary",    "angela",   "nicholas", "shirley",
+    "eric",    "anna",    "jonathan", "brenda",  "stephen", "pamela",
+    "larry",   "emma",    "justin",  "nicole",   "scott",   "helen",
+    "brandon", "samantha", "benjamin", "katherine", "samuel", "christine",
+    "gregory", "debra",   "frank",   "rachel",   "alex",    "carolyn",
+    "raymond", "janet",   "patrick", "virginia", "jack",    "maria",
+    "dennis",  "heather", "jerry",   "diane",    "tyler",   "julie",
+    "aaron",   "joyce",   "jose",    "victoria", "adam",    "olivia",
+    "nathan",  "kelly",   "henry",   "christina", "douglas", "lauren",
+    "zachary", "joan",    "peter",   "evelyn",   "kyle",    "judith",
+    "ethan",   "megan",   "walter",  "andrea",   "noah",    "cheryl",
+    "jeremy",  "hannah",  "carl",    "jacqueline", "keith",  "martha",
+    "roger",   "gloria",  "gerald",  "teresa",   "harold",  "ann",
+    "sean",    "sara",    "austin",  "madison",  "arthur",  "frances",
+    "lawrence", "kathryn", "jesse",  "janice",   "dylan",   "jean",
+    "bryan",   "abigail", "joe",     "alice",    "jordan",  "julia",
+    "billy",   "sophia",  "bruce",   "grace",    "albert",  "denise",
+    "willie",  "amber",   "gabriel", "doris",    "logan",   "marilyn",
+    "alan",    "danielle", "juan",   "beverly",  "wayne",   "isabella",
+    "roy",     "theresa", "ralph",   "diana",    "randy",   "natalie",
+    "eugene",  "brittany", "vincent", "charlotte", "russell", "marie",
+    "elijah",  "kayla",   "louis",   "alexis",   "bobby",   "lori",
+};
+
+constexpr std::string_view kLastNames[] = {
+    "smith",     "johnson",   "williams",  "brown",     "jones",
+    "garcia",    "miller",    "davis",     "rodriguez", "martinez",
+    "hernandez", "lopez",     "gonzalez",  "wilson",    "anderson",
+    "thomas",    "taylor",    "moore",     "jackson",   "martin",
+    "lee",       "perez",     "thompson",  "white",     "harris",
+    "sanchez",   "clark",     "ramirez",   "lewis",     "robinson",
+    "walker",    "young",     "allen",     "king",      "wright",
+    "scott",     "torres",    "nguyen",    "hill",      "flores",
+    "green",     "adams",     "nelson",    "baker",     "hall",
+    "rivera",    "campbell",  "mitchell",  "carter",    "roberts",
+    "gomez",     "phillips",  "evans",     "turner",    "diaz",
+    "parker",    "cruz",      "edwards",   "collins",   "reyes",
+    "stewart",   "morris",    "morales",   "murphy",    "cook",
+    "rogers",    "gutierrez", "ortiz",     "morgan",    "cooper",
+    "peterson",  "bailey",    "reed",      "kelly",     "howard",
+    "ramos",     "kim",       "cox",       "ward",      "richardson",
+    "watson",    "brooks",    "chavez",    "wood",      "james",
+    "bennett",   "gray",      "mendoza",   "ruiz",      "hughes",
+    "price",     "alvarez",   "castillo",  "sanders",   "patel",
+    "myers",     "long",      "ross",      "foster",    "jimenez",
+    "powell",    "jenkins",   "perry",     "russell",   "sullivan",
+    "bell",      "coleman",   "butler",    "henderson", "barnes",
+    "gonzales",  "fisher",    "vasquez",   "simmons",   "romero",
+    "jordan",    "patterson", "alexander", "hamilton",  "graham",
+    "reynolds",  "griffin",   "wallace",   "moreno",    "west",
+    "cole",      "hayes",     "bryant",    "herrera",   "gibson",
+    "ellis",     "tran",      "medina",    "aguilar",   "stevens",
+    "murray",    "ford",      "castro",    "marshall",  "owens",
+    "harrison",  "fernandez", "mcdonald",  "woods",     "washington",
+    "kennedy",   "wells",     "vargas",    "henry",     "chen",
+    "freeman",   "webb",      "tucker",    "guzman",    "burns",
+    "crawford",  "olson",     "simpson",   "porter",    "hunter",
+    "gordon",    "mendez",    "silva",     "shaw",      "snyder",
+    "mason",     "dixon",     "munoz",     "hunt",      "hicks",
+    "holmes",    "palmer",    "wagner",    "black",     "robertson",
+    "boyd",      "rose",      "stone",     "salazar",   "fox",
+    "warren",    "mills",     "meyer",     "rice",      "schmidt",
+    "bloom",     "mortensen", "ullman",    "papakonstantinou",
+};
+
+constexpr std::string_view kTitleWords[] = {
+    "dark",     "empire",   "return",   "night",    "shadow",  "city",
+    "last",     "first",    "lost",     "secret",   "golden",  "iron",
+    "silent",   "broken",   "hidden",   "eternal",  "crimson", "storm",
+    "river",    "mountain", "ocean",    "desert",   "winter",  "summer",
+    "midnight", "dawn",     "twilight", "fire",     "ice",     "thunder",
+    "dream",    "memory",   "promise",  "betrayal", "revenge", "honor",
+    "glory",    "destiny",  "fortune",  "legacy",   "kingdom", "crown",
+    "sword",    "arrow",    "hunter",   "guardian", "warrior", "soldier",
+    "captain",  "general",  "doctor",   "stranger", "ghost",   "angel",
+    "devil",    "dragon",   "wolf",     "raven",    "falcon",  "tiger",
+    "station",  "harbor",   "bridge",   "tower",    "castle",  "garden",
+    "island",   "valley",   "forest",   "canyon",   "horizon", "frontier",
+    "escape",   "journey",  "voyage",   "quest",    "mission", "heist",
+    "code",     "cipher",   "signal",   "echo",     "mirror",  "window",
+    "door",     "key",      "letter",   "diary",    "map",     "treasure",
+    "war",      "peace",    "love",     "blood",    "stone",   "glass",
+};
+
+constexpr std::string_view kCsWords[] = {
+    "efficient",    "scalable",    "distributed", "parallel",
+    "incremental",  "adaptive",    "approximate", "optimal",
+    "robust",       "dynamic",     "streaming",   "probabilistic",
+    "query",        "queries",     "search",      "ranking",
+    "indexing",     "join",        "aggregation", "optimization",
+    "processing",   "evaluation",  "estimation",  "learning",
+    "mining",       "clustering",  "classification", "sampling",
+    "keyword",      "graph",       "tree",        "database",
+    "relational",   "spatial",     "temporal",    "semistructured",
+    "xml",          "text",        "web",         "social",
+    "network",      "stream",      "cache",       "memory",
+    "disk",         "transaction", "concurrency", "recovery",
+    "skyline",      "nearest",     "neighbor",    "similarity",
+    "top",          "selection",   "projection",  "materialized",
+    "view",         "schema",      "integration", "cleaning",
+    "provenance",   "privacy",     "security",    "compression",
+    "partitioning", "replication", "consistency", "availability",
+    "algorithm",    "algorithms",  "model",       "models",
+    "framework",    "system",      "systems",     "architecture",
+    "analysis",     "synthesis",   "semantics",   "languages",
+};
+
+constexpr std::string_view kConferenceNames[] = {
+    "sigmod", "vldb",   "icde",  "edbt",  "cidr",  "pods",
+    "kdd",    "icdm",   "sdm",   "cikm",  "wsdm",  "sigir",
+    "www",    "icml",   "nips",  "aaai",  "ijcai", "acl",
+    "sosp",   "osdi",   "nsdi",  "atc",   "eurosys", "socc",
+};
+
+constexpr std::string_view kCompanyWords[] = {
+    "pictures", "studios", "films",     "entertainment", "media",
+    "universal", "paramount", "columbia", "vertex",       "apex",
+    "summit",   "horizon", "meridian",  "atlas",         "orion",
+    "pinnacle", "vanguard", "keystone", "monarch",       "sterling",
+};
+
+}  // namespace
+
+std::span<const std::string_view> FirstNames() { return kFirstNames; }
+std::span<const std::string_view> LastNames() { return kLastNames; }
+std::span<const std::string_view> TitleWords() { return kTitleWords; }
+std::span<const std::string_view> CsWords() { return kCsWords; }
+std::span<const std::string_view> ConferenceNames() {
+  return kConferenceNames;
+}
+std::span<const std::string_view> CompanyWords() { return kCompanyWords; }
+
+std::string MakePersonName(Rng* rng) {
+  std::string name(FirstNames()[rng->NextUint(FirstNames().size())]);
+  name += " ";
+  name += LastNames()[rng->NextUint(LastNames().size())];
+  return name;
+}
+
+std::string MakeTitle(std::span<const std::string_view> pool, Rng* rng) {
+  const int words = static_cast<int>(2 + rng->NextUint(3));
+  std::string title;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) title += " ";
+    title += pool[rng->NextUint(pool.size())];
+  }
+  return title;
+}
+
+}  // namespace cirank

@@ -1,0 +1,31 @@
+// Word pools for the synthetic dataset generators. Pools are intentionally
+// small relative to the number of generated entities so that names collide
+// occasionally -- ambiguous keyword matches are what make ranking
+// interesting (and are abundant in the real IMDB/DBLP data).
+#ifndef CIRANK_DATASETS_NAMES_H_
+#define CIRANK_DATASETS_NAMES_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace cirank {
+
+std::span<const std::string_view> FirstNames();
+std::span<const std::string_view> LastNames();
+std::span<const std::string_view> TitleWords();
+std::span<const std::string_view> CsWords();
+std::span<const std::string_view> ConferenceNames();
+std::span<const std::string_view> CompanyWords();
+
+// "first last" with uniformly drawn parts.
+std::string MakePersonName(Rng* rng);
+
+// 2-4 words drawn from `pool`.
+std::string MakeTitle(std::span<const std::string_view> pool, Rng* rng);
+
+}  // namespace cirank
+
+#endif  // CIRANK_DATASETS_NAMES_H_

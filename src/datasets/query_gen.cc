@@ -1,0 +1,200 @@
+#include "datasets/query_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace cirank {
+
+namespace {
+
+// Token subset used as query keywords for one target entity.
+std::vector<std::string> PickTokens(const Graph& graph, NodeId v,
+                                    bool ambiguous, Rng* rng) {
+  std::vector<std::string> tokens = Tokenize(graph.text_of(v));
+  if (tokens.empty()) return tokens;
+  if (ambiguous && tokens.size() >= 2) {
+    // Surname / single title word only.
+    return {tokens[rng->NextUint(tokens.size())]};
+  }
+  if (tokens.size() > 2) {
+    // Use the two rarest-looking (longest) tokens to keep queries realistic.
+    std::vector<std::string> out = tokens;
+    std::sort(out.begin(), out.end(),
+              [](const std::string& a, const std::string& b) {
+                if (a.size() != b.size()) return a.size() > b.size();
+                return a < b;
+              });
+    out.resize(2);
+    return out;
+  }
+  return tokens;
+}
+
+class Generator {
+ public:
+  Generator(const Dataset& ds, const QueryGenOptions& opts)
+      : ds_(ds), opts_(opts), rng_(opts.seed) {
+    for (NodeId v : ds.star_entities) {
+      star_relations_.insert(ds.graph.relation_of(v));
+    }
+  }
+
+  Result<std::vector<LabeledQuery>> Run() {
+    if (ds_.star_entities.empty()) {
+      return Status::InvalidArgument("dataset has no star entities");
+    }
+    int n_two = 0, n_three = 0, n_single = 0, n_adjacent = 0;
+    if (opts_.user_log_style) {
+      // 88.6% answered by 1-2 directly connected nodes (Sec. VI-B).
+      n_two = static_cast<int>(0.114 * opts_.num_queries + 0.5);
+      const int rest = opts_.num_queries - n_two;
+      n_single = rest / 2;
+      n_adjacent = rest - n_single;
+    } else {
+      n_two = static_cast<int>(opts_.frac_two_nonadjacent *
+                               opts_.num_queries + 0.5);
+      n_three =
+          static_cast<int>(opts_.frac_three_plus * opts_.num_queries + 0.5);
+      const int rest = std::max(0, opts_.num_queries - n_two - n_three);
+      n_single = rest / 2;
+      n_adjacent = rest - n_single;
+    }
+
+    std::vector<LabeledQuery> out;
+    auto emit = [&](int count, auto maker, LabeledQuery::Kind kind) {
+      for (int i = 0; i < count; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          Result<LabeledQuery> q = maker();
+          if (q.ok()) {
+            q->kind = kind;
+            out.push_back(std::move(q).value());
+            break;
+          }
+        }
+      }
+    };
+    emit(n_two, [&] { return MakeNeighborQuery(2); },
+         LabeledQuery::Kind::kTwoNonAdjacent);
+    emit(n_three, [&] { return MakeNeighborQuery(3); },
+         LabeledQuery::Kind::kThreePlus);
+    emit(n_single, [&] { return MakeSingleQuery(); },
+         LabeledQuery::Kind::kSingle);
+    emit(n_adjacent, [&] { return MakeAdjacentQuery(); },
+         LabeledQuery::Kind::kAdjacentPair);
+
+    if (out.empty()) {
+      return Status::Internal("failed to generate any query");
+    }
+    return out;
+  }
+
+ private:
+  NodeId SampleStar() {
+    ZipfSampler pick(ds_.star_entities.size(), opts_.popularity_bias);
+    return ds_.star_entities[pick.Sample(&rng_)];
+  }
+
+  bool IsStarNode(NodeId v) const {
+    return star_relations_.count(ds_.graph.relation_of(v)) > 0;
+  }
+
+  std::vector<NodeId> NonStarNeighbors(NodeId v) const {
+    std::vector<NodeId> out;
+    for (const Edge& e : ds_.graph.out_edges(v)) {
+      if (!IsStarNode(e.to)) out.push_back(e.to);
+    }
+    return out;
+  }
+
+  // Builds a query from `targets`, keeping the per-target token subsets
+  // distinct so the query cannot collapse onto fewer entities.
+  Result<LabeledQuery> AssembleQuery(std::vector<NodeId> targets) {
+    std::vector<std::vector<std::string>> token_sets;
+    for (NodeId t : targets) {
+      token_sets.push_back(PickTokens(
+          ds_.graph, t, rng_.NextBool(opts_.ambiguous_prob), &rng_));
+    }
+    // If two targets produced identical keyword sets, retry with full names.
+    for (size_t i = 0; i < token_sets.size(); ++i) {
+      for (size_t j = i + 1; j < token_sets.size(); ++j) {
+        if (token_sets[i] == token_sets[j]) {
+          token_sets[i] =
+              PickTokens(ds_.graph, targets[i], /*ambiguous=*/false, &rng_);
+          token_sets[j] =
+              PickTokens(ds_.graph, targets[j], /*ambiguous=*/false, &rng_);
+          if (token_sets[i] == token_sets[j]) {
+            return Status::Internal("identical targets");
+          }
+        }
+      }
+    }
+
+    LabeledQuery lq;
+    lq.targets = std::move(targets);
+    for (const auto& tokens : token_sets) {
+      if (tokens.empty()) return Status::Internal("textless target");
+      for (const std::string& t : tokens) {
+        if (std::find(lq.query.keywords.begin(), lq.query.keywords.end(),
+                      t) == lq.query.keywords.end()) {
+          lq.query.keywords.push_back(t);
+        }
+      }
+    }
+    lq.target_keywords = std::move(token_sets);
+    if (lq.query.empty()) return Status::Internal("empty query");
+    return lq;
+  }
+
+  // `fanout` neighbors of one shared star entity (2 = the paper's
+  // "two non-free nodes that are not directly connected").
+  Result<LabeledQuery> MakeNeighborQuery(size_t fanout) {
+    const NodeId star = SampleStar();
+    std::vector<NodeId> neighbors = NonStarNeighbors(star);
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    if (neighbors.size() < fanout) {
+      return Status::NotFound("star entity with too few neighbors");
+    }
+    rng_.Shuffle(&neighbors);
+    neighbors.resize(fanout);
+    return AssembleQuery(std::move(neighbors));
+  }
+
+  Result<LabeledQuery> MakeSingleQuery() {
+    // Any entity, popularity-weighted within its relation.
+    const size_t rel = rng_.NextUint(ds_.nodes_by_relation.size());
+    const auto& nodes = ds_.nodes_by_relation[rel];
+    if (nodes.empty()) return Status::NotFound("empty relation");
+    ZipfSampler pick(nodes.size(), opts_.popularity_bias);
+    return AssembleQuery({nodes[pick.Sample(&rng_)]});
+  }
+
+  Result<LabeledQuery> MakeAdjacentQuery() {
+    const NodeId star = SampleStar();
+    std::vector<NodeId> neighbors = NonStarNeighbors(star);
+    if (neighbors.empty()) return Status::NotFound("isolated star entity");
+    const NodeId nb = neighbors[rng_.NextUint(neighbors.size())];
+    return AssembleQuery({star, nb});
+  }
+
+  const Dataset& ds_;
+  QueryGenOptions opts_;
+  Rng rng_;
+  std::set<RelationId> star_relations_;
+};
+
+}  // namespace
+
+Result<std::vector<LabeledQuery>> GenerateQueries(
+    const Dataset& dataset, const QueryGenOptions& options) {
+  if (options.num_queries <= 0) {
+    return Status::InvalidArgument("num_queries must be positive");
+  }
+  Generator gen(dataset, options);
+  return gen.Run();
+}
+
+}  // namespace cirank

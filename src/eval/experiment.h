@@ -1,0 +1,68 @@
+// The effectiveness experiment harness behind Figs. 6-9: for each labeled
+// query it enumerates one shared candidate-answer pool, lets every ranker
+// order that pool, and scores the orderings against the relevance oracle
+// with MRR and graded precision. Pools can be precomputed once and reused
+// across rankers/parameter settings (the alpha/g sweeps re-rank the same
+// pools under different RWMP models).
+#ifndef CIRANK_EVAL_EXPERIMENT_H_
+#define CIRANK_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/naive_search.h"
+#include "datasets/dataset.h"
+#include "datasets/query_gen.h"
+#include "eval/oracle.h"
+#include "eval/rankers.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+struct EffectivenessOptions {
+  uint32_t max_diameter = 4;
+  // Cap on the per-query candidate pool.
+  int64_t pool_cap = 400;
+  // Precision is measured over the top `top_p` answers of each ranking.
+  int top_p = 5;
+};
+
+// One query's shared evaluation state: the candidate pool, per-answer
+// relevance, and the oracle-selected best answers.
+struct QueryPool {
+  LabeledQuery query;
+  std::vector<Jtt> pool;
+  std::vector<double> relevance;  // parallel to pool
+  std::vector<bool> is_best;      // parallel to pool
+};
+
+// Enumerates pools for every query and labels them with the oracle.
+// Queries with an empty pool or no fully relevant answer are dropped
+// (identically for every ranker evaluated later).
+Result<std::vector<QueryPool>> BuildQueryPools(
+    const Dataset& dataset, const InvertedIndex& index,
+    const std::vector<LabeledQuery>& queries,
+    const EffectivenessOptions& options = {});
+
+struct RankerEffectiveness {
+  std::string name;
+  double mrr = 0.0;
+  double precision = 0.0;
+  int evaluated_queries = 0;
+};
+
+// Ranks every pool under `ranker` and aggregates MRR / graded precision.
+RankerEffectiveness EvaluateRanker(const std::vector<QueryPool>& pools,
+                                   const AnswerRanker& ranker,
+                                   const EffectivenessOptions& options = {});
+
+// Convenience: BuildQueryPools + EvaluateRanker for each ranker.
+Result<std::vector<RankerEffectiveness>> RunEffectiveness(
+    const Dataset& dataset, const InvertedIndex& index,
+    const std::vector<LabeledQuery>& queries,
+    const std::vector<const AnswerRanker*>& rankers,
+    const EffectivenessOptions& options = {});
+
+}  // namespace cirank
+
+#endif  // CIRANK_EVAL_EXPERIMENT_H_

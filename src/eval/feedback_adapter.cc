@@ -1,0 +1,17 @@
+#include "eval/feedback_adapter.h"
+
+namespace cirank {
+
+Result<FeedbackModel> FeedbackFromQueryLog(
+    const Dataset& dataset, const std::vector<LabeledQuery>& log,
+    double click_weight) {
+  FeedbackModel model(dataset.graph.num_nodes());
+  for (const LabeledQuery& lq : log) {
+    for (NodeId target : lq.targets) {
+      CIRANK_RETURN_IF_ERROR(model.RecordClick(target, click_weight));
+    }
+  }
+  return model;
+}
+
+}  // namespace cirank

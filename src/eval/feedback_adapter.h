@@ -1,0 +1,24 @@
+// Bridges the labeled query log to the core feedback model, mirroring how
+// the paper turns its 29,078 manually labeled AOL queries into bias for the
+// CI-Rank model: each labeled query's intended target entities count as
+// clicks.
+#ifndef CIRANK_EVAL_FEEDBACK_ADAPTER_H_
+#define CIRANK_EVAL_FEEDBACK_ADAPTER_H_
+
+#include <vector>
+
+#include "core/feedback.h"
+#include "datasets/dataset.h"
+#include "datasets/query_gen.h"
+
+namespace cirank {
+
+// Builds a FeedbackModel from a labeled query log: the targets of each
+// query receive one click each (weighted by `click_weight`).
+Result<FeedbackModel> FeedbackFromQueryLog(
+    const Dataset& dataset, const std::vector<LabeledQuery>& log,
+    double click_weight = 1.0);
+
+}  // namespace cirank
+
+#endif  // CIRANK_EVAL_FEEDBACK_ADAPTER_H_

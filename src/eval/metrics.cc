@@ -1,0 +1,30 @@
+#include "eval/metrics.h"
+
+#include <cstddef>
+
+namespace cirank {
+
+using std::size_t;
+
+double ReciprocalRank(const std::vector<bool>& is_best_by_rank) {
+  for (size_t i = 0; i < is_best_by_rank.size(); ++i) {
+    if (is_best_by_rank[i]) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double GradedPrecision(const std::vector<double>& relevance_by_rank) {
+  if (relevance_by_rank.empty()) return 0.0;
+  double total = 0.0;
+  for (double r : relevance_by_rank) total += r;
+  return total / static_cast<double>(relevance_by_rank.size());
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace cirank

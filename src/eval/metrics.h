@@ -1,0 +1,22 @@
+// Effectiveness metrics from Sec. VI-B: reciprocal rank of the best answer
+// (averaged into MRR) and graded precision of the returned answers.
+#ifndef CIRANK_EVAL_METRICS_H_
+#define CIRANK_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace cirank {
+
+// 1 / (1-based rank of the first true entry); 0 when none is true.
+double ReciprocalRank(const std::vector<bool>& is_best_by_rank);
+
+// Average of graded relevance values over the returned list ("the fraction
+// of the answers generated that are relevant", with graded levels).
+double GradedPrecision(const std::vector<double>& relevance_by_rank);
+
+// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+}  // namespace cirank
+
+#endif  // CIRANK_EVAL_METRICS_H_

@@ -1,0 +1,94 @@
+#include "eval/oracle.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cirank {
+
+double RelevanceOracle::Relevance(const LabeledQuery& query,
+                                  const Jtt& answer) const {
+  if (query.targets.empty()) return 0.0;
+
+  // Fallback for hand-labeled queries without keyword groups: fraction of
+  // the exact target entities present.
+  if (query.target_keywords.size() != query.targets.size()) {
+    size_t hit = 0;
+    for (NodeId t : query.targets) {
+      if (answer.contains(t)) ++hit;
+    }
+    return static_cast<double>(hit) /
+           static_cast<double>(query.targets.size());
+  }
+
+  const Graph& graph = ds_->graph;
+  size_t satisfied = 0;
+  for (size_t i = 0; i < query.targets.size(); ++i) {
+    const RelationId intended_relation = graph.relation_of(query.targets[i]);
+    bool group_ok = false;
+    for (NodeId v : answer.nodes()) {
+      if (graph.relation_of(v) != intended_relation) continue;
+      bool all_tokens = true;
+      for (const std::string& k : query.target_keywords[i]) {
+        if (index_->TermFrequency(v, k) == 0) {
+          all_tokens = false;
+          break;
+        }
+      }
+      if (all_tokens) {
+        group_ok = true;
+        break;
+      }
+    }
+    if (group_ok) ++satisfied;
+  }
+  return static_cast<double>(satisfied) /
+         static_cast<double>(query.targets.size());
+}
+
+std::vector<size_t> RelevanceOracle::BestAnswers(
+    const LabeledQuery& query, const std::vector<Jtt>& pool) const {
+  // The user's single best answer must contain the entities they actually
+  // meant, not just same-name substitutes.
+  auto contains_all_targets = [&](const Jtt& t) {
+    for (NodeId target : query.targets) {
+      if (!t.contains(target)) return false;
+    }
+    return true;
+  };
+
+  // Pass 1: target-complete answers of minimal size.
+  size_t min_size = std::numeric_limits<size_t>::max();
+  for (const Jtt& t : pool) {
+    if (contains_all_targets(t)) min_size = std::min(min_size, t.size());
+  }
+  if (min_size == std::numeric_limits<size_t>::max()) return {};
+
+  // Pass 2: among those, maximal total planted popularity of connector
+  // (non-target) nodes.
+  auto connector_popularity = [&](const Jtt& t) {
+    double total = 0.0;
+    for (NodeId v : t.nodes()) {
+      if (std::find(query.targets.begin(), query.targets.end(), v) ==
+          query.targets.end()) {
+        total += ds_->true_popularity[v];
+      }
+    }
+    return total;
+  };
+
+  double best_pop = -1.0;
+  for (const Jtt& t : pool) {
+    if (t.size() != min_size || !contains_all_targets(t)) continue;
+    best_pop = std::max(best_pop, connector_popularity(t));
+  }
+
+  std::vector<size_t> best;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const Jtt& t = pool[i];
+    if (t.size() != min_size || !contains_all_targets(t)) continue;
+    if (connector_popularity(t) >= best_pop - 1e-12) best.push_back(i);
+  }
+  return best;
+}
+
+}  // namespace cirank

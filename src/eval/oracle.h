@@ -1,0 +1,50 @@
+// The relevance oracle substitutes for the paper's user study (five graduate
+// students labeling the best answer per query, majority voting). It judges
+// answers from the generator's *planted* ground truth, which the ranking
+// algorithms never observe directly:
+//   * relevance of an answer = the fraction of the query's per-target
+//     keyword groups that are satisfied by a single entity of the intended
+//     relation. A same-name substitute entity still satisfies its group
+//     (a human judge accepts any "john smith" actor for "john smith"), but
+//     splitting one group's keywords across entities -- the paper's
+//     spurious "wilson cruz" stitch -- does not. This mirrors the paper's
+//     graded relevance, which penalizes by the fraction of missed keywords.
+//   * among answers containing ALL intended target entities, the "best"
+//     ones (for reciprocal rank) are the smallest trees whose connector
+//     (non-target) nodes have maximal planted popularity -- users prefer
+//     tight answers through famous connectors; ties are all best, mirroring
+//     the paper's tie handling.
+#ifndef CIRANK_EVAL_ORACLE_H_
+#define CIRANK_EVAL_ORACLE_H_
+
+#include <vector>
+
+#include "core/jtt.h"
+#include "datasets/dataset.h"
+#include "datasets/query_gen.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+
+class RelevanceOracle {
+ public:
+  // Both references must outlive the oracle.
+  RelevanceOracle(const Dataset& dataset, const InvertedIndex& index)
+      : ds_(&dataset), index_(&index) {}
+
+  // Graded relevance in [0, 1].
+  double Relevance(const LabeledQuery& query, const Jtt& answer) const;
+
+  // Indices into `pool` of the answers a user would pick as best; empty when
+  // no pool answer contains all targets.
+  std::vector<size_t> BestAnswers(const LabeledQuery& query,
+                                  const std::vector<Jtt>& pool) const;
+
+ private:
+  const Dataset* ds_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_EVAL_ORACLE_H_

@@ -1,0 +1,142 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.h"
+
+namespace cirank {
+
+NodeId GraphBuilder::AddNode(RelationId relation, std::string text,
+                             int64_t external_key) {
+  assert(relation >= 0 &&
+         static_cast<size_t>(relation) < schema_.num_relations());
+  relation_of_.push_back(relation);
+  text_of_.push_back(std::move(text));
+  external_key_of_.push_back(external_key);
+  return static_cast<NodeId>(relation_of_.size() - 1);
+}
+
+Status GraphBuilder::AddEdge(NodeId from, NodeId to, EdgeTypeId type) {
+  return AddEdge(from, to, type, schema_.edge_type(type).weight);
+}
+
+Status GraphBuilder::AddEdge(NodeId from, NodeId to, EdgeTypeId type,
+                             double weight) {
+  if (from >= relation_of_.size() || to >= relation_of_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  if (type < 0 || static_cast<size_t>(type) >= schema_.num_edge_types()) {
+    return Status::InvalidArgument("unknown edge type");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  edges_.push_back(RawEdge{from, to, type, weight});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddBidirectionalEdge(NodeId a, NodeId b, EdgeTypeId ab,
+                                          EdgeTypeId ba) {
+  CIRANK_RETURN_IF_ERROR(AddEdge(a, b, ab));
+  return AddEdge(b, a, ba);
+}
+
+Graph GraphBuilder::Finalize() {
+  const size_t n = relation_of_.size();
+
+  // Coalesce parallel edges (same from/to): sum weights, keep the first type.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  std::vector<RawEdge> packed;
+  packed.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    if (!packed.empty() && packed.back().from == e.from &&
+        packed.back().to == e.to) {
+      packed.back().weight += e.weight;
+    } else {
+      packed.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.schema_ = std::move(schema_);
+  g.relation_of_ = std::move(relation_of_);
+  g.text_of_ = std::move(text_of_);
+  g.external_key_of_ = std::move(external_key_of_);
+
+  g.out_offsets_.assign(n + 1, 0);
+  for (const RawEdge& e : packed) g.out_offsets_[e.from + 1]++;
+  for (size_t i = 0; i < n; ++i) g.out_offsets_[i + 1] += g.out_offsets_[i];
+  g.out_edges_.resize(packed.size());
+  {
+    std::vector<size_t> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+    for (const RawEdge& e : packed) {
+      g.out_edges_[cursor[e.from]++] = Edge{e.to, e.type, e.weight};
+    }
+  }
+
+  g.in_offsets_.assign(n + 1, 0);
+  for (const RawEdge& e : packed) g.in_offsets_[e.to + 1]++;
+  for (size_t i = 0; i < n; ++i) g.in_offsets_[i + 1] += g.in_offsets_[i];
+  g.in_edges_.resize(packed.size());
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const RawEdge& e : packed) {
+      // `to` field holds the source so in_edges(v) lists predecessors.
+      g.in_edges_[cursor[e.to]++] = Edge{e.from, e.type, e.weight};
+    }
+  }
+
+  g.out_weight_sum_.assign(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    for (const Edge& e : g.out_edges(static_cast<NodeId>(v))) {
+      g.out_weight_sum_[v] += e.weight;
+    }
+  }
+
+  edges_.clear();
+  return g;
+}
+
+double Graph::edge_weight(NodeId u, NodeId v) const {
+  auto edges = out_edges(u);
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), v,
+      [](const Edge& e, NodeId target) { return e.to < target; });
+  if (it != edges.end() && it->to == v) return it->weight;
+  return 0.0;
+}
+
+Graph Graph::SampleNodes(double fraction, uint64_t seed) const {
+  assert(fraction > 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+
+  std::vector<NodeId> remap(num_nodes(), kInvalidNode);
+  GraphBuilder builder(schema_);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (rng.NextBool(fraction)) {
+      remap[v] = builder.AddNode(relation_of_[v], text_of_[v],
+                                 external_key_of_[v]);
+    }
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (remap[v] == kInvalidNode) continue;
+    for (const Edge& e : out_edges(v)) {
+      if (remap[e.to] == kInvalidNode) continue;
+      Status st = builder.AddEdge(remap[v], remap[e.to], e.type, e.weight);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return builder.Finalize();
+}
+
+}  // namespace cirank

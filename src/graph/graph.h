@@ -1,0 +1,135 @@
+// The data graph: every tuple is a node, every foreign-key reference
+// contributes a directed weighted edge in each direction (Sec. II-A). Built
+// once through GraphBuilder and immutable afterwards; adjacency is stored in
+// CSR form for both directions.
+#ifndef CIRANK_GRAPH_GRAPH_H_
+#define CIRANK_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace cirank {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// One directed adjacency entry.
+struct Edge {
+  NodeId to = kInvalidNode;
+  EdgeTypeId type = kInvalidEdgeType;
+  // Unnormalized weight (parallel edges between the same pair are coalesced
+  // by summing their weights at Finalize time).
+  double weight = 0.0;
+};
+
+class Graph;
+
+// Accumulates nodes and edges, then produces an immutable Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  // Adds a tuple node. `text` is the node's full searchable text;
+  // `external_key` is an opaque caller-defined id (the dataset generators use
+  // it to tie nodes back to planted ground truth). Returns the new NodeId.
+  NodeId AddNode(RelationId relation, std::string text,
+                 int64_t external_key = -1);
+
+  // Adds one directed edge with the edge type's default weight.
+  Status AddEdge(NodeId from, NodeId to, EdgeTypeId type);
+
+  // Adds one directed edge with an explicit weight override.
+  Status AddEdge(NodeId from, NodeId to, EdgeTypeId type, double weight);
+
+  // Convenience: adds `a -> b` with type `ab` and `b -> a` with type `ba`,
+  // each at its type's default weight.
+  Status AddBidirectionalEdge(NodeId a, NodeId b, EdgeTypeId ab,
+                              EdgeTypeId ba);
+
+  size_t num_nodes() const { return relation_of_.size(); }
+
+  // Sorts, deduplicates (coalescing parallel edges by weight sum), and packs
+  // adjacency into CSR. The builder is left empty.
+  Graph Finalize();
+
+ private:
+  struct RawEdge {
+    NodeId from;
+    NodeId to;
+    EdgeTypeId type;
+    double weight;
+  };
+
+  Schema schema_;
+  std::vector<RelationId> relation_of_;
+  std::vector<std::string> text_of_;
+  std::vector<int64_t> external_key_of_;
+  std::vector<RawEdge> edges_;
+};
+
+// Immutable weighted directed graph over database tuples.
+class Graph {
+ public:
+  size_t num_nodes() const { return relation_of_.size(); }
+  // Number of directed edges after coalescing.
+  size_t num_edges() const { return out_edges_.size(); }
+
+  const Schema& schema() const { return schema_; }
+
+  RelationId relation_of(NodeId v) const { return relation_of_[v]; }
+  const std::string& text_of(NodeId v) const { return text_of_[v]; }
+  int64_t external_key_of(NodeId v) const { return external_key_of_[v]; }
+
+  std::span<const Edge> out_edges(NodeId v) const {
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const Edge> in_edges(NodeId v) const {
+    return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t out_degree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t in_degree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  // Sum of unnormalized out-edge weights of v (0 for sinks).
+  double out_weight_sum(NodeId v) const { return out_weight_sum_[v]; }
+
+  // Weight of the directed edge u -> v, or 0 when absent. O(log deg).
+  double edge_weight(NodeId u, NodeId v) const;
+
+  // True when the directed edge u -> v exists.
+  bool has_edge(NodeId u, NodeId v) const { return edge_weight(u, v) > 0.0; }
+
+  // Uniformly samples `fraction` of the nodes (keeping a node keeps its
+  // incident edges only when both endpoints survive). Used for the Fig. 10
+  // "10% sample" experiment. `seed` drives the sampling.
+  Graph SampleNodes(double fraction, uint64_t seed) const;
+
+ private:
+  friend class GraphBuilder;
+
+  Schema schema_;
+  std::vector<RelationId> relation_of_;
+  std::vector<std::string> text_of_;
+  std::vector<int64_t> external_key_of_;
+
+  std::vector<size_t> out_offsets_;  // size num_nodes()+1
+  std::vector<Edge> out_edges_;      // sorted by (from, to)
+  std::vector<size_t> in_offsets_;
+  std::vector<Edge> in_edges_;  // entry.to holds the *source* node
+  std::vector<double> out_weight_sum_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_GRAPH_GRAPH_H_

@@ -1,0 +1,74 @@
+#include "graph/schema.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+namespace cirank {
+
+RelationId Schema::AddRelation(std::string name) {
+  relations_.push_back(Relation{std::move(name)});
+  return static_cast<RelationId>(relations_.size() - 1);
+}
+
+EdgeTypeId Schema::AddEdgeType(std::string name, RelationId from,
+                               RelationId to, double weight) {
+  assert(from >= 0 && static_cast<size_t>(from) < relations_.size());
+  assert(to >= 0 && static_cast<size_t>(to) < relations_.size());
+  assert(weight > 0.0);
+  edge_types_.push_back(EdgeType{std::move(name), from, to, weight});
+  return static_cast<EdgeTypeId>(edge_types_.size() - 1);
+}
+
+RelationId Schema::FindRelation(const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) return static_cast<RelationId>(i);
+  }
+  return kInvalidRelation;
+}
+
+std::vector<RelationId> Schema::FindStarTables() const {
+  const size_t n = relations_.size();
+  assert(n <= 24 && "exhaustive vertex cover assumes a small schema");
+
+  // Undirected, deduplicated schema edges. A self-loop (e.g. a citation FK
+  // from Paper to Paper) forces its relation into every cover.
+  std::set<std::pair<RelationId, RelationId>> edges;
+  uint32_t forced = 0;
+  for (const EdgeType& et : edge_types_) {
+    if (et.from == et.to) {
+      forced |= 1u << et.from;
+      continue;
+    }
+    edges.insert({std::min(et.from, et.to), std::max(et.from, et.to)});
+  }
+
+  uint32_t best_mask = (1u << n) - 1;
+  size_t best_size = n;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if ((mask & forced) != forced) continue;
+    size_t size = static_cast<size_t>(__builtin_popcount(mask));
+    if (size > best_size) continue;
+    bool covers = true;
+    for (const auto& [a, b] : edges) {
+      if (!((mask >> a) & 1u) && !((mask >> b) & 1u)) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) continue;
+    if (size < best_size || (size == best_size && mask < best_mask)) {
+      best_size = size;
+      best_mask = mask;
+    }
+  }
+
+  std::vector<RelationId> out;
+  for (size_t i = 0; i < n; ++i) {
+    if ((best_mask >> i) & 1u) out.push_back(static_cast<RelationId>(i));
+  }
+  return out;
+}
+
+}  // namespace cirank

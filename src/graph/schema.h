@@ -1,0 +1,75 @@
+// Relational schema model. A database is described by a set of relations
+// (tables) and typed, directed, weighted edge types between them -- one edge
+// type per (foreign key, direction) pair, mirroring Table II of the paper
+// where e.g. "Citing paper -> Cited paper" has weight 0.5 but the reverse
+// direction has weight 0.1.
+#ifndef CIRANK_GRAPH_SCHEMA_H_
+#define CIRANK_GRAPH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cirank {
+
+using RelationId = int32_t;
+using EdgeTypeId = int32_t;
+
+inline constexpr RelationId kInvalidRelation = -1;
+inline constexpr EdgeTypeId kInvalidEdgeType = -1;
+
+struct Relation {
+  std::string name;
+};
+
+struct EdgeType {
+  std::string name;
+  RelationId from = kInvalidRelation;
+  RelationId to = kInvalidRelation;
+  // Unnormalized weight from Table II; the graph normalizes out-weights per
+  // node for the random walk.
+  double weight = 1.0;
+};
+
+// A schema: relations plus directed edge types. Immutable once built through
+// the Add* methods (no removal), cheap to copy.
+class Schema {
+ public:
+  RelationId AddRelation(std::string name);
+
+  // Adds a directed edge type `from -> to`. Both directions of a foreign key
+  // should be added (possibly with different weights).
+  EdgeTypeId AddEdgeType(std::string name, RelationId from, RelationId to,
+                         double weight);
+
+  size_t num_relations() const { return relations_.size(); }
+  size_t num_edge_types() const { return edge_types_.size(); }
+
+  const Relation& relation(RelationId id) const {
+    return relations_[static_cast<size_t>(id)];
+  }
+  const EdgeType& edge_type(EdgeTypeId id) const {
+    return edge_types_[static_cast<size_t>(id)];
+  }
+
+  // Returns kInvalidRelation when no relation has this name.
+  RelationId FindRelation(const std::string& name) const;
+
+  // Relations R such that every edge type has R as one of its endpoints
+  // after removing self-loops within non-candidate tables -- i.e. a minimal
+  // set of "star tables" whose removal disconnects the schema (paper Sec. V-B).
+  // Computed as a minimum vertex cover of the undirected schema graph by
+  // exhaustive search (schemas are tiny), preferring smaller covers and
+  // breaking ties toward lower relation ids.
+  std::vector<RelationId> FindStarTables() const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::vector<EdgeType> edge_types_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_GRAPH_SCHEMA_H_

@@ -1,0 +1,193 @@
+#include "graph/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace cirank {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43495231;  // "CIR1"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteDouble(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadDouble(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadString(std::istream& in, std::string* s) {
+  uint64_t n;
+  if (!ReadU64(in, &n)) return false;
+  if (n > (1ull << 32)) return false;  // sanity cap
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  return in.good() || n == 0;
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& graph, std::ostream& out) {
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+
+  // Schema.
+  const Schema& schema = graph.schema();
+  WriteU64(out, schema.num_relations());
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    WriteString(out, schema.relation(static_cast<RelationId>(r)).name);
+  }
+  WriteU64(out, schema.num_edge_types());
+  for (size_t t = 0; t < schema.num_edge_types(); ++t) {
+    const EdgeType& et = schema.edge_type(static_cast<EdgeTypeId>(t));
+    WriteString(out, et.name);
+    WriteU32(out, static_cast<uint32_t>(et.from));
+    WriteU32(out, static_cast<uint32_t>(et.to));
+    WriteDouble(out, et.weight);
+  }
+
+  // Nodes.
+  WriteU64(out, graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    WriteU32(out, static_cast<uint32_t>(graph.relation_of(v)));
+    WriteI64(out, graph.external_key_of(v));
+    WriteString(out, graph.text_of(v));
+  }
+
+  // Edges (directed, coalesced form).
+  WriteU64(out, graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Edge& e : graph.out_edges(v)) {
+      WriteU32(out, v);
+      WriteU32(out, e.to);
+      WriteU32(out, static_cast<uint32_t>(e.type));
+      WriteDouble(out, e.weight);
+    }
+  }
+
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SaveGraphToFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open file for writing: " + path);
+  }
+  return SaveGraph(graph, out);
+}
+
+Result<Graph> LoadGraph(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic (not a cirank graph file)");
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported graph file version");
+  }
+
+  Schema schema;
+  uint64_t num_relations = 0;
+  if (!ReadU64(in, &num_relations) || num_relations > (1u << 20)) {
+    return Status::InvalidArgument("corrupt relation count");
+  }
+  for (uint64_t r = 0; r < num_relations; ++r) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return Status::InvalidArgument("truncated relation table");
+    }
+    schema.AddRelation(std::move(name));
+  }
+  uint64_t num_edge_types = 0;
+  if (!ReadU64(in, &num_edge_types) || num_edge_types > (1u << 20)) {
+    return Status::InvalidArgument("corrupt edge-type count");
+  }
+  for (uint64_t t = 0; t < num_edge_types; ++t) {
+    std::string name;
+    uint32_t from, to;
+    double weight;
+    if (!ReadString(in, &name) || !ReadU32(in, &from) || !ReadU32(in, &to) ||
+        !ReadDouble(in, &weight)) {
+      return Status::InvalidArgument("truncated edge-type table");
+    }
+    if (from >= num_relations || to >= num_relations || weight <= 0.0) {
+      return Status::InvalidArgument("corrupt edge type");
+    }
+    schema.AddEdgeType(std::move(name), static_cast<RelationId>(from),
+                       static_cast<RelationId>(to), weight);
+  }
+
+  GraphBuilder builder(std::move(schema));
+  uint64_t num_nodes = 0;
+  if (!ReadU64(in, &num_nodes) || num_nodes > (1ull << 32)) {
+    return Status::InvalidArgument("corrupt node count");
+  }
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    uint32_t relation;
+    int64_t key;
+    std::string text;
+    if (!ReadU32(in, &relation) || !ReadI64(in, &key) ||
+        !ReadString(in, &text)) {
+      return Status::InvalidArgument("truncated node table");
+    }
+    if (relation >= num_relations) {
+      return Status::InvalidArgument("corrupt node relation");
+    }
+    builder.AddNode(static_cast<RelationId>(relation), std::move(text), key);
+  }
+
+  uint64_t num_edges = 0;
+  if (!ReadU64(in, &num_edges) || num_edges > (1ull << 40)) {
+    return Status::InvalidArgument("corrupt edge count");
+  }
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    uint32_t from, to, type;
+    double weight;
+    if (!ReadU32(in, &from) || !ReadU32(in, &to) || !ReadU32(in, &type) ||
+        !ReadDouble(in, &weight)) {
+      return Status::InvalidArgument("truncated edge table");
+    }
+    CIRANK_RETURN_IF_ERROR(
+        builder.AddEdge(from, to, static_cast<EdgeTypeId>(type), weight));
+  }
+  return builder.Finalize();
+}
+
+Result<Graph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  return LoadGraph(in);
+}
+
+}  // namespace cirank

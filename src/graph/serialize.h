@@ -1,0 +1,28 @@
+// Binary serialization of schemas and data graphs, so a generated or
+// ingested database graph can be built once and reloaded by examples,
+// benches, and services. Format: little-endian, versioned, with a magic
+// header; strings are length-prefixed. Not intended to be portable across
+// endianness (asserted at load time via the magic value).
+#ifndef CIRANK_GRAPH_SERIALIZE_H_
+#define CIRANK_GRAPH_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cirank {
+
+// Writes `graph` (including its schema) to the stream/file.
+Status SaveGraph(const Graph& graph, std::ostream& out);
+Status SaveGraphToFile(const Graph& graph, const std::string& path);
+
+// Reads a graph previously written by SaveGraph. Fails with
+// InvalidArgument on magic/version mismatch or truncated input.
+Result<Graph> LoadGraph(std::istream& in);
+Result<Graph> LoadGraphFromFile(const std::string& path);
+
+}  // namespace cirank
+
+#endif  // CIRANK_GRAPH_SERIALIZE_H_

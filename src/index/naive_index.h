@@ -1,0 +1,51 @@
+// The naive index of Sec. V-A: materialized all-pairs shortest distances
+// DS(u, v) and best-case message transmission LS(u, v) (the complement of
+// the paper's "minimal loss"). O(|V|^2) space, so it is gated to small
+// graphs -- exactly the limitation that motivates the star index.
+#ifndef CIRANK_INDEX_NAIVE_INDEX_H_
+#define CIRANK_INDEX_NAIVE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/rwmp.h"
+#include "graph/traversal.h"
+
+namespace cirank {
+
+struct NaiveIndexOptions {
+  // Refuse to build beyond this many nodes (quadratic memory).
+  size_t max_nodes = 6000;
+  // Distances larger than this are recorded as unreachable; candidates that
+  // far apart are pruned by the diameter limit anyway. Must be < 255.
+  uint32_t max_distance = 16;
+};
+
+class NaiveIndex : public PairwiseBoundProvider {
+ public:
+  // Runs one BFS and one max-product Dijkstra per node. The transmission
+  // values are exact maxima over all directed paths, hence admissible upper
+  // bounds for the tree paths used during search.
+  static Result<NaiveIndex> Build(const Graph& graph, const RwmpModel& model,
+                                  const NaiveIndexOptions& options = {});
+
+  double TransmissionBound(NodeId from, NodeId to) const override;
+  uint32_t DistanceLowerBound(NodeId from, NodeId to) const override;
+
+  // Approximate memory footprint in bytes, for reporting.
+  size_t MemoryBytes() const {
+    return dist_.size() * sizeof(uint8_t) + trans_.size() * sizeof(float);
+  }
+
+ private:
+  NaiveIndex() = default;
+
+  size_t n_ = 0;
+  std::vector<uint8_t> dist_;   // row-major n*n; 255 = unreachable/far
+  std::vector<float> trans_;    // row-major n*n
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_INDEX_NAIVE_INDEX_H_

@@ -1,0 +1,122 @@
+#include "rw/pagerank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace cirank {
+
+Result<PageRankResult> ComputePageRank(const Graph& graph,
+                                       const PageRankOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.teleport <= 0.0 || options.teleport >= 1.0) {
+    return Status::InvalidArgument("teleport must be in (0, 1)");
+  }
+  if (!options.teleport_vector.empty() &&
+      options.teleport_vector.size() != n) {
+    return Status::InvalidArgument(
+        "teleport_vector size must equal the node count");
+  }
+
+  const double c = options.teleport;
+  std::vector<double> u;
+  if (options.teleport_vector.empty()) {
+    u.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    u = options.teleport_vector;
+    double sum = std::accumulate(u.begin(), u.end(), 0.0);
+    if (sum <= 0.0) {
+      return Status::InvalidArgument("teleport_vector must have positive sum");
+    }
+    for (double& x : u) x /= sum;
+  }
+
+  PageRankResult result;
+  std::vector<double> p = u;
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double w_sum = graph.out_weight_sum(v);
+      if (w_sum <= 0.0) {
+        dangling_mass += p[v];
+        continue;
+      }
+      const double outflow = (1.0 - c) * p[v] / w_sum;
+      for (const Edge& e : graph.out_edges(v)) {
+        next[e.to] += outflow * e.weight;
+      }
+    }
+    // Teleportation plus the walk mass of dangling nodes, both distributed
+    // according to u.
+    const double redistribute = c + (1.0 - c) * dangling_mass;
+    for (size_t v = 0; v < n; ++v) next[v] += redistribute * u[v];
+
+    double residual = 0.0;
+    for (size_t v = 0; v < n; ++v) residual += std::fabs(next[v] - p[v]);
+    p.swap(next);
+    result.iterations = iter + 1;
+    result.residual = residual;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(p);
+  return result;
+}
+
+Result<std::vector<double>> MonteCarloPageRank(const Graph& graph,
+                                               int walks_per_node,
+                                               uint64_t seed,
+                                               double teleport) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (walks_per_node <= 0) {
+    return Status::InvalidArgument("walks_per_node must be positive");
+  }
+  if (teleport <= 0.0 || teleport >= 1.0) {
+    return Status::InvalidArgument("teleport must be in (0, 1)");
+  }
+
+  Rng rng(seed);
+  std::vector<int64_t> visits(n, 0);
+  int64_t total_visits = 0;
+
+  for (NodeId start = 0; start < n; ++start) {
+    for (int w = 0; w < walks_per_node; ++w) {
+      NodeId v = start;
+      for (;;) {
+        visits[v]++;
+        ++total_visits;
+        if (rng.NextBool(teleport)) break;  // teleport ends this walk segment
+        const double w_sum = graph.out_weight_sum(v);
+        if (w_sum <= 0.0) break;  // dangling: walk restarts
+        double pick = rng.NextDouble() * w_sum;
+        NodeId next = v;
+        for (const Edge& e : graph.out_edges(v)) {
+          pick -= e.weight;
+          if (pick <= 0.0) {
+            next = e.to;
+            break;
+          }
+        }
+        v = next;
+      }
+    }
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    scores[v] = static_cast<double>(visits[v]) /
+                static_cast<double>(total_visits);
+  }
+  return scores;
+}
+
+}  // namespace cirank

@@ -1,0 +1,55 @@
+// Node importance via the random walk model (Eq. 1 of the paper):
+//   p = (1 - c) * M p + c * u
+// where M is the column-stochastic transition matrix built from normalized
+// out-edge weights, c the teleportation constant, and u the teleportation
+// vector. Both the deterministic power-iteration solver and a Monte Carlo
+// estimator are provided; the paper mentions both (Sec. III-A).
+#ifndef CIRANK_RW_PAGERANK_H_
+#define CIRANK_RW_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cirank {
+
+struct PageRankOptions {
+  // Teleportation constant c in (0, 1); the paper uses the typical 0.15.
+  double teleport = 0.15;
+  // L1 convergence threshold on successive iterates.
+  double tolerance = 1e-12;
+  int max_iterations = 200;
+  // Optional personalized teleportation vector u (must sum to ~1 and have
+  // one entry per node). Empty means uniform. The paper's future-work user
+  // feedback biasing plugs in here.
+  std::vector<double> teleport_vector;
+};
+
+struct PageRankResult {
+  // Stationary probabilities; sums to 1.
+  std::vector<double> scores;
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+// Power iteration. Dangling nodes (no out-edges) redistribute their mass
+// through the teleportation vector. Fails on an empty graph or invalid
+// options.
+Result<PageRankResult> ComputePageRank(const Graph& graph,
+                                       const PageRankOptions& options = {});
+
+// Monte Carlo estimate: `walks_per_node` restart-terminated walks from every
+// node; visit frequencies approximate the stationary distribution. Used in
+// tests to cross-validate the power iteration and available for very large
+// graphs.
+Result<std::vector<double>> MonteCarloPageRank(const Graph& graph,
+                                               int walks_per_node,
+                                               uint64_t seed,
+                                               double teleport = 0.15);
+
+}  // namespace cirank
+
+#endif  // CIRANK_RW_PAGERANK_H_

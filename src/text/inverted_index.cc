@@ -1,0 +1,98 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+namespace cirank {
+
+InvertedIndex::InvertedIndex(const Graph& graph) : graph_(&graph) {
+  const size_t n = graph.num_nodes();
+  const size_t num_relations = graph.schema().num_relations();
+  token_count_.assign(n, 0);
+  relation_size_.assign(num_relations, 0);
+  relation_avg_dl_.assign(num_relations, 0.0);
+
+  for (NodeId v = 0; v < n; ++v) {
+    const RelationId rel = graph.relation_of(v);
+    relation_size_[static_cast<size_t>(rel)]++;
+
+    std::vector<std::string> tokens = Tokenize(graph.text_of(v));
+    token_count_[v] = static_cast<uint32_t>(tokens.size());
+    relation_avg_dl_[static_cast<size_t>(rel)] += tokens.size();
+
+    // Count per-term frequency within the node.
+    std::sort(tokens.begin(), tokens.end());
+    for (size_t i = 0; i < tokens.size();) {
+      size_t j = i;
+      while (j < tokens.size() && tokens[j] == tokens[i]) ++j;
+      TermData& data = postings_[tokens[i]];
+      if (data.df_by_relation.empty()) {
+        data.df_by_relation.assign(num_relations, 0);
+      }
+      data.postings.push_back(
+          Posting{v, static_cast<uint32_t>(j - i)});
+      data.df_by_relation[static_cast<size_t>(rel)]++;
+      i = j;
+    }
+  }
+
+  for (size_t r = 0; r < num_relations; ++r) {
+    if (relation_size_[r] > 0) relation_avg_dl_[r] /= relation_size_[r];
+  }
+  // Postings are appended in increasing node id, so they are already sorted.
+}
+
+std::span<const Posting> InvertedIndex::Lookup(std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  if (it == postings_.end()) return {};
+  return it->second.postings;
+}
+
+std::vector<NodeId> InvertedIndex::MatchingNodes(std::string_view term) const {
+  std::vector<NodeId> out;
+  for (const Posting& p : Lookup(term)) out.push_back(p.node);
+  return out;
+}
+
+uint32_t InvertedIndex::TermFrequency(NodeId v, std::string_view term) const {
+  auto posting = Lookup(term);
+  auto it = std::lower_bound(
+      posting.begin(), posting.end(), v,
+      [](const Posting& p, NodeId target) { return p.node < target; });
+  if (it != posting.end() && it->node == v) return it->tf;
+  return 0;
+}
+
+uint32_t InvertedIndex::MatchedTokenCount(NodeId v, const Query& query) const {
+  uint32_t total = 0;
+  for (const std::string& k : query.keywords) total += TermFrequency(v, k);
+  return total;
+}
+
+uint32_t InvertedIndex::DistinctMatchedKeywords(NodeId v,
+                                                const Query& query) const {
+  uint32_t count = 0;
+  for (const std::string& k : query.keywords) {
+    if (TermFrequency(v, k) > 0) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> InvertedIndex::FrequentTerms(uint32_t min_df,
+                                                      uint32_t max_df) const {
+  std::vector<std::string> out;
+  for (const auto& [term, data] : postings_) {
+    const uint32_t df = static_cast<uint32_t>(data.postings.size());
+    if (df >= min_df && df <= max_df) out.push_back(term);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint32_t InvertedIndex::DocFrequency(std::string_view term,
+                                     RelationId relation) const {
+  auto it = postings_.find(std::string(term));
+  if (it == postings_.end()) return 0;
+  return it->second.df_by_relation[static_cast<size_t>(relation)];
+}
+
+}  // namespace cirank

@@ -1,0 +1,89 @@
+// In-memory inverted index over node text plus the per-relation statistics
+// needed by the IR-style baselines (DISCOVER2, SPARK). This substitutes for
+// the Apache Lucene index used in the paper's implementation: the system only
+// needs keyword -> matching-node lookup and tf/df/dl/avdl statistics.
+#ifndef CIRANK_TEXT_INVERTED_INDEX_H_
+#define CIRANK_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "text/tokenizer.h"
+
+namespace cirank {
+
+// One (node, term-frequency) pair in a postings list.
+struct Posting {
+  NodeId node = kInvalidNode;
+  uint32_t tf = 0;
+};
+
+class InvertedIndex {
+ public:
+  // Indexes every node of `graph`. The graph must outlive the index.
+  explicit InvertedIndex(const Graph& graph);
+
+  const Graph& graph() const { return *graph_; }
+
+  // Postings for a normalized term, sorted by node id; empty when absent.
+  std::span<const Posting> Lookup(std::string_view term) const;
+
+  // The non-free node set En(k): ids of nodes containing `term`.
+  std::vector<NodeId> MatchingNodes(std::string_view term) const;
+
+  // Term frequency of `term` in node v (0 when absent).
+  uint32_t TermFrequency(NodeId v, std::string_view term) const;
+
+  // Number of token occurrences in v, i.e. |v_i| (dl in words).
+  uint32_t NodeTokenCount(NodeId v) const { return token_count_[v]; }
+
+  // Number of token occurrences in v matching any keyword of `query`,
+  // i.e. |v_i ∩ Q| in the message-generation formula.
+  uint32_t MatchedTokenCount(NodeId v, const Query& query) const;
+
+  // Number of *distinct* query keywords appearing in v.
+  uint32_t DistinctMatchedKeywords(NodeId v, const Query& query) const;
+
+  // df_k(Rel): number of tuples of `relation` containing `term`.
+  uint32_t DocFrequency(std::string_view term, RelationId relation) const;
+
+  // N_Rel: number of tuples in `relation`.
+  uint32_t RelationSize(RelationId relation) const {
+    return relation_size_[static_cast<size_t>(relation)];
+  }
+
+  // avdl of `relation` in tokens (0 when the relation is empty).
+  double AvgTokenCount(RelationId relation) const {
+    return relation_avg_dl_[static_cast<size_t>(relation)];
+  }
+
+  size_t num_terms() const { return postings_.size(); }
+
+  // Terms whose total document frequency (matching-node count across all
+  // relations) lies in [min_df, max_df], sorted lexicographically. Used by
+  // workload generators to pick realistically common query words.
+  std::vector<std::string> FrequentTerms(uint32_t min_df,
+                                         uint32_t max_df) const;
+
+ private:
+  struct TermData {
+    std::vector<Posting> postings;
+    // df per relation, indexed by RelationId.
+    std::vector<uint32_t> df_by_relation;
+  };
+
+  const Graph* graph_;
+  std::unordered_map<std::string, TermData> postings_;
+  std::vector<uint32_t> token_count_;      // per node
+  std::vector<uint32_t> relation_size_;    // per relation
+  std::vector<double> relation_avg_dl_;    // per relation
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,46 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cirank {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string NormalizeKeyword(std::string_view keyword) {
+  std::string out;
+  for (char c : keyword) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+Query Query::Parse(std::string_view text) {
+  Query q;
+  for (std::string& token : Tokenize(text)) {
+    if (std::find(q.keywords.begin(), q.keywords.end(), token) ==
+        q.keywords.end()) {
+      q.keywords.push_back(std::move(token));
+    }
+  }
+  return q;
+}
+
+}  // namespace cirank

@@ -1,0 +1,35 @@
+// Text tokenization shared by the inverted index and all scoring functions:
+// lower-cases and splits on any non-alphanumeric character. No stemming or
+// stopword removal -- keyword search over names and titles works on exact
+// lexical matches, matching the paper's setup.
+#ifndef CIRANK_TEXT_TOKENIZER_H_
+#define CIRANK_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cirank {
+
+// Splits `text` into lower-cased alphanumeric tokens.
+std::vector<std::string> Tokenize(std::string_view text);
+
+// Lower-cases one keyword (no splitting); returns empty if the keyword has
+// no alphanumeric characters.
+std::string NormalizeKeyword(std::string_view keyword);
+
+// A keyword query: a set of normalized keywords with AND semantics
+// (Definition 1). Duplicate and empty keywords are dropped.
+struct Query {
+  std::vector<std::string> keywords;
+
+  // Builds a Query from raw user input, normalizing each keyword.
+  static Query Parse(std::string_view text);
+
+  size_t size() const { return keywords.size(); }
+  bool empty() const { return keywords.empty(); }
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_TEXT_TOKENIZER_H_

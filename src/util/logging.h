@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Intended for the experiment drivers;
+// library code reports errors through Status instead of logging.
+#ifndef CIRANK_UTIL_LOGGING_H_
+#define CIRANK_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace cirank {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped at emit time.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Builds the message in a buffer and emits it (with a level tag and source
+// location) on destruction if the level passes the process-wide filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+// Usage: CIRANK_LOG(Info) << "built graph with " << n << " nodes";
+#define CIRANK_LOG(level)                                            \
+  ::cirank::internal_logging::LogMessage(                            \
+      ::cirank::LogLevel::k##level, __FILE__, __LINE__)              \
+      .stream()
+
+}  // namespace cirank
+
+#endif  // CIRANK_UTIL_LOGGING_H_

@@ -1,0 +1,59 @@
+// Wall-clock timing helpers for the experiment harness and benches.
+#ifndef CIRANK_UTIL_TIMER_H_
+#define CIRANK_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cirank {
+
+// A simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates timing samples and reports simple aggregates.
+class TimingStats {
+ public:
+  void Add(double seconds) {
+    sum_ += seconds;
+    if (count_ == 0 || seconds < min_) min_ = seconds;
+    if (count_ == 0 || seconds > max_) max_ = seconds;
+    ++count_;
+  }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_UTIL_TIMER_H_

@@ -1,0 +1,153 @@
+// Baseline scorers: DISCOVER2, SPARK, BANKS, and the failure modes the
+// CI-Rank paper attributes to them (Sec. II-B).
+#include "baselines/banks.h"
+#include "baselines/discover2.h"
+#include "baselines/spark.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/micro_graphs.h"
+#include "rw/pagerank.h"
+
+namespace cirank {
+namespace {
+
+// Builds the two competing JTTs of the TSIMMIS example: author -- paper --
+// author through paper (a) and through paper (b).
+struct TsimmisTrees {
+  TsimmisExample ex;
+  Jtt via_a, via_b;
+};
+
+TsimmisTrees MakeTsimmisTrees() {
+  TsimmisTrees t{BuildTsimmisExample(), {}, {}};
+  auto a = Jtt::Create(t.ex.paper_a, {{t.ex.paper_a, t.ex.papakonstantinou},
+                                      {t.ex.paper_a, t.ex.ullman}});
+  auto b = Jtt::Create(t.ex.paper_b, {{t.ex.paper_b, t.ex.papakonstantinou},
+                                      {t.ex.paper_b, t.ex.ullman}});
+  t.via_a = std::move(a).value();
+  t.via_b = std::move(b).value();
+  return t;
+}
+
+TEST(Discover2Test, CannotDistinguishTsimmisPapers) {
+  TsimmisTrees t = MakeTsimmisTrees();
+  InvertedIndex index(t.ex.dataset.graph);
+  Discover2Scorer scorer(index);
+  Query q = Query::Parse("papakonstantinou ullman");
+  // The connecting papers match no keyword, so both trees score the same --
+  // the deficiency called out in Sec. II-B.1.
+  EXPECT_NEAR(scorer.Score(t.via_a, q), scorer.Score(t.via_b, q), 1e-12);
+  EXPECT_GT(scorer.Score(t.via_a, q), 0.0);
+}
+
+TEST(Discover2Test, MatchingNodesScorePositive) {
+  TsimmisTrees t = MakeTsimmisTrees();
+  InvertedIndex index(t.ex.dataset.graph);
+  Discover2Scorer scorer(index);
+  Query q = Query::Parse("papakonstantinou");
+  EXPECT_GT(scorer.NodeScore(t.ex.papakonstantinou, q), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.NodeScore(t.ex.ullman, q), 0.0);
+}
+
+TEST(SparkTest, PrefersShorterTitleTsimmisPaper) {
+  // Sec. II-B.1: SPARK scores the JTT through the SHORT-titled paper (a)
+  // higher, because dl_T is smaller with all other factors equal -- the
+  // opposite of what citation counts suggest.
+  TsimmisTrees t = MakeTsimmisTrees();
+  InvertedIndex index(t.ex.dataset.graph);
+  SparkScorer scorer(index);
+  Query q = Query::Parse("papakonstantinou ullman");
+  EXPECT_GT(scorer.Score(t.via_a, q), scorer.Score(t.via_b, q));
+}
+
+TEST(SparkTest, CompletenessFactorPenalizesMissingKeywords) {
+  TsimmisTrees t = MakeTsimmisTrees();
+  InvertedIndex index(t.ex.dataset.graph);
+  SparkScorer scorer(index);
+  Jtt single(t.ex.papakonstantinou);
+  EXPECT_DOUBLE_EQ(scorer.ScoreB(single, Query::Parse("papakonstantinou")),
+                   1.0);
+  EXPECT_LT(
+      scorer.ScoreB(single, Query::Parse("papakonstantinou ullman")), 1.0);
+}
+
+TEST(SparkTest, SizeNormalizationDecreasesWithSize) {
+  TsimmisTrees t = MakeTsimmisTrees();
+  InvertedIndex index(t.ex.dataset.graph);
+  SparkScorer scorer(index);
+  Query q = Query::Parse("papakonstantinou ullman");
+  Jtt single(t.ex.papakonstantinou);
+  EXPECT_GT(scorer.ScoreC(single, q), scorer.ScoreC(t.via_a, q));
+}
+
+TEST(BanksTest, BlindToIntermediateFreeNodes) {
+  // Sec. II-B.2 / Fig. 3: BANKS only scores root and leaves, so the two
+  // co-star trees (via the popular and the obscure movie) tie when rooted
+  // at an actor.
+  CostarExample ex = BuildCostarExample();
+  InvertedIndex index(ex.dataset.graph);
+  auto pr = ComputePageRank(ex.dataset.graph);
+  BanksScorer scorer(ex.dataset.graph, pr->scores);
+
+  Query q = Query::Parse("bloom wood mortensen");
+  auto via_popular =
+      Jtt::Create(ex.bloom, {{ex.bloom, ex.popular_movie},
+                             {ex.popular_movie, ex.wood},
+                             {ex.popular_movie, ex.mortensen}});
+  auto via_obscure =
+      Jtt::Create(ex.bloom, {{ex.bloom, ex.obscure_movie},
+                             {ex.obscure_movie, ex.wood},
+                             {ex.obscure_movie, ex.mortensen}});
+  ASSERT_TRUE(via_popular.ok() && via_obscure.ok());
+  EXPECT_NEAR(scorer.Score(*via_popular, q, index),
+              scorer.Score(*via_obscure, q, index), 1e-12);
+}
+
+TEST(BanksTest, EdgeScorePenalizesWeakAndManyEdges) {
+  CostarExample ex = BuildCostarExample();
+  auto pr = ComputePageRank(ex.dataset.graph);
+  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  auto small = Jtt::Create(ex.bloom, {{ex.bloom, ex.popular_movie}});
+  auto large =
+      Jtt::Create(ex.bloom, {{ex.bloom, ex.popular_movie},
+                             {ex.popular_movie, ex.wood},
+                             {ex.popular_movie, ex.mortensen}});
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(scorer.EdgeScore(*small), scorer.EdgeScore(*large));
+}
+
+TEST(BanksSearchTest, FindsValidAnswers) {
+  CostarExample ex = BuildCostarExample();
+  InvertedIndex index(ex.dataset.graph);
+  auto pr = ComputePageRank(ex.dataset.graph);
+  BanksScorer scorer(ex.dataset.graph, pr->scores);
+
+  Query q = Query::Parse("bloom wood mortensen");
+  BanksSearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = 4;
+  auto result = BanksSearch(ex.dataset.graph, index, scorer, q, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  for (const RankedAnswer& a : *result) {
+    EXPECT_TRUE(a.tree.CoversAllKeywords(q, index));
+    EXPECT_TRUE(a.tree.EdgesExistIn(ex.dataset.graph));
+  }
+  // Scores descending.
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i - 1].score, (*result)[i].score);
+  }
+}
+
+TEST(BanksSearchTest, RejectsEmptyQuery) {
+  CostarExample ex = BuildCostarExample();
+  InvertedIndex index(ex.dataset.graph);
+  auto pr = ComputePageRank(ex.dataset.graph);
+  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  EXPECT_FALSE(
+      BanksSearch(ex.dataset.graph, index, scorer, Query{}, {}).ok());
+}
+
+}  // namespace
+}  // namespace cirank

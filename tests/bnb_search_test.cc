@@ -1,0 +1,183 @@
+// Branch-and-bound search tests, including the Theorem 1 property check:
+// on randomized small graphs the B&B top-k must equal the exhaustive
+// enumeration's top-k (by score).
+#include "core/bnb_search.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/naive_search.h"
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeScorerBundle;
+using testing_util::ScorerBundle;
+
+TEST(BnbSearchTest, RejectsInvalidArguments) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(1, 10));
+  SearchOptions opts;
+  SearchStats stats;
+
+  Query empty;
+  EXPECT_FALSE(BranchAndBoundSearch(*b.scorer, empty, opts, &stats).ok());
+
+  Query too_many;
+  for (int i = 0; i < 32; ++i) {
+    too_many.keywords.push_back("kw" + std::to_string(i));
+  }
+  EXPECT_FALSE(BranchAndBoundSearch(*b.scorer, too_many, opts, &stats).ok());
+
+  opts.k = 0;
+  EXPECT_FALSE(
+      BranchAndBoundSearch(*b.scorer, Query::Parse("kw0"), opts, &stats)
+          .ok());
+}
+
+TEST(BnbSearchTest, SingleKeywordReturnsMatchingNodes) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(2, 12));
+  Query q = Query::Parse("kw0");
+  SearchOptions opts;
+  opts.k = 50;
+  opts.max_diameter = 2;
+  auto result = BranchAndBoundSearch(*b.scorer, q, opts, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Every single matching node is itself an answer; scores descending.
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i - 1].score, (*result)[i].score);
+  }
+  for (const RankedAnswer& a : *result) {
+    EXPECT_TRUE(a.tree.CoversAllKeywords(q, *b.index));
+    EXPECT_TRUE(a.tree.IsReduced(q, *b.index));
+    EXPECT_TRUE(a.tree.EdgesExistIn(b.graph));
+  }
+}
+
+TEST(BnbSearchTest, AnswersAreValidAndDeduplicated) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(3, 20));
+  Query q = Query::Parse("kw0 kw1");
+  SearchOptions opts;
+  opts.k = 20;
+  opts.max_diameter = 4;
+  auto result = BranchAndBoundSearch(*b.scorer, q, opts, nullptr);
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> keys;
+  for (const RankedAnswer& a : *result) {
+    EXPECT_TRUE(a.tree.CoversAllKeywords(q, *b.index));
+    EXPECT_TRUE(a.tree.IsReduced(q, *b.index));
+    EXPECT_TRUE(a.tree.EdgesExistIn(b.graph));
+    EXPECT_LE(a.tree.Diameter(), opts.max_diameter);
+    EXPECT_TRUE(keys.insert(a.tree.CanonicalKey()).second);
+  }
+}
+
+TEST(BnbSearchTest, BudgetExhaustionIsReported) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(4, 60, 4.0));
+  Query q = Query::Parse("kw0 kw1");
+  SearchOptions opts;
+  opts.k = 10;
+  opts.max_diameter = 4;
+  opts.max_expansions = 3;
+  SearchStats stats;
+  auto result = BranchAndBoundSearch(*b.scorer, q, opts, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_FALSE(stats.proven_optimal);
+}
+
+// --- Theorem 1 property test ---
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t nodes;
+  std::string query;
+  uint32_t diameter;
+};
+
+// Readable parameterized-test names (e.g. "seed7_n16_q2_d4").
+std::string PropertyCaseName(
+    const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& pc = info.param;
+  size_t kw = 1 + std::count(pc.query.begin(), pc.query.end(), ' ');
+  return "seed" + std::to_string(pc.seed) + "_n" +
+         std::to_string(pc.nodes) + "_q" + std::to_string(kw) + "_d" +
+         std::to_string(pc.diameter);
+}
+
+class BnbOptimalityTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(BnbOptimalityTest, MatchesExhaustiveTopK) {
+  const PropertyCase& pc = GetParam();
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(pc.seed, pc.nodes));
+  Query q = Query::Parse(pc.query);
+
+  ExhaustiveSearchOptions ex_opts;
+  ex_opts.k = 5;
+  ex_opts.max_diameter = pc.diameter;
+  ex_opts.max_nodes = 9;
+  auto expected = ExhaustiveSearch(*b.scorer, q, ex_opts);
+  ASSERT_TRUE(expected.ok());
+
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = pc.diameter;
+  SearchStats stats;
+  auto actual = BranchAndBoundSearch(*b.scorer, q, opts, &stats);
+  ASSERT_TRUE(actual.ok());
+
+  ASSERT_EQ(actual->size(), expected->size())
+      << "seed=" << pc.seed << " query=" << pc.query;
+  for (size_t i = 0; i < actual->size(); ++i) {
+    EXPECT_NEAR((*actual)[i].score, (*expected)[i].score,
+                1e-9 * (1.0 + (*expected)[i].score))
+        << "rank " << i << " seed=" << pc.seed << " query=" << pc.query;
+  }
+}
+
+std::vector<PropertyCase> MakePropertyCases() {
+  std::vector<PropertyCase> cases;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    cases.push_back({seed, 14 + seed % 7, "kw0 kw1", 4});
+  }
+  for (uint64_t seed = 20; seed <= 26; ++seed) {
+    cases.push_back({seed, 12 + seed % 5, "kw0 kw1 kw2", 4});
+  }
+  for (uint64_t seed = 30; seed <= 34; ++seed) {
+    cases.push_back({seed, 16, "kw0 kw1", 3});
+  }
+  for (uint64_t seed = 40; seed <= 43; ++seed) {
+    cases.push_back({seed, 10, "kw0", 2});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BnbOptimalityTest,
+                         ::testing::ValuesIn(MakePropertyCases()),
+                         PropertyCaseName);
+
+// The strict (paper-literal) merge rule must never return MORE than the
+// relaxed rule; this documents why the relaxed rule is the default.
+TEST(BnbSearchTest, StrictMergeRuleIsSubsetOfRelaxed) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 16));
+    Query q = Query::Parse("kw0 kw1 kw2");
+    SearchOptions opts;
+    opts.k = 5;
+    opts.max_diameter = 4;
+    auto relaxed = BranchAndBoundSearch(*b.scorer, q, opts, nullptr);
+    opts.strict_merge_rule = true;
+    auto strict = BranchAndBoundSearch(*b.scorer, q, opts, nullptr);
+    ASSERT_TRUE(relaxed.ok() && strict.ok());
+    ASSERT_GE(relaxed->size(), strict->size());
+    if (!relaxed->empty() && !strict->empty()) {
+      EXPECT_GE((*relaxed)[0].score, (*strict)[0].score - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cirank

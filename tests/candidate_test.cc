@@ -1,0 +1,122 @@
+#include "core/candidate.h"
+
+#include <gtest/gtest.h>
+
+namespace cirank {
+namespace {
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    RelationId e = schema.AddRelation("E");
+    EdgeTypeId t = schema.AddEdgeType("t", e, e, 1.0);
+    GraphBuilder b(schema);
+    // 0:"alpha", 1:"hub", 2:"beta", 3:"gamma", 4:"alpha beta"
+    n_ = {b.AddNode(e, "alpha"), b.AddNode(e, "hub"), b.AddNode(e, "beta"),
+          b.AddNode(e, "gamma"), b.AddNode(e, "alpha beta")};
+    (void)b.AddBidirectionalEdge(n_[0], n_[1], t, t);
+    (void)b.AddBidirectionalEdge(n_[1], n_[2], t, t);
+    (void)b.AddBidirectionalEdge(n_[1], n_[3], t, t);
+    graph_ = b.Finalize();
+    index_ = std::make_unique<InvertedIndex>(graph_);
+    query_ = Query::Parse("alpha beta gamma");
+  }
+
+  Candidate Single(NodeId v) {
+    Candidate c;
+    c.tree = Jtt(v);
+    c.covered = NodeKeywordMask(v, query_, *index_);
+    c.diameter = 0;
+    return c;
+  }
+
+  Graph graph_;
+  std::vector<NodeId> n_;
+  std::unique_ptr<InvertedIndex> index_;
+  Query query_;
+};
+
+TEST_F(CandidateTest, NodeKeywordMasks) {
+  EXPECT_EQ(NodeKeywordMask(n_[0], query_, *index_), 0b001u);
+  EXPECT_EQ(NodeKeywordMask(n_[2], query_, *index_), 0b010u);
+  EXPECT_EQ(NodeKeywordMask(n_[4], query_, *index_), 0b011u);
+  EXPECT_EQ(NodeKeywordMask(n_[1], query_, *index_), 0u);
+}
+
+TEST_F(CandidateTest, GrowAddsRootAndCoverage) {
+  Candidate c = Single(n_[0]);
+  Candidate grown = GrowCandidate(c, n_[1], query_, *index_);
+  EXPECT_EQ(grown.root(), n_[1]);
+  EXPECT_EQ(grown.tree.size(), 2u);
+  EXPECT_EQ(grown.covered, 0b001u);
+  EXPECT_EQ(grown.diameter, 1u);
+
+  Candidate again = GrowCandidate(grown, n_[2], query_, *index_);
+  EXPECT_EQ(again.root(), n_[2]);
+  EXPECT_EQ(again.covered, 0b011u);
+  EXPECT_EQ(again.diameter, 2u);
+}
+
+TEST_F(CandidateTest, MergeRequiresSameRoot) {
+  Candidate a = GrowCandidate(Single(n_[0]), n_[1], query_, *index_);
+  Candidate b = Single(n_[2]);
+  EXPECT_FALSE(MergeCandidates(a, b).ok());
+}
+
+TEST_F(CandidateTest, MergeCombinesSubtrees) {
+  Candidate a = GrowCandidate(Single(n_[0]), n_[1], query_, *index_);
+  Candidate b = GrowCandidate(Single(n_[2]), n_[1], query_, *index_);
+  auto merged = MergeCandidates(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->root(), n_[1]);
+  EXPECT_EQ(merged->tree.size(), 3u);
+  EXPECT_EQ(merged->covered, 0b011u);
+  EXPECT_EQ(merged->diameter, 2u);
+}
+
+TEST_F(CandidateTest, MergeRejectsOverlap) {
+  // Both subtrees contain n0 beyond the shared root.
+  Candidate a = GrowCandidate(Single(n_[0]), n_[1], query_, *index_);
+  Candidate b = GrowCandidate(Single(n_[0]), n_[1], query_, *index_);
+  EXPECT_FALSE(MergeCandidates(a, b).ok());
+}
+
+TEST_F(CandidateTest, StrictMergeNeedsCoverageGrowth) {
+  Candidate a = GrowCandidate(Single(n_[0]), n_[1], query_, *index_);
+  Candidate b = GrowCandidate(Single(n_[4]), n_[1], query_, *index_);
+  // Relaxed: allowed. Strict: union == b's mask -> rejected.
+  EXPECT_TRUE(MergeCandidates(a, b, /*strict_coverage_growth=*/false).ok());
+  EXPECT_FALSE(MergeCandidates(a, b, /*strict_coverage_growth=*/true).ok());
+}
+
+TEST_F(CandidateTest, CompletenessMask) {
+  Candidate c = Single(n_[4]);
+  EXPECT_FALSE(c.IsComplete(0b111));
+  EXPECT_TRUE(c.IsComplete(0b011));
+}
+
+TEST_F(CandidateTest, ViabilityPrunesUnmatchableLeaves) {
+  // Seeds are viable.
+  EXPECT_TRUE(IsViableCandidate(Single(n_[0]), query_, *index_));
+
+  // alpha -- hub (rooted hub): non-root leaf alpha matches -> viable.
+  Candidate grown = GrowCandidate(Single(n_[0]), n_[1], query_, *index_);
+  EXPECT_TRUE(IsViableCandidate(grown, query_, *index_));
+
+  // hub rooted at alpha: non-root leaf hub matches nothing -> not viable.
+  Candidate bad = GrowCandidate(Single(n_[1]), n_[0], query_, *index_);
+  EXPECT_FALSE(IsViableCandidate(bad, query_, *index_));
+
+  // Two leaves both only matching "alpha" can never be distinct.
+  Query q2 = Query::Parse("alpha beta");
+  Candidate a = GrowCandidate(Single(n_[0]), n_[1], q2, *index_);
+  Candidate b = GrowCandidate(Single(n_[4]), n_[1], q2, *index_);
+  auto merged = MergeCandidates(a, b);
+  ASSERT_TRUE(merged.ok());
+  // Leaves alpha and "alpha beta" are matchable (alpha, beta) -> viable.
+  EXPECT_TRUE(IsViableCandidate(*merged, q2, *index_));
+}
+
+}  // namespace
+}  // namespace cirank

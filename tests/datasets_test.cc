@@ -1,0 +1,231 @@
+// Dataset generator tests: schema shape, connectivity, planted popularity
+// expressed in topology, and query-generation invariants.
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "datasets/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+#include "rw/pagerank.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+namespace {
+
+ImdbGenOptions SmallImdb() {
+  ImdbGenOptions opts;
+  opts.num_movies = 120;
+  opts.num_actors = 150;
+  opts.num_actresses = 80;
+  opts.num_directors = 30;
+  opts.num_producers = 20;
+  opts.num_companies = 10;
+  opts.seed = 3;
+  return opts;
+}
+
+DblpGenOptions SmallDblp() {
+  DblpGenOptions opts;
+  opts.num_papers = 150;
+  opts.num_authors = 100;
+  opts.num_conferences = 8;
+  opts.seed = 4;
+  return opts;
+}
+
+TEST(ImdbGenTest, BasicShape) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->graph.num_nodes(), 410u);
+  EXPECT_EQ(ds->true_popularity.size(), ds->graph.num_nodes());
+  EXPECT_EQ(ds->star_entities.size(), 120u);
+  EXPECT_GT(ds->graph.num_edges(), 2 * 120u);  // at least cast edges
+  // Every edge is incident to a movie (star schema).
+  const RelationId movie = ds->graph.relation_of(ds->star_entities[0]);
+  for (NodeId v = 0; v < ds->graph.num_nodes(); ++v) {
+    for (const Edge& e : ds->graph.out_edges(v)) {
+      EXPECT_TRUE(ds->graph.relation_of(v) == movie ||
+                  ds->graph.relation_of(e.to) == movie);
+    }
+  }
+}
+
+TEST(ImdbGenTest, EveryMovieHasCast) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  for (NodeId m : ds->star_entities) {
+    EXPECT_GE(ds->graph.out_degree(m), 3u) << "movie " << m;
+  }
+}
+
+TEST(ImdbGenTest, PopularMoviesHaveLargerCasts) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  // Movie 0 is the most popular by construction; the last movie the least.
+  EXPECT_GT(ds->graph.out_degree(ds->star_entities.front()),
+            ds->graph.out_degree(ds->star_entities.back()));
+}
+
+TEST(ImdbGenTest, PageRankRecoversPlantedPopularity) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  auto pr = ComputePageRank(ds->graph);
+  ASSERT_TRUE(pr.ok());
+  // Spot check: the most popular actor (rank 0) must outscore the median
+  // actor under PageRank.
+  const auto& actors = ds->nodes_by_relation[1];
+  EXPECT_GT(pr->scores[actors.front()], pr->scores[actors[actors.size() / 2]]);
+  // And the top movie outscores the bottom movie.
+  EXPECT_GT(pr->scores[ds->star_entities.front()],
+            pr->scores[ds->star_entities.back()]);
+}
+
+TEST(ImdbGenTest, DeterministicForSeed) {
+  auto a = BuildImdbDataset(SmallImdb());
+  auto b = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph.num_nodes(), b->graph.num_nodes());
+  EXPECT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  for (NodeId v = 0; v < a->graph.num_nodes(); ++v) {
+    EXPECT_EQ(a->graph.text_of(v), b->graph.text_of(v));
+  }
+}
+
+TEST(ImdbGenTest, RejectsBadCounts) {
+  ImdbGenOptions opts = SmallImdb();
+  opts.num_movies = 0;
+  EXPECT_FALSE(BuildImdbDataset(opts).ok());
+}
+
+TEST(DblpGenTest, BasicShape) {
+  auto ds = BuildDblpDataset(SmallDblp());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->graph.num_nodes(), 258u);
+  EXPECT_EQ(ds->star_entities.size(), 150u);
+  // Citation edges are asymmetric (0.5 out, 0.1 back).
+  bool found_asymmetric = false;
+  for (NodeId p : ds->star_entities) {
+    for (const Edge& e : ds->graph.out_edges(p)) {
+      if (ds->graph.relation_of(e.to) == ds->graph.relation_of(p)) {
+        const double w_fwd = ds->graph.edge_weight(p, e.to);
+        const double w_bwd = ds->graph.edge_weight(e.to, p);
+        if (w_fwd != w_bwd) found_asymmetric = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_asymmetric);
+}
+
+TEST(DblpGenTest, PopularPapersAccumulateCitations) {
+  auto ds = BuildDblpDataset(SmallDblp());
+  ASSERT_TRUE(ds.ok());
+  // In-degree of the most popular paper must exceed the median paper's.
+  auto in_citations = [&](NodeId p) {
+    size_t n = 0;
+    for (const Edge& e : ds->graph.in_edges(p)) {
+      if (ds->graph.relation_of(e.to) == ds->graph.relation_of(p)) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(in_citations(ds->star_entities.front()),
+            in_citations(ds->star_entities[ds->star_entities.size() / 2]));
+}
+
+TEST(DblpGenTest, GraphIsLargelyConnected) {
+  auto ds = BuildDblpDataset(SmallDblp());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_LE(CountConnectedComponents(ds->graph), 5u);
+}
+
+TEST(QueryGenTest, SyntheticMixMatchesRequestedFractions) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  QueryGenOptions opts;
+  opts.num_queries = 40;
+  opts.seed = 11;
+  auto queries = GenerateQueries(*ds, opts);
+  ASSERT_TRUE(queries.ok());
+  int two = 0, three = 0;
+  for (const LabeledQuery& q : *queries) {
+    if (q.kind == LabeledQuery::Kind::kTwoNonAdjacent) ++two;
+    if (q.kind == LabeledQuery::Kind::kThreePlus) ++three;
+  }
+  EXPECT_NEAR(two / 40.0, 0.5, 0.15);
+  EXPECT_NEAR(three / 40.0, 0.2, 0.15);
+}
+
+TEST(QueryGenTest, KeywordsMatchTargets) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(ds->graph);
+  QueryGenOptions opts;
+  opts.num_queries = 30;
+  opts.seed = 12;
+  auto queries = GenerateQueries(*ds, opts);
+  ASSERT_TRUE(queries.ok());
+  for (const LabeledQuery& q : *queries) {
+    EXPECT_FALSE(q.query.empty());
+    EXPECT_FALSE(q.targets.empty());
+    // Every keyword matches at least one target.
+    for (const std::string& k : q.query.keywords) {
+      bool matched = false;
+      for (NodeId t : q.targets) {
+        if (index.TermFrequency(t, k) > 0) matched = true;
+      }
+      EXPECT_TRUE(matched) << "keyword " << k;
+    }
+  }
+}
+
+TEST(QueryGenTest, TwoNonAdjacentTargetsShareAStarNeighbor) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  QueryGenOptions opts;
+  opts.num_queries = 20;
+  opts.seed = 13;
+  auto queries = GenerateQueries(*ds, opts);
+  ASSERT_TRUE(queries.ok());
+  for (const LabeledQuery& q : *queries) {
+    if (q.kind != LabeledQuery::Kind::kTwoNonAdjacent) continue;
+    ASSERT_EQ(q.targets.size(), 2u);
+    // Not directly connected...
+    EXPECT_FALSE(ds->graph.has_edge(q.targets[0], q.targets[1]));
+    // ...but share at least one neighbor.
+    bool share = false;
+    for (const Edge& e1 : ds->graph.out_edges(q.targets[0])) {
+      if (ds->graph.has_edge(q.targets[1], e1.to)) share = true;
+    }
+    EXPECT_TRUE(share);
+  }
+}
+
+TEST(QueryGenTest, UserLogStyleIsMostlyAdjacent) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  QueryGenOptions opts;
+  opts.num_queries = 40;
+  opts.user_log_style = true;
+  opts.seed = 14;
+  auto queries = GenerateQueries(*ds, opts);
+  ASSERT_TRUE(queries.ok());
+  int needing_connectors = 0;
+  for (const LabeledQuery& q : *queries) {
+    if (q.kind == LabeledQuery::Kind::kTwoNonAdjacent ||
+        q.kind == LabeledQuery::Kind::kThreePlus) {
+      ++needing_connectors;
+    }
+  }
+  EXPECT_NEAR(needing_connectors / 40.0, 0.114, 0.1);
+}
+
+TEST(QueryGenTest, RejectsNonPositiveCount) {
+  auto ds = BuildImdbDataset(SmallImdb());
+  ASSERT_TRUE(ds.ok());
+  QueryGenOptions opts;
+  opts.num_queries = 0;
+  EXPECT_FALSE(GenerateQueries(*ds, opts).ok());
+}
+
+}  // namespace
+}  // namespace cirank

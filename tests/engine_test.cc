@@ -1,0 +1,148 @@
+// Integration tests of the CiRankEngine facade over generated datasets.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "index/star_index.h"
+
+namespace cirank {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ImdbGenOptions opts;
+    opts.num_movies = 100;
+    opts.num_actors = 120;
+    opts.num_actresses = 60;
+    opts.num_directors = 25;
+    opts.num_producers = 15;
+    opts.num_companies = 8;
+    opts.seed = 55;
+    auto ds = BuildImdbDataset(opts);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(ds).value());
+    auto engine = CiRankEngine::Build(dataset_->graph);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<CiRankEngine>(std::move(engine).value());
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<CiRankEngine> engine_;
+};
+
+TEST_F(EngineTest, BuildValidatesOptions) {
+  CiRankOptions opts;
+  opts.rwmp.alpha = 2.0;
+  EXPECT_FALSE(CiRankEngine::Build(dataset_->graph, opts).ok());
+}
+
+TEST_F(EngineTest, SearchReturnsRankedValidAnswers) {
+  // Query for an actor that certainly exists: take the most popular one.
+  const NodeId actor = dataset_->nodes_by_relation[1].front();
+  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = 2;
+  SearchStats stats;
+  auto answers = engine_->Search(q, opts, &stats);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  for (size_t i = 1; i < answers->size(); ++i) {
+    EXPECT_GE((*answers)[i - 1].score, (*answers)[i].score);
+  }
+  for (const RankedAnswer& a : *answers) {
+    EXPECT_TRUE(a.tree.CoversAllKeywords(q, engine_->index()));
+    EXPECT_TRUE(a.tree.IsReduced(q, engine_->index()));
+  }
+  EXPECT_TRUE((*answers)[0].tree.contains(actor));
+}
+
+TEST_F(EngineTest, CoStarQueryConnectsThroughMovie) {
+  // Find a movie with two actor neighbors and query their names.
+  const Graph& g = dataset_->graph;
+  NodeId movie = kInvalidNode, a1 = kInvalidNode, a2 = kInvalidNode;
+  for (NodeId m : dataset_->star_entities) {
+    std::vector<NodeId> actors;
+    for (const Edge& e : g.out_edges(m)) {
+      if (g.relation_of(e.to) == 1) actors.push_back(e.to);
+    }
+    // Require distinct full names so the query is unambiguous enough.
+    for (size_t i = 0; i + 1 < actors.size() && movie == kInvalidNode; ++i) {
+      for (size_t j = i + 1; j < actors.size(); ++j) {
+        if (g.text_of(actors[i]) != g.text_of(actors[j])) {
+          movie = m;
+          a1 = actors[i];
+          a2 = actors[j];
+          break;
+        }
+      }
+    }
+    if (movie != kInvalidNode) break;
+  }
+  ASSERT_NE(movie, kInvalidNode);
+
+  Query q = Query::Parse(g.text_of(a1) + " " + g.text_of(a2));
+  SearchOptions opts;
+  opts.k = 3;
+  opts.max_diameter = 2;
+  auto answers = engine_->Search(q, opts);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  // The top answer must connect two actors through a shared movie.
+  EXPECT_EQ((*answers)[0].tree.Diameter(), 2u);
+}
+
+TEST_F(EngineTest, StarIndexAcceleratedSearchMatches) {
+  auto index = StarIndex::Build(dataset_->graph, engine_->model());
+  ASSERT_TRUE(index.ok());
+  const NodeId actor = dataset_->nodes_by_relation[1][3];
+  Query q = Query::Parse(dataset_->graph.text_of(actor));
+
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = 4;
+  auto plain = engine_->Search(q, opts);
+  opts.bounds = &index.value();
+  auto indexed = engine_->Search(q, opts);
+  ASSERT_TRUE(plain.ok() && indexed.ok());
+  ASSERT_EQ(plain->size(), indexed->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_NEAR((*plain)[i].score, (*indexed)[i].score, 1e-9);
+  }
+}
+
+TEST_F(EngineTest, EngineIsMovable) {
+  CiRankEngine moved = std::move(*engine_);
+  Query q = Query::Parse("smith");
+  SearchOptions opts;
+  opts.k = 2;
+  opts.max_diameter = 2;
+  EXPECT_TRUE(moved.Search(q, opts).ok());
+}
+
+TEST(EngineDblpTest, WorksOnDblpSchema) {
+  DblpGenOptions opts;
+  opts.num_papers = 120;
+  opts.num_authors = 80;
+  opts.num_conferences = 6;
+  opts.seed = 66;
+  auto ds = BuildDblpDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  auto engine = CiRankEngine::Build(ds->graph);
+  ASSERT_TRUE(engine.ok());
+
+  const NodeId author = ds->nodes_by_relation[1].front();
+  Query q = Query::Parse(ds->graph.text_of(author));
+  SearchOptions sopts;
+  sopts.k = 3;
+  sopts.max_diameter = 2;
+  auto answers = engine->Search(q, sopts);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_FALSE(answers->empty());
+}
+
+}  // namespace
+}  // namespace cirank

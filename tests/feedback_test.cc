@@ -1,0 +1,155 @@
+#include "core/feedback.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "datasets/imdb_gen.h"
+#include "datasets/query_gen.h"
+#include "eval/feedback_adapter.h"
+#include "rw/pagerank.h"
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+TEST(FeedbackModelTest, RecordsAndValidatesClicks) {
+  FeedbackModel model(5);
+  EXPECT_TRUE(model.RecordClick(2).ok());
+  EXPECT_TRUE(model.RecordClick(2, 3.0).ok());
+  EXPECT_DOUBLE_EQ(model.clicks(2), 4.0);
+  EXPECT_DOUBLE_EQ(model.total_clicks(), 4.0);
+  EXPECT_FALSE(model.RecordClick(9).ok());
+  EXPECT_FALSE(model.RecordClick(1, 0.0).ok());
+}
+
+TEST(FeedbackModelTest, RecordAnswerWeightsConnectorsHalf) {
+  FeedbackModel model(5);
+  ASSERT_TRUE(model.RecordAnswer({0, 1}, {2}, 2.0).ok());
+  EXPECT_DOUBLE_EQ(model.clicks(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.clicks(1), 2.0);
+  EXPECT_DOUBLE_EQ(model.clicks(2), 1.0);
+}
+
+TEST(FeedbackModelTest, TeleportVectorIsProbabilityVector) {
+  FeedbackModel model(10);
+  ASSERT_TRUE(model.RecordClick(3, 10.0).ok());
+  auto u = model.TeleportVector();
+  ASSERT_TRUE(u.ok());
+  double sum = std::accumulate(u->begin(), u->end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // The clicked node gets more mass than unclicked ones.
+  EXPECT_GT((*u)[3], (*u)[0]);
+  for (double x : *u) EXPECT_GT(x, 0.0);  // smoothing keeps everyone alive
+}
+
+TEST(FeedbackModelTest, NoClicksMeansUniform) {
+  FeedbackModel model(4);
+  auto u = model.TeleportVector();
+  ASSERT_TRUE(u.ok());
+  for (double x : *u) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(FeedbackModelTest, ShareCapLimitsDominance) {
+  FeedbackModel model(100);
+  ASSERT_TRUE(model.RecordClick(0, 1e9).ok());
+  FeedbackOptions opts;
+  opts.max_share_multiple = 5.0;
+  auto u = model.TeleportVector(opts);
+  ASSERT_TRUE(u.ok());
+  // Without the cap the clicked node would hold ~50% of the teleport mass
+  // (strength mass / (smoothing + strength) with every click on one node);
+  // with the cap it stays an order of magnitude lower, but still above the
+  // uniform share.
+  EXPECT_LE((*u)[0], 0.10);
+  EXPECT_GT((*u)[0], (*u)[1]);
+}
+
+TEST(FeedbackModelTest, OptionValidation) {
+  FeedbackModel model(4);
+  FeedbackOptions opts;
+  opts.smoothing = 0.0;
+  EXPECT_FALSE(model.TeleportVector(opts).ok());
+  opts = {};
+  opts.strength = -1.0;
+  EXPECT_FALSE(model.TeleportVector(opts).ok());
+  opts = {};
+  opts.max_share_multiple = 1.0;
+  EXPECT_FALSE(model.TeleportVector(opts).ok());
+}
+
+TEST(FeedbackModelTest, FeedbackRaisesClickedNodeImportance) {
+  Graph g = testing_util::MakeRandomGraph(5, 40);
+  FeedbackModel model(g.num_nodes());
+  const NodeId favorite = 7;
+  ASSERT_TRUE(model.RecordClick(favorite, 50.0).ok());
+
+  PageRankOptions base;
+  auto plain = ComputePageRank(g, base);
+  PageRankOptions biased = base;
+  FeedbackOptions fopts;
+  fopts.strength = 3.0;
+  biased.teleport_vector = model.TeleportVector(fopts).value();
+  auto fed = ComputePageRank(g, biased);
+  ASSERT_TRUE(plain.ok() && fed.ok());
+  EXPECT_GT(fed->scores[favorite], plain->scores[favorite]);
+}
+
+TEST(FeedbackModelTest, EdgeBoostAndReweight) {
+  Graph g = testing_util::MakeRandomGraph(6, 20);
+  FeedbackModel model(g.num_nodes());
+  ASSERT_TRUE(model.RecordClick(0, 10.0).ok());
+
+  EXPECT_GT(model.EdgeBoost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.EdgeBoost(2, 3), 1.0);
+
+  auto boosted = model.ReweightGraph(g);
+  ASSERT_TRUE(boosted.ok());
+  ASSERT_EQ(boosted->num_nodes(), g.num_nodes());
+  ASSERT_EQ(boosted->num_edges(), g.num_edges());
+  // Edges at the clicked node got heavier; others unchanged.
+  for (const Edge& e : g.out_edges(0)) {
+    EXPECT_GT(boosted->edge_weight(0, e.to), e.weight);
+  }
+  bool found_unchanged = false;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    for (const Edge& e : g.out_edges(v)) {
+      if (e.to != 0) {
+        EXPECT_DOUBLE_EQ(boosted->edge_weight(v, e.to), e.weight);
+        found_unchanged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_unchanged);
+
+  FeedbackModel wrong_size(3);
+  EXPECT_FALSE(wrong_size.ReweightGraph(g).ok());
+}
+
+TEST(FeedbackAdapterTest, BuildsFromQueryLog) {
+  ImdbGenOptions gopts;
+  gopts.num_movies = 60;
+  gopts.num_actors = 80;
+  gopts.num_actresses = 40;
+  gopts.num_directors = 15;
+  gopts.num_producers = 10;
+  gopts.num_companies = 6;
+  gopts.seed = 88;
+  auto ds = BuildImdbDataset(gopts);
+  ASSERT_TRUE(ds.ok());
+
+  QueryGenOptions qopts;
+  qopts.num_queries = 15;
+  qopts.seed = 89;
+  auto queries = GenerateQueries(*ds, qopts);
+  ASSERT_TRUE(queries.ok());
+
+  auto model = FeedbackFromQueryLog(*ds, *queries);
+  ASSERT_TRUE(model.ok());
+  double expected = 0;
+  for (const LabeledQuery& q : *queries) expected += q.targets.size();
+  EXPECT_DOUBLE_EQ(model->total_clicks(), expected);
+}
+
+}  // namespace
+}  // namespace cirank

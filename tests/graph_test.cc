@@ -1,0 +1,132 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace cirank {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entity_ = schema_.AddRelation("Entity");
+    other_ = schema_.AddRelation("Other");
+    fwd_ = schema_.AddEdgeType("fwd", entity_, entity_, 1.0);
+    bwd_ = schema_.AddEdgeType("bwd", entity_, entity_, 0.5);
+  }
+
+  Schema schema_;
+  RelationId entity_, other_;
+  EdgeTypeId fwd_, bwd_;
+};
+
+TEST_F(GraphTest, BuildsNodesWithAttributes) {
+  GraphBuilder b(schema_);
+  NodeId a = b.AddNode(entity_, "hello world", 41);
+  NodeId c = b.AddNode(other_, "second", 42);
+  Graph g = b.Finalize();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.relation_of(a), entity_);
+  EXPECT_EQ(g.relation_of(c), other_);
+  EXPECT_EQ(g.text_of(a), "hello world");
+  EXPECT_EQ(g.external_key_of(c), 42);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST_F(GraphTest, EdgesAppearInBothCsrDirections) {
+  GraphBuilder b(schema_);
+  NodeId x = b.AddNode(entity_, "x");
+  NodeId y = b.AddNode(entity_, "y");
+  ASSERT_TRUE(b.AddEdge(x, y, fwd_).ok());
+  Graph g = b.Finalize();
+
+  ASSERT_EQ(g.out_degree(x), 1u);
+  EXPECT_EQ(g.out_edges(x)[0].to, y);
+  EXPECT_DOUBLE_EQ(g.out_edges(x)[0].weight, 1.0);
+  EXPECT_EQ(g.out_degree(y), 0u);
+  ASSERT_EQ(g.in_degree(y), 1u);
+  EXPECT_EQ(g.in_edges(y)[0].to, x);  // in_edges reports the source
+}
+
+TEST_F(GraphTest, RejectsBadEdges) {
+  GraphBuilder b(schema_);
+  NodeId x = b.AddNode(entity_, "x");
+  NodeId y = b.AddNode(entity_, "y");
+  EXPECT_TRUE(b.AddEdge(x, x, fwd_).IsInvalidArgument());       // self-loop
+  EXPECT_TRUE(b.AddEdge(x, 99, fwd_).IsInvalidArgument());      // range
+  EXPECT_TRUE(b.AddEdge(x, y, 99).IsInvalidArgument());         // bad type
+  EXPECT_TRUE(b.AddEdge(x, y, fwd_, 0.0).IsInvalidArgument());  // weight
+}
+
+TEST_F(GraphTest, ParallelEdgesCoalesceByWeightSum) {
+  GraphBuilder b(schema_);
+  NodeId x = b.AddNode(entity_, "x");
+  NodeId y = b.AddNode(entity_, "y");
+  ASSERT_TRUE(b.AddEdge(x, y, fwd_).ok());
+  ASSERT_TRUE(b.AddEdge(x, y, bwd_).ok());  // parallel, weight 0.5
+  Graph g = b.Finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(x, y), 1.5);
+  EXPECT_DOUBLE_EQ(g.out_weight_sum(x), 1.5);
+}
+
+TEST_F(GraphTest, EdgeWeightLookup) {
+  GraphBuilder b(schema_);
+  NodeId x = b.AddNode(entity_, "x");
+  NodeId y = b.AddNode(entity_, "y");
+  NodeId z = b.AddNode(entity_, "z");
+  ASSERT_TRUE(b.AddBidirectionalEdge(x, y, fwd_, bwd_).ok());
+  Graph g = b.Finalize();
+  EXPECT_DOUBLE_EQ(g.edge_weight(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(y, x), 0.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(x, z), 0.0);
+  EXPECT_TRUE(g.has_edge(x, y));
+  EXPECT_FALSE(g.has_edge(z, x));
+}
+
+TEST_F(GraphTest, OutEdgesSortedByTarget) {
+  GraphBuilder b(schema_);
+  NodeId hub = b.AddNode(entity_, "hub");
+  std::vector<NodeId> others;
+  for (int i = 0; i < 10; ++i) {
+    others.push_back(b.AddNode(entity_, "n" + std::to_string(i)));
+  }
+  // Insert in reverse order; CSR must come out sorted.
+  for (auto it = others.rbegin(); it != others.rend(); ++it) {
+    ASSERT_TRUE(b.AddEdge(hub, *it, fwd_).ok());
+  }
+  Graph g = b.Finalize();
+  auto edges = g.out_edges(hub);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1].to, edges[i].to);
+  }
+}
+
+TEST_F(GraphTest, SampleNodesKeepsInducedEdges) {
+  GraphBuilder b(schema_);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 200; ++i) {
+    nodes.push_back(b.AddNode(entity_, "n" + std::to_string(i), i));
+  }
+  for (int i = 1; i < 200; ++i) {
+    ASSERT_TRUE(
+        b.AddBidirectionalEdge(nodes[i], nodes[i - 1], fwd_, bwd_).ok());
+  }
+  Graph g = b.Finalize();
+  Graph sample = g.SampleNodes(0.5, 99);
+  EXPECT_GT(sample.num_nodes(), 50u);
+  EXPECT_LT(sample.num_nodes(), 150u);
+  // Edges only between surviving nodes; external keys preserved.
+  for (NodeId v = 0; v < sample.num_nodes(); ++v) {
+    EXPECT_GE(sample.external_key_of(v), 0);
+    for (const Edge& e : sample.out_edges(v)) {
+      EXPECT_LT(e.to, sample.num_nodes());
+      // Chain neighbors differ by 1 in external key.
+      EXPECT_EQ(std::abs(sample.external_key_of(v) -
+                         sample.external_key_of(e.to)),
+                1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cirank

@@ -1,0 +1,84 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace cirank {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    rel_a_ = schema.AddRelation("A");
+    rel_b_ = schema.AddRelation("B");
+    GraphBuilder b(schema);
+    n0_ = b.AddNode(rel_a_, "alpha beta alpha");
+    n1_ = b.AddNode(rel_a_, "beta gamma");
+    n2_ = b.AddNode(rel_b_, "alpha");
+    n3_ = b.AddNode(rel_b_, "");
+    graph_ = b.Finalize();
+    index_ = std::make_unique<InvertedIndex>(graph_);
+  }
+
+  Graph graph_;
+  RelationId rel_a_, rel_b_;
+  NodeId n0_, n1_, n2_, n3_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(InvertedIndexTest, LookupReturnsSortedPostings) {
+  auto postings = index_->Lookup("alpha");
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].node, n0_);
+  EXPECT_EQ(postings[0].tf, 2u);
+  EXPECT_EQ(postings[1].node, n2_);
+  EXPECT_EQ(postings[1].tf, 1u);
+  EXPECT_TRUE(index_->Lookup("zeta").empty());
+}
+
+TEST_F(InvertedIndexTest, MatchingNodes) {
+  EXPECT_EQ(index_->MatchingNodes("beta"),
+            (std::vector<NodeId>{n0_, n1_}));
+}
+
+TEST_F(InvertedIndexTest, TermFrequency) {
+  EXPECT_EQ(index_->TermFrequency(n0_, "alpha"), 2u);
+  EXPECT_EQ(index_->TermFrequency(n0_, "gamma"), 0u);
+  EXPECT_EQ(index_->TermFrequency(n3_, "alpha"), 0u);
+}
+
+TEST_F(InvertedIndexTest, TokenCounts) {
+  EXPECT_EQ(index_->NodeTokenCount(n0_), 3u);
+  EXPECT_EQ(index_->NodeTokenCount(n3_), 0u);
+}
+
+TEST_F(InvertedIndexTest, MatchedTokenCountsAndDistinct) {
+  Query q = Query::Parse("alpha gamma");
+  EXPECT_EQ(index_->MatchedTokenCount(n0_, q), 2u);  // two "alpha" tokens
+  EXPECT_EQ(index_->DistinctMatchedKeywords(n0_, q), 1u);
+  EXPECT_EQ(index_->DistinctMatchedKeywords(n1_, q), 1u);
+  EXPECT_EQ(index_->MatchedTokenCount(n3_, q), 0u);
+}
+
+TEST_F(InvertedIndexTest, FrequentTerms) {
+  // Document frequencies: alpha 2, beta 2, gamma 1.
+  EXPECT_EQ(index_->FrequentTerms(2, 10),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(index_->FrequentTerms(1, 1),
+            (std::vector<std::string>{"gamma"}));
+  EXPECT_TRUE(index_->FrequentTerms(5, 10).empty());
+}
+
+TEST_F(InvertedIndexTest, RelationStatistics) {
+  EXPECT_EQ(index_->RelationSize(rel_a_), 2u);
+  EXPECT_EQ(index_->RelationSize(rel_b_), 2u);
+  EXPECT_EQ(index_->DocFrequency("alpha", rel_a_), 1u);
+  EXPECT_EQ(index_->DocFrequency("alpha", rel_b_), 1u);
+  EXPECT_EQ(index_->DocFrequency("beta", rel_a_), 2u);
+  EXPECT_EQ(index_->DocFrequency("beta", rel_b_), 0u);
+  EXPECT_DOUBLE_EQ(index_->AvgTokenCount(rel_a_), 2.5);
+  EXPECT_DOUBLE_EQ(index_->AvgTokenCount(rel_b_), 0.5);
+}
+
+}  // namespace
+}  // namespace cirank

@@ -1,0 +1,156 @@
+#include "core/jtt.h"
+
+#include <gtest/gtest.h>
+
+namespace cirank {
+namespace {
+
+class JttTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    RelationId e = schema.AddRelation("E");
+    EdgeTypeId t = schema.AddEdgeType("t", e, e, 1.0);
+    GraphBuilder b(schema);
+    // 0:"alpha" 1:"free" 2:"beta" 3:"gamma" 4:"alpha beta"
+    n_ = {b.AddNode(e, "alpha"), b.AddNode(e, "free hub"),
+          b.AddNode(e, "beta"), b.AddNode(e, "gamma"),
+          b.AddNode(e, "alpha beta")};
+    (void)b.AddBidirectionalEdge(n_[0], n_[1], t, t);
+    (void)b.AddBidirectionalEdge(n_[1], n_[2], t, t);
+    (void)b.AddBidirectionalEdge(n_[1], n_[3], t, t);
+    (void)b.AddBidirectionalEdge(n_[3], n_[4], t, t);
+    graph_ = b.Finalize();
+    index_ = std::make_unique<InvertedIndex>(graph_);
+  }
+
+  Graph graph_;
+  std::vector<NodeId> n_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(JttTest, CreateValidatesTreeShape) {
+  EXPECT_TRUE(Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}}).ok());
+  // Duplicate edge -> node count mismatch.
+  EXPECT_FALSE(Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[0]}}).ok());
+  // Disconnected from root.
+  EXPECT_FALSE(Jtt::Create(n_[0], {{n_[1], n_[2]}}).ok());
+}
+
+TEST_F(JttTest, BasicAccessors) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 3u);
+  EXPECT_TRUE(t->contains(n_[0]));
+  EXPECT_FALSE(t->contains(n_[3]));
+  EXPECT_EQ(t->TreeNeighbors(n_[1]).size(), 2u);
+  EXPECT_EQ(t->TreeNeighbors(n_[0]).size(), 1u);
+}
+
+TEST_F(JttTest, DiameterAndPaths) {
+  Jtt single(n_[0]);
+  EXPECT_EQ(single.Diameter(), 0u);
+
+  auto star = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]},
+                                  {n_[1], n_[3]}});
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->Diameter(), 2u);
+
+  auto chain = Jtt::Create(
+      n_[0], {{n_[0], n_[1]}, {n_[1], n_[3]}, {n_[3], n_[4]}});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->Diameter(), 3u);
+
+  auto path = chain->PathBetween(n_[0], n_[4]);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), n_[0]);
+  EXPECT_EQ(path.back(), n_[4]);
+}
+
+TEST_F(JttTest, EdgesExistIn) {
+  auto good = Jtt::Create(n_[1], {{n_[1], n_[0]}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->EdgesExistIn(graph_));
+  // 0 -- 2 is not a graph edge.
+  auto bad = Jtt::Create(n_[0], {{n_[0], n_[2]}});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->EdgesExistIn(graph_));
+}
+
+TEST_F(JttTest, IsReducedRequiresMatchedLeaves) {
+  Query q = Query::Parse("alpha beta");
+  // alpha -- hub -- beta: leaves both match distinct keywords.
+  auto good = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->IsReduced(q, *index_));
+
+  // alpha -- hub -- gamma: the gamma leaf matches nothing.
+  auto free_leaf = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[3]}});
+  ASSERT_TRUE(free_leaf.ok());
+  EXPECT_FALSE(free_leaf->IsReduced(q, *index_));
+}
+
+TEST_F(JttTest, IsReducedNeedsDistinctKeywordAssignment) {
+  // Both leaves match only "alpha": no valid assignment of distinct
+  // keywords exists even though each leaf individually matches.
+  Query q = Query::Parse("alpha free");
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[3]}, {n_[3], n_[4]}});
+  ASSERT_TRUE(t.ok());
+  // Leaves are n0 ("alpha") and n4 ("alpha beta"); "free" is matched by the
+  // interior hub. Assignment: n0->alpha, n4->? n4 doesn't contain "free",
+  // so the matching must give alpha to one of them -- the other fails.
+  EXPECT_FALSE(t->IsReduced(q, *index_));
+
+  // With query "alpha beta" the assignment n0->alpha, n4->beta works.
+  EXPECT_TRUE(t->IsReduced(Query::Parse("alpha beta"), *index_));
+}
+
+TEST_F(JttTest, SingleNodeReducedIffMatches) {
+  Query q = Query::Parse("alpha");
+  EXPECT_TRUE(Jtt(n_[0]).IsReduced(q, *index_));
+  EXPECT_FALSE(Jtt(n_[1]).IsReduced(q, *index_));
+}
+
+TEST_F(JttTest, CoversAllKeywords) {
+  Query q = Query::Parse("alpha beta");
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->CoversAllKeywords(q, *index_));
+  EXPECT_FALSE(t->CoversAllKeywords(Query::Parse("alpha gamma beta"),
+                                    *index_));
+}
+
+TEST_F(JttTest, CanonicalKeyIsRootIndependent) {
+  auto t1 = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  auto t2 = Jtt::Create(n_[0], {{n_[0], n_[1]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(t1->CanonicalKey(), t2->CanonicalKey());
+
+  auto t3 = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[3]}});
+  ASSERT_TRUE(t3.ok());
+  EXPECT_NE(t1->CanonicalKey(), t3->CanonicalKey());
+}
+
+TEST_F(JttTest, MatchableToDistinctKeywords) {
+  Query q = Query::Parse("alpha beta");
+  EXPECT_TRUE(MatchableToDistinctKeywords({n_[0], n_[2]}, q, *index_));
+  // n4 matches both, n0 matches alpha: assignment n4->beta works.
+  EXPECT_TRUE(MatchableToDistinctKeywords({n_[0], n_[4]}, q, *index_));
+  // Three nodes, two keywords: impossible.
+  EXPECT_FALSE(
+      MatchableToDistinctKeywords({n_[0], n_[2], n_[4]}, q, *index_));
+  // Free node matches nothing.
+  EXPECT_FALSE(MatchableToDistinctKeywords({n_[1]}, q, *index_));
+  EXPECT_TRUE(MatchableToDistinctKeywords({}, q, *index_));
+}
+
+TEST_F(JttTest, ToStringMentionsNodeText) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}});
+  ASSERT_TRUE(t.ok());
+  std::string s = t->ToString(graph_);
+  EXPECT_NE(s.find("free hub"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cirank

@@ -1,0 +1,64 @@
+#include "datasets/names.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace cirank {
+namespace {
+
+TEST(NamesTest, PoolsAreNonEmptyAndLowercase) {
+  for (auto pool : {FirstNames(), LastNames(), TitleWords(), CsWords(),
+                    ConferenceNames(), CompanyWords()}) {
+    ASSERT_FALSE(pool.empty());
+    for (std::string_view w : pool) {
+      ASSERT_FALSE(w.empty());
+      for (char c : w) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            << "word: " << w;
+      }
+    }
+  }
+}
+
+TEST(NamesTest, PoolsHaveNoDuplicates) {
+  for (auto pool : {FirstNames(), LastNames(), TitleWords(), CsWords(),
+                    ConferenceNames(), CompanyWords()}) {
+    std::set<std::string_view> seen(pool.begin(), pool.end());
+    EXPECT_EQ(seen.size(), pool.size());
+  }
+}
+
+TEST(NamesTest, PersonNamesHaveTwoTokens) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::string name = MakePersonName(&rng);
+    EXPECT_EQ(Tokenize(name).size(), 2u) << name;
+  }
+}
+
+TEST(NamesTest, TitlesHaveTwoToFourTokens) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    std::string title = MakeTitle(TitleWords(), &rng);
+    const size_t n = Tokenize(title).size();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 4u);
+  }
+}
+
+TEST(NamesTest, PaperExampleSurnamesPresent) {
+  // The motivating examples rely on these names existing in the pool.
+  std::set<std::string_view> last(LastNames().begin(), LastNames().end());
+  EXPECT_TRUE(last.count("bloom"));
+  EXPECT_TRUE(last.count("wood"));
+  EXPECT_TRUE(last.count("mortensen"));
+  EXPECT_TRUE(last.count("ullman"));
+  EXPECT_TRUE(last.count("papakonstantinou"));
+  EXPECT_TRUE(last.count("cruz"));
+}
+
+}  // namespace
+}  // namespace cirank

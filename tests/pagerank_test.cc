@@ -1,0 +1,112 @@
+#include "rw/pagerank.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+Graph MakeTriangleWithTail() {
+  Schema schema;
+  RelationId e = schema.AddRelation("E");
+  EdgeTypeId t = schema.AddEdgeType("t", e, e, 1.0);
+  GraphBuilder b(schema);
+  for (int i = 0; i < 4; ++i) b.AddNode(e, "n" + std::to_string(i));
+  // Triangle 0-1-2 (both directions) plus a dangling tail 2 -> 3.
+  (void)b.AddBidirectionalEdge(0, 1, t, t);
+  (void)b.AddBidirectionalEdge(1, 2, t, t);
+  (void)b.AddBidirectionalEdge(0, 2, t, t);
+  (void)b.AddEdge(2, 3, t);  // 3 is dangling (no out-edges)
+  return b.Finalize();
+}
+
+TEST(PageRankTest, SumsToOneAndConverges) {
+  Graph g = MakeTriangleWithTail();
+  auto result = ComputePageRank(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  double sum = std::accumulate(result->scores.begin(), result->scores.end(),
+                               0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double p : result->scores) EXPECT_GT(p, 0.0);
+}
+
+TEST(PageRankTest, MoreConnectedNodesScoreHigher) {
+  Graph g = MakeTriangleWithTail();
+  auto result = ComputePageRank(g);
+  ASSERT_TRUE(result.ok());
+  // Node 2 receives from 0, 1 and sends to dangling 3; node 3 only receives
+  // a third of 2's mass. Triangle nodes must beat the tail node.
+  EXPECT_GT(result->scores[0], result->scores[3]);
+  EXPECT_GT(result->scores[2], result->scores[3]);
+}
+
+TEST(PageRankTest, RejectsBadOptions) {
+  Graph g = MakeTriangleWithTail();
+  PageRankOptions opts;
+  opts.teleport = 0.0;
+  EXPECT_FALSE(ComputePageRank(g, opts).ok());
+  opts.teleport = 1.0;
+  EXPECT_FALSE(ComputePageRank(g, opts).ok());
+  opts.teleport = 0.15;
+  opts.teleport_vector = {0.5, 0.5};  // wrong size
+  EXPECT_FALSE(ComputePageRank(g, opts).ok());
+}
+
+TEST(PageRankTest, EmptyGraphFails) {
+  Schema schema;
+  schema.AddRelation("E");
+  GraphBuilder b(schema);
+  Graph g = b.Finalize();
+  EXPECT_FALSE(ComputePageRank(g).ok());
+}
+
+TEST(PageRankTest, PersonalizedTeleportBiasesScores) {
+  Graph g = MakeTriangleWithTail();
+  PageRankOptions opts;
+  opts.teleport_vector = {0.0, 0.0, 0.0, 1.0};  // teleport only to node 3
+  auto biased = ComputePageRank(g, opts);
+  auto uniform = ComputePageRank(g);
+  ASSERT_TRUE(biased.ok() && uniform.ok());
+  EXPECT_GT(biased->scores[3], uniform->scores[3]);
+}
+
+TEST(PageRankTest, WeightedEdgesShiftMass) {
+  Schema schema;
+  RelationId e = schema.AddRelation("E");
+  EdgeTypeId heavy = schema.AddEdgeType("heavy", e, e, 10.0);
+  EdgeTypeId light = schema.AddEdgeType("light", e, e, 1.0);
+  GraphBuilder b(schema);
+  for (int i = 0; i < 3; ++i) b.AddNode(e, "n");
+  // 0 sends heavily to 1, lightly to 2; 1 and 2 send back to 0.
+  (void)b.AddEdge(0, 1, heavy);
+  (void)b.AddEdge(0, 2, light);
+  (void)b.AddEdge(1, 0, light);
+  (void)b.AddEdge(2, 0, light);
+  Graph g = b.Finalize();
+  auto result = ComputePageRank(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scores[1], result->scores[2]);
+}
+
+TEST(PageRankTest, MonteCarloAgreesWithPowerIteration) {
+  Graph g = testing_util::MakeRandomGraph(31, 40);
+  auto exact = ComputePageRank(g);
+  auto mc = MonteCarloPageRank(g, /*walks_per_node=*/400, /*seed=*/5);
+  ASSERT_TRUE(exact.ok() && mc.ok());
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR((*mc)[v], exact->scores[v], 0.01);
+  }
+}
+
+TEST(PageRankTest, MonteCarloValidatesArguments) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_FALSE(MonteCarloPageRank(g, 0, 1).ok());
+  EXPECT_FALSE(MonteCarloPageRank(g, 10, 1, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace cirank

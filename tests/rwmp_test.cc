@@ -1,0 +1,124 @@
+#include "core/rwmp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeRandomGraph;
+
+TEST(RwmpParamsTest, Validation) {
+  RwmpParams p;
+  EXPECT_TRUE(p.Validate().ok());
+  p.alpha = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.alpha = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.alpha = 0.15;
+  p.g = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(RwmpModelTest, RejectsBadInputs) {
+  Graph g = MakeRandomGraph(1, 10);
+  EXPECT_FALSE(RwmpModel::Create(g, std::vector<double>(5, 0.1)).ok());
+  std::vector<double> with_zero(10, 0.1);
+  with_zero[3] = 0.0;
+  EXPECT_FALSE(RwmpModel::Create(g, with_zero).ok());
+}
+
+TEST(RwmpModelTest, DampeningBoundsAndMinimum) {
+  Graph g = MakeRandomGraph(2, 20);
+  auto pr = ComputePageRank(g);
+  RwmpParams params;
+  params.alpha = 0.15;
+  params.g = 20.0;
+  auto model = RwmpModel::Create(g, pr->scores, params);
+  ASSERT_TRUE(model.ok());
+  double min_d = 1.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double d = model->dampening(v);
+    EXPECT_GE(d, params.alpha - 1e-12);
+    EXPECT_LT(d, 1.0);
+    min_d = std::min(min_d, d);
+    EXPECT_LE(d, model->max_dampening() + 1e-15);
+  }
+  // The least-important node dampens at exactly alpha (one talk step).
+  EXPECT_NEAR(min_d, params.alpha, 1e-12);
+  EXPECT_NEAR(model->total_surfers(), 1.0 / model->p_min(), 1e-9);
+}
+
+// Dampening must be monotone in importance for every (alpha, g) setting --
+// this is characteristic 3 in Table I.
+class RwmpMonotonicityTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RwmpMonotonicityTest, DampeningMonotoneInImportance) {
+  auto [alpha, g_param] = GetParam();
+  Graph g = MakeRandomGraph(3, 30);
+  auto pr = ComputePageRank(g);
+  RwmpParams params;
+  params.alpha = alpha;
+  params.g = g_param;
+  auto model = RwmpModel::Create(g, pr->scores, params);
+  ASSERT_TRUE(model.ok());
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    for (NodeId b = 0; b < g.num_nodes(); ++b) {
+      if (model->importance(a) < model->importance(b)) {
+        EXPECT_LE(model->dampening(a), model->dampening(b) + 1e-15);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGSweep, RwmpMonotonicityTest,
+    ::testing::Values(std::make_pair(0.05, 2.0), std::make_pair(0.15, 20.0),
+                      std::make_pair(0.25, 10.0), std::make_pair(0.4, 30.0),
+                      std::make_pair(0.15, 5.0)),
+    [](const ::testing::TestParamInfo<std::pair<double, double>>& info) {
+      return "alpha" + std::to_string(static_cast<int>(
+                           info.param.first * 100)) +
+             "_g" + std::to_string(static_cast<int>(info.param.second));
+    });
+
+TEST(RwmpModelTest, LargerGLowersMaxDampening) {
+  // With alpha fixed, increasing g shrinks log_g(p/pmin), so the dampening
+  // range tightens toward alpha (the effect discussed under Fig. 7).
+  Graph g = MakeRandomGraph(4, 30);
+  auto pr = ComputePageRank(g);
+  RwmpParams small_g{0.15, 2.0};
+  RwmpParams large_g{0.15, 40.0};
+  auto m1 = RwmpModel::Create(g, pr->scores, small_g);
+  auto m2 = RwmpModel::Create(g, pr->scores, large_g);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_GT(m1->max_dampening(), m2->max_dampening());
+}
+
+TEST(RwmpModelTest, EmissionUsesMatchedFraction) {
+  Schema schema;
+  RelationId e = schema.AddRelation("E");
+  EdgeTypeId t = schema.AddEdgeType("t", e, e, 1.0);
+  GraphBuilder b(schema);
+  NodeId a = b.AddNode(e, "foo bar baz quux");
+  NodeId c = b.AddNode(e, "foo");
+  (void)b.AddBidirectionalEdge(a, c, t, t);
+  Graph graph = b.Finalize();
+  InvertedIndex index(graph);
+
+  std::vector<double> importance = {0.5, 0.5};
+  auto model = RwmpModel::Create(graph, importance);
+  ASSERT_TRUE(model.ok());
+  Query q = Query::Parse("foo bar");
+  // t = 2; a matches 2 of 4 tokens; c matches 1 of 1.
+  EXPECT_NEAR(model->Emission(a, q, index), 2 * 0.5 * 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(model->Emission(c, q, index), 2 * 0.5 * 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model->Emission(a, Query::Parse("zap"), index), 0.0);
+}
+
+}  // namespace
+}  // namespace cirank

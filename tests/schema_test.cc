@@ -1,0 +1,82 @@
+#include "graph/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+
+namespace cirank {
+namespace {
+
+TEST(SchemaTest, AddAndFindRelations) {
+  Schema s;
+  RelationId a = s.AddRelation("A");
+  RelationId b = s.AddRelation("B");
+  EXPECT_EQ(s.num_relations(), 2u);
+  EXPECT_EQ(s.relation(a).name, "A");
+  EXPECT_EQ(s.FindRelation("B"), b);
+  EXPECT_EQ(s.FindRelation("C"), kInvalidRelation);
+}
+
+TEST(SchemaTest, EdgeTypesKeepWeightsAndEndpoints) {
+  Schema s;
+  RelationId a = s.AddRelation("A");
+  RelationId b = s.AddRelation("B");
+  EdgeTypeId e = s.AddEdgeType("ab", a, b, 0.5);
+  EXPECT_EQ(s.num_edge_types(), 1u);
+  EXPECT_EQ(s.edge_type(e).from, a);
+  EXPECT_EQ(s.edge_type(e).to, b);
+  EXPECT_DOUBLE_EQ(s.edge_type(e).weight, 0.5);
+}
+
+TEST(SchemaTest, ImdbStarTableIsMovie) {
+  ImdbSchema imdb = MakeImdbSchema();
+  std::vector<RelationId> stars = imdb.schema.FindStarTables();
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_EQ(stars[0], imdb.movie);
+}
+
+TEST(SchemaTest, DblpStarTableIsPaper) {
+  DblpSchema dblp = MakeDblpSchema();
+  std::vector<RelationId> stars = dblp.schema.FindStarTables();
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_EQ(stars[0], dblp.paper);
+}
+
+TEST(SchemaTest, SelfLoopForcesRelationIntoCover) {
+  Schema s;
+  RelationId a = s.AddRelation("A");
+  s.AddEdgeType("self", a, a, 1.0);
+  std::vector<RelationId> stars = s.FindStarTables();
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_EQ(stars[0], a);
+}
+
+TEST(SchemaTest, ChainSchemaNeedsMultipleStarTables) {
+  // A - B - C - D - E: minimum vertex cover of a path with 4 edges needs 2
+  // vertices (B and D).
+  Schema s;
+  RelationId a = s.AddRelation("A");
+  RelationId b = s.AddRelation("B");
+  RelationId c = s.AddRelation("C");
+  RelationId d = s.AddRelation("D");
+  RelationId e = s.AddRelation("E");
+  s.AddEdgeType("ab", a, b, 1.0);
+  s.AddEdgeType("bc", b, c, 1.0);
+  s.AddEdgeType("cd", c, d, 1.0);
+  s.AddEdgeType("de", d, e, 1.0);
+  std::vector<RelationId> stars = s.FindStarTables();
+  EXPECT_EQ(stars.size(), 2u);
+  EXPECT_EQ(stars[0], b);
+  EXPECT_EQ(stars[1], d);
+}
+
+TEST(SchemaTest, IsolatedRelationsNeedNoCover) {
+  Schema s;
+  s.AddRelation("A");
+  s.AddRelation("B");
+  EXPECT_TRUE(s.FindStarTables().empty());
+}
+
+}  // namespace
+}  // namespace cirank

@@ -1,0 +1,118 @@
+// Property tests of the RWMP scorer on randomized graphs: invariances and
+// monotonicities that must hold for any parameter setting.
+#include <gtest/gtest.h>
+
+#include "core/naive_search.h"
+#include "core/scorer.h"
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeScorerBundle;
+using testing_util::ScorerBundle;
+
+class ScorerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The tree score depends only on the undirected tree, not on the root used
+// while assembling it (answers are deduplicated by canonical key, so this
+// must hold or rankings would be ill-defined).
+TEST_P(ScorerPropertyTest, ScoreIsRootInvariant) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(GetParam(), 18));
+  Query q = Query::Parse("kw0 kw1");
+
+  ExhaustiveSearchOptions opts;
+  opts.k = 20;
+  opts.max_diameter = 4;
+  opts.max_nodes = 6;
+  auto answers = ExhaustiveSearch(*b.scorer, q, opts);
+  ASSERT_TRUE(answers.ok());
+
+  for (const RankedAnswer& a : *answers) {
+    // Re-root the tree at every node and re-score.
+    for (NodeId new_root : a.tree.nodes()) {
+      std::vector<std::pair<NodeId, NodeId>> edges;
+      // Orient edges away from new_root via BFS over the undirected tree.
+      std::set<NodeId> placed{new_root};
+      std::vector<NodeId> stack{new_root};
+      while (!stack.empty()) {
+        NodeId u = stack.back();
+        stack.pop_back();
+        for (NodeId nb : a.tree.TreeNeighbors(u)) {
+          if (placed.count(nb)) continue;
+          edges.emplace_back(u, nb);
+          placed.insert(nb);
+          stack.push_back(nb);
+        }
+      }
+      auto rerooted = Jtt::Create(new_root, std::move(edges));
+      ASSERT_TRUE(rerooted.ok());
+      TreeScore rescored = b.scorer->Score(*rerooted, q);
+      EXPECT_NEAR(rescored.score, a.score, 1e-12 * (1.0 + a.score))
+          << "seed " << GetParam() << " tree " << a.tree.CanonicalKey()
+          << " rerooted at " << new_root;
+    }
+  }
+}
+
+// Node scores never exceed the weakest source emission reachable: messages
+// only shed mass (dampening < 1, splits <= 1).
+TEST_P(ScorerPropertyTest, NodeScoresBoundedByEmissions) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(GetParam() + 100, 18));
+  Query q = Query::Parse("kw0 kw1");
+
+  ExhaustiveSearchOptions opts;
+  opts.k = 20;
+  opts.max_diameter = 4;
+  opts.max_nodes = 6;
+  auto answers = ExhaustiveSearch(*b.scorer, q, opts);
+  ASSERT_TRUE(answers.ok());
+
+  for (const RankedAnswer& a : *answers) {
+    double max_emission = 0.0;
+    for (NodeId v : a.tree.nodes()) {
+      max_emission =
+          std::max(max_emission, b.model->Emission(v, q, *b.index));
+    }
+    TreeScore ts = b.scorer->Score(a.tree, q);
+    for (const NodeScore& ns : ts.node_scores) {
+      EXPECT_LE(ns.score, max_emission + 1e-12);
+    }
+    EXPECT_LE(ts.score, max_emission + 1e-12);
+  }
+}
+
+// Flow conservation-ish sanity: total post-dampening flow at any node never
+// exceeds what was emitted.
+TEST_P(ScorerPropertyTest, PropagationNeverAmplifies) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(GetParam() + 200, 16));
+  Query q = Query::Parse("kw0 kw1");
+  auto matches = b.index->MatchingNodes("kw0");
+  if (matches.empty()) GTEST_SKIP();
+
+  ExhaustiveSearchOptions opts;
+  opts.k = 10;
+  opts.max_diameter = 4;
+  opts.max_nodes = 6;
+  auto answers = ExhaustiveSearch(*b.scorer, q, opts);
+  ASSERT_TRUE(answers.ok());
+  for (const RankedAnswer& a : *answers) {
+    for (NodeId source : a.tree.nodes()) {
+      const double emission = 5.0;
+      for (const Flow& f : b.scorer->Propagate(a.tree, source, emission)) {
+        EXPECT_LE(f.count, emission + 1e-12);
+        EXPECT_GE(f.count, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScorerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cirank

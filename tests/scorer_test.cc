@@ -1,0 +1,178 @@
+// Hand-computed checks of the RWMP message propagation (Sec. III-C) against
+// the TreeScorer implementation.
+#include "core/scorer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/jtt.h"
+#include "core/rwmp.h"
+#include "text/inverted_index.h"
+
+namespace cirank {
+namespace {
+
+// A fixture with a 4-node path graph a - b - c - d plus a branch node e on
+// b, with controlled importance values (bypassing PageRank so the expected
+// numbers are exact).
+class ScorerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    RelationId entity = schema.AddRelation("Entity");
+    link_ = schema.AddEdgeType("link", entity, entity, 1.0);
+    strong_ = schema.AddEdgeType("strong", entity, entity, 3.0);
+
+    GraphBuilder builder(schema);
+    a_ = builder.AddNode(entity, "alpha");
+    b_ = builder.AddNode(entity, "mid one");
+    c_ = builder.AddNode(entity, "mid two");
+    d_ = builder.AddNode(entity, "delta");
+    e_ = builder.AddNode(entity, "side");
+    ASSERT_TRUE(builder.AddBidirectionalEdge(a_, b_, link_, link_).ok());
+    ASSERT_TRUE(builder.AddBidirectionalEdge(b_, c_, link_, link_).ok());
+    ASSERT_TRUE(builder.AddBidirectionalEdge(c_, d_, link_, link_).ok());
+    ASSERT_TRUE(builder.AddBidirectionalEdge(b_, e_, strong_, strong_).ok());
+    graph_ = builder.Finalize();
+    index_ = std::make_unique<InvertedIndex>(graph_);
+
+    // Importance: p(a)=p(d)=p_min, b and c more important, e in between.
+    std::vector<double> importance = {0.1, 0.4, 0.2, 0.1, 0.2};
+    RwmpParams params;
+    params.alpha = 0.2;
+    params.g = 10.0;
+    auto model = RwmpModel::Create(graph_, importance, params);
+    ASSERT_TRUE(model.ok());
+    model_ = std::make_unique<RwmpModel>(std::move(model).value());
+    scorer_ = std::make_unique<TreeScorer>(*model_, *index_);
+  }
+
+  double Damp(double p) const {
+    // Eq. 2 with p_min = 0.1, alpha = 0.2, g = 10.
+    return 1.0 - std::pow(0.8, 1.0 + std::log(p / 0.1) / std::log(10.0));
+  }
+
+  Graph graph_;
+  EdgeTypeId link_, strong_;
+  NodeId a_, b_, c_, d_, e_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<RwmpModel> model_;
+  std::unique_ptr<TreeScorer> scorer_;
+};
+
+TEST_F(ScorerTest, DampeningMatchesEquationTwo) {
+  EXPECT_NEAR(model_->dampening(a_), Damp(0.1), 1e-12);
+  EXPECT_NEAR(model_->dampening(b_), Damp(0.4), 1e-12);
+  EXPECT_NEAR(model_->dampening(c_), Damp(0.2), 1e-12);
+  // The least important node dampens at exactly alpha.
+  EXPECT_NEAR(model_->dampening(a_), 0.2, 1e-12);
+}
+
+TEST_F(ScorerTest, EmissionCountsMatchedTokens) {
+  Query q = Query::Parse("alpha delta");
+  // a: 1 of 1 tokens match; t = 1/p_min = 10.
+  EXPECT_NEAR(model_->Emission(a_, q, *index_), 10.0 * 0.1 * 1.0, 1e-12);
+  // b: no match.
+  EXPECT_DOUBLE_EQ(model_->Emission(b_, q, *index_), 0.0);
+  // d matches "delta": 10 * 0.1 * 1/1.
+  EXPECT_NEAR(model_->Emission(d_, q, *index_), 1.0, 1e-12);
+}
+
+TEST_F(ScorerTest, PropagateOnPathAppliesDampeningAndSplits) {
+  // Tree: a - b - c (rooted at a). Source a with emission E.
+  auto tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}});
+  ASSERT_TRUE(tree.ok());
+  const double E = model_->Emission(a_, Query::Parse("alpha"), *index_);
+
+  auto flows = scorer_->Propagate(*tree, a_, E);
+  double at_a = 0, at_b = 0, at_c = 0;
+  for (const Flow& f : flows) {
+    if (f.node == a_) at_a = f.count;
+    if (f.node == b_) at_b = f.count;
+    if (f.node == c_) at_c = f.count;
+  }
+  // Source keeps its emission (no self-dampening).
+  EXPECT_NEAR(at_a, E, 1e-12);
+  // b receives everything (single tree edge at a), dampened by d(b).
+  const double db = model_->dampening(b_);
+  EXPECT_NEAR(at_b, E * db, 1e-12);
+  // b forwards along b->c: share = w(b,c) / (w(b,a) + w(b,c)) = 1/2.
+  // (e is not in the tree, so its strong edge does not enter the split.)
+  const double dc = model_->dampening(c_);
+  EXPECT_NEAR(at_c, E * db * 0.5 * dc, 1e-12);
+}
+
+TEST_F(ScorerTest, SplitIsProportionalToEdgeWeights) {
+  // Tree rooted at b with children a (weight 1) and e (weight 3), source a.
+  auto tree = Jtt::Create(b_, {{b_, a_}, {b_, e_}});
+  ASSERT_TRUE(tree.ok());
+  auto flows = scorer_->Propagate(*tree, a_, 8.0);
+  double at_e = 0, at_b = 0;
+  for (const Flow& f : flows) {
+    if (f.node == e_) at_e = f.count;
+    if (f.node == b_) at_b = f.count;
+  }
+  const double db = model_->dampening(b_);
+  const double de = model_->dampening(e_);
+  EXPECT_NEAR(at_b, 8.0 * db, 1e-12);
+  // Of b's tree out-weights (1 to a, 3 to e), e gets 3/4; the 1/4 sent back
+  // toward a is discarded.
+  EXPECT_NEAR(at_e, 8.0 * db * 0.75 * de, 1e-12);
+}
+
+TEST_F(ScorerTest, TreeScoreIsAverageOfLeastPopulousFlows) {
+  // Tree a - b - c - d with sources a ("alpha") and d ("delta").
+  auto tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}, {c_, d_}});
+  ASSERT_TRUE(tree.ok());
+  Query q = Query::Parse("alpha delta");
+
+  const double Ea = model_->Emission(a_, q, *index_);
+  const double Ed = model_->Emission(d_, q, *index_);
+  const double db = model_->dampening(b_);
+  const double dc = model_->dampening(c_);
+  const double da = model_->dampening(a_);
+  const double dd = model_->dampening(d_);
+
+  // Flow a -> d: at b: Ea*db, forward share 1/2; at c: *dc, share 1/2
+  // (c's tree edges: b and d, both weight 1); at d: *dd.
+  const double flow_ad = Ea * db * 0.5 * dc * 0.5 * dd;
+  const double flow_da = Ed * dc * 0.5 * db * 0.5 * da;
+
+  TreeScore ts = scorer_->Score(*tree, q);
+  ASSERT_EQ(ts.node_scores.size(), 2u);
+  EXPECT_NEAR(ts.score, (flow_ad + flow_da) / 2.0, 1e-12);
+}
+
+TEST_F(ScorerTest, SingleSourceTreeScoresItsEmission) {
+  Jtt tree(a_);
+  Query q = Query::Parse("alpha");
+  TreeScore ts = scorer_->Score(tree, q);
+  EXPECT_NEAR(ts.score, model_->Emission(a_, q, *index_), 1e-12);
+}
+
+TEST_F(ScorerTest, FreeNodesReceiveNoScoreTerm) {
+  auto tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}, {c_, d_}});
+  ASSERT_TRUE(tree.ok());
+  Query q = Query::Parse("alpha delta");
+  TreeScore ts = scorer_->Score(*tree, q);
+  for (const NodeScore& ns : ts.node_scores) {
+    EXPECT_TRUE(ns.node == a_ || ns.node == d_);
+  }
+}
+
+TEST_F(ScorerTest, ScoreDecreasesWithLongerConnections) {
+  // a-b-...-d chains: the 2-hop connection must beat the 3-hop one.
+  auto short_tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}});
+  auto long_tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}, {c_, d_}});
+  ASSERT_TRUE(short_tree.ok() && long_tree.ok());
+  // Query matching a and c ("mid two" -> token "two"? use mid).
+  Query q_short = Query::Parse("alpha two");
+  TreeScore s1 = scorer_->Score(*short_tree, q_short);
+  Query q_long = Query::Parse("alpha delta");
+  TreeScore s2 = scorer_->Score(*long_tree, q_long);
+  EXPECT_GT(s1.score, s2.score);
+}
+
+}  // namespace
+}  // namespace cirank

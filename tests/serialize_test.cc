@@ -1,0 +1,86 @@
+#include "graph/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datasets/imdb_gen.h"
+#include "tests/test_util.h"
+
+namespace cirank {
+namespace {
+
+TEST(SerializeTest, RoundTripsRandomGraph) {
+  Graph original = testing_util::MakeRandomGraph(11, 60);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(original, buffer).ok());
+
+  auto loaded = LoadGraph(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), original.num_edges());
+  ASSERT_EQ(loaded->schema().num_relations(),
+            original.schema().num_relations());
+  ASSERT_EQ(loaded->schema().num_edge_types(),
+            original.schema().num_edge_types());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    EXPECT_EQ(loaded->relation_of(v), original.relation_of(v));
+    EXPECT_EQ(loaded->text_of(v), original.text_of(v));
+    EXPECT_EQ(loaded->external_key_of(v), original.external_key_of(v));
+    auto le = loaded->out_edges(v);
+    auto oe = original.out_edges(v);
+    ASSERT_EQ(le.size(), oe.size());
+    for (size_t i = 0; i < le.size(); ++i) {
+      EXPECT_EQ(le[i].to, oe[i].to);
+      EXPECT_DOUBLE_EQ(le[i].weight, oe[i].weight);
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripsImdbDatasetThroughFile) {
+  ImdbGenOptions opts;
+  opts.num_movies = 40;
+  opts.num_actors = 50;
+  opts.num_actresses = 25;
+  opts.num_directors = 10;
+  opts.num_producers = 8;
+  opts.num_companies = 5;
+  opts.seed = 12;
+  auto ds = BuildImdbDataset(opts);
+  ASSERT_TRUE(ds.ok());
+
+  const std::string path = ::testing::TempDir() + "/cirank_graph.bin";
+  ASSERT_TRUE(SaveGraphToFile(ds->graph, path).ok());
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), ds->graph.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), ds->graph.num_edges());
+  EXPECT_EQ(loaded->schema().FindStarTables(),
+            ds->graph.schema().FindStarTables());
+}
+
+TEST(SerializeTest, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("not a graph at all");
+  EXPECT_TRUE(LoadGraph(garbage).status().IsInvalidArgument());
+
+  // Truncate a valid stream.
+  Graph g = testing_util::MakeRandomGraph(13, 20);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(g, buffer).ok());
+  std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(LoadGraph(truncated).ok());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadGraphFromFile("/nonexistent/cirank.bin")
+                  .status()
+                  .IsNotFound());
+  Graph g = testing_util::MakeRandomGraph(14, 10);
+  EXPECT_TRUE(
+      SaveGraphToFile(g, "/nonexistent/dir/cirank.bin").IsNotFound());
+}
+
+}  // namespace
+}  // namespace cirank

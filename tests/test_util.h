@@ -1,0 +1,86 @@
+// Shared helpers for the test suite: random graph generation and engine
+// assembly on small graphs.
+#ifndef CIRANK_TESTS_TEST_UTIL_H_
+#define CIRANK_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rwmp.h"
+#include "core/scorer.h"
+#include "graph/graph.h"
+#include "rw/pagerank.h"
+#include "text/inverted_index.h"
+#include "util/random.h"
+
+namespace cirank {
+namespace testing_util {
+
+// A random connected-ish graph over one relation. Node text is drawn from a
+// tiny vocabulary ("kw0".."kw{vocab-1}" plus filler words) so keyword
+// queries match several nodes.
+inline Graph MakeRandomGraph(uint64_t seed, size_t num_nodes,
+                             double avg_degree = 3.0, int vocab = 4) {
+  Rng rng(seed);
+  Schema schema;
+  RelationId entity = schema.AddRelation("Entity");
+  EdgeTypeId fwd = schema.AddEdgeType("fwd", entity, entity, 1.0);
+  EdgeTypeId bwd = schema.AddEdgeType("bwd", entity, entity, 0.5);
+
+  GraphBuilder builder(schema);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    std::string text;
+    // 1-2 vocabulary words; roughly half the nodes carry a keyword word.
+    const int words = 1 + static_cast<int>(rng.NextUint(2));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) text += " ";
+      if (rng.NextBool(0.5)) {
+        text += "kw" + std::to_string(rng.NextUint(vocab));
+      } else {
+        text += "filler" + std::to_string(rng.NextUint(6));
+      }
+    }
+    builder.AddNode(entity, text, static_cast<int64_t>(i));
+  }
+
+  // A spanning chain keeps the graph connected, then random extra edges.
+  for (size_t i = 1; i < num_nodes; ++i) {
+    NodeId prev = static_cast<NodeId>(rng.NextUint(i));
+    (void)builder.AddBidirectionalEdge(static_cast<NodeId>(i), prev, fwd,
+                                       bwd);
+  }
+  const size_t extra = static_cast<size_t>(
+      num_nodes * (avg_degree / 2.0 > 1.0 ? avg_degree / 2.0 - 1.0 : 0.0));
+  for (size_t i = 0; i < extra; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextUint(num_nodes));
+    NodeId b = static_cast<NodeId>(rng.NextUint(num_nodes));
+    if (a == b) continue;
+    (void)builder.AddBidirectionalEdge(a, b, fwd, bwd);
+  }
+  return builder.Finalize();
+}
+
+// Bundles the derived state the scorer needs; keeps everything alive.
+struct ScorerBundle {
+  Graph graph;
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<RwmpModel> model;
+  std::unique_ptr<TreeScorer> scorer;
+};
+
+inline ScorerBundle MakeScorerBundle(Graph graph, RwmpParams params = {}) {
+  ScorerBundle bundle;
+  bundle.graph = std::move(graph);
+  bundle.index = std::make_unique<InvertedIndex>(bundle.graph);
+  auto pr = ComputePageRank(bundle.graph);
+  auto model = RwmpModel::Create(bundle.graph, std::move(pr->scores), params);
+  bundle.model = std::make_unique<RwmpModel>(std::move(model).value());
+  bundle.scorer =
+      std::make_unique<TreeScorer>(*bundle.model, *bundle.index);
+  return bundle;
+}
+
+}  // namespace testing_util
+}  // namespace cirank
+
+#endif  // CIRANK_TESTS_TEST_UTIL_H_

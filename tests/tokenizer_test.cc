@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace cirank {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  auto tokens = Tokenize("Hello, World! FOO-bar");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foo");
+  EXPECT_EQ(tokens[3], "bar");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto tokens = Tokenize("Braveheart (1995)");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1], "1995");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("...!?,").empty());
+}
+
+TEST(TokenizerTest, NormalizeKeyword) {
+  EXPECT_EQ(NormalizeKeyword("Ullman"), "ullman");
+  EXPECT_EQ(NormalizeKeyword("  O'Brien "), "obrien");
+  EXPECT_EQ(NormalizeKeyword("---"), "");
+}
+
+TEST(QueryTest, ParseDeduplicates) {
+  Query q = Query::Parse("Bloom Wood bloom Mortensen");
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.keywords[0], "bloom");
+  EXPECT_EQ(q.keywords[1], "wood");
+  EXPECT_EQ(q.keywords[2], "mortensen");
+}
+
+TEST(QueryTest, ParseEmpty) {
+  Query q = Query::Parse("  ,, ");
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace cirank
