@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cirank_bench_util.dir/bench_util.cc.o.d"
+  "libcirank_bench_util.a"
+  "libcirank_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

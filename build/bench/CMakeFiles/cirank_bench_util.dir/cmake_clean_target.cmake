@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcirank_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_effect.dir/feedback_effect.cc.o"
+  "CMakeFiles/feedback_effect.dir/feedback_effect.cc.o.d"
+  "feedback_effect"
+  "feedback_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

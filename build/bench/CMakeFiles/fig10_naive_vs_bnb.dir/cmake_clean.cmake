@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_naive_vs_bnb.dir/fig10_naive_vs_bnb.cc.o"
+  "CMakeFiles/fig10_naive_vs_bnb.dir/fig10_naive_vs_bnb.cc.o.d"
+  "fig10_naive_vs_bnb"
+  "fig10_naive_vs_bnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_naive_vs_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

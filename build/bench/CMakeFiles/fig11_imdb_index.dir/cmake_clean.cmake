@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_imdb_index.dir/fig11_imdb_index.cc.o"
+  "CMakeFiles/fig11_imdb_index.dir/fig11_imdb_index.cc.o.d"
+  "fig11_imdb_index"
+  "fig11_imdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_imdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_imdb_index.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dblp_index.dir/fig12_dblp_index.cc.o"
+  "CMakeFiles/fig12_dblp_index.dir/fig12_dblp_index.cc.o.d"
+  "fig12_dblp_index"
+  "fig12_dblp_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dblp_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

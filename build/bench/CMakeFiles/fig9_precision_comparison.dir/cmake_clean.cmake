@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_precision_comparison.dir/fig9_precision_comparison.cc.o"
+  "CMakeFiles/fig9_precision_comparison.dir/fig9_precision_comparison.cc.o.d"
+  "fig9_precision_comparison"
+  "fig9_precision_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_precision_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

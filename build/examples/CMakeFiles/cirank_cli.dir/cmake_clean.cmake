@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_cli.dir/cirank_cli.cpp.o"
+  "CMakeFiles/cirank_cli.dir/cirank_cli.cpp.o.d"
+  "cirank_cli"
+  "cirank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_coauthor_search.dir/dblp_coauthor_search.cpp.o"
+  "CMakeFiles/dblp_coauthor_search.dir/dblp_coauthor_search.cpp.o.d"
+  "dblp_coauthor_search"
+  "dblp_coauthor_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_coauthor_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

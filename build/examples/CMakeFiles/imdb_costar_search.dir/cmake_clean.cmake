@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdb_costar_search.dir/imdb_costar_search.cpp.o"
+  "CMakeFiles/imdb_costar_search.dir/imdb_costar_search.cpp.o.d"
+  "imdb_costar_search"
+  "imdb_costar_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdb_costar_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_shootout.dir/ranking_shootout.cpp.o"
+  "CMakeFiles/ranking_shootout.dir/ranking_shootout.cpp.o.d"
+  "ranking_shootout"
+  "ranking_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

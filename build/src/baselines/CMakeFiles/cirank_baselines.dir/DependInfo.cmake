@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/banks.cc" "src/baselines/CMakeFiles/cirank_baselines.dir/banks.cc.o" "gcc" "src/baselines/CMakeFiles/cirank_baselines.dir/banks.cc.o.d"
+  "/root/repo/src/baselines/bidirectional.cc" "src/baselines/CMakeFiles/cirank_baselines.dir/bidirectional.cc.o" "gcc" "src/baselines/CMakeFiles/cirank_baselines.dir/bidirectional.cc.o.d"
+  "/root/repo/src/baselines/discover2.cc" "src/baselines/CMakeFiles/cirank_baselines.dir/discover2.cc.o" "gcc" "src/baselines/CMakeFiles/cirank_baselines.dir/discover2.cc.o.d"
+  "/root/repo/src/baselines/spark.cc" "src/baselines/CMakeFiles/cirank_baselines.dir/spark.cc.o" "gcc" "src/baselines/CMakeFiles/cirank_baselines.dir/spark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cirank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cirank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cirank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rw/CMakeFiles/cirank_rw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_baselines.dir/banks.cc.o"
+  "CMakeFiles/cirank_baselines.dir/banks.cc.o.d"
+  "CMakeFiles/cirank_baselines.dir/bidirectional.cc.o"
+  "CMakeFiles/cirank_baselines.dir/bidirectional.cc.o.d"
+  "CMakeFiles/cirank_baselines.dir/discover2.cc.o"
+  "CMakeFiles/cirank_baselines.dir/discover2.cc.o.d"
+  "CMakeFiles/cirank_baselines.dir/spark.cc.o"
+  "CMakeFiles/cirank_baselines.dir/spark.cc.o.d"
+  "libcirank_baselines.a"
+  "libcirank_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cirank_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bnb_search.cc" "src/core/CMakeFiles/cirank_core.dir/bnb_search.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/bnb_search.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/cirank_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/core/CMakeFiles/cirank_core.dir/candidate.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/candidate.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/cirank_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/core/CMakeFiles/cirank_core.dir/feedback.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/feedback.cc.o.d"
+  "/root/repo/src/core/jtt.cc" "src/core/CMakeFiles/cirank_core.dir/jtt.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/jtt.cc.o.d"
+  "/root/repo/src/core/naive_search.cc" "src/core/CMakeFiles/cirank_core.dir/naive_search.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/naive_search.cc.o.d"
+  "/root/repo/src/core/rwmp.cc" "src/core/CMakeFiles/cirank_core.dir/rwmp.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/rwmp.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "src/core/CMakeFiles/cirank_core.dir/scorer.cc.o" "gcc" "src/core/CMakeFiles/cirank_core.dir/scorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cirank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cirank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/rw/CMakeFiles/cirank_rw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

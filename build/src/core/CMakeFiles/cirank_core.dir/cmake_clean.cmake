@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_core.dir/bnb_search.cc.o"
+  "CMakeFiles/cirank_core.dir/bnb_search.cc.o.d"
+  "CMakeFiles/cirank_core.dir/bounds.cc.o"
+  "CMakeFiles/cirank_core.dir/bounds.cc.o.d"
+  "CMakeFiles/cirank_core.dir/candidate.cc.o"
+  "CMakeFiles/cirank_core.dir/candidate.cc.o.d"
+  "CMakeFiles/cirank_core.dir/engine.cc.o"
+  "CMakeFiles/cirank_core.dir/engine.cc.o.d"
+  "CMakeFiles/cirank_core.dir/feedback.cc.o"
+  "CMakeFiles/cirank_core.dir/feedback.cc.o.d"
+  "CMakeFiles/cirank_core.dir/jtt.cc.o"
+  "CMakeFiles/cirank_core.dir/jtt.cc.o.d"
+  "CMakeFiles/cirank_core.dir/naive_search.cc.o"
+  "CMakeFiles/cirank_core.dir/naive_search.cc.o.d"
+  "CMakeFiles/cirank_core.dir/rwmp.cc.o"
+  "CMakeFiles/cirank_core.dir/rwmp.cc.o.d"
+  "CMakeFiles/cirank_core.dir/scorer.cc.o"
+  "CMakeFiles/cirank_core.dir/scorer.cc.o.d"
+  "libcirank_core.a"
+  "libcirank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

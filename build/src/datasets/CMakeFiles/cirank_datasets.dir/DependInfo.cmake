@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/dblp_gen.cc" "src/datasets/CMakeFiles/cirank_datasets.dir/dblp_gen.cc.o" "gcc" "src/datasets/CMakeFiles/cirank_datasets.dir/dblp_gen.cc.o.d"
+  "/root/repo/src/datasets/imdb_gen.cc" "src/datasets/CMakeFiles/cirank_datasets.dir/imdb_gen.cc.o" "gcc" "src/datasets/CMakeFiles/cirank_datasets.dir/imdb_gen.cc.o.d"
+  "/root/repo/src/datasets/micro_graphs.cc" "src/datasets/CMakeFiles/cirank_datasets.dir/micro_graphs.cc.o" "gcc" "src/datasets/CMakeFiles/cirank_datasets.dir/micro_graphs.cc.o.d"
+  "/root/repo/src/datasets/names.cc" "src/datasets/CMakeFiles/cirank_datasets.dir/names.cc.o" "gcc" "src/datasets/CMakeFiles/cirank_datasets.dir/names.cc.o.d"
+  "/root/repo/src/datasets/query_gen.cc" "src/datasets/CMakeFiles/cirank_datasets.dir/query_gen.cc.o" "gcc" "src/datasets/CMakeFiles/cirank_datasets.dir/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cirank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cirank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

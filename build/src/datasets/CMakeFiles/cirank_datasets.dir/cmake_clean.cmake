@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_datasets.dir/dblp_gen.cc.o"
+  "CMakeFiles/cirank_datasets.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/cirank_datasets.dir/imdb_gen.cc.o"
+  "CMakeFiles/cirank_datasets.dir/imdb_gen.cc.o.d"
+  "CMakeFiles/cirank_datasets.dir/micro_graphs.cc.o"
+  "CMakeFiles/cirank_datasets.dir/micro_graphs.cc.o.d"
+  "CMakeFiles/cirank_datasets.dir/names.cc.o"
+  "CMakeFiles/cirank_datasets.dir/names.cc.o.d"
+  "CMakeFiles/cirank_datasets.dir/query_gen.cc.o"
+  "CMakeFiles/cirank_datasets.dir/query_gen.cc.o.d"
+  "libcirank_datasets.a"
+  "libcirank_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_eval.dir/experiment.cc.o"
+  "CMakeFiles/cirank_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/cirank_eval.dir/feedback_adapter.cc.o"
+  "CMakeFiles/cirank_eval.dir/feedback_adapter.cc.o.d"
+  "CMakeFiles/cirank_eval.dir/metrics.cc.o"
+  "CMakeFiles/cirank_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/cirank_eval.dir/oracle.cc.o"
+  "CMakeFiles/cirank_eval.dir/oracle.cc.o.d"
+  "CMakeFiles/cirank_eval.dir/rankers.cc.o"
+  "CMakeFiles/cirank_eval.dir/rankers.cc.o.d"
+  "libcirank_eval.a"
+  "libcirank_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_graph.dir/graph.cc.o"
+  "CMakeFiles/cirank_graph.dir/graph.cc.o.d"
+  "CMakeFiles/cirank_graph.dir/schema.cc.o"
+  "CMakeFiles/cirank_graph.dir/schema.cc.o.d"
+  "CMakeFiles/cirank_graph.dir/serialize.cc.o"
+  "CMakeFiles/cirank_graph.dir/serialize.cc.o.d"
+  "CMakeFiles/cirank_graph.dir/traversal.cc.o"
+  "CMakeFiles/cirank_graph.dir/traversal.cc.o.d"
+  "libcirank_graph.a"
+  "libcirank_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

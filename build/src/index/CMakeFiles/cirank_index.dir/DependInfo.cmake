@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/naive_index.cc" "src/index/CMakeFiles/cirank_index.dir/naive_index.cc.o" "gcc" "src/index/CMakeFiles/cirank_index.dir/naive_index.cc.o.d"
+  "/root/repo/src/index/star_index.cc" "src/index/CMakeFiles/cirank_index.dir/star_index.cc.o" "gcc" "src/index/CMakeFiles/cirank_index.dir/star_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cirank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cirank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cirank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/rw/CMakeFiles/cirank_rw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

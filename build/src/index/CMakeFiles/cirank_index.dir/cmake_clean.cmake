@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_index.dir/naive_index.cc.o"
+  "CMakeFiles/cirank_index.dir/naive_index.cc.o.d"
+  "CMakeFiles/cirank_index.dir/star_index.cc.o"
+  "CMakeFiles/cirank_index.dir/star_index.cc.o.d"
+  "libcirank_index.a"
+  "libcirank_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_rw.dir/pagerank.cc.o"
+  "CMakeFiles/cirank_rw.dir/pagerank.cc.o.d"
+  "libcirank_rw.a"
+  "libcirank_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

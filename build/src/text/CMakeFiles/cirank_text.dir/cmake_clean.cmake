@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_text.dir/inverted_index.cc.o"
+  "CMakeFiles/cirank_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/cirank_text.dir/tokenizer.cc.o"
+  "CMakeFiles/cirank_text.dir/tokenizer.cc.o.d"
+  "libcirank_text.a"
+  "libcirank_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

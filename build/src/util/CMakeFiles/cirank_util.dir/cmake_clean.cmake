@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirank_util.dir/logging.cc.o"
+  "CMakeFiles/cirank_util.dir/logging.cc.o.d"
+  "CMakeFiles/cirank_util.dir/random.cc.o"
+  "CMakeFiles/cirank_util.dir/random.cc.o.d"
+  "CMakeFiles/cirank_util.dir/status.cc.o"
+  "CMakeFiles/cirank_util.dir/status.cc.o.d"
+  "libcirank_util.a"
+  "libcirank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

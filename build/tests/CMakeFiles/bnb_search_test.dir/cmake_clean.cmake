@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bnb_search_test.dir/bnb_search_test.cc.o"
+  "CMakeFiles/bnb_search_test.dir/bnb_search_test.cc.o.d"
+  "bnb_search_test"
+  "bnb_search_test.pdb"
+  "bnb_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bnb_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

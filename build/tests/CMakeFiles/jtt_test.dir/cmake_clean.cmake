@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtt_test.dir/jtt_test.cc.o"
+  "CMakeFiles/jtt_test.dir/jtt_test.cc.o.d"
+  "jtt_test"
+  "jtt_test.pdb"
+  "jtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivating_examples_test.dir/motivating_examples_test.cc.o"
+  "CMakeFiles/motivating_examples_test.dir/motivating_examples_test.cc.o.d"
+  "motivating_examples_test"
+  "motivating_examples_test.pdb"
+  "motivating_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivating_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

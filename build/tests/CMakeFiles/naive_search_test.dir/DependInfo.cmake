@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/naive_search_test.cc" "tests/CMakeFiles/naive_search_test.dir/naive_search_test.cc.o" "gcc" "tests/CMakeFiles/naive_search_test.dir/naive_search_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cirank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cirank_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cirank_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/cirank_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cirank_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rw/CMakeFiles/cirank_rw.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cirank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cirank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

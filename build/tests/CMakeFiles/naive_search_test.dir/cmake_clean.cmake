@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_search_test.dir/naive_search_test.cc.o"
+  "CMakeFiles/naive_search_test.dir/naive_search_test.cc.o.d"
+  "naive_search_test"
+  "naive_search_test.pdb"
+  "naive_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

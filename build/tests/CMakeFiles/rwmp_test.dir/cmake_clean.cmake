@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwmp_test.dir/rwmp_test.cc.o"
+  "CMakeFiles/rwmp_test.dir/rwmp_test.cc.o.d"
+  "rwmp_test"
+  "rwmp_test.pdb"
+  "rwmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorer_property_test.dir/scorer_property_test.cc.o"
+  "CMakeFiles/scorer_property_test.dir/scorer_property_test.cc.o.d"
+  "scorer_property_test"
+  "scorer_property_test.pdb"
+  "scorer_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/tokenizer_test[1]_include.cmake")
+include("/root/repo/build/tests/inverted_index_test[1]_include.cmake")
+include("/root/repo/build/tests/pagerank_test[1]_include.cmake")
+include("/root/repo/build/tests/rwmp_test[1]_include.cmake")
+include("/root/repo/build/tests/jtt_test[1]_include.cmake")
+include("/root/repo/build/tests/scorer_test[1]_include.cmake")
+include("/root/repo/build/tests/candidate_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/bnb_search_test[1]_include.cmake")
+include("/root/repo/build/tests/naive_search_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/motivating_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/feedback_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/bidirectional_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/names_test[1]_include.cmake")
+include("/root/repo/build/tests/scorer_property_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
