@@ -89,18 +89,16 @@ Result<Graph> MakeGraph(const CliOptions& opts) {
     gen.num_directors = static_cast<int>(800 * opts.scale);
     gen.num_producers = static_cast<int>(500 * opts.scale);
     gen.num_companies = static_cast<int>(300 * opts.scale);
-    auto ds = BuildImdbDataset(gen);
-    if (!ds.ok()) return ds.status();
-    return std::move(ds->graph);
+    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildImdbDataset(gen));
+    return std::move(ds.graph);
   }
   if (opts.dataset == "dblp") {
     DblpGenOptions gen;
     gen.num_papers = static_cast<int>(6000 * opts.scale);
     gen.num_authors = static_cast<int>(4000 * opts.scale);
     gen.num_conferences = 24;
-    auto ds = BuildDblpDataset(gen);
-    if (!ds.ok()) return ds.status();
-    return std::move(ds->graph);
+    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildDblpDataset(gen));
+    return std::move(ds.graph);
   }
   return Status::InvalidArgument("unknown dataset: " + opts.dataset);
 }

@@ -73,7 +73,9 @@ int main() {
     opts.max_expansions = 100000;
 
     Timer t;
-    auto plain = engine->Search(lq.query, opts);
+    // Timed for the plain-vs-indexed comparison; the answers themselves are
+    // only printed from the indexed run below.
+    CIRANK_IGNORE_ERROR(engine->Search(lq.query, opts));
     const double plain_s = t.ElapsedSeconds();
 
     opts.bounds = &star_index.value();
@@ -93,7 +95,6 @@ int main() {
       std::printf("  #%zu score=%.4g %s\n", i + 1, a.score,
                   a.tree.ToString(dataset->graph).c_str());
     }
-    (void)plain;
   }
   return 0;
 }

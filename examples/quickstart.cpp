@@ -28,16 +28,18 @@ int main() {
   NodeId obscure = builder.AddNode(paper, "an early workshop note");
 
   for (NodeId p : {famous, obscure}) {
-    (void)builder.AddBidirectionalEdge(alice, p, writes, written_by);
-    (void)builder.AddBidirectionalEdge(bob, p, writes, written_by);
+    CIRANK_CHECK_OK(builder.AddBidirectionalEdge(alice, p, writes, written_by));
+    CIRANK_CHECK_OK(builder.AddBidirectionalEdge(bob, p, writes, written_by));
   }
   // The survey is cited by eight other papers; the note by one.
   for (int i = 0; i < 8; ++i) {
     NodeId citer = builder.AddNode(paper, "follow up " + std::to_string(i));
-    (void)builder.AddBidirectionalEdge(citer, famous, cites, cited_by);
+    CIRANK_CHECK_OK(
+        builder.AddBidirectionalEdge(citer, famous, cites, cited_by));
   }
   NodeId lone_citer = builder.AddNode(paper, "another follow up");
-  (void)builder.AddBidirectionalEdge(lone_citer, obscure, cites, cited_by);
+  CIRANK_CHECK_OK(
+      builder.AddBidirectionalEdge(lone_citer, obscure, cites, cited_by));
 
   Graph graph = builder.Finalize();
 

@@ -48,7 +48,7 @@ struct BanksSearchOptions {
 // BANKS' backward expanding search: Dijkstra-style expansion from every
 // keyword-matching node toward common roots; each discovered root yields an
 // answer tree assembled from the per-keyword best paths.
-Result<std::vector<RankedAnswer>> BanksSearch(const Graph& graph,
+[[nodiscard]] Result<std::vector<RankedAnswer>> BanksSearch(const Graph& graph,
                                               const InvertedIndex& index,
                                               const BanksScorer& scorer,
                                               const Query& query,

@@ -25,7 +25,7 @@ struct BidirectionalSearchOptions {
   int64_t max_iterations = 500000;
 };
 
-Result<std::vector<RankedAnswer>> BidirectionalSearch(
+[[nodiscard]] Result<std::vector<RankedAnswer>> BidirectionalSearch(
     const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
     const Query& query, const BidirectionalSearchOptions& options = {});
 

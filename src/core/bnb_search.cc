@@ -1,10 +1,13 @@
 #include "core/bnb_search.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <queue>
 #include <set>
 #include <string>
+
+#include "util/check.h"
 
 namespace cirank {
 
@@ -84,6 +87,19 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
   std::set<std::string> seen_candidates;
   TopKAnswers answers(static_cast<size_t>(options.k));
 
+  // Theorem-1 admissibility audit (debug builds): audit_bound[i] is the
+  // minimum upper bound along arena[i]'s derivation chain (itself plus every
+  // grow/merge ancestor). Every emitted answer tree is derivable from each
+  // of those candidates, so by Lemma 1 its exact score may never exceed any
+  // bound on the chain; CIRANK_DCHECK enforces that below. The bookkeeping
+  // (one double per candidate) is kept in release builds too, where the
+  // check compiles out.
+  std::vector<double> audit_bound;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto audit_slack = [](double bound) {
+    return 1e-9 * std::max(1.0, std::abs(bound));
+  };
+
   auto non_root_leaves = [](const Candidate& c) {
     if (c.tree.size() <= 1) return 0u;
     uint32_t leaves = 0;
@@ -97,20 +113,29 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
   };
 
   // Admits a candidate: dedup, score if complete answer, enqueue, register.
-  auto admit = [&](Candidate&& c) -> bool {
+  // `ancestor_bound` is the audit chain bound inherited from the candidate's
+  // grow/merge parents (kInf for seeds).
+  auto admit = [&](Candidate&& c, double ancestor_bound) -> bool {
     if (c.diameter > options.max_diameter) return false;
     if (!IsViableCandidate(c, query, index)) return false;
     std::string key = CandidateKey(c);
     if (!seen_candidates.insert(std::move(key)).second) return false;
     ++st.generated;
 
+    c.upper_bound = calc.UpperBound(c);
+    const double chain_bound = std::min(ancestor_bound, c.upper_bound);
+
     if (c.IsComplete(all) && c.tree.IsReduced(query, index)) {
       TreeScore ts = scorer.Score(c.tree, query);
+      CIRANK_DCHECK(ts.score <= chain_bound + audit_slack(chain_bound))
+          << "Theorem 1 admissibility violated: emitted tree "
+          << c.tree.CanonicalKey() << " scores " << ts.score
+          << " above its derivation-chain bound " << chain_bound;
       if (answers.Offer(c.tree, ts.score)) ++st.answers_found;
     }
 
-    c.upper_bound = calc.UpperBound(c);
     arena.push_back(std::move(c));
+    audit_bound.push_back(chain_bound);
     const size_t idx = arena.size() - 1;
     if (arena[idx].upper_bound > 0.0) {
       queue.push({arena[idx].upper_bound, idx});
@@ -150,7 +175,9 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
             arena[idx], arena[other.idx], options.strict_merge_rule);
         if (!merged.ok()) continue;
         const size_t before = arena.size();
-        if (admit(std::move(merged).value())) {
+        const double parents_bound =
+            std::min(audit_bound[idx], audit_bound[other.idx]);
+        if (admit(std::move(merged).value(), parents_bound)) {
           worklist.push_back(before);
         }
       }
@@ -168,7 +195,7 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
       c.tree = Jtt(v);
       c.covered = NodeKeywordMask(v, query, index);
       c.diameter = 0;
-      admit(std::move(c));
+      admit(std::move(c), kInf);
     }
   }
 
@@ -199,7 +226,7 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     for (NodeId nb : neighbors) {
       Candidate grown = GrowCandidate(arena[idx], nb, query, index);
       const size_t before = arena.size();
-      if (admit(std::move(grown))) {
+      if (admit(std::move(grown), audit_bound[idx])) {
         merge_closure(before);
       }
     }

@@ -49,7 +49,7 @@ struct SearchStats {
 // Runs Algorithm 1. Returns answers sorted by descending score (ties broken
 // deterministically). Fails on empty queries, queries with more than 31
 // keywords, or non-positive k.
-Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
+[[nodiscard]] Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     const TreeScorer& scorer, const Query& query, const SearchOptions& options,
     SearchStats* stats = nullptr);
 

@@ -1,8 +1,9 @@
 #include "core/bounds.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 namespace cirank {
 
@@ -24,7 +25,7 @@ UpperBoundCalculator::UpperBoundCalculator(const TreeScorer& scorer,
       query_(&query),
       max_diameter_(max_diameter),
       bounds_(bounds) {
-  assert(query.size() <= 31);
+  CIRANK_DCHECK(query.size() <= 31);
   all_mask_ = query.empty()
                   ? 0
                   : (KeywordMask{1} << query.size()) - 1;

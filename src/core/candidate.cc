@@ -1,13 +1,14 @@
 #include "core/candidate.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace cirank {
 
 KeywordMask NodeKeywordMask(NodeId v, const Query& query,
                             const InvertedIndex& index) {
-  assert(query.size() <= 31);
+  CIRANK_DCHECK(query.size() <= 31);
   KeywordMask mask = 0;
   for (size_t i = 0; i < query.keywords.size(); ++i) {
     if (index.TermFrequency(v, query.keywords[i]) > 0) {
@@ -19,11 +20,11 @@ KeywordMask NodeKeywordMask(NodeId v, const Query& query,
 
 Candidate GrowCandidate(const Candidate& c, NodeId new_root,
                         const Query& query, const InvertedIndex& index) {
-  assert(!c.tree.contains(new_root));
+  CIRANK_DCHECK(!c.tree.contains(new_root));
   std::vector<std::pair<NodeId, NodeId>> edges = c.tree.edges();
   edges.emplace_back(new_root, c.root());
   Result<Jtt> tree = Jtt::Create(new_root, std::move(edges));
-  assert(tree.ok());
+  CIRANK_CHECK_OK(tree.status());
 
   Candidate grown;
   grown.tree = std::move(tree).value();
@@ -52,11 +53,11 @@ Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
 
   std::vector<std::pair<NodeId, NodeId>> edges = a.tree.edges();
   edges.insert(edges.end(), b.tree.edges().begin(), b.tree.edges().end());
-  Result<Jtt> tree = Jtt::Create(a.root(), std::move(edges));
-  if (!tree.ok()) return tree.status();
+  CIRANK_ASSIGN_OR_RETURN(Jtt merged_tree,
+                          Jtt::Create(a.root(), std::move(edges)));
 
   Candidate merged;
-  merged.tree = std::move(tree).value();
+  merged.tree = std::move(merged_tree);
   merged.covered = merged_mask;
   merged.diameter = merged.tree.Diameter();
   return merged;

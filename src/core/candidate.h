@@ -45,7 +45,7 @@ Candidate GrowCandidate(const Candidate& c, NodeId new_root,
 // The strict rule can make some valid answers unreachable (e.g. two sibling
 // branches with identical keyword masks), so the search defaults to the
 // relaxed rule and prunes with IsViableCandidate instead.
-Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
+[[nodiscard]] Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
                                   bool strict_coverage_growth = false);
 
 // A candidate can still expand into a valid answer only if its non-root

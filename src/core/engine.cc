@@ -11,13 +11,12 @@ Result<CiRankEngine> CiRankEngine::Build(const Graph& graph,
   engine.options_ = options;
   engine.index_ = std::make_unique<InvertedIndex>(graph);
 
-  Result<PageRankResult> pr = ComputePageRank(graph, options.pagerank);
-  if (!pr.ok()) return pr.status();
-
-  Result<RwmpModel> model =
-      RwmpModel::Create(graph, std::move(pr->scores), options.rwmp);
-  if (!model.ok()) return model.status();
-  engine.model_ = std::make_unique<RwmpModel>(std::move(model).value());
+  CIRANK_ASSIGN_OR_RETURN(PageRankResult pr,
+                          ComputePageRank(graph, options.pagerank));
+  CIRANK_ASSIGN_OR_RETURN(
+      RwmpModel model,
+      RwmpModel::Create(graph, std::move(pr.scores), options.rwmp));
+  engine.model_ = std::make_unique<RwmpModel>(std::move(model));
   engine.scorer_ =
       std::make_unique<TreeScorer>(*engine.model_, *engine.index_);
   return engine;

@@ -32,18 +32,18 @@ class CiRankEngine {
  public:
   // Builds the index, runs PageRank, and derives the RWMP model. `graph`
   // must outlive the engine.
-  static Result<CiRankEngine> Build(const Graph& graph,
+  [[nodiscard]] static Result<CiRankEngine> Build(const Graph& graph,
                                     const CiRankOptions& options = {});
 
   CiRankEngine(CiRankEngine&&) = default;
   CiRankEngine& operator=(CiRankEngine&&) = default;
 
   // Top-k search with the engine's default options.
-  Result<std::vector<RankedAnswer>> Search(const Query& query,
+  [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
                                            SearchStats* stats = nullptr) const;
 
   // Top-k search with explicit per-call options.
-  Result<std::vector<RankedAnswer>> Search(const Query& query,
+  [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
                                            const SearchOptions& options,
                                            SearchStats* stats = nullptr) const;
 

@@ -43,12 +43,12 @@ class FeedbackModel {
 
   // Records that a user selected (clicked) node v; `weight` scales the
   // event (e.g. query frequency in the log).
-  Status RecordClick(NodeId v, double weight = 1.0);
+  [[nodiscard]] Status RecordClick(NodeId v, double weight = 1.0);
 
   // Records a whole selected answer: every node of the answer receives the
   // click, connectors at half weight (the user primarily endorsed the
   // matched entities).
-  Status RecordAnswer(const std::vector<NodeId>& matched_nodes,
+  [[nodiscard]] Status RecordAnswer(const std::vector<NodeId>& matched_nodes,
                       const std::vector<NodeId>& connector_nodes,
                       double weight = 1.0);
 
@@ -56,7 +56,7 @@ class FeedbackModel {
   double total_clicks() const;
 
   // The personalized teleportation vector u (sums to 1).
-  Result<std::vector<double>> TeleportVector(
+  [[nodiscard]] Result<std::vector<double>> TeleportVector(
       const FeedbackOptions& options = {}) const;
 
   // Multiplicative boost factor for the edge u -> v (>= 1): edges incident
@@ -66,7 +66,7 @@ class FeedbackModel {
 
   // Applies EdgeBoost to every edge of `graph` and returns the re-weighted
   // copy (node ids preserved).
-  Result<Graph> ReweightGraph(const Graph& graph,
+  [[nodiscard]] Result<Graph> ReweightGraph(const Graph& graph,
                               double intensity = 1.0) const;
 
  private:

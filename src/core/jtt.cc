@@ -4,6 +4,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace cirank {
 
 Result<Jtt> Jtt::Create(NodeId root,
@@ -43,7 +45,90 @@ Result<Jtt> Jtt::Create(NodeId root,
           "edge list does not form a tree rooted at the given root");
     }
   }
+#if CIRANK_DCHECK_IS_ON()
+  {
+    Status audit = ValidateJtt(tree);
+    CIRANK_DCHECK(audit.ok())
+        << "Jtt::Create produced an invalid tree: " << audit.ToString();
+  }
+#endif
   return tree;
+}
+
+Status ValidateJtt(const Jtt& tree) {
+  if (tree.root_ == kInvalidNode) {
+    return Status::FailedPrecondition("default-constructed (empty) JTT");
+  }
+  const std::vector<NodeId>& nodes = tree.nodes_;
+  if (nodes.empty()) {
+    return Status::Internal("JTT has a root but no node list");
+  }
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i - 1] >= nodes[i]) {
+      return Status::Internal("JTT node list not sorted/unique");
+    }
+  }
+  const size_t root_index = tree.IndexOf(tree.root_);
+  if (root_index == nodes.size()) {
+    return Status::Internal("JTT root is not among its nodes");
+  }
+  if (tree.edges_.size() + 1 != nodes.size()) {
+    return Status::Internal("JTT edge count is not |nodes| - 1");
+  }
+  if (tree.adjacency_.size() != nodes.size()) {
+    return Status::Internal("JTT adjacency not parallel to node list");
+  }
+
+  // The adjacency must mirror the edge list exactly: count undirected edge
+  // stubs per node, then compare.
+  std::vector<uint32_t> expected_degree(nodes.size(), 0);
+  for (const auto& [parent, child] : tree.edges_) {
+    const size_t pi = tree.IndexOf(parent);
+    const size_t ci = tree.IndexOf(child);
+    if (pi == nodes.size() || ci == nodes.size()) {
+      return Status::Internal("JTT edge references a node outside the tree");
+    }
+    if (pi == ci) return Status::Internal("JTT edge is a self-loop");
+    ++expected_degree[pi];
+    ++expected_degree[ci];
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (tree.adjacency_[i].size() != expected_degree[i]) {
+      return Status::Internal("JTT adjacency disagrees with the edge list");
+    }
+    for (uint32_t nb : tree.adjacency_[i]) {
+      if (nb >= nodes.size()) {
+        return Status::Internal("JTT adjacency index out of range");
+      }
+    }
+  }
+
+  // Root reachability: BFS over the adjacency must reach every node. With
+  // |edges| == |nodes| - 1 this also certifies acyclicity.
+  std::vector<uint32_t> dist;
+  tree.DistancesFrom(root_index, &dist);
+  for (uint32_t d : dist) {
+    if (d == static_cast<uint32_t>(-1)) {
+      return Status::Internal(
+          "JTT is disconnected (node unreachable from the root)");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateJtt(const Jtt& tree, const Query& query,
+                   const InvertedIndex& index) {
+  CIRANK_RETURN_IF_ERROR(ValidateJtt(tree));
+  if (!tree.CoversAllKeywords(query, index)) {
+    return Status::FailedPrecondition(
+        "JTT does not cover every query keyword");
+  }
+  if (!tree.IsReduced(query, index)) {
+    return Status::FailedPrecondition(
+        "JTT non-free-node cover violated (Definition 3): some degree-<=1 "
+        "node cannot be matched to a distinct keyword");
+  }
+  return Status::OK();
 }
 
 bool Jtt::contains(NodeId v) const {

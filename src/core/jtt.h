@@ -37,7 +37,7 @@ class Jtt {
 
   // Builds a tree from a root plus (parent, child) edges. Fails when the
   // edges do not form a tree rooted at `root` or reference duplicate nodes.
-  static Result<Jtt> Create(NodeId root,
+  [[nodiscard]] static Result<Jtt> Create(NodeId root,
                             std::vector<std::pair<NodeId, NodeId>> edges);
 
   NodeId root() const { return root_; }
@@ -91,6 +91,9 @@ class Jtt {
   std::string ToString(const Graph& graph) const;
 
  private:
+  friend Status ValidateJtt(const Jtt& tree);
+  friend struct JttTestPeer;  // test-only corruption hook
+
   // BFS distances (in tree edges) from the node at `start_index`.
   void DistancesFrom(size_t start_index, std::vector<uint32_t>* dist) const;
 
@@ -99,6 +102,19 @@ class Jtt {
   std::vector<std::pair<NodeId, NodeId>> edges_;  // (parent, child)
   std::vector<std::vector<uint32_t>> adjacency_;  // parallel to nodes_
 };
+
+// Structural audit of a Jtt: sorted/unique node list, root membership,
+// |edges| == |nodes| - 1, edge endpoints in the node set, adjacency mirroring
+// the edge list, and every node reachable from the root (which, with the
+// edge count, certifies acyclicity). Jtt::Create re-checks this in debug
+// builds; tests drive the failure paths through JttTestPeer.
+[[nodiscard]] Status ValidateJtt(const Jtt& tree);
+
+// Full Definition-3 audit: structure plus answer-shape conditions — the tree
+// covers every query keyword and its non-free nodes (undirected degree <= 1)
+// are matchable to distinct keywords (IsReduced).
+[[nodiscard]] Status ValidateJtt(const Jtt& tree, const Query& query,
+                                 const InvertedIndex& index);
 
 }  // namespace cirank
 

@@ -251,12 +251,13 @@ Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
   enum_options.max_diameter = options.max_diameter;
   enum_options.max_combinations_per_root = options.max_combinations_per_root;
   enum_options.max_paths_per_source = options.max_paths_per_source;
-  Result<std::vector<Jtt>> pool = EnumerateAnswers(
-      scorer.model().graph(), scorer.index(), query, enum_options);
-  if (!pool.ok()) return pool.status();
+  CIRANK_ASSIGN_OR_RETURN(
+      std::vector<Jtt> pool,
+      EnumerateAnswers(scorer.model().graph(), scorer.index(), query,
+                       enum_options));
 
   AnswerCollector answers(static_cast<size_t>(options.k));
-  for (const Jtt& tree : *pool) {
+  for (const Jtt& tree : pool) {
     TreeScore ts = scorer.Score(tree, query);
     answers.Offer(tree, ts.score);
     ++st.generated;

@@ -27,7 +27,7 @@ struct EnumerateOptions {
 // combination. Used both by NaiveSearch and as the *neutral* candidate pool
 // generator for the effectiveness experiments (every ranking system scores
 // the same pool, so no system's own search biases the comparison).
-Result<std::vector<Jtt>> EnumerateAnswers(const Graph& graph,
+[[nodiscard]] Result<std::vector<Jtt>> EnumerateAnswers(const Graph& graph,
                                           const InvertedIndex& index,
                                           const Query& query,
                                           const EnumerateOptions& options);
@@ -39,7 +39,7 @@ struct NaiveSearchOptions {
   int64_t max_paths_per_source = 16;
 };
 
-Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
+[[nodiscard]] Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
                                               const Query& query,
                                               const NaiveSearchOptions& options,
                                               SearchStats* stats = nullptr);
@@ -52,7 +52,7 @@ struct ExhaustiveSearchOptions {
   size_t max_nodes = 8;
 };
 
-Result<std::vector<RankedAnswer>> ExhaustiveSearch(
+[[nodiscard]] Result<std::vector<RankedAnswer>> ExhaustiveSearch(
     const TreeScorer& scorer, const Query& query,
     const ExhaustiveSearchOptions& options);
 

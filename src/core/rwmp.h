@@ -21,7 +21,7 @@ struct RwmpParams {
   // grows, hence the log base in Eq. 2. Paper default: 20.
   double g = 20.0;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // Immutable per-query-independent model state. Build once per (graph,
@@ -30,7 +30,7 @@ class RwmpModel {
  public:
   // `importance` must be a positive probability vector over graph nodes
   // (typically PageRankResult::scores).
-  static Result<RwmpModel> Create(const Graph& graph,
+  [[nodiscard]] static Result<RwmpModel> Create(const Graph& graph,
                                   std::vector<double> importance,
                                   const RwmpParams& params = {});
 

@@ -38,7 +38,7 @@ struct DblpGenOptions {
   uint64_t seed = 2;
 };
 
-Result<Dataset> BuildDblpDataset(const DblpGenOptions& options = {});
+[[nodiscard]] Result<Dataset> BuildDblpDataset(const DblpGenOptions& options = {});
 
 }  // namespace cirank
 

@@ -59,7 +59,7 @@ struct ImdbGenOptions {
   uint64_t seed = 1;
 };
 
-Result<Dataset> BuildImdbDataset(const ImdbGenOptions& options = {});
+[[nodiscard]] Result<Dataset> BuildImdbDataset(const ImdbGenOptions& options = {});
 
 }  // namespace cirank
 

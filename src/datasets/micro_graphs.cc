@@ -1,6 +1,5 @@
 #include "datasets/micro_graphs.h"
 
-#include <cassert>
 #include <string>
 
 #include "datasets/dblp_gen.h"
@@ -21,10 +20,7 @@ void Finish(Dataset* ds, GraphBuilder* builder) {
   ds->true_popularity.resize(ds->graph.num_nodes(), 0.1);
 }
 
-void Check(const Status& st) {
-  assert(st.ok());
-  (void)st;
-}
+void Check(const Status& st) { CIRANK_CHECK_OK(st); }
 
 }  // namespace
 

@@ -55,7 +55,7 @@ struct QueryGenOptions {
   uint64_t seed = 7;
 };
 
-Result<std::vector<LabeledQuery>> GenerateQueries(
+[[nodiscard]] Result<std::vector<LabeledQuery>> GenerateQueries(
     const Dataset& dataset, const QueryGenOptions& options = {});
 
 }  // namespace cirank

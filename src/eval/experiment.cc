@@ -84,13 +84,12 @@ Result<std::vector<RankerEffectiveness>> RunEffectiveness(
     const std::vector<const AnswerRanker*>& rankers,
     const EffectivenessOptions& options) {
   if (rankers.empty()) return Status::InvalidArgument("no rankers");
-  Result<std::vector<QueryPool>> pools =
-      BuildQueryPools(dataset, index, queries, options);
-  if (!pools.ok()) return pools.status();
+  CIRANK_ASSIGN_OR_RETURN(std::vector<QueryPool> pools,
+                          BuildQueryPools(dataset, index, queries, options));
 
   std::vector<RankerEffectiveness> out;
   for (const AnswerRanker* ranker : rankers) {
-    out.push_back(EvaluateRanker(*pools, *ranker, options));
+    out.push_back(EvaluateRanker(pools, *ranker, options));
   }
   return out;
 }

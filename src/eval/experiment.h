@@ -39,7 +39,7 @@ struct QueryPool {
 // Enumerates pools for every query and labels them with the oracle.
 // Queries with an empty pool or no fully relevant answer are dropped
 // (identically for every ranker evaluated later).
-Result<std::vector<QueryPool>> BuildQueryPools(
+[[nodiscard]] Result<std::vector<QueryPool>> BuildQueryPools(
     const Dataset& dataset, const InvertedIndex& index,
     const std::vector<LabeledQuery>& queries,
     const EffectivenessOptions& options = {});
@@ -57,7 +57,7 @@ RankerEffectiveness EvaluateRanker(const std::vector<QueryPool>& pools,
                                    const EffectivenessOptions& options = {});
 
 // Convenience: BuildQueryPools + EvaluateRanker for each ranker.
-Result<std::vector<RankerEffectiveness>> RunEffectiveness(
+[[nodiscard]] Result<std::vector<RankerEffectiveness>> RunEffectiveness(
     const Dataset& dataset, const InvertedIndex& index,
     const std::vector<LabeledQuery>& queries,
     const std::vector<const AnswerRanker*>& rankers,

@@ -15,7 +15,7 @@ namespace cirank {
 
 // Builds a FeedbackModel from a labeled query log: the targets of each
 // query receive one click each (weighted by `click_weight`).
-Result<FeedbackModel> FeedbackFromQueryLog(
+[[nodiscard]] Result<FeedbackModel> FeedbackFromQueryLog(
     const Dataset& dataset, const std::vector<LabeledQuery>& log,
     double click_weight = 1.0);
 

@@ -1,16 +1,18 @@
 #include "graph/graph.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
+#include <string>
 
+#include "util/check.h"
 #include "util/random.h"
 
 namespace cirank {
 
 NodeId GraphBuilder::AddNode(RelationId relation, std::string text,
                              int64_t external_key) {
-  assert(relation >= 0 &&
-         static_cast<size_t>(relation) < schema_.num_relations());
+  CIRANK_DCHECK(relation >= 0 &&
+                static_cast<size_t>(relation) < schema_.num_relations());
   relation_of_.push_back(relation);
   text_of_.push_back(std::move(text));
   external_key_of_.push_back(external_key);
@@ -18,6 +20,11 @@ NodeId GraphBuilder::AddNode(RelationId relation, std::string text,
 }
 
 Status GraphBuilder::AddEdge(NodeId from, NodeId to, EdgeTypeId type) {
+  // Validate `type` before the default-weight lookup: edge_type() indexes an
+  // array and must not see an out-of-range id (caught by ASan).
+  if (type < 0 || static_cast<size_t>(type) >= schema_.num_edge_types()) {
+    return Status::InvalidArgument("unknown edge type");
+  }
   return AddEdge(from, to, type, schema_.edge_type(type).weight);
 }
 
@@ -103,7 +110,105 @@ Graph GraphBuilder::Finalize() {
   }
 
   edges_.clear();
+#if CIRANK_DCHECK_IS_ON()
+  {
+    Status audit = ValidateGraph(g);
+    CIRANK_DCHECK(audit.ok())
+        << "Finalize produced an inconsistent CSR: " << audit.ToString();
+  }
+#endif
   return g;
+}
+
+Status ValidateGraph(const Graph& g) {
+  const size_t n = g.num_nodes();
+  if (g.relation_of_.size() != n || g.text_of_.size() != n ||
+      g.external_key_of_.size() != n || g.out_weight_sum_.size() != n) {
+    return Status::Internal("node attribute arrays disagree on size");
+  }
+
+  struct Direction {
+    const char* name;
+    const std::vector<size_t>* offsets;
+    const std::vector<Edge>* edges;
+  };
+  const Direction dirs[] = {{"out", &g.out_offsets_, &g.out_edges_},
+                            {"in", &g.in_offsets_, &g.in_edges_}};
+  for (const Direction& d : dirs) {
+    const std::vector<size_t>& off = *d.offsets;
+    const std::vector<Edge>& edges = *d.edges;
+    const std::string side(d.name);
+    if (off.size() != n + 1) {
+      return Status::Internal(side + "_offsets has wrong size");
+    }
+    if (off[0] != 0) {
+      return Status::Internal(side + "_offsets does not start at 0");
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (off[v] > off[v + 1]) {
+        return Status::Internal(side + "_offsets not monotone at node " +
+                                std::to_string(v));
+      }
+    }
+    if (off[n] != edges.size()) {
+      return Status::Internal(side + "_offsets do not cover the edge array");
+    }
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t i = off[v]; i < off[v + 1]; ++i) {
+        const Edge& e = edges[i];
+        if (e.to >= n) {
+          return Status::Internal(side + "-edge target out of range at node " +
+                                  std::to_string(v));
+        }
+        if (e.type < 0 ||
+            static_cast<size_t>(e.type) >= g.schema_.num_edge_types()) {
+          return Status::Internal(side + "-edge has unknown type at node " +
+                                  std::to_string(v));
+        }
+        if (!std::isfinite(e.weight) || e.weight <= 0.0) {
+          return Status::Internal(side + "-edge weight not finite-positive " +
+                                  "at node " + std::to_string(v));
+        }
+        // Sorted and duplicate-free within a node: edge_weight binary
+        // searches on this.
+        if (i > off[v] && edges[i - 1].to >= e.to) {
+          return Status::Internal(side + "-adjacency of node " +
+                                  std::to_string(v) +
+                                  " not sorted/duplicate-free");
+        }
+      }
+    }
+  }
+
+  if (g.out_edges_.size() != g.in_edges_.size()) {
+    return Status::Internal("out/in edge counts disagree");
+  }
+  // Mirror consistency: every out-edge u -> v must appear in v's in-edge
+  // bucket (whose `to` field holds the source) with the same weight.
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : g.out_edges(u)) {
+      const auto in_bucket = g.in_edges(e.to);
+      const auto it = std::lower_bound(
+          in_bucket.begin(), in_bucket.end(), u,
+          [](const Edge& in_e, NodeId src) { return in_e.to < src; });
+      if (it == in_bucket.end() || it->to != u || it->weight != e.weight) {
+        return Status::Internal("out-edge " + std::to_string(u) + " -> " +
+                                std::to_string(e.to) +
+                                " has no matching in-edge");
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (const Edge& e : g.out_edges(v)) sum += e.weight;
+    const double cached = g.out_weight_sum_[v];
+    if (std::abs(sum - cached) > 1e-9 * std::max(1.0, std::abs(sum))) {
+      return Status::Internal("cached out_weight_sum stale at node " +
+                              std::to_string(v));
+    }
+  }
+  return Status::OK();
 }
 
 double Graph::edge_weight(NodeId u, NodeId v) const {
@@ -116,7 +221,7 @@ double Graph::edge_weight(NodeId u, NodeId v) const {
 }
 
 Graph Graph::SampleNodes(double fraction, uint64_t seed) const {
-  assert(fraction > 0.0 && fraction <= 1.0);
+  CIRANK_DCHECK(fraction > 0.0 && fraction <= 1.0);
   Rng rng(seed);
 
   std::vector<NodeId> remap(num_nodes(), kInvalidNode);
@@ -131,9 +236,8 @@ Graph Graph::SampleNodes(double fraction, uint64_t seed) const {
     if (remap[v] == kInvalidNode) continue;
     for (const Edge& e : out_edges(v)) {
       if (remap[e.to] == kInvalidNode) continue;
-      Status st = builder.AddEdge(remap[v], remap[e.to], e.type, e.weight);
-      assert(st.ok());
-      (void)st;
+      CIRANK_CHECK_OK(builder.AddEdge(remap[v], remap[e.to], e.type,
+                                      e.weight));
     }
   }
   return builder.Finalize();

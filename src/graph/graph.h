@@ -41,14 +41,14 @@ class GraphBuilder {
                  int64_t external_key = -1);
 
   // Adds one directed edge with the edge type's default weight.
-  Status AddEdge(NodeId from, NodeId to, EdgeTypeId type);
+  [[nodiscard]] Status AddEdge(NodeId from, NodeId to, EdgeTypeId type);
 
   // Adds one directed edge with an explicit weight override.
-  Status AddEdge(NodeId from, NodeId to, EdgeTypeId type, double weight);
+  [[nodiscard]] Status AddEdge(NodeId from, NodeId to, EdgeTypeId type, double weight);
 
   // Convenience: adds `a -> b` with type `ab` and `b -> a` with type `ba`,
   // each at its type's default weight.
-  Status AddBidirectionalEdge(NodeId a, NodeId b, EdgeTypeId ab,
+  [[nodiscard]] Status AddBidirectionalEdge(NodeId a, NodeId b, EdgeTypeId ab,
                               EdgeTypeId ba);
 
   size_t num_nodes() const { return relation_of_.size(); }
@@ -117,6 +117,8 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend Status ValidateGraph(const Graph& graph);
+  friend struct GraphTestPeer;  // test-only CSR corruption hook
 
   Schema schema_;
   std::vector<RelationId> relation_of_;
@@ -129,6 +131,14 @@ class Graph {
   std::vector<Edge> in_edges_;  // entry.to holds the *source* node
   std::vector<double> out_weight_sum_;
 };
+
+// Full CSR consistency audit in O(V + E): offset array shapes and
+// monotonicity, edge targets/types in range, finite positive weights,
+// per-node adjacency sorted and duplicate-free (the binary-search invariant
+// behind edge_weight), out/in mirror consistency, and the cached
+// out_weight_sum. Cheap enough to run on load; CIRANK_DCHECKed after every
+// GraphBuilder::Finalize in debug builds.
+[[nodiscard]] Status ValidateGraph(const Graph& graph);
 
 }  // namespace cirank
 

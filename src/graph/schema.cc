@@ -1,9 +1,10 @@
 #include "graph/schema.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 #include <utility>
+
+#include "util/check.h"
 
 namespace cirank {
 
@@ -14,9 +15,9 @@ RelationId Schema::AddRelation(std::string name) {
 
 EdgeTypeId Schema::AddEdgeType(std::string name, RelationId from,
                                RelationId to, double weight) {
-  assert(from >= 0 && static_cast<size_t>(from) < relations_.size());
-  assert(to >= 0 && static_cast<size_t>(to) < relations_.size());
-  assert(weight > 0.0);
+  CIRANK_DCHECK(from >= 0 && static_cast<size_t>(from) < relations_.size());
+  CIRANK_DCHECK(to >= 0 && static_cast<size_t>(to) < relations_.size());
+  CIRANK_DCHECK(weight > 0.0);
   edge_types_.push_back(EdgeType{std::move(name), from, to, weight});
   return static_cast<EdgeTypeId>(edge_types_.size() - 1);
 }
@@ -30,7 +31,7 @@ RelationId Schema::FindRelation(const std::string& name) const {
 
 std::vector<RelationId> Schema::FindStarTables() const {
   const size_t n = relations_.size();
-  assert(n <= 24 && "exhaustive vertex cover assumes a small schema");
+  CIRANK_DCHECK(n <= 24 && "exhaustive vertex cover assumes a small schema");
 
   // Undirected, deduplicated schema edges. A self-loop (e.g. a citation FK
   // from Paper to Paper) forces its relation into every cover.

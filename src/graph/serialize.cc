@@ -179,7 +179,11 @@ Result<Graph> LoadGraph(std::istream& in) {
     CIRANK_RETURN_IF_ERROR(
         builder.AddEdge(from, to, static_cast<EdgeTypeId>(type), weight));
   }
-  return builder.Finalize();
+  Graph graph = builder.Finalize();
+  // Deserialized bytes are untrusted: reject anything that does not
+  // reconstruct into a fully consistent CSR.
+  CIRANK_RETURN_IF_ERROR(ValidateGraph(graph));
+  return graph;
 }
 
 Result<Graph> LoadGraphFromFile(const std::string& path) {

@@ -15,13 +15,13 @@
 namespace cirank {
 
 // Writes `graph` (including its schema) to the stream/file.
-Status SaveGraph(const Graph& graph, std::ostream& out);
-Status SaveGraphToFile(const Graph& graph, const std::string& path);
+[[nodiscard]] Status SaveGraph(const Graph& graph, std::ostream& out);
+[[nodiscard]] Status SaveGraphToFile(const Graph& graph, const std::string& path);
 
 // Reads a graph previously written by SaveGraph. Fails with
 // InvalidArgument on magic/version mismatch or truncated input.
-Result<Graph> LoadGraph(std::istream& in);
-Result<Graph> LoadGraphFromFile(const std::string& path);
+[[nodiscard]] Result<Graph> LoadGraph(std::istream& in);
+[[nodiscard]] Result<Graph> LoadGraphFromFile(const std::string& path);
 
 }  // namespace cirank
 

@@ -1,7 +1,8 @@
 #include "graph/traversal.h"
 
-#include <cassert>
 #include <queue>
+
+#include "util/check.h"
 
 namespace cirank {
 
@@ -50,7 +51,7 @@ uint32_t HopDistance(const Graph& graph, NodeId from, NodeId to,
 void MaxProductReachability(const Graph& graph, NodeId source,
                             const std::vector<double>& node_factor,
                             uint32_t max_hops, std::vector<double>* best) {
-  assert(node_factor.size() == graph.num_nodes());
+  CIRANK_DCHECK(node_factor.size() == graph.num_nodes());
   best->assign(graph.num_nodes(), 0.0);
   std::vector<uint32_t> hops(graph.num_nodes(), kUnreachable);
 

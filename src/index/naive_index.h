@@ -27,7 +27,7 @@ class NaiveIndex : public PairwiseBoundProvider {
   // Runs one BFS and one max-product Dijkstra per node. The transmission
   // values are exact maxima over all directed paths, hence admissible upper
   // bounds for the tree paths used during search.
-  static Result<NaiveIndex> Build(const Graph& graph, const RwmpModel& model,
+  [[nodiscard]] static Result<NaiveIndex> Build(const Graph& graph, const RwmpModel& model,
                                   const NaiveIndexOptions& options = {});
 
   double TransmissionBound(NodeId from, NodeId to) const override;

@@ -37,7 +37,7 @@ struct StarIndexOptions {
 
 class StarIndex : public PairwiseBoundProvider {
  public:
-  static Result<StarIndex> Build(const Graph& graph, const RwmpModel& model,
+  [[nodiscard]] static Result<StarIndex> Build(const Graph& graph, const RwmpModel& model,
                                  const StarIndexOptions& options = {});
 
   double TransmissionBound(NodeId from, NodeId to) const override;

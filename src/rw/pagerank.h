@@ -38,14 +38,14 @@ struct PageRankResult {
 // Power iteration. Dangling nodes (no out-edges) redistribute their mass
 // through the teleportation vector. Fails on an empty graph or invalid
 // options.
-Result<PageRankResult> ComputePageRank(const Graph& graph,
+[[nodiscard]] Result<PageRankResult> ComputePageRank(const Graph& graph,
                                        const PageRankOptions& options = {});
 
 // Monte Carlo estimate: `walks_per_node` restart-terminated walks from every
 // node; visit frequencies approximate the stationary distribution. Used in
 // tests to cross-validate the power iteration and available for very large
 // graphs.
-Result<std::vector<double>> MonteCarloPageRank(const Graph& graph,
+[[nodiscard]] Result<std::vector<double>> MonteCarloPageRank(const Graph& graph,
                                                int walks_per_node,
                                                uint64_t seed,
                                                double teleport = 0.15);

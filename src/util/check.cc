@@ -1,0 +1,21 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cirank {
+namespace internal_check {
+
+CheckFailer::CheckFailer(const char* condition, const char* file, int line) {
+  stream_ << file << ":" << line << ": CIRANK_CHECK failed: " << condition;
+}
+
+CheckFailer::~CheckFailer() {
+  std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace cirank

@@ -1,0 +1,69 @@
+// Invariant assertion macros. CIRANK_CHECK fires in every build mode;
+// CIRANK_DCHECK compiles to (almost) nothing under NDEBUG and is the
+// workhorse of the debug validators (ValidateGraph, ValidateJtt, the
+// branch-and-bound admissibility audit). Both support streaming extra
+// context:
+//
+//   CIRANK_CHECK(k > 0) << "k was " << k;
+//   CIRANK_DCHECK(score <= bound) << "Theorem 1 violated for " << key;
+#ifndef CIRANK_UTIL_CHECK_H_
+#define CIRANK_UTIL_CHECK_H_
+
+#include <sstream>
+
+namespace cirank {
+namespace internal_check {
+
+// Accumulates the failure message and aborts the process in its destructor.
+class CheckFailer {
+ public:
+  CheckFailer(const char* condition, const char* file, int line);
+  [[noreturn]] ~CheckFailer();
+
+  CheckFailer(const CheckFailer&) = delete;
+  CheckFailer& operator=(const CheckFailer&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the macro below swallow the streamed expression as a void statement
+// (the classic glog voidify trick, so CIRANK_CHECK works inside `if` without
+// braces and in comma expressions).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace cirank
+
+// Always-on invariant check; aborts with the condition text, source
+// location, and any streamed message when `condition` is false.
+#define CIRANK_CHECK(condition)                                         \
+  (condition) ? (void)0                                                 \
+              : ::cirank::internal_check::Voidify() &                   \
+                    ::cirank::internal_check::CheckFailer(              \
+                        #condition, __FILE__, __LINE__)                 \
+                        .stream()
+
+// Debug-only invariant check. Under NDEBUG the condition is not evaluated
+// (but still compiled, so variables it names stay "used" and the expression
+// cannot rot).
+#ifndef NDEBUG
+#define CIRANK_DCHECK(condition) CIRANK_CHECK(condition)
+#else
+#define CIRANK_DCHECK(condition) \
+  while (false) CIRANK_CHECK(condition)
+#endif
+
+// True when CIRANK_DCHECK is active; lets callers skip expensive
+// validation set-up (not just the check itself) in release builds.
+#ifndef NDEBUG
+#define CIRANK_DCHECK_IS_ON() 1
+#else
+#define CIRANK_DCHECK_IS_ON() 0
+#endif
+
+#endif  // CIRANK_UTIL_CHECK_H_

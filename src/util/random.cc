@@ -1,8 +1,9 @@
 #include "util/random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace cirank {
 
@@ -38,7 +39,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextUint(uint64_t n) {
-  assert(n > 0);
+  CIRANK_DCHECK(n > 0);
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (0ULL - n) % n;
   for (;;) {
@@ -48,7 +49,7 @@ uint64_t Rng::NextUint(uint64_t n) {
 }
 
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  CIRANK_DCHECK(lo <= hi);
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(NextUint(span));
 }
@@ -75,8 +76,8 @@ double Rng::NextGaussian() {
 Rng Rng::Fork() { return Rng(Next()); }
 
 ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
-  assert(n > 0);
-  assert(s >= 0.0);
+  CIRANK_DCHECK(n > 0);
+  CIRANK_DCHECK(s >= 0.0);
   cdf_.resize(n);
   double acc = 0.0;
   for (size_t r = 0; r < n; ++r) {
@@ -95,7 +96,7 @@ size_t ZipfSampler::Sample(Rng* rng) const {
 }
 
 double ZipfSampler::Pmf(size_t r) const {
-  assert(r < n_);
+  CIRANK_DCHECK(r < n_);
   double p = cdf_[r];
   if (r > 0) p -= cdf_[r - 1];
   return p;

@@ -1,6 +1,21 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace cirank {
+
+namespace internal_status {
+
+void CheckOkFailed(const char* expr, const char* file, int line,
+                   const Status& status) {
+  std::fprintf(stderr, "%s:%d: CIRANK_CHECK_OK failed: %s = %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_status
 
 namespace {
 

@@ -1,6 +1,12 @@
 // Status and Result<T>: exception-free error handling in the style of
 // RocksDB/Arrow. Functions that can fail return a Status (or a Result<T>
 // when they also produce a value); callers are expected to check `ok()`.
+//
+// Both types are [[nodiscard]]: silently dropping a Status or Result is a
+// compile-time warning (an error under the `werror` preset). Call sites must
+// consume the value, propagate it (CIRANK_RETURN_IF_ERROR /
+// CIRANK_ASSIGN_OR_RETURN), assert on it (CIRANK_CHECK_OK), or discard it
+// explicitly (CIRANK_IGNORE_ERROR).
 #ifndef CIRANK_UTIL_STATUS_H_
 #define CIRANK_UTIL_STATUS_H_
 
@@ -12,7 +18,7 @@
 namespace cirank {
 
 // A lightweight status object carrying an error code and a message.
-class Status {
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -46,21 +52,25 @@ class Status {
     return Status(Code::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
-  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
-  bool IsNotFound() const { return code_ == Code::kNotFound; }
-  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
-  bool IsFailedPrecondition() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
+    return code_ == Code::kInvalidArgument;
+  }
+  [[nodiscard]] bool IsNotFound() const { return code_ == Code::kNotFound; }
+  [[nodiscard]] bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  [[nodiscard]] bool IsFailedPrecondition() const {
     return code_ == Code::kFailedPrecondition;
   }
-  bool IsInternal() const { return code_ == Code::kInternal; }
-  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  [[nodiscard]] bool IsInternal() const { return code_ == Code::kInternal; }
+  [[nodiscard]] bool IsUnimplemented() const {
+    return code_ == Code::kUnimplemented;
+  }
 
   // Human-readable rendering, e.g. "InvalidArgument: k must be > 0".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
@@ -71,7 +81,7 @@ class Status {
 
 // Result<T> couples a Status with a value that is present iff ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error Status keeps call sites
   // terse: `return value;` / `return Status::NotFound(...)`.
@@ -80,18 +90,19 @@ class Result {
     assert(!status_.ok() && "Result(Status) requires an error status");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const& { return status_; }
+  [[nodiscard]] Status status() && { return std::move(status_); }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::move(*value_);
   }
@@ -101,9 +112,16 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  // Returns the value when ok, otherwise `fallback`.
-  T value_or(T fallback) const {
-    return ok() ? *value_ : std::move(fallback);
+  // Returns the value when ok, otherwise the fallback. Rvalue-aware overload
+  // pair consistent with std::optional::value_or: the lvalue overload copies
+  // the held value, the rvalue overload moves out of it.
+  template <typename U = T>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U = T>
+  [[nodiscard]] T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_) : static_cast<T>(std::forward<U>(fallback));
   }
 
  private:
@@ -111,11 +129,62 @@ class Result {
   std::optional<T> value_;
 };
 
+namespace internal_status {
+
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+// Prints "CHECK_OK failed: <expr> = <status>" to stderr and aborts.
+[[noreturn]] void CheckOkFailed(const char* expr, const char* file, int line,
+                                const Status& status);
+
+}  // namespace internal_status
+
+#define CIRANK_STATUS_CONCAT_IMPL(a, b) a##b
+#define CIRANK_STATUS_CONCAT(a, b) CIRANK_STATUS_CONCAT_IMPL(a, b)
+
 // Propagates a non-OK status to the caller.
 #define CIRANK_RETURN_IF_ERROR(expr)             \
   do {                                           \
-    ::cirank::Status _st = (expr);               \
-    if (!_st.ok()) return _st;                   \
+    ::cirank::Status _cirank_st = (expr);        \
+    if (!_cirank_st.ok()) return _cirank_st;     \
+  } while (false)
+
+// Evaluates `rexpr` (a Result<T> expression); on error returns its Status to
+// the caller, otherwise moves the value into `lhs` (which may be a new
+// declaration or an existing lvalue):
+//   CIRANK_ASSIGN_OR_RETURN(Graph graph, LoadGraphFromFile(path));
+#define CIRANK_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  CIRANK_ASSIGN_OR_RETURN_IMPL(                                           \
+      CIRANK_STATUS_CONCAT(_cirank_result_, __LINE__), lhs, rexpr)
+#define CIRANK_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return std::move(result).status();   \
+  lhs = std::move(result).value()
+
+// Aborts the process (with the status message) when `expr` is not OK.
+// Accepts Status or Result<T>; active in all build modes. Use where an error
+// is a programming bug rather than a recoverable condition.
+#define CIRANK_CHECK_OK(expr)                                                  \
+  do {                                                                         \
+    const auto& _cirank_ck_val = (expr);                                       \
+    const ::cirank::Status& _cirank_ck_st =                                    \
+        ::cirank::internal_status::ToStatus(_cirank_ck_val);                   \
+    if (!_cirank_ck_st.ok()) {                                                 \
+      ::cirank::internal_status::CheckOkFailed(#expr, __FILE__, __LINE__,      \
+                                               _cirank_ck_st);                 \
+    }                                                                          \
+  } while (false)
+
+// The only sanctioned way to drop a Status/Result on the floor. Grep-able,
+// and exempted by tools/lint.py.
+#define CIRANK_IGNORE_ERROR(expr)          \
+  do {                                     \
+    const auto& _cirank_ignored = (expr);  \
+    (void)_cirank_ignored;                 \
   } while (false)
 
 }  // namespace cirank

@@ -15,9 +15,9 @@ class CandidateTest : public ::testing::Test {
     // 0:"alpha", 1:"hub", 2:"beta", 3:"gamma", 4:"alpha beta"
     n_ = {b.AddNode(e, "alpha"), b.AddNode(e, "hub"), b.AddNode(e, "beta"),
           b.AddNode(e, "gamma"), b.AddNode(e, "alpha beta")};
-    (void)b.AddBidirectionalEdge(n_[0], n_[1], t, t);
-    (void)b.AddBidirectionalEdge(n_[1], n_[2], t, t);
-    (void)b.AddBidirectionalEdge(n_[1], n_[3], t, t);
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[0], n_[1], t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[1], n_[2], t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[1], n_[3], t, t));
     graph_ = b.Finalize();
     index_ = std::make_unique<InvertedIndex>(graph_);
     query_ = Query::Parse("alpha beta gamma");

@@ -1,0 +1,85 @@
+// Death tests for the invariant-check layer (util/check.h, CIRANK_CHECK_OK)
+// and for the debug validators' failure paths. CIRANK_DCHECK assertions only
+// fire in debug builds; the release-mode halves of these tests pin down the
+// opposite behavior (no abort, condition not evaluated).
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace cirank {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  CIRANK_CHECK(1 + 1 == 2);
+  CIRANK_CHECK(true) << "this message is never rendered";
+}
+
+TEST(CheckTest, FailingCheckAbortsWithConditionText) {
+  EXPECT_DEATH(CIRANK_CHECK(2 + 2 == 5), "CIRANK_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckTest, FailingCheckIncludesStreamedMessage) {
+  const int k = -3;
+  EXPECT_DEATH(CIRANK_CHECK(k > 0) << "k was " << k, "k was -3");
+}
+
+TEST(CheckTest, CheckWorksAsBracelessIfBody) {
+  // The voidify trick must keep the macro a single statement.
+  if (true)
+    CIRANK_CHECK(true) << "unused";
+  else
+    CIRANK_CHECK(false) << "not reached";
+}
+
+TEST(CheckTest, CheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  CIRANK_CHECK(++calls > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+#if CIRANK_DCHECK_IS_ON()
+
+TEST(DcheckTest, FiresInDebugBuilds) {
+  EXPECT_DEATH(CIRANK_DCHECK(false) << "debug invariant", "debug invariant");
+}
+
+TEST(DcheckTest, EvaluatesConditionInDebugBuilds) {
+  int calls = 0;
+  CIRANK_DCHECK(++calls > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+#else  // release: DCHECK is compiled but never evaluated
+
+TEST(DcheckTest, IsSilentInReleaseBuilds) {
+  CIRANK_DCHECK(false) << "must not abort in release";
+}
+
+TEST(DcheckTest, DoesNotEvaluateConditionInReleaseBuilds) {
+  int calls = 0;
+  CIRANK_DCHECK(++calls > 0);
+  EXPECT_EQ(calls, 0);
+}
+
+#endif  // CIRANK_DCHECK_IS_ON()
+
+TEST(CheckOkTest, OkStatusAndResultPass) {
+  CIRANK_CHECK_OK(Status::OK());
+  Result<int> r(7);
+  CIRANK_CHECK_OK(r);
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(CheckOkTest, NonOkStatusAborts) {
+  EXPECT_DEATH(CIRANK_CHECK_OK(Status::InvalidArgument("bad k")), "bad k");
+}
+
+TEST(CheckOkTest, NonOkResultAborts) {
+  Result<int> r = Status::NotFound("no such node");
+  EXPECT_DEATH(CIRANK_CHECK_OK(r), "no such node");
+}
+
+}  // namespace
+}  // namespace cirank

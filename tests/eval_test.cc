@@ -36,10 +36,10 @@ class OracleTest : public ::testing::Test {
     c_ = b.AddNode(e, "beta");
     m1_ = b.AddNode(e, "pop hub");
     m2_ = b.AddNode(e, "dull hub");
-    (void)b.AddBidirectionalEdge(a_, m1_, t, t);
-    (void)b.AddBidirectionalEdge(m1_, c_, t, t);
-    (void)b.AddBidirectionalEdge(a_, m2_, t, t);
-    (void)b.AddBidirectionalEdge(m2_, c_, t, t);
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(a_, m1_, t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(m1_, c_, t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(a_, m2_, t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(m2_, c_, t, t));
     ds_.graph = b.Finalize();
     ds_.true_popularity = {0.2, 0.2, 0.9, 0.1};
     ds_.star_entities = {m1_, m2_};
@@ -112,9 +112,9 @@ TEST_F(OracleTest, GroupRelevanceAcceptsSameNameSubstitutes) {
   NodeId wilson = b.AddNode(actor, "wilson cruz");
   NodeId charlie = b.AddNode(movie, "charlie wilson war");
   NodeId penelope = b.AddNode(actor, "penelope cruz");
-  (void)b.AddBidirectionalEdge(smith1, m, t, t2);
-  (void)b.AddBidirectionalEdge(smith2, m, t, t2);
-  (void)b.AddBidirectionalEdge(penelope, charlie, t, t2);
+  CIRANK_CHECK_OK(b.AddBidirectionalEdge(smith1, m, t, t2));
+  CIRANK_CHECK_OK(b.AddBidirectionalEdge(smith2, m, t, t2));
+  CIRANK_CHECK_OK(b.AddBidirectionalEdge(penelope, charlie, t, t2));
   Dataset ds;
   ds.graph = b.Finalize();
   ds.true_popularity.assign(ds.graph.num_nodes(), 0.1);

@@ -3,6 +3,20 @@
 #include <gtest/gtest.h>
 
 namespace cirank {
+
+// Friend of Graph (declared in graph.h): hands tests mutable references to
+// the private CSR arrays so they can corrupt an otherwise-valid graph and
+// prove ValidateGraph rejects it.
+struct GraphTestPeer {
+  static std::vector<size_t>& out_offsets(Graph& g) { return g.out_offsets_; }
+  static std::vector<Edge>& out_edges(Graph& g) { return g.out_edges_; }
+  static std::vector<size_t>& in_offsets(Graph& g) { return g.in_offsets_; }
+  static std::vector<Edge>& in_edges(Graph& g) { return g.in_edges_; }
+  static std::vector<double>& out_weight_sum(Graph& g) {
+    return g.out_weight_sum_;
+  }
+};
+
 namespace {
 
 class GraphTest : public ::testing::Test {
@@ -126,6 +140,91 @@ TEST_F(GraphTest, SampleNodesKeepsInducedEdges) {
                 1);
     }
   }
+}
+
+class GraphValidateTest : public GraphTest {
+ protected:
+  // Small graph with edges in both CSR directions: 0 <-> 1, 0 -> 2.
+  Graph MakeValidGraph() {
+    GraphBuilder b(schema_);
+    NodeId a = b.AddNode(entity_, "a");
+    NodeId c = b.AddNode(entity_, "c");
+    NodeId d = b.AddNode(entity_, "d");
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(a, c, fwd_, bwd_));
+    CIRANK_CHECK_OK(b.AddEdge(a, d, fwd_));
+    return b.Finalize();
+  }
+};
+
+TEST_F(GraphValidateTest, AcceptsFinalizedGraphs) {
+  Graph g = MakeValidGraph();
+  CIRANK_CHECK_OK(ValidateGraph(g));
+  GraphBuilder empty(schema_);
+  Graph e = empty.Finalize();
+  CIRANK_CHECK_OK(ValidateGraph(e));
+}
+
+TEST_F(GraphValidateTest, RejectsNonMonotoneOffsets) {
+  Graph g = MakeValidGraph();
+  auto& off = GraphTestPeer::out_offsets(g);
+  std::swap(off[1], off[2]);
+  Status st = ValidateGraph(g);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("not monotone"), std::string::npos);
+}
+
+TEST_F(GraphValidateTest, RejectsOffsetsNotCoveringEdges) {
+  Graph g = MakeValidGraph();
+  GraphTestPeer::out_offsets(g).back() += 1;
+  EXPECT_TRUE(ValidateGraph(g).IsInternal());
+}
+
+TEST_F(GraphValidateTest, RejectsOutOfRangeTarget) {
+  Graph g = MakeValidGraph();
+  GraphTestPeer::out_edges(g)[0].to = 99;
+  Status st = ValidateGraph(g);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("out of range"), std::string::npos);
+}
+
+TEST_F(GraphValidateTest, RejectsNonPositiveWeight) {
+  Graph g = MakeValidGraph();
+  GraphTestPeer::in_edges(g)[0].weight = -1.0;
+  Status st = ValidateGraph(g);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("finite-positive"), std::string::npos);
+}
+
+TEST_F(GraphValidateTest, RejectsUnsortedAdjacency) {
+  Graph g = MakeValidGraph();
+  // Node 0 has out-edges to 1 and 2; reversing breaks the binary-search
+  // invariant behind edge_weight.
+  auto& edges = GraphTestPeer::out_edges(g);
+  ASSERT_GE(edges.size(), 2u);
+  std::swap(edges[0], edges[1]);
+  Status st = ValidateGraph(g);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("sorted"), std::string::npos);
+}
+
+TEST_F(GraphValidateTest, RejectsBrokenMirror) {
+  Graph g = MakeValidGraph();
+  // Double every out-edge weight so the in-side mirrors disagree.
+  auto& edges = GraphTestPeer::out_edges(g);
+  for (Edge& e : edges) e.weight *= 2.0;
+  // Also fix the cached sums so the mirror check is what fires.
+  for (double& s : GraphTestPeer::out_weight_sum(g)) s *= 2.0;
+  Status st = ValidateGraph(g);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("no matching in-edge"), std::string::npos);
+}
+
+TEST_F(GraphValidateTest, RejectsStaleWeightSumCache) {
+  Graph g = MakeValidGraph();
+  GraphTestPeer::out_weight_sum(g)[0] += 0.5;
+  Status st = ValidateGraph(g);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("out_weight_sum"), std::string::npos);
 }
 
 }  // namespace

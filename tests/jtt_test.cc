@@ -3,6 +3,20 @@
 #include <gtest/gtest.h>
 
 namespace cirank {
+
+// Friend of Jtt (declared in jtt.h): exposes the private tree state so tests
+// can corrupt a valid JTT and prove ValidateJtt rejects it.
+struct JttTestPeer {
+  static NodeId& root(Jtt& t) { return t.root_; }
+  static std::vector<NodeId>& nodes(Jtt& t) { return t.nodes_; }
+  static std::vector<std::pair<NodeId, NodeId>>& edges(Jtt& t) {
+    return t.edges_;
+  }
+  static std::vector<std::vector<uint32_t>>& adjacency(Jtt& t) {
+    return t.adjacency_;
+  }
+};
+
 namespace {
 
 class JttTest : public ::testing::Test {
@@ -16,10 +30,10 @@ class JttTest : public ::testing::Test {
     n_ = {b.AddNode(e, "alpha"), b.AddNode(e, "free hub"),
           b.AddNode(e, "beta"), b.AddNode(e, "gamma"),
           b.AddNode(e, "alpha beta")};
-    (void)b.AddBidirectionalEdge(n_[0], n_[1], t, t);
-    (void)b.AddBidirectionalEdge(n_[1], n_[2], t, t);
-    (void)b.AddBidirectionalEdge(n_[1], n_[3], t, t);
-    (void)b.AddBidirectionalEdge(n_[3], n_[4], t, t);
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[0], n_[1], t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[1], n_[2], t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[1], n_[3], t, t));
+    CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[3], n_[4], t, t));
     graph_ = b.Finalize();
     index_ = std::make_unique<InvertedIndex>(graph_);
   }
@@ -150,6 +164,90 @@ TEST_F(JttTest, ToStringMentionsNodeText) {
   std::string s = t->ToString(graph_);
   EXPECT_NE(s.find("free hub"), std::string::npos);
   EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST_F(JttTest, ValidateAcceptsWellFormedTrees) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(t.ok());
+  CIRANK_CHECK_OK(ValidateJtt(*t));
+  CIRANK_CHECK_OK(ValidateJtt(Jtt(n_[0])));
+}
+
+TEST_F(JttTest, ValidateRejectsEmptyTree) {
+  Jtt empty;
+  EXPECT_TRUE(ValidateJtt(empty).IsFailedPrecondition());
+}
+
+TEST_F(JttTest, ValidateRejectsForeignRoot) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}});
+  ASSERT_TRUE(t.ok());
+  JttTestPeer::root(*t) = n_[4];  // not a tree node
+  Status st = ValidateJtt(*t);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("root"), std::string::npos);
+}
+
+TEST_F(JttTest, ValidateRejectsUnsortedNodeList) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}});
+  ASSERT_TRUE(t.ok());
+  auto& nodes = JttTestPeer::nodes(*t);
+  std::swap(nodes.front(), nodes.back());
+  EXPECT_TRUE(ValidateJtt(*t).IsInternal());
+}
+
+TEST_F(JttTest, ValidateRejectsEdgeCountMismatch) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(t.ok());
+  JttTestPeer::edges(*t).pop_back();
+  Status st = ValidateJtt(*t);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("|nodes| - 1"), std::string::npos);
+}
+
+TEST_F(JttTest, ValidateRejectsAdjacencyOutOfSyncWithEdges) {
+  auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(t.ok());
+  JttTestPeer::adjacency(*t)[0].clear();  // drop n0's stub of edge n1 -- n0
+  Status st = ValidateJtt(*t);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("adjacency"), std::string::npos);
+}
+
+TEST_F(JttTest, ValidateRejectsCycleWithDisconnectedNode) {
+  // Start from the chain n0 - n1 - n3 - n4 and rewire it into a 3-cycle
+  // {n1, n3, n4} plus an isolated n0, keeping |edges| == |nodes| - 1 and a
+  // consistent adjacency. Only root reachability can catch this.
+  auto t = Jtt::Create(n_[1],
+                       {{n_[1], n_[0]}, {n_[1], n_[3]}, {n_[3], n_[4]}});
+  ASSERT_TRUE(t.ok());
+  // Sorted node order is [n0, n1, n3, n4] -> indices 0..3.
+  JttTestPeer::edges(*t) = {{n_[1], n_[3]}, {n_[3], n_[4]}, {n_[4], n_[1]}};
+  JttTestPeer::adjacency(*t) = {{}, {2, 3}, {1, 3}, {2, 1}};
+  Status st = ValidateJtt(*t);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("disconnected"), std::string::npos);
+}
+
+TEST_F(JttTest, ValidateWithQueryEnforcesAnswerShape) {
+  Query q = Query::Parse("alpha beta");
+  auto good = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
+  ASSERT_TRUE(good.ok());
+  CIRANK_CHECK_OK(ValidateJtt(*good, q, *index_));
+
+  // Same tree, but "gamma" is nowhere in it: coverage fails.
+  Status uncovered =
+      ValidateJtt(*good, Query::Parse("alpha gamma beta"), *index_);
+  EXPECT_TRUE(uncovered.IsFailedPrecondition());
+  EXPECT_NE(uncovered.message().find("cover"), std::string::npos);
+
+  // alpha -- hub("free hub") -- gamma covers "alpha free", but the gamma
+  // leaf matches no keyword: Definition 3 fails.
+  auto free_leaf = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[3]}});
+  ASSERT_TRUE(free_leaf.ok());
+  Status unreduced = ValidateJtt(*free_leaf, Query::Parse("alpha free"),
+                                 *index_);
+  EXPECT_TRUE(unreduced.IsFailedPrecondition());
+  EXPECT_NE(unreduced.message().find("Definition 3"), std::string::npos);
 }
 
 }  // namespace

@@ -50,8 +50,8 @@ TEST(EnumerateAnswersTest, FindsShortestConnections) {
   NodeId a = builder.AddNode(e, "alpha");
   NodeId m = builder.AddNode(e, "middle");
   NodeId c = builder.AddNode(e, "beta");
-  (void)builder.AddBidirectionalEdge(a, m, t, t);
-  (void)builder.AddBidirectionalEdge(m, c, t, t);
+  CIRANK_CHECK_OK(builder.AddBidirectionalEdge(a, m, t, t));
+  CIRANK_CHECK_OK(builder.AddBidirectionalEdge(m, c, t, t));
   ScorerBundle b = MakeScorerBundle(builder.Finalize());
 
   Query q = Query::Parse("alpha beta");

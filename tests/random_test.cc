@@ -93,7 +93,9 @@ TEST(ZipfTest, PmfSumsToOneAndIsMonotone) {
   double sum = 0.0;
   for (size_t r = 0; r < 100; ++r) {
     sum += z.Pmf(r);
-    if (r > 0) EXPECT_LE(z.Pmf(r), z.Pmf(r - 1) + 1e-15);
+    if (r > 0) {
+      EXPECT_LE(z.Pmf(r), z.Pmf(r - 1) + 1e-15);
+    }
   }
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }

@@ -106,7 +106,7 @@ TEST(RwmpModelTest, EmissionUsesMatchedFraction) {
   GraphBuilder b(schema);
   NodeId a = b.AddNode(e, "foo bar baz quux");
   NodeId c = b.AddNode(e, "foo");
-  (void)b.AddBidirectionalEdge(a, c, t, t);
+  CIRANK_CHECK_OK(b.AddBidirectionalEdge(a, c, t, t));
   Graph graph = b.Finalize();
   InvertedIndex index(graph);
 

@@ -46,8 +46,8 @@ inline Graph MakeRandomGraph(uint64_t seed, size_t num_nodes,
   // A spanning chain keeps the graph connected, then random extra edges.
   for (size_t i = 1; i < num_nodes; ++i) {
     NodeId prev = static_cast<NodeId>(rng.NextUint(i));
-    (void)builder.AddBidirectionalEdge(static_cast<NodeId>(i), prev, fwd,
-                                       bwd);
+    CIRANK_CHECK_OK(builder.AddBidirectionalEdge(static_cast<NodeId>(i),
+                                                 prev, fwd, bwd));
   }
   const size_t extra = static_cast<size_t>(
       num_nodes * (avg_degree / 2.0 > 1.0 ? avg_degree / 2.0 - 1.0 : 0.0));
@@ -55,7 +55,7 @@ inline Graph MakeRandomGraph(uint64_t seed, size_t num_nodes,
     NodeId a = static_cast<NodeId>(rng.NextUint(num_nodes));
     NodeId b = static_cast<NodeId>(rng.NextUint(num_nodes));
     if (a == b) continue;
-    (void)builder.AddBidirectionalEdge(a, b, fwd, bwd);
+    CIRANK_CHECK_OK(builder.AddBidirectionalEdge(a, b, fwd, bwd));
   }
   return builder.Finalize();
 }

@@ -10,7 +10,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   // Busy-wait a tiny bit.
   volatile uint64_t x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  for (int i = 0; i < 100000; ++i) x = x + i;
   EXPECT_GT(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3 * 0.5);
   EXPECT_GE(t.ElapsedMicros(), 0);
