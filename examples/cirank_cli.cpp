@@ -12,6 +12,15 @@
 //   --k N                   answers per query (default 5)
 //   --diameter D            answer-tree diameter limit (default 4)
 //   --no-index              disable the star index
+//   --threads N             parallel search workers (default 1 = serial);
+//                           N > 1 shares each query's candidate frontier
+//                           across a worker pool, returning identical answers
+//   --cache N               LRU query-result cache capacity (default 1024;
+//                           0 disables). With the cache on, repeating a
+//                           query is served memoized and the CLI reports
+//                           cache counters instead of expansion stats;
+//                           --threads > 1 bypasses the cache (the parallel
+//                           path always searches fresh and reports stats)
 // Queries are read line by line from stdin; empty line or EOF quits.
 #include <cstdio>
 #include <cstring>
@@ -19,6 +28,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "core/parallel_search.h"
 #include "datasets/dblp_gen.h"
 #include "datasets/imdb_gen.h"
 #include "graph/serialize.h"
@@ -37,6 +47,8 @@ struct CliOptions {
   int k = 5;
   uint32_t diameter = 4;
   bool use_index = true;
+  int threads = 1;
+  size_t cache_capacity = 1024;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -71,6 +83,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->diameter = static_cast<uint32_t>(std::atoi(v));
     } else if (arg == "--no-index") {
       opts->use_index = false;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opts->threads = std::atoi(v);
+      if (opts->threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) {
+        std::fprintf(stderr, "--cache must be >= 0\n");
+        return false;
+      }
+      opts->cache_capacity = static_cast<size_t>(n);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -127,7 +156,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto engine = CiRankEngine::Build(*graph);
+  CiRankOptions engine_opts;
+  engine_opts.cache.capacity = opts.cache_capacity;
+  auto engine = CiRankEngine::Build(*graph, engine_opts);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed: %s\n",
                  engine.status().ToString().c_str());
@@ -143,9 +174,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("ready: %zu nodes, %zu edges, %s star index (%.1f s setup)\n",
+  std::printf("ready: %zu nodes, %zu edges, %s star index, %d thread%s, "
+              "cache %zu (%.1f s setup)\n",
               graph->num_nodes(), graph->num_edges(),
-              index.ok() ? "with" : "without",
+              index.ok() ? "with" : "without", opts.threads,
+              opts.threads == 1 ? "" : "s", opts.cache_capacity,
               setup_timer.ElapsedSeconds());
   std::printf("type keywords (empty line quits):\n");
 
@@ -156,23 +189,41 @@ int main(int argc, char** argv) {
     Query query = Query::Parse(line);
     if (query.empty()) continue;
 
-    SearchOptions sopts;
-    sopts.k = opts.k;
-    sopts.max_diameter = opts.diameter;
-    sopts.max_expansions = 500000;
-    if (index.ok()) sopts.bounds = &index.value();
+    SearchOverrides overrides;
+    overrides.k = opts.k;
+    overrides.max_diameter = opts.diameter;
+    overrides.max_expansions = 500000;
+    if (index.ok()) overrides.bounds = &index.value();
 
+    // With the cache on, requesting SearchStats would force a fresh search
+    // (a memoized result has no stats to report), so repeated queries go
+    // through the cacheable entry point and report cache counters instead.
+    const bool want_stats = opts.threads > 1 || opts.cache_capacity == 0;
     Timer t;
     SearchStats stats;
-    auto answers = engine->Search(query, sopts, &stats);
+    auto answers =
+        opts.threads > 1
+            ? ParallelBnbSearch(engine->scorer(), query,
+                                engine->EffectiveOptions(overrides),
+                                {opts.threads}, &stats)
+            : engine->Search(query, overrides,
+                             want_stats ? &stats : nullptr);
     if (!answers.ok()) {
       std::printf("  error: %s\n", answers.status().ToString().c_str());
       continue;
     }
-    std::printf("  %zu answers in %.3f s (%lld candidates expanded%s)\n",
-                answers->size(), t.ElapsedSeconds(),
-                static_cast<long long>(stats.popped),
-                stats.budget_exhausted ? ", budget hit" : "");
+    if (want_stats) {
+      std::printf("  %zu answers in %.3f s (%lld candidates expanded%s)\n",
+                  answers->size(), t.ElapsedSeconds(),
+                  static_cast<long long>(stats.popped),
+                  stats.budget_exhausted ? ", budget hit" : "");
+    } else {
+      QueryCacheStats cs = engine->cache_stats();
+      std::printf("  %zu answers in %.3f s (cache: %llu hits / %llu misses)\n",
+                  answers->size(), t.ElapsedSeconds(),
+                  static_cast<unsigned long long>(cs.hits),
+                  static_cast<unsigned long long>(cs.misses));
+    }
     for (size_t i = 0; i < answers->size(); ++i) {
       std::printf("  #%zu score=%.5g %s\n", i + 1, (*answers)[i].score,
                   (*answers)[i].tree.ToString(*graph).c_str());

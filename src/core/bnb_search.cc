@@ -7,50 +7,10 @@
 #include <set>
 #include <string>
 
+#include "core/topk.h"
 #include "util/check.h"
 
 namespace cirank {
-
-namespace {
-
-// Identity of a candidate inside the search: the root matters because the
-// same underlying tree rooted differently offers different expansions.
-std::string CandidateKey(const Candidate& c) {
-  return std::to_string(c.root()) + "|" + c.tree.CanonicalKey();
-}
-
-// Maintains the current top-k answers, deduplicated by canonical tree key.
-class TopKAnswers {
- public:
-  explicit TopKAnswers(size_t k) : k_(k) {}
-
-  // Returns true when the answer is new (not a duplicate tree).
-  bool Offer(const Jtt& tree, double score) {
-    std::string key = tree.CanonicalKey();
-    if (!seen_.insert(std::move(key)).second) return false;
-    answers_.push_back(RankedAnswer{tree, score});
-    std::sort(answers_.begin(), answers_.end(),
-              [](const RankedAnswer& a, const RankedAnswer& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.tree.CanonicalKey() < b.tree.CanonicalKey();
-              });
-    if (answers_.size() > k_) answers_.resize(k_);
-    return true;
-  }
-
-  bool Full() const { return answers_.size() >= k_; }
-  double MinScore() const {
-    return answers_.empty() ? 0.0 : answers_.back().score;
-  }
-  std::vector<RankedAnswer> Take() { return std::move(answers_); }
-
- private:
-  size_t k_;
-  std::vector<RankedAnswer> answers_;
-  std::set<std::string> seen_;
-};
-
-}  // namespace
 
 Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     const TreeScorer& scorer, const Query& query, const SearchOptions& options,
@@ -100,18 +60,6 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     return 1e-9 * std::max(1.0, std::abs(bound));
   };
 
-  auto non_root_leaves = [](const Candidate& c) {
-    if (c.tree.size() <= 1) return 0u;
-    uint32_t leaves = 0;
-    const size_t root_index = c.tree.IndexOf(c.root());
-    for (size_t i = 0; i < c.tree.size(); ++i) {
-      if (i != root_index && c.tree.NeighborIndices(i).size() == 1) {
-        ++leaves;
-      }
-    }
-    return leaves;
-  };
-
   // Admits a candidate: dedup, score if complete answer, enqueue, register.
   // `ancestor_bound` is the audit chain bound inherited from the candidate's
   // grow/merge parents (kInf for seeds).
@@ -126,12 +74,17 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     const double chain_bound = std::min(ancestor_bound, c.upper_bound);
 
     if (c.IsComplete(all) && c.tree.IsReduced(query, index)) {
-      TreeScore ts = scorer.Score(c.tree, query);
+      // Scoring runs on the canonical representative so the stored answer
+      // (and its floating-point score) does not depend on which derivation
+      // reached this tree first — a precondition for the byte-identical
+      // guarantee shared with ParallelBnbSearch.
+      Jtt canon = c.tree.Canonicalized();
+      TreeScore ts = scorer.Score(canon, query);
       CIRANK_DCHECK(ts.score <= chain_bound + audit_slack(chain_bound))
           << "Theorem 1 admissibility violated: emitted tree "
-          << c.tree.CanonicalKey() << " scores " << ts.score
+          << canon.CanonicalKey() << " scores " << ts.score
           << " above its derivation-chain bound " << chain_bound;
-      if (answers.Offer(c.tree, ts.score)) ++st.answers_found;
+      if (answers.Offer(std::move(canon), ts.score)) ++st.answers_found;
     }
 
     arena.push_back(std::move(c));
@@ -141,7 +94,7 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
       queue.push({arena[idx].upper_bound, idx});
     }
     by_root[arena[idx].root()].push_back(RegistryEntry{
-        idx, non_root_leaves(arena[idx]), arena[idx].covered});
+        idx, NonRootLeafCount(arena[idx]), arena[idx].covered});
     return true;
   };
 
@@ -155,7 +108,7 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
       const size_t idx = worklist.back();
       worklist.pop_back();
       const NodeId root = arena[idx].root();
-      const uint32_t my_leaves = non_root_leaves(arena[idx]);
+      const uint32_t my_leaves = NonRootLeafCount(arena[idx]);
       const KeywordMask my_mask = arena[idx].covered;
       // Snapshot: admit() may grow the registry while we iterate.
       std::vector<RegistryEntry> partners = by_root[root];
@@ -204,8 +157,12 @@ Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     queue.pop();
     if (ub < arena[idx].upper_bound) continue;  // stale (should not happen)
 
-    // Stopping rule (lines 9-11): nothing left can beat the k-th answer.
-    if (answers.Full() && ub <= answers.MinScore()) {
+    // Stopping rule (lines 9-11): nothing left can beat — or canonically
+    // displace a tie with — the k-th answer. The inequality is strict so
+    // candidates tying with the k-th score are still expanded; that makes
+    // the output independent of expansion order (see bnb_search.h).
+    if (answers.Full() && ub < answers.MinScore()) {
+      st.max_pruned_bound = std::max(st.max_pruned_bound, ub);
       st.proven_optimal = true;
       break;
     }

@@ -44,11 +44,23 @@ struct SearchStats {
   int64_t answers_found = 0;   // distinct complete answers scored
   bool budget_exhausted = false;
   bool proven_optimal = false;
+  // Largest upper bound ever discarded by the stopping rule (0 when nothing
+  // was pruned). By Lemma 1 every answer derivable from a pruned candidate
+  // scores at most this, so admissibility demands it stay strictly below
+  // the k-th returned score; the property test asserts exactly that.
+  double max_pruned_bound = 0.0;
 };
 
-// Runs Algorithm 1. Returns answers sorted by descending score (ties broken
-// deterministically). Fails on empty queries, queries with more than 31
-// keywords, or non-positive k.
+// Runs Algorithm 1. Returns answers sorted by descending score, ties broken
+// by ascending canonical tree key. Candidates are pruned only when their
+// upper bound is strictly below the current k-th score, which makes the
+// result a canonical function of (scorer, query, options) — independent of
+// expansion order — whenever the expansion budget is not hit: every answer
+// tying with the k-th score is found, so the (score, canonical key) order
+// is total over the candidates for the last slots. ParallelBnbSearch
+// (parallel_search.h) returns byte-identical results for the same reason.
+// Fails on empty queries, queries with more than 31 keywords, or
+// non-positive k.
 [[nodiscard]] Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     const TreeScorer& scorer, const Query& query, const SearchOptions& options,
     SearchStats* stats = nullptr);

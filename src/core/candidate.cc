@@ -63,6 +63,18 @@ Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
   return merged;
 }
 
+uint32_t NonRootLeafCount(const Candidate& c) {
+  if (c.tree.size() <= 1) return 0;
+  uint32_t leaves = 0;
+  const size_t root_index = c.tree.IndexOf(c.root());
+  for (size_t i = 0; i < c.tree.size(); ++i) {
+    if (i != root_index && c.tree.NeighborIndices(i).size() == 1) {
+      ++leaves;
+    }
+  }
+  return leaves;
+}
+
 bool IsViableCandidate(const Candidate& c, const Query& query,
                        const InvertedIndex& index) {
   if (c.tree.size() == 1) {

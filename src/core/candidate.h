@@ -48,6 +48,11 @@ Candidate GrowCandidate(const Candidate& c, NodeId new_root,
 [[nodiscard]] Result<Candidate> MergeCandidates(const Candidate& a, const Candidate& b,
                                   bool strict_coverage_growth = false);
 
+// Number of degree-1 nodes of `c` other than its root. Both searches use
+// this as the cheap merge pre-filter: a merged tree keeps both sides'
+// non-root leaves, so the counts must fit within |Q|.
+uint32_t NonRootLeafCount(const Candidate& c);
+
 // A candidate can still expand into a valid answer only if its non-root
 // degree-1 nodes (which can never gain edges -- only the root does) are
 // matchable to distinct query keywords. Every rooted subtree of a valid

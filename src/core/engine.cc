@@ -1,6 +1,60 @@
 #include "core/engine.h"
 
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "core/parallel_search.h"
+#include "util/check.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
 namespace cirank {
+
+namespace {
+
+// Cache values are shared_ptr so a hit can be returned while a concurrent
+// Clear() (feedback invalidation) drops the shard's copy.
+using CachedAnswers = std::shared_ptr<const std::vector<RankedAnswer>>;
+
+// The cache key must pin down everything the result depends on besides the
+// model itself: normalized keywords plus the full search configuration.
+// Model changes are handled by invalidation, not by the key.
+std::string CacheKey(const Query& query, const SearchOptions& options) {
+  std::ostringstream key;
+  for (const std::string& k : query.keywords) key << k << ' ';
+  key << "|k=" << options.k << "|d=" << options.max_diameter
+      << "|x=" << options.max_expansions << "|s=" << options.strict_merge_rule
+      << "|b=" << static_cast<const void*>(options.bounds);
+  return std::move(key).str();
+}
+
+}  // namespace
+
+// Mutable serving-time state, split from the immutable model so the engine
+// can stay const-correct: Search() is const yet touches the cache, and
+// feedback accumulates across calls.
+struct CiRankEngine::Serving {
+  Serving(size_t num_nodes, const QueryCacheOptions& cache_options)
+      : cache(cache_options.capacity, cache_options.shards),
+        feedback(num_nodes) {}
+
+  ShardedLruCache<std::string, CachedAnswers> cache;
+
+  std::mutex feedback_mu;
+  FeedbackModel feedback;
+
+  // Incremented around every model read during a search; RebuildFromFeedback
+  // refuses to run while nonzero. This is a guard rail against API misuse,
+  // not a lock: the caller owns quiescence.
+  std::atomic<int64_t> active_searches{0};
+};
+
+CiRankEngine::CiRankEngine() = default;
+CiRankEngine::CiRankEngine(CiRankEngine&&) noexcept = default;
+CiRankEngine& CiRankEngine::operator=(CiRankEngine&&) noexcept = default;
+CiRankEngine::~CiRankEngine() = default;
 
 Result<CiRankEngine> CiRankEngine::Build(const Graph& graph,
                                          const CiRankOptions& options) {
@@ -19,18 +73,154 @@ Result<CiRankEngine> CiRankEngine::Build(const Graph& graph,
   engine.model_ = std::make_unique<RwmpModel>(std::move(model));
   engine.scorer_ =
       std::make_unique<TreeScorer>(*engine.model_, *engine.index_);
+  engine.serving_ =
+      std::make_unique<Serving>(graph.num_nodes(), options.cache);
   return engine;
+}
+
+SearchOptions CiRankEngine::EffectiveOptions(
+    const SearchOverrides& overrides) const {
+  SearchOptions merged = options_.search;
+  if (overrides.k.has_value()) merged.k = *overrides.k;
+  if (overrides.max_diameter.has_value()) {
+    merged.max_diameter = *overrides.max_diameter;
+  }
+  if (overrides.max_expansions.has_value()) {
+    merged.max_expansions = *overrides.max_expansions;
+  }
+  if (overrides.strict_merge_rule.has_value()) {
+    merged.strict_merge_rule = *overrides.strict_merge_rule;
+  }
+  if (overrides.bounds != nullptr) merged.bounds = overrides.bounds;
+  return merged;
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::Search(
     const Query& query, SearchStats* stats) const {
-  return Search(query, options_.search, stats);
+  return CachedSearch(query, options_.search, /*use_cache=*/true, stats);
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::Search(
     const Query& query, const SearchOptions& options,
     SearchStats* stats) const {
-  return BranchAndBoundSearch(*scorer_, query, options, stats);
+  serving_->active_searches.fetch_add(1, std::memory_order_acq_rel);
+  auto result = BranchAndBoundSearch(*scorer_, query, options, stats);
+  serving_->active_searches.fetch_sub(1, std::memory_order_acq_rel);
+  return result;
+}
+
+Result<std::vector<RankedAnswer>> CiRankEngine::Search(
+    const Query& query, const SearchOverrides& overrides,
+    SearchStats* stats) const {
+  return CachedSearch(query, EffectiveOptions(overrides), /*use_cache=*/true,
+                      stats);
+}
+
+Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
+    const Query& query, const SearchOptions& options, bool use_cache,
+    SearchStats* stats) const {
+  // A cached result carries no SearchStats, so stats-requesting callers are
+  // served (and measured) fresh; their result still refreshes the cache.
+  const bool cacheable = use_cache && serving_->cache.enabled();
+  std::string key;
+  if (cacheable) {
+    key = CacheKey(query, options);
+    if (stats == nullptr) {
+      if (auto hit = serving_->cache.Get(key); hit.has_value()) {
+        return **hit;
+      }
+    }
+  }
+  CIRANK_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
+                          Search(query, options, stats));
+  if (cacheable) {
+    serving_->cache.Put(
+        std::move(key),
+        std::make_shared<const std::vector<RankedAnswer>>(answers));
+  }
+  return answers;
+}
+
+std::vector<Result<std::vector<RankedAnswer>>> CiRankEngine::SearchBatch(
+    const std::vector<Query>& queries,
+    const BatchSearchOptions& options) const {
+  const SearchOptions merged = EffectiveOptions(options.overrides);
+  std::vector<Result<std::vector<RankedAnswer>>> results(
+      queries.size(),
+      Result<std::vector<RankedAnswer>>(
+          Status::Internal("batch entry not filled")));
+  if (queries.empty()) return results;
+
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(queries.size(), [&](size_t i) {
+    results[i] =
+        CachedSearch(queries[i], merged, options.use_cache, /*stats=*/nullptr);
+  });
+  return results;
+}
+
+Status CiRankEngine::RecordFeedback(const std::vector<NodeId>& matched_nodes,
+                                    const std::vector<NodeId>& connector_nodes,
+                                    double weight) {
+  {
+    std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+    CIRANK_RETURN_IF_ERROR(
+        serving_->feedback.RecordAnswer(matched_nodes, connector_nodes,
+                                        weight));
+  }
+  // Clicks shift what the engine *should* return (once rebuilt), so memoized
+  // results are no longer trustworthy snapshots.
+  serving_->cache.Clear();
+  return Status::OK();
+}
+
+Status CiRankEngine::RecordClick(NodeId v, double weight) {
+  {
+    std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+    CIRANK_RETURN_IF_ERROR(serving_->feedback.RecordClick(v, weight));
+  }
+  serving_->cache.Clear();
+  return Status::OK();
+}
+
+double CiRankEngine::FeedbackClicks(NodeId v) const {
+  std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+  if (v >= serving_->feedback.num_nodes()) return 0.0;
+  return serving_->feedback.clicks(v);
+}
+
+Status CiRankEngine::RebuildFromFeedback(const FeedbackOptions& options) {
+  if (serving_->active_searches.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "RebuildFromFeedback requires quiesced search traffic");
+  }
+  std::vector<double> teleport;
+  {
+    std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+    CIRANK_ASSIGN_OR_RETURN(teleport,
+                            serving_->feedback.TeleportVector(options));
+  }
+  PageRankOptions pr_options = options_.pagerank;
+  pr_options.teleport_vector = std::move(teleport);
+  CIRANK_ASSIGN_OR_RETURN(PageRankResult pr,
+                          ComputePageRank(*graph_, pr_options));
+  CIRANK_ASSIGN_OR_RETURN(
+      RwmpModel model,
+      RwmpModel::Create(*graph_, std::move(pr.scores), options_.rwmp));
+  // Assign into the existing object: scorer_ holds a reference to *model_,
+  // which stays valid across the swap.
+  *model_ = std::move(model);
+  serving_->cache.Clear();
+  return Status::OK();
+}
+
+QueryCacheStats CiRankEngine::cache_stats() const {
+  QueryCacheStats stats;
+  stats.hits = serving_->cache.hits();
+  stats.misses = serving_->cache.misses();
+  stats.invalidations = serving_->cache.invalidations();
+  stats.entries = serving_->cache.size();
+  return stats;
 }
 
 }  // namespace cirank

@@ -1,18 +1,31 @@
 // CiRankEngine: the public entry point of the library. Owns the derived
 // state for one data graph (inverted index, PageRank importance, RWMP
-// model) and serves top-k keyword queries.
+// model) and serves top-k keyword queries — single, batched across a
+// thread pool, and memoized through a sharded LRU result cache that user
+// feedback invalidates.
 //
 // Typical use:
 //   Graph graph = ...;                       // build via GraphBuilder
 //   auto engine = CiRankEngine::Build(graph);
 //   auto answers = engine->Search(Query::Parse("papakonstantinou ullman"));
+//   auto batch = engine->SearchBatch(queries, {.num_threads = 8});
+//
+// Thread-safety: after Build, Search / SearchBatch / RecordFeedback /
+// RecordClick may be called concurrently from any number of threads.
+// RebuildFromFeedback mutates the model in place and requires the caller to
+// quiesce search traffic first (it fails rather than race when it can see
+// searches in flight).
 #ifndef CIRANK_CORE_ENGINE_H_
 #define CIRANK_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/bnb_search.h"
+#include "core/feedback.h"
 #include "core/naive_search.h"
 #include "core/rwmp.h"
 #include "core/scorer.h"
@@ -22,10 +35,50 @@
 
 namespace cirank {
 
+struct QueryCacheOptions {
+  // Total cached query results across shards; 0 disables the cache.
+  size_t capacity = 1024;
+  size_t shards = 8;
+};
+
 struct CiRankOptions {
   RwmpParams rwmp;          // alpha and g (Eq. 2)
   PageRankOptions pagerank;  // teleport constant etc. (Eq. 1)
   SearchOptions search;      // defaults for Search() calls
+  QueryCacheOptions cache;   // query-result cache sizing
+};
+
+// Per-call overrides that are merged over the engine's default
+// SearchOptions: only fields the caller explicitly sets replace the
+// defaults. This is the explicit answer to the footgun where passing a
+// default-constructed SearchOptions silently replaced every engine default
+// (k back to 10, diameter back to 4, index bounds dropped).
+struct SearchOverrides {
+  std::optional<int> k;
+  std::optional<uint32_t> max_diameter;
+  std::optional<int64_t> max_expansions;
+  std::optional<bool> strict_merge_rule;
+  // Non-null replaces the engine default's bound provider.
+  const PairwiseBoundProvider* bounds = nullptr;
+};
+
+struct BatchSearchOptions {
+  // Worker threads the batch is spread over (one query per task); values
+  // < 1 are clamped to 1.
+  int num_threads = 1;
+  // Consult and fill the engine's query-result cache (no-op when the
+  // engine was built with cache capacity 0).
+  bool use_cache = true;
+  // Merged over the engine's default SearchOptions for every query.
+  SearchOverrides overrides;
+};
+
+// Snapshot of the query-result cache counters.
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  size_t entries = 0;
 };
 
 class CiRankEngine {
@@ -35,17 +88,59 @@ class CiRankEngine {
   [[nodiscard]] static Result<CiRankEngine> Build(const Graph& graph,
                                     const CiRankOptions& options = {});
 
-  CiRankEngine(CiRankEngine&&) = default;
-  CiRankEngine& operator=(CiRankEngine&&) = default;
+  CiRankEngine(CiRankEngine&&) noexcept;
+  CiRankEngine& operator=(CiRankEngine&&) noexcept;
+  ~CiRankEngine();
 
-  // Top-k search with the engine's default options.
+  // Top-k search with the engine's default options. Served from the query
+  // cache when possible (callers needing SearchStats bypass the cache, as
+  // a memoized result has no stats to report).
   [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
                                            SearchStats* stats = nullptr) const;
 
-  // Top-k search with explicit per-call options.
+  // Top-k search with explicit per-call options replacing every engine
+  // default (never cached: the caller owns the exact configuration).
   [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
                                            const SearchOptions& options,
                                            SearchStats* stats = nullptr) const;
+
+  // Top-k search with per-call overrides merged over the engine defaults.
+  [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
+                                           const SearchOverrides& overrides,
+                                           SearchStats* stats = nullptr) const;
+
+  // The explicit merge rule used by the override-based entry points,
+  // exposed for callers that want to inspect the effective configuration.
+  [[nodiscard]] SearchOptions EffectiveOptions(
+      const SearchOverrides& overrides) const;
+
+  // Serves a batch of queries across `options.num_threads` pool workers,
+  // consulting the query cache per query. Entry i of the returned vector
+  // is query i's result; per-query failures (e.g. an empty query) do not
+  // affect the other entries.
+  [[nodiscard]] std::vector<Result<std::vector<RankedAnswer>>> SearchBatch(
+      const std::vector<Query>& queries,
+      const BatchSearchOptions& options = {}) const;
+
+  // --- User feedback (Sec. VI-A) -------------------------------------
+  // Records a clicked/selected answer into the engine's feedback model and
+  // invalidates the query-result cache. Thread-safe; concurrent with
+  // searches.
+  [[nodiscard]] Status RecordFeedback(const std::vector<NodeId>& matched_nodes,
+                        const std::vector<NodeId>& connector_nodes,
+                        double weight = 1.0);
+  [[nodiscard]] Status RecordClick(NodeId v, double weight = 1.0);
+
+  // Recomputes PageRank with the feedback-personalized teleport vector and
+  // swaps the RWMP model in place (the scorer keeps pointing at it).
+  // Requires exclusive access: fails with FailedPrecondition when searches
+  // are visibly in flight. Clears the query cache.
+  [[nodiscard]] Status RebuildFromFeedback(const FeedbackOptions& options = {});
+
+  // Accumulated click mass of `v` (thread-safe snapshot).
+  double FeedbackClicks(NodeId v) const;
+
+  QueryCacheStats cache_stats() const;
 
   // Scores one externally assembled answer tree (e.g. for re-ranking or the
   // example programs).
@@ -60,7 +155,16 @@ class CiRankEngine {
   const CiRankOptions& options() const { return options_; }
 
  private:
-  CiRankEngine() = default;
+  struct Serving;  // cache + feedback state (definition in engine.cc)
+
+  CiRankEngine();
+
+  // Cache-aware search over fully resolved options; `use_cache` further
+  // gates the lookup (the cache may also be disabled engine-wide).
+  Result<std::vector<RankedAnswer>> CachedSearch(const Query& query,
+                                                 const SearchOptions& options,
+                                                 bool use_cache,
+                                                 SearchStats* stats) const;
 
   const Graph* graph_ = nullptr;
   CiRankOptions options_;
@@ -68,6 +172,7 @@ class CiRankEngine {
   std::unique_ptr<InvertedIndex> index_;
   std::unique_ptr<RwmpModel> model_;
   std::unique_ptr<TreeScorer> scorer_;
+  std::unique_ptr<Serving> serving_;
 };
 
 }  // namespace cirank

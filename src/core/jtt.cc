@@ -352,6 +352,38 @@ std::string Jtt::CanonicalKey() const {
   return out;
 }
 
+Jtt Jtt::Canonicalized() const {
+  if (root_ == kInvalidNode) return Jtt();
+  if (nodes_.size() <= 1) return Jtt(root_);
+  const NodeId canon_root = nodes_.front();  // smallest id; nodes_ is sorted
+  // BFS from the canonical root, visiting neighbors in ascending node id
+  // (adjacency indices point into the sorted node list, so index order is
+  // id order). The emitted edge order is therefore a pure function of the
+  // undirected node/edge sets.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(edges_.size());
+  std::vector<char> visited(nodes_.size(), 0);
+  std::vector<size_t> bfs;
+  bfs.reserve(nodes_.size());
+  visited[0] = 1;
+  bfs.push_back(0);
+  for (size_t qi = 0; qi < bfs.size(); ++qi) {
+    const size_t u = bfs[qi];
+    std::vector<uint32_t> nbs = adjacency_[u];
+    std::sort(nbs.begin(), nbs.end());
+    for (uint32_t v : nbs) {
+      if (visited[v]) continue;
+      visited[v] = 1;
+      edges.emplace_back(nodes_[u], nodes_[v]);
+      bfs.push_back(v);
+    }
+  }
+  Result<Jtt> canon = Jtt::Create(canon_root, std::move(edges));
+  CIRANK_CHECK(canon.ok()) << "Canonicalized() of a valid tree failed: "
+                           << canon.status().ToString();
+  return std::move(canon).value();
+}
+
 std::string Jtt::ToString(const Graph& graph) const {
   std::ostringstream out;
   out << "JTT(root=" << graph.text_of(root_);

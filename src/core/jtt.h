@@ -87,6 +87,14 @@ class Jtt {
   // edge list.
   std::string CanonicalKey() const;
 
+  // Canonical representative of this tree's undirected identity: rooted at
+  // the smallest node id, edges emitted in BFS order with neighbors visited
+  // in ascending id. Two Jtts with equal CanonicalKey() canonicalize to
+  // byte-identical objects, so downstream floating-point work (scoring,
+  // message propagation) is independent of the derivation order that built
+  // the tree — the parallel search relies on this for exactness.
+  Jtt Canonicalized() const;
+
   // Human-readable rendering using node text, e.g. for example programs.
   std::string ToString(const Graph& graph) const;
 

@@ -1,0 +1,305 @@
+#include "core/parallel_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/bounds.h"
+#include "core/topk.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace cirank {
+
+namespace {
+
+constexpr size_t kNotAdmitted = static_cast<size_t>(-1);
+
+// One admitted candidate. Lives in a deque so element addresses stay stable
+// while other workers append; the chain bound is the Theorem-1 audit value
+// (minimum upper bound along the grow/merge derivation), and the leaf count
+// is cached for the merge pre-filter.
+struct ArenaEntry {
+  Candidate c;
+  double chain_bound = 0.0;
+  uint32_t non_root_leaves = 0;
+};
+
+struct RegistryEntry {
+  size_t idx;
+  uint32_t non_root_leaves;
+  KeywordMask covered;
+};
+
+// Everything the workers share. Container *structure* (indexing, push_back,
+// queue ops) is only touched under `mu`; the Candidate payloads are
+// immutable after admission, so workers read them through stable pointers
+// outside the lock.
+struct SharedState {
+  explicit SharedState(size_t k) : answers(k) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<std::pair<double, size_t>> queue;  // (ub, arena idx)
+  std::deque<ArenaEntry> arena;
+  std::map<NodeId, std::vector<RegistryEntry>> by_root;
+  std::set<std::string> seen;
+  TopKAnswers answers;
+
+  size_t in_flight = 0;  // workers currently expanding a popped candidate
+  bool budget_exhausted = false;
+  int64_t popped = 0;
+  int64_t generated = 0;
+  int64_t answers_found = 0;
+  double max_pruned_bound = 0.0;
+};
+
+// Per-thread search context: owns a private UpperBoundCalculator (its
+// memo caches are not thread-safe) and runs the pop/expand loop against the
+// shared state.
+class Worker {
+ public:
+  Worker(SharedState* shared, const TreeScorer* scorer, const Query* query,
+         const SearchOptions* options)
+      : s_(shared),
+        scorer_(scorer),
+        query_(query),
+        options_(options),
+        calc_(*scorer, *query, options->max_diameter, options->bounds),
+        all_(calc_.all_keywords_mask()) {}
+
+  // Admits a candidate into the shared state. The dedup insert runs first
+  // (short lock) so exactly one worker pays for the bound/score computation
+  // of any candidate; the heavy work then runs unlocked, and a second lock
+  // publishes the result. Returns the arena index, or kNotAdmitted.
+  size_t TryAdmit(Candidate&& c, double ancestor_bound) {
+    if (c.diameter > options_->max_diameter) return kNotAdmitted;
+    if (!IsViableCandidate(c, *query_, scorer_->index())) return kNotAdmitted;
+    std::string key = CandidateKey(c);
+    {
+      std::lock_guard<std::mutex> lk(s_->mu);
+      if (!s_->seen.insert(std::move(key)).second) return kNotAdmitted;
+      ++s_->generated;
+    }
+
+    c.upper_bound = calc_.UpperBound(c);
+    const double chain_bound = std::min(ancestor_bound, c.upper_bound);
+    const uint32_t leaves = NonRootLeafCount(c);
+
+    Jtt canon;
+    double score = 0.0;
+    bool complete = false;
+    if (c.IsComplete(all_) && c.tree.IsReduced(*query_, scorer_->index())) {
+      complete = true;
+      canon = c.tree.Canonicalized();
+      score = scorer_->Score(canon, *query_).score;
+      CIRANK_DCHECK(score <=
+                    chain_bound + 1e-9 * std::max(1.0, std::abs(chain_bound)))
+          << "Theorem 1 admissibility violated: emitted tree "
+          << canon.CanonicalKey() << " scores " << score
+          << " above its derivation-chain bound " << chain_bound;
+    }
+
+    const NodeId root = c.root();
+    const KeywordMask covered = c.covered;
+    const double ub = c.upper_bound;
+    std::lock_guard<std::mutex> lk(s_->mu);
+    if (complete && s_->answers.Offer(std::move(canon), score)) {
+      ++s_->answers_found;
+    }
+    s_->arena.push_back(ArenaEntry{std::move(c), chain_bound, leaves});
+    const size_t idx = s_->arena.size() - 1;
+    if (ub > 0.0) {
+      s_->queue.push({ub, idx});
+      s_->cv.notify_one();  // work arrived; wake one idle worker
+    }
+    s_->by_root[root].push_back(RegistryEntry{idx, leaves, covered});
+    return idx;
+  }
+
+  // Closure of Alg. 1's Smerge step over the newly admitted candidate, as
+  // in the serial search: merge against a snapshot of the co-rooted
+  // registry, cascading over freshly created merges.
+  void MergeClosure(size_t start_idx) {
+    const uint32_t max_leaves = static_cast<uint32_t>(query_->size());
+    std::vector<size_t> worklist{start_idx};
+    while (!worklist.empty()) {
+      const size_t idx = worklist.back();
+      worklist.pop_back();
+      const ArenaEntry* me;
+      std::vector<RegistryEntry> partners;
+      {
+        std::lock_guard<std::mutex> lk(s_->mu);
+        me = &s_->arena[idx];
+        partners = s_->by_root[me->c.root()];
+      }
+      for (const RegistryEntry& other : partners) {
+        if (other.idx == idx) continue;
+        if (me->non_root_leaves + other.non_root_leaves > max_leaves) continue;
+        if (options_->strict_merge_rule) {
+          const KeywordMask merged_mask = me->c.covered | other.covered;
+          if (merged_mask == me->c.covered || merged_mask == other.covered) {
+            continue;
+          }
+        }
+        const ArenaEntry* oe;
+        {
+          std::lock_guard<std::mutex> lk(s_->mu);
+          oe = &s_->arena[other.idx];
+        }
+        Result<Candidate> merged =
+            MergeCandidates(me->c, oe->c, options_->strict_merge_rule);
+        if (!merged.ok()) continue;
+        const double parents_bound =
+            std::min(me->chain_bound, oe->chain_bound);
+        const size_t nidx =
+            TryAdmit(std::move(merged).value(), parents_bound);
+        if (nidx != kNotAdmitted) worklist.push_back(nidx);
+      }
+    }
+  }
+
+  // Grow step for one popped candidate (runs unlocked; `e` is a stable
+  // pointer into the arena).
+  void Expand(const ArenaEntry* e) {
+    const Graph& graph = scorer_->model().graph();
+    const NodeId root = e->c.root();
+    std::vector<NodeId> neighbors;
+    for (const Edge& edge : graph.out_edges(root)) {
+      if (!e->c.tree.contains(edge.to)) neighbors.push_back(edge.to);
+    }
+    for (NodeId nb : neighbors) {
+      Candidate grown = GrowCandidate(e->c, nb, *query_, scorer_->index());
+      const size_t idx = TryAdmit(std::move(grown), e->chain_bound);
+      if (idx != kNotAdmitted) MergeClosure(idx);
+    }
+  }
+
+  // The pop/expand loop. Termination: the queue is empty (or wholly
+  // prunable, which empties it) AND no worker is mid-expansion — only then
+  // can no new work appear. Workers otherwise sleep on the cv and are woken
+  // by queue pushes or by the last in-flight expansion finishing.
+  void Run() {
+    std::unique_lock<std::mutex> lk(s_->mu);
+    for (;;) {
+      if (s_->budget_exhausted) {
+        s_->queue = {};
+      } else if (options_->max_expansions > 0 &&
+                 s_->popped >= options_->max_expansions &&
+                 !s_->queue.empty()) {
+        s_->budget_exhausted = true;
+        s_->queue = {};
+        s_->cv.notify_all();
+      } else if (!s_->queue.empty() && s_->answers.Full() &&
+                 s_->queue.top().first < s_->answers.MinScore()) {
+        // The top of the max-heap cannot beat (or canonically displace a
+        // tie with) the k-th answer, so nothing below it can either:
+        // discard the whole frontier. The threshold only ever rises, so
+        // this is final.
+        s_->max_pruned_bound =
+            std::max(s_->max_pruned_bound, s_->queue.top().first);
+        s_->queue = {};
+      }
+      if (s_->queue.empty()) {
+        if (s_->in_flight == 0) {
+          s_->cv.notify_all();
+          return;
+        }
+        s_->cv.wait(lk);
+        continue;
+      }
+      const auto [ub, idx] = s_->queue.top();
+      s_->queue.pop();
+      CIRANK_DCHECK(ub == s_->arena[idx].c.upper_bound);
+      ++s_->popped;
+      ++s_->in_flight;
+      const ArenaEntry* e = &s_->arena[idx];
+      lk.unlock();
+      Expand(e);
+      lk.lock();
+      --s_->in_flight;
+      if (s_->in_flight == 0) s_->cv.notify_all();
+    }
+  }
+
+ private:
+  SharedState* s_;
+  const TreeScorer* scorer_;
+  const Query* query_;
+  const SearchOptions* options_;
+  UpperBoundCalculator calc_;
+  KeywordMask all_;
+};
+
+}  // namespace
+
+Result<std::vector<RankedAnswer>> ParallelBnbSearch(
+    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
+    const ParallelSearchOptions& parallel, SearchStats* stats) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (query.size() > 31) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
+  }
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (parallel.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+
+  SharedState shared(static_cast<size_t>(options.k));
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<size_t>(parallel.num_threads));
+  for (int i = 0; i < parallel.num_threads; ++i) {
+    workers.push_back(
+        std::make_unique<Worker>(&shared, &scorer, &query, &options));
+  }
+
+  // Seed with single-node candidates for every non-free node, exactly as in
+  // the serial search. Seeds have distinct roots, so no merges can trigger
+  // yet; running this before the pool starts keeps it single-threaded.
+  {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const InvertedIndex& index = scorer.index();
+    std::set<NodeId> seeds;
+    for (const std::string& k : query.keywords) {
+      for (NodeId v : index.MatchingNodes(k)) seeds.insert(v);
+    }
+    for (NodeId v : seeds) {
+      Candidate c;
+      c.tree = Jtt(v);
+      c.covered = NodeKeywordMask(v, query, index);
+      c.diameter = 0;
+      workers[0]->TryAdmit(std::move(c), kInf);
+    }
+  }
+
+  {
+    ThreadPool pool(parallel.num_threads);
+    for (auto& w : workers) {
+      Worker* worker = w.get();
+      pool.Submit([worker] { worker->Run(); });
+    }
+    pool.WaitIdle();
+  }
+
+  if (stats != nullptr) {
+    *stats = SearchStats{};
+    stats->popped = shared.popped;
+    stats->generated = shared.generated;
+    stats->answers_found = shared.answers_found;
+    stats->budget_exhausted = shared.budget_exhausted;
+    stats->proven_optimal = !shared.budget_exhausted;
+    stats->max_pruned_bound = shared.max_pruned_bound;
+  }
+  return shared.answers.Take();
+}
+
+}  // namespace cirank

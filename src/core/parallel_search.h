@@ -1,0 +1,50 @@
+// Parallel branch-and-bound top-k search: Algorithm 1 with the candidate
+// frontier shared across a pool of workers. All workers pop from one
+// mutex-protected priority queue, expand (grow/merge + bound computation,
+// the expensive part) outside the lock, and publish into a shared top-k
+// heap; Theorem 1 pruning stays admissible because a candidate is discarded
+// only when its upper bound is strictly below the current k-th score — and
+// that threshold is monotonically non-decreasing, so a once-prunable entry
+// stays prunable forever.
+//
+// Exactness guarantee: with an unlimited expansion budget the returned
+// vector is byte-identical to BranchAndBoundSearch's for every thread
+// count. The argument: every answer whose score ties or beats the final
+// k-th score has, by Lemma 1, derivation-chain bounds at least that score,
+// so no candidate on its chain is ever pruned under the strict rule in any
+// interleaving; all such answers are therefore found, scored on their
+// canonical tree representation (identical floating point), and ranked by
+// the shared (score desc, canonical key asc) order. The differential test
+// suite checks this against the serial search on ~50 random graphs at 1, 2,
+// and 8 threads.
+#ifndef CIRANK_CORE_PARALLEL_SEARCH_H_
+#define CIRANK_CORE_PARALLEL_SEARCH_H_
+
+#include <vector>
+
+#include "core/bnb_search.h"
+#include "core/scorer.h"
+
+namespace cirank {
+
+struct ParallelSearchOptions {
+  // Worker threads expanding the shared frontier; must be >= 1. The workers
+  // come from a pool created for the call (raw threads are confined to
+  // src/util/thread_pool.*).
+  int num_threads = 1;
+};
+
+// Parallel Algorithm 1. Identical results to BranchAndBoundSearch (see
+// above); `stats` counters are exact totals but `popped`-order-dependent
+// fields (budget_exhausted cut points) may differ run to run when
+// `options.max_expansions` is nonzero — budgeted runs surrender the
+// byte-identical guarantee, exactly as the serial search surrenders
+// optimality. Fails on empty queries, queries with more than 31 keywords,
+// non-positive k, or non-positive num_threads.
+[[nodiscard]] Result<std::vector<RankedAnswer>> ParallelBnbSearch(
+    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
+    const ParallelSearchOptions& parallel, SearchStats* stats = nullptr);
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_PARALLEL_SEARCH_H_

@@ -1,0 +1,76 @@
+// Shared support for the top-k searches (serial and parallel): the top-k
+// answer accumulator and the candidate identity key. Kept in one header so
+// both search implementations provably apply identical dedup and
+// tie-breaking rules — the differential test suite depends on that.
+#ifndef CIRANK_CORE_TOPK_H_
+#define CIRANK_CORE_TOPK_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bnb_search.h"
+#include "core/candidate.h"
+#include "util/check.h"
+
+namespace cirank {
+
+// Identity of a candidate inside the search: the root matters because the
+// same underlying tree rooted differently offers different expansions.
+inline std::string CandidateKey(const Candidate& c) {
+  return std::to_string(c.root()) + "|" + c.tree.CanonicalKey();
+}
+
+// Maintains the current top-k answers, deduplicated by canonical tree key
+// and ordered by (score descending, canonical key ascending). NOT
+// thread-safe: the parallel search serializes Offer calls under its state
+// mutex. Offered trees should already be in canonical form (see
+// Jtt::Canonicalized) so the stored instances — and hence the bytes of the
+// final result — do not depend on which derivation reached a tree first.
+class TopKAnswers {
+ public:
+  explicit TopKAnswers(size_t k) : k_(k) {}
+
+  // Returns true when the answer is new (not a duplicate tree). Once the
+  // accumulator is full, the pruning threshold MinScore() is monotonically
+  // non-decreasing over any sequence of offers; the DCHECK below is the
+  // machine-checked half of that property (the property test drives it
+  // under concurrency).
+  bool Offer(Jtt tree, double score) {
+    std::string key = tree.CanonicalKey();
+    if (!seen_.insert(std::move(key)).second) return false;
+    const bool was_full = Full();
+    const double old_threshold = MinScore();
+    answers_.push_back(RankedAnswer{std::move(tree), score});
+    std::sort(answers_.begin(), answers_.end(),
+              [](const RankedAnswer& a, const RankedAnswer& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.tree.CanonicalKey() < b.tree.CanonicalKey();
+              });
+    if (answers_.size() > k_) answers_.resize(k_);
+    if (was_full) {
+      CIRANK_DCHECK(MinScore() >= old_threshold)
+          << "top-k pruning threshold decreased from " << old_threshold
+          << " to " << MinScore();
+    }
+    return true;
+  }
+
+  bool Full() const { return answers_.size() >= k_; }
+  size_t size() const { return answers_.size(); }
+  double MinScore() const {
+    return answers_.empty() ? 0.0 : answers_.back().score;
+  }
+  std::vector<RankedAnswer> Take() { return std::move(answers_); }
+
+ private:
+  size_t k_;
+  std::vector<RankedAnswer> answers_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_TOPK_H_

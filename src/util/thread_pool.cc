@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace cirank {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
+    if (tasks_.empty()) return;  // stopping_ and nothing left to run
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++active_;
+    lk.unlock();
+    task();
+    lk.lock();
+    --active_;
+    if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  // Helpers and the calling thread all claim indices from one counter; fn
+  // stays valid by reference because this function blocks until done == n.
+  auto drain = [shared, &fn, n] {
+    for (;;) {
+      const size_t i = shared->next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+      if (shared->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lk(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers =
+      std::min(workers_.size(), n > 0 ? n - 1 : size_t{0});
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lk(shared->mu);
+  shared->cv.wait(lk, [&] { return shared->done.load() == n; });
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace cirank

@@ -1,0 +1,62 @@
+// Fixed-size worker pool: the project's single sanctioned owner of raw
+// std::thread (tools/lint.py enforces this). Deliberately work-stealing-free:
+// one mutex-protected FIFO feeds every worker, which is plenty for the
+// coarse-grained tasks the engine submits (whole queries, frontier
+// expansions) and keeps the termination reasoning in the parallel search
+// trivial to audit.
+#ifndef CIRANK_UTIL_THREAD_POOL_H_
+#define CIRANK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cirank {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers immediately; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  // Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw (the project is exception-free)
+  // and must not block waiting on a later-submitted task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished and no worker is busy.
+  void WaitIdle();
+
+  // Runs fn(0) .. fn(n-1), distributing indices dynamically over the pool's
+  // workers plus the calling thread. Blocks until every call returned.
+  // Distinct indices may run concurrently; fn must be safe for that.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerMain();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a task or stop arrived"
+  std::condition_variable idle_cv_;  // WaitIdle: "a task finished"
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;  // tasks currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_UTIL_THREAD_POOL_H_

@@ -1,0 +1,243 @@
+// Differential test harness for the parallel search: on ~50 seeded random
+// micro-graphs with random 2-4 keyword queries, ParallelBnbSearch at 1, 2,
+// and 8 threads must return *byte-identical* results to the serial
+// BranchAndBoundSearch — same trees (by canonical key) with bitwise-equal
+// scores at every rank. A subset is additionally checked against
+// ExhaustiveSearch ground truth, and NaiveSearch is held to its soundness
+// contract (its best answer never beats the B&B optimum).
+#include "core/parallel_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_search.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeScorerBundle;
+using testing_util::ScorerBundle;
+
+struct DiffCase {
+  uint64_t seed = 0;
+  size_t nodes = 0;
+  std::string query;
+  uint32_t diameter = 4;
+};
+
+std::string DiffCaseName(const ::testing::TestParamInfo<DiffCase>& info) {
+  const DiffCase& c = info.param;
+  const size_t kw = 1 + std::count(c.query.begin(), c.query.end(), ' ');
+  return "seed" + std::to_string(c.seed) + "_n" + std::to_string(c.nodes) +
+         "_q" + std::to_string(kw) + "_d" + std::to_string(c.diameter);
+}
+
+// ~50 cases: the graph shape, query length (2-4 keywords), which keywords,
+// and the diameter limit all derive from the seed.
+std::vector<DiffCase> MakeDiffCases() {
+  std::vector<DiffCase> cases;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(0x9E3779B9u ^ seed);
+    DiffCase c;
+    c.seed = seed;
+    c.nodes = 10 + rng.NextUint(15);  // 10..24 nodes
+    const int num_kw = 2 + static_cast<int>(rng.NextUint(3));  // 2..4
+    std::vector<int> pool{0, 1, 2, 3};
+    for (int i = 0; i < num_kw; ++i) {
+      const size_t j = i + rng.NextUint(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+      if (i > 0) c.query += " ";
+      c.query += "kw" + std::to_string(pool[i]);
+    }
+    c.diameter = 3 + static_cast<uint32_t>(rng.NextUint(2));  // 3 or 4
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+class DifferentialSearchTest : public ::testing::TestWithParam<DiffCase> {};
+
+// Exact comparison: rank-by-rank bitwise score equality and tree identity.
+void ExpectIdentical(const std::vector<RankedAnswer>& expected,
+                     const std::vector<RankedAnswer>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << label << ": score mismatch at rank " << i;
+    EXPECT_EQ(expected[i].tree.CanonicalKey(), actual[i].tree.CanonicalKey())
+        << label << ": tree mismatch at rank " << i;
+  }
+}
+
+TEST_P(DifferentialSearchTest, ParallelMatchesSerialByteForByte) {
+  const DiffCase& c = GetParam();
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
+  Query q = Query::Parse(c.query);
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = c.diameter;
+
+  SearchStats serial_stats;
+  auto serial = BranchAndBoundSearch(*b.scorer, q, opts, &serial_stats);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : {1, 2, 8}) {
+    ParallelSearchOptions popts;
+    popts.num_threads = threads;
+    SearchStats pstats;
+    auto parallel = ParallelBnbSearch(*b.scorer, q, opts, popts, &pstats);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(*serial, *parallel,
+                    "threads=" + std::to_string(threads));
+    EXPECT_TRUE(pstats.proven_optimal);
+    EXPECT_FALSE(pstats.budget_exhausted);
+    // The returned top-k is interleaving-independent, but the number of
+    // answers *discovered* along the way is not: a worker already in
+    // flight can complete an answer that a different schedule would have
+    // pruned once the threshold rose. Only sanity-check the counter.
+    EXPECT_GE(pstats.answers_found,
+              static_cast<int64_t>(parallel->size()))
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(DifferentialSearchTest, SmallGraphsMatchExhaustiveGroundTruth) {
+  const DiffCase& c = GetParam();
+  if (c.nodes > 16) GTEST_SKIP() << "exhaustive reference too expensive";
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
+  Query q = Query::Parse(c.query);
+
+  ExhaustiveSearchOptions ex_opts;
+  ex_opts.k = 5;
+  ex_opts.max_diameter = c.diameter;
+  ex_opts.max_nodes = 9;
+  auto expected = ExhaustiveSearch(*b.scorer, q, ex_opts);
+  ASSERT_TRUE(expected.ok());
+
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = c.diameter;
+  ParallelSearchOptions popts;
+  popts.num_threads = 4;
+  auto actual = ParallelBnbSearch(*b.scorer, q, opts, popts);
+  ASSERT_TRUE(actual.ok());
+
+  // The exhaustive reference scores trees in their discovered orientation,
+  // so scores agree only up to floating-point tolerance; tree identity is
+  // exact. (Exhaustive caps tree size at max_nodes; for these diameters and
+  // query lengths no valid reduced answer exceeds it.)
+  ASSERT_EQ(expected->size(), actual->size());
+  for (size_t i = 0; i < actual->size(); ++i) {
+    EXPECT_NEAR((*expected)[i].score, (*actual)[i].score,
+                1e-9 * (1.0 + std::abs((*expected)[i].score)))
+        << "rank " << i;
+  }
+}
+
+TEST_P(DifferentialSearchTest, NaiveNeverBeatsBnb) {
+  const DiffCase& c = GetParam();
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
+  Query q = Query::Parse(c.query);
+
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = c.diameter;
+  ParallelSearchOptions popts;
+  popts.num_threads = 2;
+  auto bnb = ParallelBnbSearch(*b.scorer, q, opts, popts);
+  ASSERT_TRUE(bnb.ok());
+
+  NaiveSearchOptions nopts;
+  nopts.k = 5;
+  nopts.max_diameter = c.diameter;
+  auto naive = NaiveSearch(*b.scorer, q, nopts);
+  ASSERT_TRUE(naive.ok());
+
+  // NaiveSearch only assembles shortest-path unions, so it may miss
+  // answers, but anything it does find is a valid answer the optimal
+  // search must match or beat.
+  if (naive->empty()) return;
+  ASSERT_FALSE(bnb->empty());
+  EXPECT_GE((*bnb)[0].score,
+            (*naive)[0].score - 1e-9 * (1.0 + (*naive)[0].score));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMicroGraphs, DifferentialSearchTest,
+                         ::testing::ValuesIn(MakeDiffCases()), DiffCaseName);
+
+TEST(ParallelSearchTest, RejectsInvalidArguments) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(1, 10));
+  SearchOptions opts;
+  ParallelSearchOptions popts;
+
+  Query empty;
+  EXPECT_FALSE(ParallelBnbSearch(*b.scorer, empty, opts, popts).ok());
+
+  Query too_many;
+  for (int i = 0; i < 32; ++i) {
+    too_many.keywords.push_back("kw" + std::to_string(i));
+  }
+  EXPECT_FALSE(ParallelBnbSearch(*b.scorer, too_many, opts, popts).ok());
+
+  Query q = Query::Parse("kw0");
+  opts.k = 0;
+  EXPECT_FALSE(ParallelBnbSearch(*b.scorer, q, opts, popts).ok());
+
+  opts.k = 5;
+  popts.num_threads = 0;
+  EXPECT_FALSE(ParallelBnbSearch(*b.scorer, q, opts, popts).ok());
+}
+
+TEST(ParallelSearchTest, BudgetedRunsReportExhaustion) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(4, 60, 4.0));
+  Query q = Query::Parse("kw0 kw1");
+  SearchOptions opts;
+  opts.k = 10;
+  opts.max_diameter = 4;
+  opts.max_expansions = 3;
+  ParallelSearchOptions popts;
+  popts.num_threads = 4;
+  SearchStats stats;
+  auto result = ParallelBnbSearch(*b.scorer, q, opts, popts, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_FALSE(stats.proven_optimal);
+}
+
+// Answers returned at every thread count satisfy the structural contract
+// (coverage, reducedness, graph edges, dedup) — the differential identity
+// above would otherwise only prove the parallel search wrong in the same
+// way as the serial one.
+TEST(ParallelSearchTest, AnswersAreValidAndDeduplicated) {
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(3, 20));
+  Query q = Query::Parse("kw0 kw1");
+  SearchOptions opts;
+  opts.k = 20;
+  opts.max_diameter = 4;
+  for (int threads : {1, 3, 8}) {
+    ParallelSearchOptions popts;
+    popts.num_threads = threads;
+    auto result = ParallelBnbSearch(*b.scorer, q, opts, popts);
+    ASSERT_TRUE(result.ok());
+    std::set<std::string> keys;
+    for (const RankedAnswer& a : *result) {
+      EXPECT_TRUE(a.tree.CoversAllKeywords(q, *b.index));
+      EXPECT_TRUE(a.tree.IsReduced(q, *b.index));
+      EXPECT_TRUE(a.tree.EdgesExistIn(b.graph));
+      EXPECT_LE(a.tree.Diameter(), opts.max_diameter);
+      EXPECT_TRUE(keys.insert(a.tree.CanonicalKey()).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cirank

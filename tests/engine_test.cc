@@ -123,6 +123,161 @@ TEST_F(EngineTest, EngineIsMovable) {
   EXPECT_TRUE(moved.Search(q, opts).ok());
 }
 
+// Regression for the options-merge bug: Search(query, overrides) used to
+// take a whole SearchOptions, so a caller wanting to tweak one field passed
+// a default-constructed struct and silently reset every engine default
+// (k back to 10, diameter back to 4, bounds dropped). SearchOverrides must
+// only replace what the caller explicitly set.
+TEST_F(EngineTest, OverridesMergeOverEngineDefaults) {
+  CiRankOptions opts;
+  opts.search.k = 3;
+  opts.search.max_diameter = 2;
+  opts.search.max_expansions = 5000;
+  opts.search.strict_merge_rule = true;
+  auto built = CiRankEngine::Build(dataset_->graph, opts);
+  ASSERT_TRUE(built.ok());
+  CiRankEngine engine = std::move(built).value();
+
+  // Empty overrides: every engine default survives.
+  SearchOptions merged = engine.EffectiveOptions(SearchOverrides{});
+  EXPECT_EQ(merged.k, 3);
+  EXPECT_EQ(merged.max_diameter, 2u);
+  EXPECT_EQ(merged.max_expansions, 5000);
+  EXPECT_TRUE(merged.strict_merge_rule);
+
+  // Partial override: only the named field changes.
+  SearchOverrides just_k;
+  just_k.k = 7;
+  merged = engine.EffectiveOptions(just_k);
+  EXPECT_EQ(merged.k, 7);
+  EXPECT_EQ(merged.max_diameter, 2u);
+  EXPECT_EQ(merged.max_expansions, 5000);
+  EXPECT_TRUE(merged.strict_merge_rule);
+
+  // Behavioral check: the override entry point returns the same answers as
+  // the fully spelled-out options.
+  const NodeId actor = dataset_->nodes_by_relation[1].front();
+  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  auto via_overrides = engine.Search(q, just_k);
+  SearchOptions explicit_opts = opts.search;
+  explicit_opts.k = 7;
+  auto via_options = engine.Search(q, explicit_opts);
+  ASSERT_TRUE(via_overrides.ok() && via_options.ok());
+  ASSERT_EQ(via_overrides->size(), via_options->size());
+  for (size_t i = 0; i < via_overrides->size(); ++i) {
+    EXPECT_EQ((*via_overrides)[i].score, (*via_options)[i].score);
+  }
+}
+
+TEST_F(EngineTest, QueryCacheHitsAndFeedbackInvalidation) {
+  const NodeId actor = dataset_->nodes_by_relation[1].front();
+  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  SearchOverrides overrides;
+  overrides.k = 3;
+  overrides.max_diameter = 2;
+
+  auto first = engine_->Search(q, overrides);
+  ASSERT_TRUE(first.ok());
+  QueryCacheStats stats = engine_->cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  auto second = engine_->Search(q, overrides);
+  ASSERT_TRUE(second.ok());
+  stats = engine_->cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].score, (*second)[i].score);
+  }
+
+  // Different configuration, different cache key: no false sharing.
+  SearchOverrides other = overrides;
+  other.k = 2;
+  ASSERT_TRUE(engine_->Search(q, other).ok());
+  EXPECT_EQ(engine_->cache_stats().hits, 1u);
+  EXPECT_EQ(engine_->cache_stats().entries, 2u);
+
+  // Feedback invalidates everything.
+  ASSERT_TRUE(engine_->RecordClick(actor).ok());
+  stats = engine_->cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_GE(stats.invalidations, 1u);
+  auto after = engine_->Search(q, overrides);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(engine_->cache_stats().hits, 1u);  // miss: had to recompute
+}
+
+TEST_F(EngineTest, StatsRequestBypassesCacheRead) {
+  const NodeId actor = dataset_->nodes_by_relation[1].front();
+  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  SearchOverrides overrides;
+  overrides.k = 3;
+  overrides.max_diameter = 2;
+  ASSERT_TRUE(engine_->Search(q, overrides).ok());
+
+  SearchStats stats;
+  auto with_stats = engine_->Search(q, overrides, &stats);
+  ASSERT_TRUE(with_stats.ok());
+  // A cached result cannot report search work; the call must have searched.
+  EXPECT_GT(stats.generated, 0);
+  EXPECT_EQ(engine_->cache_stats().hits, 0u);
+}
+
+TEST_F(EngineTest, SearchBatchMatchesIndividualSearches) {
+  std::vector<Query> queries;
+  for (int i = 0; i < 6; ++i) {
+    const NodeId actor = dataset_->nodes_by_relation[1][i];
+    queries.push_back(Query::Parse(dataset_->graph.text_of(actor)));
+  }
+  queries.push_back(Query());  // deliberately invalid entry
+
+  BatchSearchOptions batch;
+  batch.num_threads = 4;
+  batch.use_cache = false;
+  batch.overrides.k = 3;
+  batch.overrides.max_diameter = 2;
+  auto results = engine_->SearchBatch(queries, batch);
+  ASSERT_EQ(results.size(), queries.size());
+
+  // The invalid query fails alone; the rest match serial reference runs.
+  EXPECT_FALSE(results.back().ok());
+  for (size_t i = 0; i + 1 < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "query " << i;
+    auto reference = engine_->Search(queries[i], batch.overrides);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(results[i]->size(), reference->size()) << "query " << i;
+    for (size_t j = 0; j < reference->size(); ++j) {
+      EXPECT_EQ((*results[i])[j].score, (*reference)[j].score)
+          << "query " << i << " rank " << j;
+      EXPECT_EQ((*results[i])[j].tree.CanonicalKey(),
+                (*reference)[j].tree.CanonicalKey())
+          << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST_F(EngineTest, RebuildFromFeedbackShiftsImportanceTowardClicks) {
+  const NodeId clicked = dataset_->nodes_by_relation[1].front();
+  const double before = engine_->model().importance(clicked);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine_->RecordClick(clicked).ok());
+  }
+  EXPECT_GT(engine_->FeedbackClicks(clicked), 0.0);
+  ASSERT_TRUE(engine_->RebuildFromFeedback().ok());
+  const double after = engine_->model().importance(clicked);
+  EXPECT_GT(after, before);
+
+  // The engine still serves coherent results from the rebuilt model.
+  Query q = Query::Parse(dataset_->graph.text_of(clicked));
+  SearchOverrides overrides;
+  overrides.k = 3;
+  overrides.max_diameter = 2;
+  auto answers = engine_->Search(q, overrides);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_FALSE(answers->empty());
+}
+
 TEST(EngineDblpTest, WorksOnDblpSchema) {
   DblpGenOptions opts;
   opts.num_papers = 120;

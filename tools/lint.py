@@ -22,6 +22,11 @@ include-guard      Header guards must be CIRANK_<PATH>_H_ derived from the
                    file path (src/ prefix dropped), e.g. src/core/jtt.h ->
                    CIRANK_CORE_JTT_H_.
 using-namespace    `using namespace` is banned in headers (fine in .cc/.cpp).
+raw-thread         std::thread / std::jthread / std::async anywhere outside
+                   src/util/thread_pool.*. All project concurrency flows
+                   through cirank::ThreadPool so thread counts are bounded,
+                   lifetimes are joined, and the termination reasoning in
+                   the parallel search stays auditable.
 """
 
 import os
@@ -34,6 +39,11 @@ CXX_EXTENSIONS = (".cc", ".cpp", ".h")
 
 # Files allowed to reference the raw PRNG primitives.
 RANDOM_IMPL_FILES = {"src/util/random.h", "src/util/random.cc"}
+
+# The single sanctioned owner of raw threads.
+THREAD_IMPL_FILES = {"src/util/thread_pool.h", "src/util/thread_pool.cc"}
+
+BANNED_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
 
 BANNED_RANDOM = re.compile(
     r"\bstd::(rand|srand|mt19937(_64)?|random_device|default_random_engine|"
@@ -174,6 +184,16 @@ def check_determinism(rel, text, problems):
                 f"src/util/random.*; route randomness through cirank::Rng")
 
 
+def check_raw_thread(rel, text, problems):
+    if rel in THREAD_IMPL_FILES:
+        return
+    for i, line in enumerate(text.split("\n"), start=1):
+        if BANNED_THREAD.search(line):
+            problems.append(
+                f"{rel}:{i}: raw-thread: std::thread/std::jthread/std::async "
+                f"outside src/util/thread_pool.*; use cirank::ThreadPool")
+
+
 def check_header_rules(rel, text, problems):
     if not rel.endswith(".h"):
         return
@@ -204,6 +224,7 @@ def main():
         checked += 1
         check_unchecked_status(rel, text, names, problems)
         check_determinism(rel, text, problems)
+        check_raw_thread(rel, text, problems)
         check_header_rules(rel, text, problems)
     if problems:
         print("\n".join(problems))
