@@ -21,7 +21,7 @@ void PitfallExamples() {
   {
     FreeNodeDominationExample ex = BuildFreeNodeDominationExample();
     auto engine = CiRankEngine::Build(ex.dataset.graph);
-    Query q = Query::Parse("wilson cruz");
+    Query q = Query::MustParse("wilson cruz");
     Jtt t1(ex.wilson_cruz);
     auto t2 = Jtt::Create(ex.charlie_wilsons_war,
                           {{ex.charlie_wilsons_war, ex.tom_hanks},
@@ -42,7 +42,7 @@ void PitfallExamples() {
   {
     StarVsChainExample ex = BuildStarVsChainExample();
     auto engine = CiRankEngine::Build(ex.dataset.graph);
-    Query q = Query::Parse("alpha beta gamma delta");
+    Query q = Query::MustParse("alpha beta gamma delta");
     auto star = Jtt::Create(ex.star_nodes[4],
                             {{ex.star_nodes[4], ex.star_nodes[0]},
                              {ex.star_nodes[4], ex.star_nodes[1]},
@@ -146,7 +146,7 @@ double LinearDampeningRanker::ScoreWithDampening(const Jtt& tree,
   return total_score / static_cast<double>(sources.size());
 }
 
-void WorkloadAblation() {
+void WorkloadAblation(bench::BenchReport* report) {
   std::printf("\n-- Workload ablation (IMDB synthetic, MRR / precision) --\n");
   bench::BenchSetup setup = bench::MakeImdbSetup(
       /*num_queries=*/40, /*user_log_style=*/false, /*query_seed=*/1301);
@@ -169,7 +169,10 @@ void WorkloadAblation() {
     RankerEffectiveness eff = EvaluateRanker(*pools, *r, opts);
     std::printf("%-26s mrr=%.4f precision=%.4f\n", eff.name.c_str(), eff.mrr,
                 eff.precision);
+    report->AddMetric("mrr." + eff.name, eff.mrr);
+    report->AddMetric("precision." + eff.name, eff.precision);
   }
+  report->AddCounter("queries", static_cast<int64_t>(pools->size()));
 }
 
 }  // namespace
@@ -178,7 +181,8 @@ void WorkloadAblation() {
 int main() {
   cirank::bench::PrintFigureHeader(
       "Ablation", "rejected scoring alternatives of Sec. III-B vs RWMP");
+  cirank::bench::BenchReport report("ablation_scoring");
   cirank::PitfallExamples();
-  cirank::WorkloadAblation();
-  return 0;
+  cirank::WorkloadAblation(&report);
+  return report.Write() ? 0 : 1;
 }

@@ -1,17 +1,31 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <utility>
 
 #include "index/star_index.h"
 
 namespace cirank {
 namespace bench {
 
+bool SmokeMode() {
+  const char* env = std::getenv("CIRANK_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 double BenchScale() {
-  const char* env = std::getenv("CIRANK_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return v > 0.0 ? v : 1.0;
+  double scale = 1.0;
+  if (const char* env = std::getenv("CIRANK_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) scale = v;
+  }
+  // Smoke mode exists to exercise the wiring, not to measure: clamp the
+  // datasets to the minimum that still runs every code path.
+  if (SmokeMode()) scale = std::min(scale, 0.05);
+  return scale;
 }
 
 namespace {
@@ -120,7 +134,132 @@ void PrintDatasetLine(const Dataset& ds) {
               ds.graph.num_nodes(), ds.graph.num_edges());
 }
 
-void RunIndexFigure(BenchSetup setup, const char* label) {
+double PercentileMs(std::vector<double> samples_ms, double pct) {
+  if (samples_ms.empty()) return 0.0;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  const double clamped = std::min(100.0, std::max(0.0, pct));
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_ms.size())));
+  if (rank == 0) rank = 1;
+  return samples_ms[rank - 1];
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::AddMetric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::AddCounter(const std::string& key, int64_t value) {
+  counters_.emplace_back(key, value);
+}
+
+void BenchReport::AddLatencySeries(const std::string& series,
+                                   const std::vector<double>& samples_ms) {
+  Series s;
+  s.name = series;
+  s.count = samples_ms.size();
+  s.p50_ms = PercentileMs(samples_ms, 50.0);
+  s.p95_ms = PercentileMs(samples_ms, 95.0);
+  double sum = 0.0;
+  for (double v : samples_ms) sum += v;
+  s.mean_ms = samples_ms.empty()
+                  ? 0.0
+                  : sum / static_cast<double>(samples_ms.size());
+  latency_.push_back(std::move(s));
+}
+
+void BenchReport::AddSearchStats(const std::string& prefix,
+                                 const SearchStats& stats) {
+  counters_.emplace_back(prefix + ".popped", stats.popped);
+  counters_.emplace_back(prefix + ".generated", stats.generated);
+  counters_.emplace_back(prefix + ".answers_found", stats.answers_found);
+  counters_.emplace_back(prefix + ".truncated", stats.truncated ? 1 : 0);
+  counters_.emplace_back(prefix + ".candidates_pruned",
+                         stats.stages.candidates_pruned);
+  counters_.emplace_back(prefix + ".candidates_merged",
+                         stats.stages.candidates_merged);
+  counters_.emplace_back(prefix + ".bound_calls", stats.stages.bound_calls);
+  counters_.emplace_back(prefix + ".arena_bytes",
+                         static_cast<int64_t>(stats.stages.arena_bytes));
+}
+
+namespace {
+
+// All keys are library-chosen identifiers, but escape defensively so a
+// stray quote can never produce malformed JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// JSON has no NaN/Inf literals; clamp to null-adjacent 0 with a marker key
+// impossible, so just emit 0 for non-finite values.
+double Finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+bool BenchReport::Write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("CIRANK_BENCH_JSON_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out.precision(17);
+  out << "{\n  \"bench\": \"" << JsonEscape(name_) << "\",\n"
+      << "  \"scale\": " << Finite(BenchScale()) << ",\n"
+      << "  \"smoke\": " << (SmokeMode() ? "true" : "false") << ",\n";
+  out << "  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(metrics_[i].first)
+        << "\": " << Finite(metrics_[i].second);
+  }
+  out << (metrics_.empty() ? "},\n" : "\n  },\n");
+  out << "  \"counters\": {";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << JsonEscape(counters_[i].first) << "\": " << counters_[i].second;
+  }
+  out << (counters_.empty() ? "},\n" : "\n  },\n");
+  out << "  \"latency_ms\": {";
+  for (size_t i = 0; i < latency_.size(); ++i) {
+    const Series& s = latency_[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(s.name)
+        << "\": { \"p50\": " << Finite(s.p50_ms)
+        << ", \"p95\": " << Finite(s.p95_ms)
+        << ", \"mean\": " << Finite(s.mean_ms) << ", \"count\": " << s.count
+        << " }";
+  }
+  out << (latency_.empty() ? "}\n" : "\n  }\n") << "}\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "bench report: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("bench report: %s\n", path.c_str());
+  return true;
+}
+
+void RunIndexFigure(BenchSetup setup, const char* label,
+                    BenchReport* report) {
   PrintDatasetLine(*setup.dataset);
   const CiRankEngine& engine = *setup.engine;
 
@@ -131,11 +270,12 @@ void RunIndexFigure(BenchSetup setup, const char* label) {
                  index.status().ToString().c_str());
     return;
   }
+  const double build_seconds = build_timer.ElapsedSeconds();
   std::printf(
       "star index: %zu star nodes, %.1f MiB, built in %.2f s\n",
       index->num_star_nodes(),
       static_cast<double>(index->MemoryBytes()) / (1024.0 * 1024.0),
-      build_timer.ElapsedSeconds());
+      build_seconds);
 
   // Keep only structurally interesting queries (those needing connectors).
   // CIRANK_BENCH_QUERIES / CIRANK_BENCH_BUDGET trade fidelity for runtime
@@ -164,6 +304,7 @@ void RunIndexFigure(BenchSetup setup, const char* label) {
               "+ star index (s)");
   for (uint32_t d : {4u, 5u, 6u}) {
     TimingStats plain_time, indexed_time;
+    std::vector<double> plain_ms, indexed_ms;
     long long plain_budget_hits = 0, indexed_budget_hits = 0;
     for (const LabeledQuery& lq : queries) {
       SearchOptions opts;
@@ -175,12 +316,14 @@ void RunIndexFigure(BenchSetup setup, const char* label) {
       SearchStats stats;
       (void)engine.Search(lq.query, opts, &stats);
       plain_time.Add(t.ElapsedSeconds());
+      plain_ms.push_back(t.ElapsedSeconds() * 1e3);
       plain_budget_hits += stats.budget_exhausted ? 1 : 0;
 
       opts.bounds = &index.value();
       t.Reset();
       (void)engine.Search(lq.query, opts, &stats);
       indexed_time.Add(t.ElapsedSeconds());
+      indexed_ms.push_back(t.ElapsedSeconds() * 1e3);
       indexed_budget_hits += stats.budget_exhausted ? 1 : 0;
     }
     std::printf("%-4u %-24.3f %-24.3f", d, plain_time.mean(),
@@ -190,6 +333,20 @@ void RunIndexFigure(BenchSetup setup, const char* label) {
                   plain_budget_hits, indexed_budget_hits);
     }
     std::printf("\n");
+    if (report != nullptr) {
+      const std::string suffix = ".d" + std::to_string(d);
+      report->AddLatencySeries("plain" + suffix, plain_ms);
+      report->AddLatencySeries("indexed" + suffix, indexed_ms);
+      report->AddCounter("budget_hits.plain" + suffix, plain_budget_hits);
+      report->AddCounter("budget_hits.indexed" + suffix, indexed_budget_hits);
+    }
+  }
+  if (report != nullptr) {
+    report->AddCounter("star_nodes",
+                       static_cast<int64_t>(index->num_star_nodes()));
+    report->AddCounter("index_bytes",
+                       static_cast<int64_t>(index->MemoryBytes()));
+    report->AddMetric("index_build_seconds", build_seconds);
   }
   std::printf("(%s, k=5, averaged over %zu connector queries)\n\n", label,
               queries.size());

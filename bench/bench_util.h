@@ -23,8 +23,14 @@ namespace bench {
 // Laptop-scale stand-ins for the paper's full datasets (IMDB 3.4M nodes,
 // DBLP 2.1M). The schemas, edge weights, and skew match; sizes are chosen
 // so each bench finishes in minutes. Override via environment variable
-// CIRANK_BENCH_SCALE (e.g. 0.5 or 2.0).
+// CIRANK_BENCH_SCALE (e.g. 0.5 or 2.0). Smoke mode (CIRANK_BENCH_SMOKE=1)
+// clamps the scale way down so CI can execute a bench end to end in
+// seconds just to validate its wiring and JSON report.
 double BenchScale();
+
+// True when CIRANK_BENCH_SMOKE=1: benches shrink their workload to a
+// wiring check (CI runs one bench this way and validates its JSON).
+bool SmokeMode();
 
 ImdbGenOptions ImdbBenchOptions(double scale = BenchScale());
 DblpGenOptions DblpBenchOptions(double scale = BenchScale());
@@ -53,9 +59,59 @@ void PrintFigureHeader(const std::string& figure,
                        const std::string& description);
 void PrintDatasetLine(const Dataset& ds);
 
+// --- Machine-readable bench reports --------------------------------------
+// Every bench binary writes BENCH_<name>.json next to its stdout tables so
+// dashboards and CI can consume the numbers without scraping text. Schema
+// (validated by tools/validate_bench_json.py):
+//   {
+//     "bench": "<name>", "scale": <double>, "smoke": <bool>,
+//     "metrics":  { "<key>": <double>, ... },
+//     "counters": { "<key>": <integer>, ... },
+//     "latency_ms": { "<series>": { "p50": <double>, "p95": <double>,
+//                                   "mean": <double>, "count": <int> }, ... }
+//   }
+// The output directory defaults to the working directory; override with
+// CIRANK_BENCH_JSON_DIR.
+
+// Nearest-rank percentile (pct in [0, 100]) of `samples_ms`; 0 when empty.
+double PercentileMs(std::vector<double> samples_ms, double pct);
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void AddMetric(const std::string& key, double value);
+  void AddCounter(const std::string& key, int64_t value);
+  // Summarizes raw per-iteration latencies into a named p50/p95/mean series.
+  void AddLatencySeries(const std::string& series,
+                        const std::vector<double>& samples_ms);
+  // Folds the interesting SearchStats counters in under `prefix.`.
+  void AddSearchStats(const std::string& prefix, const SearchStats& stats);
+
+  // Writes BENCH_<name>.json (and prints the path). Returns false on I/O
+  // failure, after printing a diagnostic.
+  bool Write() const;
+
+ private:
+  struct Series {
+    std::string name;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double mean_ms = 0.0;
+    size_t count = 0;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, int64_t>> counters_;
+  std::vector<Series> latency_;
+};
+
 // Shared driver for Figs. 11 and 12: builds the star index, then reports
-// average top-5 search time for D in {4,5,6} with and without the index.
-void RunIndexFigure(BenchSetup setup, const char* label);
+// average top-5 search time for D in {4,5,6} with and without the index,
+// recording per-diameter latency series into `report` when non-null.
+void RunIndexFigure(BenchSetup setup, const char* label,
+                    BenchReport* report = nullptr);
 
 }  // namespace bench
 }  // namespace cirank

@@ -5,6 +5,8 @@
 // split, comparing the unbiased model, teleport feedback, and teleport +
 // edge feedback.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
@@ -13,11 +15,15 @@
 namespace cirank {
 namespace {
 
-void Report(const char* label, const std::vector<QueryPool>& pools,
-            const AnswerRanker& ranker) {
+void Report(const char* label, const char* key,
+            const std::vector<QueryPool>& pools, const AnswerRanker& ranker,
+            bench::BenchReport* report) {
   RankerEffectiveness eff = EvaluateRanker(pools, ranker);
   std::printf("%-28s mrr=%.4f precision=%.4f  (%d queries)\n", label,
               eff.mrr, eff.precision, eff.evaluated_queries);
+  report->AddMetric(std::string("mrr.") + key, eff.mrr);
+  report->AddMetric(std::string("precision.") + key, eff.precision);
+  report->AddCounter(std::string("queries.") + key, eff.evaluated_queries);
 }
 
 }  // namespace
@@ -49,9 +55,13 @@ int main() {
   auto pools = BuildQueryPools(ds, setup.engine->index(), setup.queries);
   if (!pools.ok()) return 1;
 
+  bench::BenchReport report("feedback_effect");
+  report.AddCounter("train_log_queries", static_cast<int64_t>(train_log->size()));
+  report.AddMetric("total_clicks", feedback->total_clicks());
+
   // Baseline: the unbiased engine.
   CiRankRanker plain(setup.engine->scorer());
-  Report("CI-Rank (no feedback)", *pools, plain);
+  Report("CI-Rank (no feedback)", "no_feedback", *pools, plain, &report);
 
   // Teleport feedback: rebuild importance with the biased vector.
   FeedbackOptions fopts;
@@ -64,7 +74,8 @@ int main() {
   if (!biased_model.ok()) return 1;
   TreeScorer biased_scorer(*biased_model, setup.engine->index());
   CiRankRanker with_teleport(biased_scorer);
-  Report("CI-Rank + teleport feedback", *pools, with_teleport);
+  Report("CI-Rank + teleport feedback", "teleport", *pools, with_teleport,
+         &report);
 
   // Teleport + edge feedback: also reweight edges toward clicked entities
   // (the future-work direction).
@@ -78,6 +89,7 @@ int main() {
   if (!boosted_model.ok()) return 1;
   TreeScorer boosted_scorer(*boosted_model, boosted_index);
   CiRankRanker with_edges(boosted_scorer);
-  Report("CI-Rank + teleport + edges", *pools, with_edges);
-  return 0;
+  Report("CI-Rank + teleport + edges", "teleport_edges", *pools, with_edges,
+         &report);
+  return report.Write() ? 0 : 1;
 }

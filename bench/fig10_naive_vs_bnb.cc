@@ -16,6 +16,8 @@
 // (it returns its top-5 and reports whether the budget hit).
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/naive_search.h"
@@ -50,7 +52,7 @@ std::vector<Query> TopicQueries(const InvertedIndex& index, size_t graph_size,
 }
 
 void RunDataset(const bench::BenchSetup& setup, const char* label,
-                uint64_t seed) {
+                const char* key, uint64_t seed, bench::BenchReport* report) {
   bench::PrintDatasetLine(*setup.dataset);
   const CiRankEngine& engine = *setup.engine;
 
@@ -62,6 +64,7 @@ void RunDataset(const bench::BenchSetup& setup, const char* label,
   }
 
   TimingStats naive_time, bnb_time;
+  std::vector<double> naive_ms, bnb_ms;
   long long naive_generated = 0;
   long long bnb_popped = 0;
   long long budget_hits = 0;
@@ -75,6 +78,7 @@ void RunDataset(const bench::BenchSetup& setup, const char* label,
     SearchStats nstats;
     (void)NaiveSearch(engine.scorer(), q, nopts, &nstats);
     naive_time.Add(t.ElapsedSeconds());
+    naive_ms.push_back(t.ElapsedSeconds() * 1e3);
     naive_generated += nstats.generated;
 
     t.Reset();
@@ -85,9 +89,15 @@ void RunDataset(const bench::BenchSetup& setup, const char* label,
     SearchStats bstats;
     (void)engine.Search(q, sopts, &bstats);
     bnb_time.Add(t.ElapsedSeconds());
+    bnb_ms.push_back(t.ElapsedSeconds() * 1e3);
     bnb_popped += bstats.popped;
     budget_hits += bstats.budget_exhausted ? 1 : 0;
   }
+  report->AddLatencySeries(std::string("naive.") + key, naive_ms);
+  report->AddLatencySeries(std::string("bnb.") + key, bnb_ms);
+  report->AddCounter(std::string("naive_generated.") + key, naive_generated);
+  report->AddCounter(std::string("bnb_popped.") + key, bnb_popped);
+  report->AddCounter(std::string("budget_hits.") + key, budget_hits);
 
   std::printf("%-18s naive=%8.3f s   branch-and-bound=%8.3f s   "
               "(avg over %lld topic queries, k=5, D=4)\n",
@@ -107,14 +117,15 @@ int main() {
       "Figure 10",
       "average search time: naive vs branch-and-bound");
 
+  bench::BenchReport report("fig10_naive_vs_bnb");
   bench::BenchSetup imdb = bench::MakeImdbSetup(
       /*num_queries=*/2, /*user_log_style=*/false, /*query_seed=*/1010,
       bench::BenchScale(), /*ambiguous_prob=*/0.0);
-  RunDataset(imdb, "IMDB", 77);
+  RunDataset(imdb, "IMDB", "imdb", 77, &report);
 
   bench::BenchSetup dblp = bench::MakeDblpSetup(
       /*num_queries=*/2, /*query_seed=*/1011,
       bench::BenchScale(), /*ambiguous_prob=*/0.0);
-  RunDataset(dblp, "DBLP", 78);
-  return 0;
+  RunDataset(dblp, "DBLP", "dblp", 78, &report);
+  return report.Write() ? 0 : 1;
 }

@@ -10,10 +10,11 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 11",
       "IMDB average top-5 search time vs diameter, with/without star index");
+  bench::BenchReport report("fig11_imdb_index");
   bench::RunIndexFigure(
       bench::MakeImdbSetup(/*num_queries=*/30, /*user_log_style=*/false,
                            /*query_seed=*/1101, bench::BenchScale(),
                            /*ambiguous_prob=*/0.0),
-      "IMDB");
-  return 0;
+      "IMDB", &report);
+  return report.Write() ? 0 : 1;
 }

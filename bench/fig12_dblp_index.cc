@@ -9,9 +9,10 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 12",
       "DBLP average top-5 search time vs diameter, with/without star index");
+  bench::BenchReport report("fig12_dblp_index");
   bench::RunIndexFigure(
       bench::MakeDblpSetup(/*num_queries=*/30, /*query_seed=*/1201,
                            bench::BenchScale(), /*ambiguous_prob=*/0.0),
-      "DBLP");
-  return 0;
+      "DBLP", &report);
+  return report.Write() ? 0 : 1;
 }

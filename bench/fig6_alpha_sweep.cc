@@ -3,6 +3,7 @@
 // the DBLP synthetic datasets. The paper reports a plateau of best MRR for
 // alpha in roughly [0.1, 0.25], degrading outside that range.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -13,7 +14,8 @@ namespace cirank {
 namespace {
 
 // Re-ranks precomputed pools under a fresh RWMP model per alpha.
-void SweepDataset(const bench::BenchSetup& setup, const char* label) {
+void SweepDataset(const bench::BenchSetup& setup, const char* label,
+                  const char* key, bench::BenchReport* report) {
   const Dataset& ds = *setup.dataset;
   const CiRankEngine& engine = *setup.engine;
 
@@ -39,7 +41,12 @@ void SweepDataset(const bench::BenchSetup& setup, const char* label) {
     CiRankRanker ranker(scorer);
     RankerEffectiveness eff = EvaluateRanker(*pools, ranker, opts);
     std::printf("%-8.2f %-12.4f\n", alpha, eff.mrr);
+    char metric[64];
+    std::snprintf(metric, sizeof(metric), "mrr.%s.alpha_%.2f", key, alpha);
+    report->AddMetric(metric, eff.mrr);
   }
+  report->AddCounter(std::string("queries.") + key,
+                     static_cast<int64_t>(pools->size()));
   std::printf("\n");
 }
 
@@ -51,14 +58,15 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 6", "effect of alpha on mean reciprocal rank (g = 20)");
 
+  bench::BenchReport report("fig6_alpha_sweep");
   bench::BenchSetup imdb = bench::MakeImdbSetup(
       /*num_queries=*/40, /*user_log_style=*/false, /*query_seed=*/601);
   bench::PrintDatasetLine(*imdb.dataset);
-  SweepDataset(imdb, "IMDB (synthetic queries)");
+  SweepDataset(imdb, "IMDB (synthetic queries)", "imdb", &report);
 
   bench::BenchSetup dblp = bench::MakeDblpSetup(
       /*num_queries=*/40, /*query_seed=*/602);
   bench::PrintDatasetLine(*dblp.dataset);
-  SweepDataset(dblp, "DBLP (synthetic queries)");
-  return 0;
+  SweepDataset(dblp, "DBLP (synthetic queries)", "dblp", &report);
+  return report.Write() ? 0 : 1;
 }

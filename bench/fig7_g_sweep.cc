@@ -2,6 +2,7 @@
 // size g (Eq. 2) with alpha = 0.15, on IMDB and DBLP. The paper reports the
 // best accuracy for g roughly in [10, 20].
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -10,7 +11,8 @@
 namespace cirank {
 namespace {
 
-void SweepDataset(const bench::BenchSetup& setup, const char* label) {
+void SweepDataset(const bench::BenchSetup& setup, const char* label,
+                  const char* key, bench::BenchReport* report) {
   const Dataset& ds = *setup.dataset;
   const CiRankEngine& engine = *setup.engine;
 
@@ -34,7 +36,12 @@ void SweepDataset(const bench::BenchSetup& setup, const char* label) {
     CiRankRanker ranker(scorer);
     RankerEffectiveness eff = EvaluateRanker(*pools, ranker, opts);
     std::printf("%-8.0f %-14.4f\n", g, eff.mrr);
+    char metric[64];
+    std::snprintf(metric, sizeof(metric), "mrr.%s.g_%.0f", key, g);
+    report->AddMetric(metric, eff.mrr);
   }
+  report->AddCounter(std::string("queries.") + key,
+                     static_cast<int64_t>(pools->size()));
   std::printf("\n");
 }
 
@@ -46,14 +53,15 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 7", "effect of g on mean reciprocal rank (alpha = 0.15)");
 
+  bench::BenchReport report("fig7_g_sweep");
   bench::BenchSetup imdb = bench::MakeImdbSetup(
       /*num_queries=*/40, /*user_log_style=*/false, /*query_seed=*/701);
   bench::PrintDatasetLine(*imdb.dataset);
-  SweepDataset(imdb, "IMDB (synthetic queries)");
+  SweepDataset(imdb, "IMDB (synthetic queries)", "imdb", &report);
 
   bench::BenchSetup dblp = bench::MakeDblpSetup(
       /*num_queries=*/40, /*query_seed=*/702);
   bench::PrintDatasetLine(*dblp.dataset);
-  SweepDataset(dblp, "DBLP (synthetic queries)");
-  return 0;
+  SweepDataset(dblp, "DBLP (synthetic queries)", "dblp", &report);
+  return report.Write() ? 0 : 1;
 }

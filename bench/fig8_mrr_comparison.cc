@@ -5,6 +5,7 @@
 // mostly directly connected nodes), but SPARK and BANKS collapse to ~0.5 on
 // the synthetic sets where free connector nodes must be chosen well.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
@@ -12,7 +13,8 @@
 namespace cirank {
 namespace {
 
-void RunWorkload(const bench::BenchSetup& setup, const char* label) {
+void RunWorkload(const bench::BenchSetup& setup, const char* label,
+                 const char* key, bench::BenchReport* report) {
   const Dataset& ds = *setup.dataset;
   const CiRankEngine& engine = *setup.engine;
 
@@ -31,8 +33,11 @@ void RunWorkload(const bench::BenchSetup& setup, const char* label) {
   std::printf("%-22s", label);
   for (const RankerEffectiveness& r : *results) {
     std::printf(" %s=%.3f", r.name.c_str(), r.mrr);
+    report->AddMetric(std::string("mrr.") + key + "." + r.name, r.mrr);
   }
   std::printf("   (%d queries)\n", (*results)[0].evaluated_queries);
+  report->AddCounter(std::string("queries.") + key,
+                     (*results)[0].evaluated_queries);
 }
 
 }  // namespace
@@ -43,18 +48,19 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 8", "mean reciprocal rank: SPARK vs BANKS vs CI-Rank");
 
+  bench::BenchReport report("fig8_mrr_comparison");
   bench::BenchSetup imdb_log = bench::MakeImdbSetup(
       /*num_queries=*/44, /*user_log_style=*/true, /*query_seed=*/801);
   bench::PrintDatasetLine(*imdb_log.dataset);
-  RunWorkload(imdb_log, "IMDB (user log)");
+  RunWorkload(imdb_log, "IMDB (user log)", "imdb_log", &report);
 
   bench::BenchSetup imdb_syn = bench::MakeImdbSetup(
       /*num_queries=*/20, /*user_log_style=*/false, /*query_seed=*/802);
-  RunWorkload(imdb_syn, "IMDB (synthetic)");
+  RunWorkload(imdb_syn, "IMDB (synthetic)", "imdb_syn", &report);
 
   bench::BenchSetup dblp = bench::MakeDblpSetup(
       /*num_queries=*/20, /*query_seed=*/803);
   bench::PrintDatasetLine(*dblp.dataset);
-  RunWorkload(dblp, "DBLP (synthetic)");
-  return 0;
+  RunWorkload(dblp, "DBLP (synthetic)", "dblp_syn", &report);
+  return report.Write() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 // 0.75 on DBLP, with CI-Rank's margin coming from long queries matching
 // three or more non-free nodes.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
@@ -11,7 +12,8 @@
 namespace cirank {
 namespace {
 
-void RunWorkload(const bench::BenchSetup& setup, const char* label) {
+void RunWorkload(const bench::BenchSetup& setup, const char* label,
+                 const char* key, bench::BenchReport* report) {
   const Dataset& ds = *setup.dataset;
   const CiRankEngine& engine = *setup.engine;
 
@@ -30,8 +32,12 @@ void RunWorkload(const bench::BenchSetup& setup, const char* label) {
   std::printf("%-22s", label);
   for (const RankerEffectiveness& r : *results) {
     std::printf(" %s=%.3f", r.name.c_str(), r.precision);
+    report->AddMetric(std::string("precision.") + key + "." + r.name,
+                      r.precision);
   }
   std::printf("   (%d queries)\n", (*results)[0].evaluated_queries);
+  report->AddCounter(std::string("queries.") + key,
+                     (*results)[0].evaluated_queries);
 }
 
 }  // namespace
@@ -42,18 +48,19 @@ int main() {
   bench::PrintFigureHeader(
       "Figure 9", "graded precision@5: SPARK vs BANKS vs CI-Rank");
 
+  bench::BenchReport report("fig9_precision_comparison");
   bench::BenchSetup imdb_log = bench::MakeImdbSetup(
       /*num_queries=*/44, /*user_log_style=*/true, /*query_seed=*/901);
   bench::PrintDatasetLine(*imdb_log.dataset);
-  RunWorkload(imdb_log, "IMDB (user log)");
+  RunWorkload(imdb_log, "IMDB (user log)", "imdb_log", &report);
 
   bench::BenchSetup imdb_syn = bench::MakeImdbSetup(
       /*num_queries=*/20, /*user_log_style=*/false, /*query_seed=*/902);
-  RunWorkload(imdb_syn, "IMDB (synthetic)");
+  RunWorkload(imdb_syn, "IMDB (synthetic)", "imdb_syn", &report);
 
   bench::BenchSetup dblp = bench::MakeDblpSetup(
       /*num_queries=*/20, /*query_seed=*/903);
   bench::PrintDatasetLine(*dblp.dataset);
-  RunWorkload(dblp, "DBLP (synthetic)");
-  return 0;
+  RunWorkload(dblp, "DBLP (synthetic)", "dblp_syn", &report);
+  return report.Write() ? 0 : 1;
 }

@@ -4,6 +4,9 @@
 // figure-level timings can be interpreted.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/bounds.h"
 #include "core/naive_search.h"
@@ -16,7 +19,8 @@ namespace {
 // Shared state, built once (dataset generation dominates otherwise).
 struct MicroState {
   MicroState() {
-    auto ds = BuildImdbDataset(bench::ImdbBenchOptions(0.25));
+    auto ds = BuildImdbDataset(
+        bench::ImdbBenchOptions(bench::SmokeMode() ? 0.05 : 0.25));
     dataset = std::make_unique<Dataset>(std::move(ds).value());
     auto eng = CiRankEngine::Build(dataset->graph);
     engine = std::make_unique<CiRankEngine>(std::move(eng).value());
@@ -32,7 +36,7 @@ struct MicroState {
       }
       if (actors.size() >= 2 &&
           g.text_of(actors[0]) != g.text_of(actors[1])) {
-        query = Query::Parse(g.text_of(actors[0]) + " " +
+        query = Query::MustParse(g.text_of(actors[0]) + " " +
                              g.text_of(actors[1]));
         tree = std::make_unique<Jtt>(
             Jtt::Create(m, {{m, actors[0]}, {m, actors[1]}}).value());
@@ -129,7 +133,47 @@ void BM_EnumerateAnswers(benchmark::State& bench_state) {
 }
 BENCHMARK(BM_EnumerateAnswers)->Unit(benchmark::kMillisecond);
 
+// Console output plus a BENCH_micro_primitives.json capture: per-benchmark
+// mean real time lands in `metrics` as "<name>.real_ms_per_iter".
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      report_->AddMetric(run.benchmark_name() + ".real_ms_per_iter",
+                         run.real_accumulated_time /
+                             static_cast<double>(run.iterations) * 1e3);
+      report_->AddCounter(run.benchmark_name() + ".iterations",
+                          run.iterations);
+    }
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace cirank
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cirank;
+  // Smoke mode shrinks each benchmark to a wiring check, matching the other
+  // benches' CIRANK_BENCH_SMOKE contract (benchmark 1.7 takes a plain
+  // seconds value here).
+  std::vector<char*> args(argv, argv + argc);
+  char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (bench::SmokeMode()) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  bench::BenchReport report("micro_primitives");
+  CaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.Write() ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 // many physical cores; the harness prints the detected core count so a
 // 1-core CI box reporting ~1.0x reads as expected, not broken.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -46,7 +47,7 @@ void CheckIdentical(const std::vector<RankedAnswer>& expected,
   }
 }
 
-void Run() {
+void Run(bench::BenchReport* report) {
   bench::BenchSetup setup = bench::MakeDblpSetup(
       /*num_queries=*/16, /*query_seed=*/2024, bench::BenchScale(),
       /*ambiguous_prob=*/0.0);
@@ -87,6 +88,9 @@ void Run() {
   std::printf("serial baseline: %7.3f s for %zu queries "
               "(k=5, D=4, budget 20k; %zu proven-optimal)\n\n",
               serial_s, queries.size(), num_exact);
+  report->AddMetric("serial_seconds", serial_s);
+  report->AddCounter("queries", static_cast<int64_t>(queries.size()));
+  report->AddCounter("proven_optimal", static_cast<int64_t>(num_exact));
 
   // SearchBatch runs the deterministic serial search per query, so entries
   // must match the reference byte for byte even on budget-capped queries.
@@ -108,6 +112,10 @@ void Run() {
     std::printf("    %-8d %10.3f %8.2fx %6lld/%lld%s\n", threads, batch_s,
                 serial_s / batch_s, v.compared - v.mismatches, v.compared,
                 v.mismatches != 0 ? "  MISMATCH" : "");
+    const std::string key = "batch.t" + std::to_string(threads);
+    report->AddMetric(key + ".seconds", batch_s);
+    report->AddMetric(key + ".speedup", serial_s / batch_s);
+    report->AddCounter(key + ".mismatches", v.mismatches);
   }
 
   std::printf("\n(b) intra-query: ParallelBnbSearch, shared frontier\n");
@@ -128,6 +136,10 @@ void Run() {
     std::printf("    %-8d %10.3f %8.2fx %6lld/%lld%s\n", threads, par_s,
                 serial_s / par_s, v.compared - v.mismatches, v.compared,
                 v.mismatches != 0 ? "  MISMATCH" : "");
+    const std::string key = "intra.t" + std::to_string(threads);
+    report->AddMetric(key + ".seconds", par_s);
+    report->AddMetric(key + ".speedup", serial_s / par_s);
+    report->AddCounter(key + ".mismatches", v.mismatches);
   }
 
   std::printf("\n(c) warm cache: SearchBatch with the LRU result cache\n");
@@ -145,6 +157,10 @@ void Run() {
                 warm_s, serial_s / warm_s,
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses));
+    report->AddMetric("warm_cache.seconds", warm_s);
+    report->AddMetric("warm_cache.speedup", serial_s / warm_s);
+    report->AddCounter("cache_hits", static_cast<int64_t>(cs.hits));
+    report->AddCounter("cache_misses", static_cast<int64_t>(cs.misses));
   }
 }
 
@@ -155,6 +171,7 @@ int main() {
   cirank::bench::PrintFigureHeader(
       "Parallel scaling",
       "top-k serving speedup at 1/2/4/8 threads, exactness-verified");
-  cirank::Run();
-  return 0;
+  cirank::bench::BenchReport report("parallel_scaling");
+  cirank::Run(&report);
+  return report.Write() ? 0 : 1;
 }

@@ -13,22 +13,29 @@
 //   --diameter D            answer-tree diameter limit (default 4)
 //   --no-index              disable the star index
 //   --threads N             parallel search workers (default 1 = serial);
-//                           N > 1 shares each query's candidate frontier
-//                           across a worker pool, returning identical answers
+//                           N > 1 selects the "parallel" executor, which
+//                           shares each query's candidate frontier across a
+//                           worker pool and returns identical answers
+//   --executor NAME         route queries through a registered executor:
+//                           bnb (default), parallel, naive, banks,
+//                           bidirectional, spark, discover2
+//   --deadline-ms X         per-query wall-clock deadline; on expiry the
+//                           search stops and returns its best-so-far
+//                           answers, marked "truncated" in the stats line
 //   --cache N               LRU query-result cache capacity (default 1024;
 //                           0 disables). With the cache on, repeating a
 //                           query is served memoized and the CLI reports
 //                           cache counters instead of expansion stats;
-//                           --threads > 1 bypasses the cache (the parallel
-//                           path always searches fresh and reports stats)
+//                           --threads > 1, --deadline-ms, and non-default
+//                           --executor report fresh stage stats instead
 // Queries are read line by line from stdin; empty line or EOF quits.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "baselines/baseline_executors.h"
 #include "core/engine.h"
-#include "core/parallel_search.h"
 #include "datasets/dblp_gen.h"
 #include "datasets/imdb_gen.h"
 #include "graph/serialize.h"
@@ -48,6 +55,8 @@ struct CliOptions {
   uint32_t diameter = 4;
   bool use_index = true;
   int threads = 1;
+  std::string executor;  // empty = engine default ("bnb" / "parallel")
+  double deadline_ms = 0.0;
   size_t cache_capacity = 1024;
 };
 
@@ -89,6 +98,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->threads = std::atoi(v);
       if (opts->threads < 1) {
         std::fprintf(stderr, "--threads must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--executor") {
+      const char* v = next();
+      if (!v) return false;
+      opts->executor = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts->deadline_ms = std::atof(v);
+      if (opts->deadline_ms < 0.0) {
+        std::fprintf(stderr, "--deadline-ms must be >= 0\n");
         return false;
       }
     } else if (arg == "--cache") {
@@ -156,6 +177,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Make every registered executor addressable via --executor.
+  if (Status st = RegisterBaselineExecutors(); !st.ok()) {
+    std::fprintf(stderr, "executor registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  if (!opts.executor.empty() &&
+      !ExecutorRegistry::Global().Contains(opts.executor)) {
+    std::fprintf(stderr, "unknown --executor %s; registered:",
+                 opts.executor.c_str());
+    for (const std::string& name : ExecutorRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
   CiRankOptions engine_opts;
   engine_opts.cache.capacity = opts.cache_capacity;
   auto engine = CiRankEngine::Build(*graph, engine_opts);
@@ -186,7 +224,12 @@ int main(int argc, char** argv) {
   while (std::printf("> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line.empty()) break;
-    Query query = Query::Parse(line);
+    Result<Query> parsed = Query::Parse(line);
+    if (!parsed.ok()) {
+      std::printf("  error: %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    Query query = std::move(parsed).value();
     if (query.empty()) continue;
 
     SearchOverrides overrides;
@@ -194,29 +237,45 @@ int main(int argc, char** argv) {
     overrides.max_diameter = opts.diameter;
     overrides.max_expansions = 500000;
     if (index.ok()) overrides.bounds = &index.value();
+    if (!opts.executor.empty()) {
+      overrides.executor = opts.executor;
+    } else if (opts.threads > 1) {
+      overrides.executor = "parallel";
+    }
+    if (opts.threads > 1) overrides.num_threads = opts.threads;
+    if (opts.deadline_ms > 0.0) overrides.deadline_ms = opts.deadline_ms;
 
     // With the cache on, requesting SearchStats would force a fresh search
     // (a memoized result has no stats to report), so repeated queries go
     // through the cacheable entry point and report cache counters instead.
-    const bool want_stats = opts.threads > 1 || opts.cache_capacity == 0;
+    // Everything that changes what runs — threads, a deadline, an explicit
+    // executor — reports fresh stage stats.
+    const bool want_stats = opts.threads > 1 || opts.cache_capacity == 0 ||
+                            opts.deadline_ms > 0.0 || !opts.executor.empty();
     Timer t;
     SearchStats stats;
-    auto answers =
-        opts.threads > 1
-            ? ParallelBnbSearch(engine->scorer(), query,
-                                engine->EffectiveOptions(overrides),
-                                {opts.threads}, &stats)
-            : engine->Search(query, overrides,
-                             want_stats ? &stats : nullptr);
+    auto answers = engine->Search(query, overrides,
+                                  want_stats ? &stats : nullptr);
     if (!answers.ok()) {
       std::printf("  error: %s\n", answers.status().ToString().c_str());
       continue;
     }
     if (want_stats) {
-      std::printf("  %zu answers in %.3f s (%lld candidates expanded%s)\n",
-                  answers->size(), t.ElapsedSeconds(),
-                  static_cast<long long>(stats.popped),
-                  stats.budget_exhausted ? ", budget hit" : "");
+      std::printf("  %zu answers in %.3f s via %s%s%s\n", answers->size(),
+                  t.ElapsedSeconds(), stats.executor.c_str(),
+                  stats.truncated ? "  [TRUNCATED: deadline/budget hit]" : "",
+                  stats.budget_exhausted ? "  [expansion budget hit]" : "");
+      std::printf("  stages: %lld generated, %lld pruned, %lld merged, "
+                  "%lld bound calls, %.1f KiB arena; "
+                  "prep %.1f ms / expand %.1f ms / emit %.1f ms\n",
+                  static_cast<long long>(stats.stages.candidates_generated),
+                  static_cast<long long>(stats.stages.candidates_pruned),
+                  static_cast<long long>(stats.stages.candidates_merged),
+                  static_cast<long long>(stats.stages.bound_calls),
+                  static_cast<double>(stats.stages.arena_bytes) / 1024.0,
+                  stats.stages.prepare_seconds * 1e3,
+                  stats.stages.expand_seconds * 1e3,
+                  stats.stages.emit_seconds * 1e3);
     } else {
       QueryCacheStats cs = engine->cache_stats();
       std::printf("  %zu answers in %.3f s (cache: %llu hits / %llu misses)\n",

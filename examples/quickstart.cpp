@@ -53,7 +53,7 @@ int main() {
 
   // 4. Ask which papers connect Alice and Bob. CI-Rank prefers the
   //    well-cited survey because its node importance is higher.
-  Query query = Query::Parse("alice bob");
+  Query query = Query::MustParse("alice bob");
   SearchOptions options;
   options.k = 3;
   options.max_diameter = 2;

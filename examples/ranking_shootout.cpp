@@ -47,7 +47,7 @@ int main() {
     TsimmisExample ex = BuildTsimmisExample();
     auto engine = CiRankEngine::Build(ex.dataset.graph);
     if (!engine.ok()) return 1;
-    Query q = Query::Parse("papakonstantinou ullman");
+    Query q = Query::MustParse("papakonstantinou ullman");
     std::vector<Jtt> candidates{
         Jtt::Create(ex.paper_a, {{ex.paper_a, ex.papakonstantinou},
                                  {ex.paper_a, ex.ullman}})
@@ -70,7 +70,7 @@ int main() {
     CostarExample ex = BuildCostarExample();
     auto engine = CiRankEngine::Build(ex.dataset.graph);
     if (!engine.ok()) return 1;
-    Query q = Query::Parse("bloom wood mortensen");
+    Query q = Query::MustParse("bloom wood mortensen");
     std::vector<Jtt> candidates{
         Jtt::Create(ex.bloom, {{ex.bloom, ex.popular_movie},
                                {ex.popular_movie, ex.wood},
@@ -95,7 +95,7 @@ int main() {
     FreeNodeDominationExample ex = BuildFreeNodeDominationExample();
     auto engine = CiRankEngine::Build(ex.dataset.graph);
     if (!engine.ok()) return 1;
-    Query q = Query::Parse("wilson cruz");
+    Query q = Query::MustParse("wilson cruz");
     std::vector<Jtt> candidates{
         Jtt(ex.wilson_cruz),
         Jtt::Create(ex.charlie_wilsons_war,

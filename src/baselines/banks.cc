@@ -52,7 +52,8 @@ double BanksScorer::Score(const Jtt& tree, const Query& query,
 
 Result<std::vector<RankedAnswer>> BanksSearch(
     const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
-    const Query& query, const BanksSearchOptions& options) {
+    const Query& query, const BanksSearchOptions& options,
+    ExecutionContext* ctx) {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (options.k <= 0) return Status::InvalidArgument("k must be positive");
 
@@ -84,6 +85,7 @@ Result<std::vector<RankedAnswer>> BanksSearch(
                                     std::numeric_limits<uint32_t>::max());
     for (NodeId v : index.MatchingNodes(query.keywords[ki])) hop_count[v] = 0;
     while (!heap.empty()) {
+      if (ctx != nullptr && ctx->ShouldStop()) break;
       auto [cost, v] = heap.top();
       heap.pop();
       if (cost > labels[ki][v].cost) continue;
@@ -110,6 +112,7 @@ Result<std::vector<RankedAnswer>> BanksSearch(
   std::vector<Scored> found;
   std::set<std::string> seen;
   for (NodeId r = 0; r < graph.num_nodes(); ++r) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     bool all = true;
     for (size_t ki = 0; ki < m; ++ki) {
       if (labels[ki][r].cost == std::numeric_limits<double>::infinity()) {

@@ -47,12 +47,13 @@ struct BanksSearchOptions {
 
 // BANKS' backward expanding search: Dijkstra-style expansion from every
 // keyword-matching node toward common roots; each discovered root yields an
-// answer tree assembled from the per-keyword best paths.
-[[nodiscard]] Result<std::vector<RankedAnswer>> BanksSearch(const Graph& graph,
-                                              const InvertedIndex& index,
-                                              const BanksScorer& scorer,
-                                              const Query& query,
-                                              const BanksSearchOptions& options);
+// answer tree assembled from the per-keyword best paths. A non-null `ctx`
+// applies the execution pipeline's deadline/budget guard: when it fires the
+// search stops expanding and returns the answers assembled so far.
+[[nodiscard]] Result<std::vector<RankedAnswer>> BanksSearch(
+    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Query& query, const BanksSearchOptions& options,
+    ExecutionContext* ctx = nullptr);
 
 }  // namespace cirank
 

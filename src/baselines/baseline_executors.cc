@@ -1,0 +1,231 @@
+#include "baselines/baseline_executors.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/banks.h"
+#include "baselines/bidirectional.h"
+#include "baselines/discover2.h"
+#include "baselines/spark.h"
+#include "core/naive_search.h"
+
+namespace cirank {
+
+namespace {
+
+Status ValidateEnv(const ExecutorEnv& env) {
+  if (env.scorer == nullptr || env.query == nullptr) {
+    return Status::InvalidArgument("executor env missing scorer or query");
+  }
+  if (env.query->empty()) return Status::InvalidArgument("empty query");
+  if (env.query->size() > Query::kMaxKeywords) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
+  }
+  if (env.options.k <= 0) return Status::InvalidArgument("k must be positive");
+  return Status::OK();
+}
+
+// Sorted top-k accumulator with canonical-key dedup, shared by the pool
+// scorers (unordered offers, so TopKAnswers' monotone-threshold contract
+// does not apply).
+class RankedPool {
+ public:
+  explicit RankedPool(size_t k) : k_(k) {}
+
+  void Offer(const Jtt& tree, double score) {
+    if (!seen_.insert(tree.CanonicalKey()).second) return;
+    answers_.push_back(RankedAnswer{tree, score});
+    std::sort(answers_.begin(), answers_.end(),
+              [](const RankedAnswer& a, const RankedAnswer& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.tree.CanonicalKey() < b.tree.CanonicalKey();
+              });
+    if (answers_.size() > k_) answers_.resize(k_);
+  }
+
+  size_t distinct() const { return seen_.size(); }
+  std::vector<RankedAnswer> Take() { return std::move(answers_); }
+
+ private:
+  size_t k_;
+  std::vector<RankedAnswer> answers_;
+  std::set<std::string> seen_;
+};
+
+// BANKS and bidirectional share their scorer and their executor shape: the
+// baseline's own search runs inside Expand with the context's guard, and
+// Emit hands over whatever it assembled.
+class BanksFamilyExecutor final : public SearchExecutor {
+ public:
+  BanksFamilyExecutor(const ExecutorEnv& env, bool bidirectional)
+      : scorer_(*env.scorer),
+        query_(*env.query),
+        options_(env.options),
+        bidirectional_(bidirectional) {}
+
+  std::string_view name() const override {
+    return bidirectional_ ? "bidirectional" : "banks";
+  }
+
+  Status Prepare(ExecutionContext& ctx) override {
+    (void)ctx;
+    // Feed BANKS the same PageRank importance CI-Rank uses, so the baseline
+    // differs only in how it exploits it (root+leaf averaging).
+    banks_scorer_.emplace(scorer_.model().graph(),
+                          scorer_.model().importance_vector());
+    return Status::OK();
+  }
+
+  Status Expand(ExecutionContext& ctx) override {
+    const Graph& graph = scorer_.model().graph();
+    const InvertedIndex& index = scorer_.index();
+    if (bidirectional_) {
+      BidirectionalSearchOptions opts;
+      opts.k = options_.k;
+      opts.max_diameter = options_.max_diameter;
+      CIRANK_ASSIGN_OR_RETURN(
+          answers_, BidirectionalSearch(graph, index, *banks_scorer_, query_,
+                                        opts, &ctx));
+    } else {
+      BanksSearchOptions opts;
+      opts.k = options_.k;
+      opts.max_diameter = options_.max_diameter;
+      CIRANK_ASSIGN_OR_RETURN(
+          answers_,
+          BanksSearch(graph, index, *banks_scorer_, query_, opts, &ctx));
+    }
+    ctx.stages().candidates_generated =
+        static_cast<int64_t>(answers_.size());
+    return ctx.stopped() ? ctx.stop_status() : Status::OK();
+  }
+
+  Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
+    (void)ctx;
+    return std::move(answers_);
+  }
+
+  void FillStats(SearchStats* stats) const override {
+    stats->answers_found = static_cast<int64_t>(answers_.size());
+  }
+
+ private:
+  const TreeScorer& scorer_;
+  const Query& query_;
+  const SearchOptions options_;
+  const bool bidirectional_;
+  std::optional<BanksScorer> banks_scorer_;
+  std::vector<RankedAnswer> answers_;
+};
+
+// SPARK and DISCOVER2 are pure scoring functions, so their executors rank
+// the neutral candidate pool (naive enumeration — the same pool the
+// effectiveness experiments use, so no system's own search biases it).
+class PoolScoringExecutor final : public SearchExecutor {
+ public:
+  PoolScoringExecutor(const ExecutorEnv& env, bool spark)
+      : scorer_(*env.scorer),
+        query_(*env.query),
+        options_(env.options),
+        spark_(spark),
+        answers_(static_cast<size_t>(env.options.k)) {}
+
+  std::string_view name() const override {
+    return spark_ ? "spark" : "discover2";
+  }
+
+  Status Prepare(ExecutionContext& ctx) override {
+    EnumerateOptions enum_options;
+    enum_options.max_diameter = options_.max_diameter;
+    CIRANK_ASSIGN_OR_RETURN(
+        pool_, EnumerateAnswers(scorer_.model().graph(), scorer_.index(),
+                                query_, enum_options));
+    ctx.stages().candidates_generated = static_cast<int64_t>(pool_.size());
+    (void)ctx.ChargeCandidates(static_cast<int64_t>(pool_.size()));
+    return Status::OK();
+  }
+
+  Status Expand(ExecutionContext& ctx) override {
+    std::optional<SparkScorer> spark;
+    std::optional<Discover2Scorer> discover2;
+    if (spark_) {
+      spark.emplace(scorer_.index());
+    } else {
+      discover2.emplace(scorer_.index());
+    }
+    for (const Jtt& tree : pool_) {
+      if (ctx.ShouldStop()) return ctx.stop_status();
+      const double score = spark_ ? spark->Score(tree, query_)
+                                  : discover2->Score(tree, query_);
+      answers_.Offer(tree, score);
+      ++scored_;
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
+    (void)ctx;
+    return answers_.Take();
+  }
+
+  void FillStats(SearchStats* stats) const override {
+    stats->generated = scored_;
+    stats->answers_found = static_cast<int64_t>(answers_.distinct());
+  }
+
+ private:
+  const TreeScorer& scorer_;
+  const Query& query_;
+  const SearchOptions options_;
+  const bool spark_;
+  std::vector<Jtt> pool_;
+  RankedPool answers_;
+  int64_t scored_ = 0;
+};
+
+Result<std::unique_ptr<SearchExecutor>> MakeBanksFamily(const ExecutorEnv& env,
+                                                        bool bidirectional) {
+  CIRANK_RETURN_IF_ERROR(ValidateEnv(env));
+  std::unique_ptr<SearchExecutor> executor =
+      std::make_unique<BanksFamilyExecutor>(env, bidirectional);
+  return executor;
+}
+
+Result<std::unique_ptr<SearchExecutor>> MakePoolScoring(const ExecutorEnv& env,
+                                                        bool spark) {
+  CIRANK_RETURN_IF_ERROR(ValidateEnv(env));
+  std::unique_ptr<SearchExecutor> executor =
+      std::make_unique<PoolScoringExecutor>(env, spark);
+  return executor;
+}
+
+}  // namespace
+
+Status RegisterBaselineExecutors() {
+  // once_flag rather than checking Contains(): two concurrent first calls
+  // must not race half-registered state.
+  static std::once_flag once;
+  static Status result = Status::OK();
+  std::call_once(once, [] {
+    ExecutorRegistry& registry = ExecutorRegistry::Global();
+    auto reg = [&](const char* name, bool flag,
+                   Result<std::unique_ptr<SearchExecutor>> (*make)(
+                       const ExecutorEnv&, bool)) -> Status {
+      return registry.Register(
+          name, [flag, make](const ExecutorEnv& env) { return make(env, flag); });
+    };
+    Status s = reg("banks", false, MakeBanksFamily);
+    if (s.ok()) s = reg("bidirectional", true, MakeBanksFamily);
+    if (s.ok()) s = reg("spark", true, MakePoolScoring);
+    if (s.ok()) s = reg("discover2", false, MakePoolScoring);
+    result = std::move(s);
+  });
+  return result;
+}
+
+}  // namespace cirank

@@ -1,0 +1,25 @@
+// SearchExecutor adapters for the baseline rankers, so the execution
+// pipeline (core/execution.h) can serve every algorithm through one code
+// path. Four executors are provided:
+//   * "banks"         -- BANKS backward expanding search + BANKS scoring
+//   * "bidirectional" -- bidirectional activation search + BANKS scoring
+//   * "spark"         -- neutral pool enumeration + SPARK IR scoring
+//   * "discover2"     -- neutral pool enumeration + DISCOVER2 TF-IDF scoring
+// The core registry cannot depend on this library (baselines already depend
+// on core), so registration is explicit: call RegisterBaselineExecutors()
+// once at startup before asking the engine for one of these names.
+#ifndef CIRANK_BASELINES_BASELINE_EXECUTORS_H_
+#define CIRANK_BASELINES_BASELINE_EXECUTORS_H_
+
+#include "core/execution.h"
+
+namespace cirank {
+
+// Adds the four baseline executors to ExecutorRegistry::Global().
+// Idempotent: repeat calls are no-ops, so library users, tests, and tools
+// can all call it defensively.
+Status RegisterBaselineExecutors();
+
+}  // namespace cirank
+
+#endif  // CIRANK_BASELINES_BASELINE_EXECUTORS_H_

@@ -20,7 +20,8 @@ struct Reach {
 
 Result<std::vector<RankedAnswer>> BidirectionalSearch(
     const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
-    const Query& query, const BidirectionalSearchOptions& options) {
+    const Query& query, const BidirectionalSearchOptions& options,
+    ExecutionContext* ctx) {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (options.k <= 0) return Status::InvalidArgument("k must be positive");
   if (options.activation_decay <= 0.0 || options.activation_decay >= 1.0) {
@@ -58,6 +59,7 @@ Result<std::vector<RankedAnswer>> BidirectionalSearch(
   const uint32_t radius = options.max_diameter;
   int64_t iterations = 0;
   while (!frontier.empty() && iterations < options.max_iterations) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     ++iterations;
     Entry e = frontier.top();
     frontier.pop();
@@ -85,6 +87,7 @@ Result<std::vector<RankedAnswer>> BidirectionalSearch(
   std::vector<Scored> found;
   std::set<std::string> seen;
   for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     bool all = true;
     for (size_t ki = 0; ki < m; ++ki) {
       if (reach[ki][root].activation <= 0.0) {

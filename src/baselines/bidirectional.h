@@ -25,9 +25,13 @@ struct BidirectionalSearchOptions {
   int64_t max_iterations = 500000;
 };
 
+// A non-null `ctx` applies the execution pipeline's deadline/budget guard:
+// when it fires the search stops expanding and returns the answers
+// assembled so far.
 [[nodiscard]] Result<std::vector<RankedAnswer>> BidirectionalSearch(
     const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
-    const Query& query, const BidirectionalSearchOptions& options = {});
+    const Query& query, const BidirectionalSearchOptions& options = {},
+    ExecutionContext* ctx = nullptr);
 
 }  // namespace cirank
 

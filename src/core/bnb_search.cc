@@ -3,194 +3,271 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 #include <queue>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "core/topk.h"
 #include "util/check.h"
 
 namespace cirank {
 
-Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
-    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
-    SearchStats* stats) {
-  if (query.empty()) return Status::InvalidArgument("empty query");
-  if (query.size() > 31) {
-    return Status::InvalidArgument("at most 31 keywords are supported");
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The "bnb" executor: Algorithm 1 decomposed into the pipeline stages.
+// Prepare seeds single-node candidates for every non-free node; Expand runs
+// the pop/grow/merge loop under the Theorem-1 stopping rule; Emit takes the
+// accumulated top-k. Candidates are placed into the per-query arena —
+// stable addresses, one wholesale release at query end — and the frontier
+// and registries hold indices into `slots_`.
+class BnbExecutor final : public SearchExecutor {
+ public:
+  explicit BnbExecutor(const ExecutorEnv& env)
+      : scorer_(*env.scorer),
+        query_(*env.query),
+        options_(env.options),
+        answers_(static_cast<size_t>(env.options.k)) {}
+
+  std::string_view name() const override { return "bnb"; }
+
+  Status Prepare(ExecutionContext& ctx) override {
+    calc_.emplace(scorer_, query_, options_.max_diameter, options_.bounds);
+    all_ = calc_->all_keywords_mask();
+
+    // Seed with single-node candidates for every non-free node (line 3-6).
+    const InvertedIndex& index = scorer_.index();
+    std::set<NodeId> seeds;
+    for (const std::string& k : query_.keywords) {
+      for (NodeId v : index.MatchingNodes(k)) seeds.insert(v);
+    }
+    for (NodeId v : seeds) {
+      Candidate c;
+      c.tree = Jtt(v);
+      c.covered = NodeKeywordMask(v, query_, index);
+      c.diameter = 0;
+      Admit(ctx, std::move(c), kInf, /*from_merge=*/false);
+      if (ctx.ShouldStop()) break;
+    }
+    return Status::OK();
   }
-  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
 
-  SearchStats local_stats;
-  SearchStats& st = stats != nullptr ? *stats : local_stats;
-  st = SearchStats{};
+  Status Expand(ExecutionContext& ctx) override {
+    const Graph& graph = scorer_.model().graph();
+    while (!queue_.empty()) {
+      if (ctx.ShouldStop()) return ctx.stop_status();
+      auto [ub, idx] = queue_.top();
+      queue_.pop();
+      if (ub < slots_[idx]->upper_bound) continue;  // stale (cannot happen)
 
-  const Graph& graph = scorer.model().graph();
-  const InvertedIndex& index = scorer.index();
-  UpperBoundCalculator calc(scorer, query, options.max_diameter,
-                            options.bounds);
-  const KeywordMask all = calc.all_keywords_mask();
+      // Stopping rule (lines 9-11): nothing left can beat — or canonically
+      // displace a tie with — the k-th answer. The inequality is strict so
+      // candidates tying with the k-th score are still expanded; that makes
+      // the output independent of expansion order (see bnb_search.h).
+      if (answers_.Full() && ub < answers_.MinScore()) {
+        max_pruned_bound_ = std::max(max_pruned_bound_, ub);
+        ctx.stages().candidates_pruned +=
+            static_cast<int64_t>(queue_.size()) + 1;
+        proven_optimal_ = true;
+        break;
+      }
+      ++popped_;
+      if (options_.max_expansions > 0 && popped_ > options_.max_expansions) {
+        budget_exhausted_ = true;
+        break;
+      }
 
-  // Candidate arena; the priority queue and root registry hold indices.
-  std::vector<Candidate> arena;
-  using QueueEntry = std::pair<double, size_t>;  // (upper bound, arena index)
-  std::priority_queue<QueueEntry> queue;
-  // Registry entries carry the cheap merge pre-filter fields inline so hub
-  // roots with thousands of candidates can be scanned without touching the
-  // candidates themselves.
+      // Tree growing (line 12): every graph neighbor of the root not yet in
+      // the tree becomes a new root.
+      const Candidate& c = *slots_[idx];
+      const NodeId root = c.root();
+      std::vector<NodeId> neighbors;
+      for (const Edge& e : graph.out_edges(root)) {
+        if (!c.tree.contains(e.to)) neighbors.push_back(e.to);
+      }
+      for (NodeId nb : neighbors) {
+        if (ctx.stopped()) break;
+        Candidate grown = GrowCandidate(*slots_[idx], nb, query_,
+                                        scorer_.index());
+        const size_t before = slots_.size();
+        if (Admit(ctx, std::move(grown), audit_bound_[idx],
+                  /*from_merge=*/false)) {
+          MergeClosure(ctx, before);
+        }
+      }
+    }
+
+    if (queue_.empty() && !ctx.stopped()) {
+      proven_optimal_ = !budget_exhausted_;
+    }
+    return ctx.stopped() ? ctx.stop_status() : Status::OK();
+  }
+
+  Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
+    ctx.stages().bound_calls = calc_->calls();
+    return answers_.Take();
+  }
+
+  void FillStats(SearchStats* stats) const override {
+    stats->popped = popped_;
+    stats->generated = generated_;
+    stats->answers_found = answers_found_;
+    stats->budget_exhausted = budget_exhausted_;
+    stats->proven_optimal = proven_optimal_;
+    stats->max_pruned_bound = max_pruned_bound_;
+  }
+
+ private:
   struct RegistryEntry {
     size_t idx;
     uint32_t non_root_leaves;
     KeywordMask covered;
   };
-  std::map<NodeId, std::vector<RegistryEntry>> by_root;
-  std::set<std::string> seen_candidates;
-  TopKAnswers answers(static_cast<size_t>(options.k));
-
-  // Theorem-1 admissibility audit (debug builds): audit_bound[i] is the
-  // minimum upper bound along arena[i]'s derivation chain (itself plus every
-  // grow/merge ancestor). Every emitted answer tree is derivable from each
-  // of those candidates, so by Lemma 1 its exact score may never exceed any
-  // bound on the chain; CIRANK_DCHECK enforces that below. The bookkeeping
-  // (one double per candidate) is kept in release builds too, where the
-  // check compiles out.
-  std::vector<double> audit_bound;
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  auto audit_slack = [](double bound) {
-    return 1e-9 * std::max(1.0, std::abs(bound));
-  };
 
   // Admits a candidate: dedup, score if complete answer, enqueue, register.
-  // `ancestor_bound` is the audit chain bound inherited from the candidate's
-  // grow/merge parents (kInf for seeds).
-  auto admit = [&](Candidate&& c, double ancestor_bound) -> bool {
-    if (c.diameter > options.max_diameter) return false;
-    if (!IsViableCandidate(c, query, index)) return false;
+  // `ancestor_bound` is the Theorem-1 audit chain bound inherited from the
+  // candidate's grow/merge parents (kInf for seeds); audit_bound_[i] is the
+  // minimum upper bound along slots_[i]'s derivation chain, and every
+  // emitted answer must score within it (Lemma 1) — CIRANK_DCHECK enforces
+  // that below.
+  bool Admit(ExecutionContext& ctx, Candidate&& c, double ancestor_bound,
+             bool from_merge) {
+    if (c.diameter > options_.max_diameter ||
+        !IsViableCandidate(c, query_, scorer_.index())) {
+      ++ctx.stages().candidates_pruned;
+      return false;
+    }
     std::string key = CandidateKey(c);
-    if (!seen_candidates.insert(std::move(key)).second) return false;
-    ++st.generated;
+    if (!seen_.insert(std::move(key)).second) return false;
+    ++generated_;
+    ++ctx.stages().candidates_generated;
+    if (from_merge) ++ctx.stages().candidates_merged;
+    // Budget accounting: exhaustion latches the stop flag; the candidate
+    // just admitted still completes so the partial state stays consistent.
+    (void)ctx.ChargeCandidates(1);
 
-    c.upper_bound = calc.UpperBound(c);
+    c.upper_bound = calc_->UpperBound(c);
     const double chain_bound = std::min(ancestor_bound, c.upper_bound);
 
-    if (c.IsComplete(all) && c.tree.IsReduced(query, index)) {
+    if (c.IsComplete(all_) && c.tree.IsReduced(query_, scorer_.index())) {
       // Scoring runs on the canonical representative so the stored answer
       // (and its floating-point score) does not depend on which derivation
       // reached this tree first — a precondition for the byte-identical
-      // guarantee shared with ParallelBnbSearch.
+      // guarantee shared with the parallel executor.
       Jtt canon = c.tree.Canonicalized();
-      TreeScore ts = scorer.Score(canon, query);
-      CIRANK_DCHECK(ts.score <= chain_bound + audit_slack(chain_bound))
+      TreeScore ts = scorer_.Score(canon, query_);
+      CIRANK_DCHECK(ts.score <=
+                    chain_bound + 1e-9 * std::max(1.0, std::abs(chain_bound)))
           << "Theorem 1 admissibility violated: emitted tree "
           << canon.CanonicalKey() << " scores " << ts.score
           << " above its derivation-chain bound " << chain_bound;
-      if (answers.Offer(std::move(canon), ts.score)) ++st.answers_found;
+      if (answers_.Offer(std::move(canon), ts.score)) ++answers_found_;
     }
 
-    arena.push_back(std::move(c));
-    audit_bound.push_back(chain_bound);
-    const size_t idx = arena.size() - 1;
-    if (arena[idx].upper_bound > 0.0) {
-      queue.push({arena[idx].upper_bound, idx});
+    Candidate* slot = ctx.arena().New<Candidate>(std::move(c));
+    slots_.push_back(slot);
+    audit_bound_.push_back(chain_bound);
+    const size_t idx = slots_.size() - 1;
+    if (slot->upper_bound > 0.0) {
+      queue_.push({slot->upper_bound, idx});
     }
-    by_root[arena[idx].root()].push_back(RegistryEntry{
-        idx, NonRootLeafCount(arena[idx]), arena[idx].covered});
+    by_root_[slot->root()].push_back(
+        RegistryEntry{idx, NonRootLeafCount(*slot), slot->covered});
     return true;
-  };
+  }
 
   // Merges a freshly admitted candidate against everything registered at its
   // root, cascading so multi-way merges are reachable (closure of Alg. 1's
   // Smerge step).
-  const uint32_t max_leaves = static_cast<uint32_t>(query.size());
-  auto merge_closure = [&](size_t start_idx) {
+  void MergeClosure(ExecutionContext& ctx, size_t start_idx) {
+    const uint32_t max_leaves = static_cast<uint32_t>(query_.size());
     std::vector<size_t> worklist{start_idx};
     while (!worklist.empty()) {
+      if (ctx.stopped()) return;
       const size_t idx = worklist.back();
       worklist.pop_back();
-      const NodeId root = arena[idx].root();
-      const uint32_t my_leaves = NonRootLeafCount(arena[idx]);
-      const KeywordMask my_mask = arena[idx].covered;
-      // Snapshot: admit() may grow the registry while we iterate.
-      std::vector<RegistryEntry> partners = by_root[root];
+      const NodeId root = slots_[idx]->root();
+      const uint32_t my_leaves = NonRootLeafCount(*slots_[idx]);
+      const KeywordMask my_mask = slots_[idx]->covered;
+      // Snapshot: Admit() may grow the registry while we iterate.
+      std::vector<RegistryEntry> partners = by_root_[root];
       for (const RegistryEntry& other : partners) {
         if (other.idx == idx) continue;
         // Fast pre-filters: the merged tree keeps both sides' non-root
         // leaves, so it can only stay viable when their counts fit within
         // |Q|; the strict rule additionally needs coverage growth.
         if (my_leaves + other.non_root_leaves > max_leaves) continue;
-        if (options.strict_merge_rule) {
+        if (options_.strict_merge_rule) {
           const KeywordMask merged_mask = my_mask | other.covered;
           if (merged_mask == my_mask || merged_mask == other.covered) {
             continue;
           }
         }
         Result<Candidate> merged = MergeCandidates(
-            arena[idx], arena[other.idx], options.strict_merge_rule);
+            *slots_[idx], *slots_[other.idx], options_.strict_merge_rule);
         if (!merged.ok()) continue;
-        const size_t before = arena.size();
+        const size_t before = slots_.size();
         const double parents_bound =
-            std::min(audit_bound[idx], audit_bound[other.idx]);
-        if (admit(std::move(merged).value(), parents_bound)) {
+            std::min(audit_bound_[idx], audit_bound_[other.idx]);
+        if (Admit(ctx, std::move(merged).value(), parents_bound,
+                  /*from_merge=*/true)) {
           worklist.push_back(before);
         }
       }
     }
-  };
-
-  // Seed with single-node candidates for every non-free node (line 3-6).
-  {
-    std::set<NodeId> seeds;
-    for (const std::string& k : query.keywords) {
-      for (NodeId v : index.MatchingNodes(k)) seeds.insert(v);
-    }
-    for (NodeId v : seeds) {
-      Candidate c;
-      c.tree = Jtt(v);
-      c.covered = NodeKeywordMask(v, query, index);
-      c.diameter = 0;
-      admit(std::move(c), kInf);
-    }
   }
 
-  while (!queue.empty()) {
-    auto [ub, idx] = queue.top();
-    queue.pop();
-    if (ub < arena[idx].upper_bound) continue;  // stale (should not happen)
+  const TreeScorer& scorer_;
+  const Query& query_;
+  const SearchOptions options_;
 
-    // Stopping rule (lines 9-11): nothing left can beat — or canonically
-    // displace a tie with — the k-th answer. The inequality is strict so
-    // candidates tying with the k-th score are still expanded; that makes
-    // the output independent of expansion order (see bnb_search.h).
-    if (answers.Full() && ub < answers.MinScore()) {
-      st.max_pruned_bound = std::max(st.max_pruned_bound, ub);
-      st.proven_optimal = true;
-      break;
-    }
-    ++st.popped;
-    if (options.max_expansions > 0 && st.popped > options.max_expansions) {
-      st.budget_exhausted = true;
-      break;
-    }
+  std::optional<UpperBoundCalculator> calc_;
+  KeywordMask all_ = 0;
 
-    // Tree growing (line 12): every graph neighbor of the root not yet in
-    // the tree becomes a new root.
-    const Candidate& c = arena[idx];
-    const NodeId root = c.root();
-    std::vector<NodeId> neighbors;
-    for (const Edge& e : graph.out_edges(root)) {
-      if (!c.tree.contains(e.to)) neighbors.push_back(e.to);
-    }
-    for (NodeId nb : neighbors) {
-      Candidate grown = GrowCandidate(arena[idx], nb, query, index);
-      const size_t before = arena.size();
-      if (admit(std::move(grown), audit_bound[idx])) {
-        merge_closure(before);
-      }
-    }
+  // Arena-placed candidates; the priority queue and root registry hold
+  // indices into slots_.
+  std::vector<Candidate*> slots_;
+  std::vector<double> audit_bound_;
+  std::priority_queue<std::pair<double, size_t>> queue_;  // (ub, slot idx)
+  std::map<NodeId, std::vector<RegistryEntry>> by_root_;
+  std::set<std::string> seen_;
+  TopKAnswers answers_;
+
+  int64_t popped_ = 0;
+  int64_t generated_ = 0;
+  int64_t answers_found_ = 0;
+  bool budget_exhausted_ = false;
+  bool proven_optimal_ = false;
+  double max_pruned_bound_ = 0.0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SearchExecutor>> MakeBnbExecutor(
+    const ExecutorEnv& env) {
+  if (env.scorer == nullptr || env.query == nullptr) {
+    return Status::InvalidArgument("executor env missing scorer or query");
   }
+  if (env.query->empty()) return Status::InvalidArgument("empty query");
+  if (env.query->size() > Query::kMaxKeywords) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
+  }
+  if (env.options.k <= 0) return Status::InvalidArgument("k must be positive");
+  std::unique_ptr<SearchExecutor> executor = std::make_unique<BnbExecutor>(env);
+  return executor;
+}
 
-  if (queue.empty()) st.proven_optimal = !st.budget_exhausted;
-  return answers.Take();
+Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
+    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
+    SearchStats* stats) {
+  ExecutorEnv env{&scorer, &query, options};
+  CIRANK_ASSIGN_OR_RETURN(std::unique_ptr<SearchExecutor> executor,
+                          MakeBnbExecutor(env));
+  ExecutionContext ctx(ExecutionLimits::FromOptions(options));
+  return RunSearchPipeline(*executor, ctx, stats);
 }
 
 }  // namespace cirank

@@ -2,54 +2,31 @@
 // are expanded by tree growing and tree merging, prioritized by their upper
 // bounds; the search stops once the best remaining upper bound cannot beat
 // the current k-th answer (Theorem 1 guarantees optimality).
+//
+// The implementation is the "bnb" SearchExecutor of the unified execution
+// pipeline (core/execution.h): candidates live in the per-query arena, the
+// deadline/candidate-budget guard can truncate the search, and per-stage
+// counters land in StageStats. BranchAndBoundSearch below is the classic
+// one-call entry point, now a thin wrapper over that executor.
 #ifndef CIRANK_CORE_BNB_SEARCH_H_
 #define CIRANK_CORE_BNB_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/bounds.h"
 #include "core/candidate.h"
+#include "core/execution.h"
 #include "core/scorer.h"
 
 namespace cirank {
 
-struct SearchOptions {
-  // Number of answers to return.
-  int k = 10;
-  // Answer-tree diameter limit D (Sec. IV, "we put a limit D on the diameter
-  // of answer trees").
-  uint32_t max_diameter = 4;
-  // Safety valve: maximum number of candidates dequeued before the search
-  // gives up optimality and returns the best answers found. 0 = unlimited.
-  int64_t max_expansions = 0;
-  // Optional pairwise bound provider from the index module; null disables
-  // index-assisted bounds.
-  const PairwiseBoundProvider* bounds = nullptr;
-  // Use the paper's literal merge rule ("the result covers more keywords
-  // than either input"). Off by default: the strict rule can make some
-  // valid answers unreachable; the default relies on candidate-viability
-  // pruning instead (see candidate.h), which preserves Theorem 1.
-  bool strict_merge_rule = false;
-};
-
-struct RankedAnswer {
-  Jtt tree;
-  double score = 0.0;
-};
-
-struct SearchStats {
-  int64_t popped = 0;          // candidates dequeued and expanded
-  int64_t generated = 0;       // candidates created by grow/merge
-  int64_t answers_found = 0;   // distinct complete answers scored
-  bool budget_exhausted = false;
-  bool proven_optimal = false;
-  // Largest upper bound ever discarded by the stopping rule (0 when nothing
-  // was pruned). By Lemma 1 every answer derivable from a pruned candidate
-  // scores at most this, so admissibility demands it stay strictly below
-  // the k-th returned score; the property test asserts exactly that.
-  double max_pruned_bound = 0.0;
-};
+// Factory for the "bnb" executor (registered in ExecutorRegistry::Global).
+// Fails on empty queries, queries with more than Query::kMaxKeywords
+// keywords, or non-positive k.
+[[nodiscard]] Result<std::unique_ptr<SearchExecutor>> MakeBnbExecutor(
+    const ExecutorEnv& env);
 
 // Runs Algorithm 1. Returns answers sorted by descending score, ties broken
 // by ascending canonical tree key. Candidates are pruned only when their

@@ -113,6 +113,7 @@ double UpperBoundCalculator::OutsideBound(NodeId r,
 }
 
 double UpperBoundCalculator::UpperBound(const Candidate& c) const {
+  ++calls_;
   const RwmpModel& model = scorer_->model();
   const InvertedIndex& index = scorer_->index();
   const NodeId r = c.root();

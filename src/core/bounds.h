@@ -14,6 +14,7 @@
 #ifndef CIRANK_CORE_BOUNDS_H_
 #define CIRANK_CORE_BOUNDS_H_
 
+#include <cstdint>
 #include <map>
 #include <utility>
 #include <vector>
@@ -65,6 +66,9 @@ class UpperBoundCalculator {
 
   KeywordMask all_keywords_mask() const { return all_mask_; }
 
+  // Number of UpperBound() evaluations so far (StageStats::bound_calls).
+  int64_t calls() const { return calls_; }
+
  private:
   struct SourceInfo {
     NodeId node;
@@ -96,6 +100,7 @@ class UpperBoundCalculator {
   // value does not depend on the candidate).
   mutable std::map<std::pair<size_t, NodeId>, double> attach_cache_;
   mutable std::map<NodeId, double> outside_cache_;
+  mutable int64_t calls_ = 0;
 };
 
 }  // namespace cirank

@@ -26,7 +26,8 @@ std::string CacheKey(const Query& query, const SearchOptions& options) {
   for (const std::string& k : query.keywords) key << k << ' ';
   key << "|k=" << options.k << "|d=" << options.max_diameter
       << "|x=" << options.max_expansions << "|s=" << options.strict_merge_rule
-      << "|b=" << static_cast<const void*>(options.bounds);
+      << "|b=" << static_cast<const void*>(options.bounds)
+      << "|e=" << options.executor << "|t=" << options.num_threads;
   return std::move(key).str();
 }
 
@@ -91,6 +92,16 @@ SearchOptions CiRankEngine::EffectiveOptions(
   if (overrides.strict_merge_rule.has_value()) {
     merged.strict_merge_rule = *overrides.strict_merge_rule;
   }
+  if (overrides.executor.has_value()) merged.executor = *overrides.executor;
+  if (overrides.num_threads.has_value()) {
+    merged.num_threads = *overrides.num_threads;
+  }
+  if (overrides.deadline_ms.has_value()) {
+    merged.deadline_ms = *overrides.deadline_ms;
+  }
+  if (overrides.candidate_budget.has_value()) {
+    merged.candidate_budget = *overrides.candidate_budget;
+  }
   if (overrides.bounds != nullptr) merged.bounds = overrides.bounds;
   return merged;
 }
@@ -104,7 +115,11 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
     const Query& query, const SearchOptions& options,
     SearchStats* stats) const {
   serving_->active_searches.fetch_add(1, std::memory_order_acq_rel);
-  auto result = BranchAndBoundSearch(*scorer_, query, options, stats);
+  // Dispatch through the executor registry: options.executor picks the
+  // SearchExecutor ("bnb" by default), and the execution pipeline applies
+  // the deadline/budget guard and stage accounting uniformly.
+  ExecutorEnv env{scorer_.get(), &query, options};
+  auto result = ExecuteSearch(env, stats);
   serving_->active_searches.fetch_sub(1, std::memory_order_acq_rel);
   return result;
 }
@@ -118,15 +133,26 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
 
 Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
     const Query& query, const SearchOptions& options, bool use_cache,
-    SearchStats* stats) const {
-  // A cached result carries no SearchStats, so stats-requesting callers are
-  // served (and measured) fresh; their result still refreshes the cache.
-  const bool cacheable = use_cache && serving_->cache.enabled();
+    SearchStats* stats, bool stats_from_cache_ok) const {
+  // Deadline- and budget-limited queries are never cached: what they return
+  // depends on how far the search got before the guard fired, so a memoized
+  // copy is neither reproducible nor necessarily the full answer.
+  const bool cacheable = use_cache && serving_->cache.enabled() &&
+                         options.deadline_ms <= 0.0 &&
+                         options.candidate_budget <= 0;
   std::string key;
   if (cacheable) {
     key = CacheKey(query, options);
-    if (stats == nullptr) {
+    // A cached result carries no fresh counters, so by default a
+    // stats-requesting caller is served (and measured) fresh; batch callers
+    // opt into hits annotated with the from_cache marker instead.
+    if (stats == nullptr || stats_from_cache_ok) {
       if (auto hit = serving_->cache.Get(key); hit.has_value()) {
+        if (stats != nullptr) {
+          *stats = SearchStats{};
+          stats->from_cache = true;
+          stats->executor = options.executor;
+        }
         return **hit;
       }
     }
@@ -142,19 +168,21 @@ Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
 }
 
 std::vector<Result<std::vector<RankedAnswer>>> CiRankEngine::SearchBatch(
-    const std::vector<Query>& queries,
-    const BatchSearchOptions& options) const {
+    const std::vector<Query>& queries, const BatchSearchOptions& options,
+    std::vector<SearchStats>* stats) const {
   const SearchOptions merged = EffectiveOptions(options.overrides);
   std::vector<Result<std::vector<RankedAnswer>>> results(
       queries.size(),
       Result<std::vector<RankedAnswer>>(
           Status::Internal("batch entry not filled")));
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
   if (queries.empty()) return results;
 
   ThreadPool pool(options.num_threads);
   pool.ParallelFor(queries.size(), [&](size_t i) {
-    results[i] =
-        CachedSearch(queries[i], merged, options.use_cache, /*stats=*/nullptr);
+    results[i] = CachedSearch(queries[i], merged, options.use_cache,
+                              stats != nullptr ? &(*stats)[i] : nullptr,
+                              /*stats_from_cache_ok=*/true);
   });
   return results;
 }

@@ -7,7 +7,7 @@
 // Typical use:
 //   Graph graph = ...;                       // build via GraphBuilder
 //   auto engine = CiRankEngine::Build(graph);
-//   auto answers = engine->Search(Query::Parse("papakonstantinou ullman"));
+//   auto answers = engine->Search(Query::MustParse("papakonstantinou ullman"));
 //   auto batch = engine->SearchBatch(queries, {.num_threads = 8});
 //
 // Thread-safety: after Build, Search / SearchBatch / RecordFeedback /
@@ -58,6 +58,14 @@ struct SearchOverrides {
   std::optional<uint32_t> max_diameter;
   std::optional<int64_t> max_expansions;
   std::optional<bool> strict_merge_rule;
+  // Execution-pipeline knobs (core/execution.h): which registered
+  // SearchExecutor serves the query ("bnb", "parallel", "naive", or any
+  // name added via ExecutorRegistry), its thread count, and the per-query
+  // deadline / candidate-budget guard.
+  std::optional<std::string> executor;
+  std::optional<int> num_threads;
+  std::optional<double> deadline_ms;
+  std::optional<int64_t> candidate_budget;
   // Non-null replaces the engine default's bound provider.
   const PairwiseBoundProvider* bounds = nullptr;
 };
@@ -117,10 +125,14 @@ class CiRankEngine {
   // Serves a batch of queries across `options.num_threads` pool workers,
   // consulting the query cache per query. Entry i of the returned vector
   // is query i's result; per-query failures (e.g. an empty query) do not
-  // affect the other entries.
+  // affect the other entries. When `stats` is non-null it is resized to
+  // queries.size() and entry i receives query i's SearchStats; entries
+  // served from the cache carry `from_cache = true` (a memoized result has
+  // no fresh counters) instead of silently zeroed numbers.
   [[nodiscard]] std::vector<Result<std::vector<RankedAnswer>>> SearchBatch(
       const std::vector<Query>& queries,
-      const BatchSearchOptions& options = {}) const;
+      const BatchSearchOptions& options = {},
+      std::vector<SearchStats>* stats = nullptr) const;
 
   // --- User feedback (Sec. VI-A) -------------------------------------
   // Records a clicked/selected answer into the engine's feedback model and
@@ -160,11 +172,14 @@ class CiRankEngine {
   CiRankEngine();
 
   // Cache-aware search over fully resolved options; `use_cache` further
-  // gates the lookup (the cache may also be disabled engine-wide).
-  Result<std::vector<RankedAnswer>> CachedSearch(const Query& query,
-                                                 const SearchOptions& options,
-                                                 bool use_cache,
-                                                 SearchStats* stats) const;
+  // gates the lookup (the cache may also be disabled engine-wide, and
+  // deadline- or budget-limited queries are never cached — a truncated
+  // result is time-dependent). With `stats_from_cache_ok` a cache hit
+  // fills `stats` with just the from_cache marker; otherwise a
+  // stats-requesting call is served fresh so its counters are real.
+  Result<std::vector<RankedAnswer>> CachedSearch(
+      const Query& query, const SearchOptions& options, bool use_cache,
+      SearchStats* stats, bool stats_from_cache_ok = false) const;
 
   const Graph* graph_ = nullptr;
   CiRankOptions options_;

@@ -1,0 +1,196 @@
+#include "core/execution.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/bnb_search.h"
+#include "core/naive_search.h"
+#include "core/parallel_search.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace cirank {
+
+// ---------------------------------------------------------------------------
+// ExecutionContext
+
+ExecutionContext::ExecutionContext(const ExecutionLimits& limits)
+    : limits_(limits) {
+  if (limits_.deadline_ms > 0.0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        limits_.deadline_ms));
+  }
+}
+
+bool ExecutionContext::ChargeCandidates(int64_t n) {
+  const int64_t total = charged_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.candidate_budget > 0 && total > limits_.candidate_budget) {
+    StopReason expected = StopReason::kNone;
+    stop_reason_.compare_exchange_strong(expected,
+                                         StopReason::kCandidateBudget,
+                                         std::memory_order_acq_rel);
+    return false;
+  }
+  return !stopped();
+}
+
+bool ExecutionContext::ShouldStop() {
+  if (stopped()) return true;
+  if (!has_deadline_) return false;
+  // Probe the clock only every kDeadlineCheckStride calls: hot loops call
+  // this per candidate and a steady_clock read per call would dominate tiny
+  // queries. The first call always probes, so short deadlines are seen.
+  const int64_t probe = stop_probe_.fetch_add(1, std::memory_order_relaxed);
+  if (probe % kDeadlineCheckStride != 0) return false;
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    StopReason expected = StopReason::kNone;
+    stop_reason_.compare_exchange_strong(expected, StopReason::kDeadline,
+                                         std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+Status ExecutionContext::stop_status() const {
+  switch (stop_reason()) {
+    case StopReason::kNone:
+      return Status::OK();
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded(
+          "query deadline of " + std::to_string(limits_.deadline_ms) +
+          " ms expired; returning best-so-far partial top-k");
+    case StopReason::kCandidateBudget:
+      return Status::DeadlineExceeded(
+          "candidate budget of " + std::to_string(limits_.candidate_budget) +
+          " exhausted; returning best-so-far partial top-k");
+  }
+  return Status::Internal("unreachable stop reason");
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorRegistry
+
+struct ExecutorRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, ExecutorFactory> factories;
+};
+
+ExecutorRegistry::ExecutorRegistry() : impl_(std::make_unique<Impl>()) {}
+ExecutorRegistry::~ExecutorRegistry() = default;
+
+ExecutorRegistry& ExecutorRegistry::Global() {
+  // The core executors are registered on first use; baselines add theirs
+  // via RegisterBaselineExecutors() (explicit, to avoid a core→baselines
+  // dependency cycle and static-initialization-order traps).
+  static ExecutorRegistry* registry = [] {
+    auto* r = new ExecutorRegistry();
+    CIRANK_CHECK_OK(r->Register("bnb", MakeBnbExecutor));
+    CIRANK_CHECK_OK(r->Register("parallel", MakeParallelBnbExecutor));
+    CIRANK_CHECK_OK(r->Register("naive", MakeNaiveExecutor));
+    return r;
+  }();
+  return *registry;
+}
+
+Status ExecutorRegistry::Register(std::string name, ExecutorFactory factory) {
+  if (name.empty()) return Status::InvalidArgument("executor name is empty");
+  if (factory == nullptr) {
+    return Status::InvalidArgument("executor factory is null");
+  }
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (!impl_->factories.emplace(std::move(name), std::move(factory)).second) {
+    return Status::InvalidArgument("executor already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SearchExecutor>> ExecutorRegistry::Create(
+    const std::string& name, const ExecutorEnv& env) const {
+  ExecutorFactory factory;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto it = impl_->factories.find(name);
+    if (it == impl_->factories.end()) {
+      std::string known;
+      for (const auto& [n, f] : impl_->factories) {
+        (void)f;
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      return Status::NotFound("unknown executor '" + name +
+                              "' (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(env);
+}
+
+bool ExecutorRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->factories.count(name) != 0;
+}
+
+std::vector<std::string> ExecutorRegistry::Names() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->factories.size());
+  for (const auto& [n, f] : impl_->factories) {
+    (void)f;
+    names.push_back(n);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline driver
+
+Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
+                                                    ExecutionContext& ctx,
+                                                    SearchStats* stats) {
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+  st = SearchStats{};
+  st.executor = std::string(executor.name());
+
+  Timer timer;
+  CIRANK_RETURN_IF_ERROR(executor.Prepare(ctx));
+  ctx.stages().prepare_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  Status expand_status = executor.Expand(ctx);
+  ctx.stages().expand_seconds = timer.ElapsedSeconds();
+  // A deadline/budget stop is a truncation, not a failure: Emit still runs
+  // and the partial top-k is returned. Any other error is fatal.
+  if (!expand_status.ok() && !expand_status.IsDeadlineExceeded()) {
+    return expand_status;
+  }
+
+  timer.Reset();
+  CIRANK_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
+                          executor.Emit(ctx));
+  ctx.stages().emit_seconds = timer.ElapsedSeconds();
+
+  executor.FillStats(&st);
+  ctx.stages().arena_bytes = ctx.arena().bytes_used();
+  st.executor = std::string(executor.name());
+  st.truncated = ctx.stopped();
+  if (st.truncated) st.proven_optimal = false;
+  st.stages = ctx.stages();
+  return answers;
+}
+
+Result<std::vector<RankedAnswer>> ExecuteSearch(const ExecutorEnv& env,
+                                                SearchStats* stats) {
+  CIRANK_ASSIGN_OR_RETURN(
+      std::unique_ptr<SearchExecutor> executor,
+      ExecutorRegistry::Global().Create(env.options.executor, env));
+  ExecutionContext ctx(ExecutionLimits::FromOptions(env.options));
+  return RunSearchPipeline(*executor, ctx, stats);
+}
+
+}  // namespace cirank

@@ -1,0 +1,271 @@
+// The unified query-execution pipeline (DESIGN.md §10). Every search
+// implementation — serial branch-and-bound, the shared-frontier parallel
+// search, the naive algorithm, and the baseline rankers — implements one
+// SearchExecutor interface (Prepare → Expand → Emit) and is driven by a
+// per-query ExecutionContext that owns
+//   (a) a monotonic Arena all candidate trees and scratch state are placed
+//       into, freed wholesale when the query ends;
+//   (b) a deadline + candidate-budget guard, so every executor returns its
+//       best-so-far partial top-k (flagged `truncated` with a
+//       DeadlineExceeded stop status) instead of running unbounded; and
+//   (c) a StageStats block (candidates generated/pruned/merged, arena
+//       bytes, bound-calculator calls, wall time per stage) surfaced
+//       through SearchStats, the CLI, and the bench JSON.
+// CiRankEngine selects executors by name through ExecutorRegistry
+// (SearchOverrides.executor), so one code path serves every algorithm.
+#ifndef CIRANK_CORE_EXECUTION_H_
+#define CIRANK_CORE_EXECUTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/jtt.h"
+#include "core/scorer.h"
+#include "util/arena.h"
+#include "util/status.h"
+
+namespace cirank {
+
+// ---------------------------------------------------------------------------
+// Search configuration and results (shared by every executor).
+
+struct SearchOptions {
+  // Number of answers to return.
+  int k = 10;
+  // Answer-tree diameter limit D (Sec. IV, "we put a limit D on the diameter
+  // of answer trees").
+  uint32_t max_diameter = 4;
+  // Safety valve: maximum number of candidates dequeued before the search
+  // gives up optimality and returns the best answers found. 0 = unlimited.
+  int64_t max_expansions = 0;
+  // Optional pairwise bound provider from the index module; null disables
+  // index-assisted bounds.
+  const PairwiseBoundProvider* bounds = nullptr;
+  // Use the paper's literal merge rule ("the result covers more keywords
+  // than either input"). Off by default: the strict rule can make some
+  // valid answers unreachable; the default relies on candidate-viability
+  // pruning instead (see candidate.h), which preserves Theorem 1.
+  bool strict_merge_rule = false;
+
+  // --- Execution-pipeline knobs (DESIGN.md §10) ---------------------------
+  // Executor the engine routes the query through; must name an entry of
+  // ExecutorRegistry ("bnb", "parallel", "naive", or a registered baseline).
+  // Direct calls to BranchAndBoundSearch etc. ignore this field.
+  std::string executor = "bnb";
+  // Worker threads for executors that parallelize within one query (the
+  // "parallel" executor); serial executors ignore it.
+  int num_threads = 1;
+  // Wall-clock deadline for the whole query; 0 = none. On expiry the
+  // executor stops expanding and emits the best-so-far partial top-k with
+  // SearchStats::truncated set and stop_status() == DeadlineExceeded.
+  double deadline_ms = 0.0;
+  // Cap on candidates *generated* (admitted) across the query; 0 =
+  // unlimited. Like the deadline, exhaustion truncates instead of failing.
+  int64_t candidate_budget = 0;
+};
+
+struct RankedAnswer {
+  Jtt tree;
+  double score = 0.0;
+};
+
+// Per-stage observability block. Counters are exact totals; wall times are
+// measured by the pipeline driver around each stage.
+struct StageStats {
+  int64_t candidates_generated = 0;  // admitted by grow/merge/seed
+  int64_t candidates_pruned = 0;     // rejected: viability/diameter/bound
+  int64_t candidates_merged = 0;     // admitted specifically via merge
+  int64_t bound_calls = 0;           // UpperBoundCalculator::UpperBound calls
+  size_t arena_bytes = 0;            // ExecutionContext arena bytes used
+  double prepare_seconds = 0.0;
+  double expand_seconds = 0.0;
+  double emit_seconds = 0.0;
+};
+
+struct SearchStats {
+  int64_t popped = 0;          // candidates dequeued and expanded
+  int64_t generated = 0;       // candidates created by grow/merge
+  int64_t answers_found = 0;   // distinct complete answers scored
+  bool budget_exhausted = false;
+  bool proven_optimal = false;
+  // Largest upper bound ever discarded by the stopping rule (0 when nothing
+  // was pruned). By Lemma 1 every answer derivable from a pruned candidate
+  // scores at most this, so admissibility demands it stay strictly below
+  // the k-th returned score; the property test asserts exactly that.
+  double max_pruned_bound = 0.0;
+
+  // --- Execution-pipeline fields (DESIGN.md §10) --------------------------
+  // The deadline or candidate budget cut the search short; the answers are
+  // the best found so far, not a proven top-k.
+  bool truncated = false;
+  // The result was served from the engine's LRU cache (batch path); all
+  // other counters are zero because no search ran.
+  bool from_cache = false;
+  // Name of the executor that served the query ("bnb", "parallel", ...).
+  std::string executor;
+  StageStats stages;
+};
+
+// ---------------------------------------------------------------------------
+// Per-query execution context.
+
+struct ExecutionLimits {
+  double deadline_ms = 0.0;      // 0 = no deadline
+  int64_t candidate_budget = 0;  // 0 = unlimited
+
+  static ExecutionLimits FromOptions(const SearchOptions& options) {
+    return ExecutionLimits{options.deadline_ms, options.candidate_budget};
+  }
+};
+
+// Owns the arena, the deadline/budget guard, and the stage counters for one
+// query. Charge/stop checks are lock-free (atomics) so the parallel
+// executor's workers can consult them concurrently; the arena itself is NOT
+// thread-safe and must be confined to one thread or an external mutex (the
+// parallel executor allocates only under its shared-state lock).
+class ExecutionContext {
+ public:
+  enum class StopReason { kNone, kDeadline, kCandidateBudget };
+
+  explicit ExecutionContext(const ExecutionLimits& limits = {});
+
+  Arena& arena() { return arena_; }
+
+  // Records `n` admitted candidates against the budget. Returns false — and
+  // latches the stop flag — once the budget is exhausted.
+  bool ChargeCandidates(int64_t n = 1);
+
+  // True when the executor must stop expanding and emit what it has. The
+  // deadline clock is consulted at most once per kDeadlineCheckStride calls
+  // so hot loops can call this per candidate.
+  bool ShouldStop();
+
+  // Stop state inspection (exact; no clock probes).
+  bool stopped() const {
+    return stop_reason_.load(std::memory_order_acquire) != StopReason::kNone;
+  }
+  StopReason stop_reason() const {
+    return stop_reason_.load(std::memory_order_acquire);
+  }
+  // OK while running to completion; DeadlineExceeded / ResourceExhausted-
+  // style status describing why the result is partial otherwise.
+  Status stop_status() const;
+
+  int64_t candidates_charged() const {
+    return charged_.load(std::memory_order_relaxed);
+  }
+  const ExecutionLimits& limits() const { return limits_; }
+
+  // Stage counters. Single-writer or externally synchronized (the parallel
+  // executor merges its per-worker counts under its own lock).
+  StageStats& stages() { return stages_; }
+  const StageStats& stages() const { return stages_; }
+
+ private:
+  static constexpr int64_t kDeadlineCheckStride = 64;
+
+  ExecutionLimits limits_;
+  Arena arena_;
+  std::chrono::steady_clock::time_point deadline_{};  // valid iff has_deadline_
+  bool has_deadline_ = false;
+  std::atomic<int64_t> charged_{0};
+  std::atomic<int64_t> stop_probe_{0};
+  std::atomic<StopReason> stop_reason_{StopReason::kNone};
+  StageStats stages_;
+};
+
+// ---------------------------------------------------------------------------
+// The executor interface and pipeline driver.
+
+// One query's execution, split into the three pipeline stages. Lifetime: an
+// executor is created per query (via ExecutorRegistry) and driven once by
+// RunSearchPipeline; the ExecutionContext outlives the executor, so arena-
+// placed state may be referenced across stages.
+class SearchExecutor {
+ public:
+  virtual ~SearchExecutor() = default;
+
+  // Registry name of this executor ("bnb", "parallel", ...).
+  virtual std::string_view name() const = 0;
+
+  // Builds per-query state: bound calculators, seeds, BFS tables. Errors
+  // here (invalid query, bad options) fail the whole search.
+  virtual Status Prepare(ExecutionContext& ctx) = 0;
+
+  // The main loop. Implementations must poll ctx.ShouldStop() (and charge
+  // admitted candidates via ctx.ChargeCandidates) so deadlines and budgets
+  // truncate instead of running unbounded; returning with ctx.stopped() set
+  // is not an error.
+  virtual Status Expand(ExecutionContext& ctx) = 0;
+
+  // Collects the (possibly partial) top-k. Must succeed even when Expand
+  // was truncated.
+  virtual Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) = 0;
+
+  // Writes the algorithm-level counters (popped/generated/answers_found,
+  // budget/optimality flags, max_pruned_bound) into `stats`. Called by the
+  // pipeline driver after Emit; the driver itself owns the pipeline-level
+  // fields (executor, truncated, stages).
+  virtual void FillStats(SearchStats* stats) const { (void)stats; }
+};
+
+// Everything a factory needs to build an executor for one query. The
+// pointees must outlive the executor.
+struct ExecutorEnv {
+  const TreeScorer* scorer = nullptr;
+  const Query* query = nullptr;
+  SearchOptions options;
+};
+
+using ExecutorFactory =
+    std::function<Result<std::unique_ptr<SearchExecutor>>(const ExecutorEnv&)>;
+
+// Name → factory map. The global instance comes pre-loaded with the core
+// executors ("bnb", "parallel", "naive"); baselines register via
+// RegisterBaselineExecutors() (baselines/baseline_executors.h) to keep the
+// core library free of a dependency cycle. Thread-safe.
+class ExecutorRegistry {
+ public:
+  // The process-wide registry used by CiRankEngine.
+  static ExecutorRegistry& Global();
+
+  // Fails with AlreadyExists-style InvalidArgument on duplicate names.
+  [[nodiscard]] Status Register(std::string name, ExecutorFactory factory);
+
+  [[nodiscard]] Result<std::unique_ptr<SearchExecutor>> Create(
+      const std::string& name, const ExecutorEnv& env) const;
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;  // sorted
+
+ private:
+  struct Impl;
+  ExecutorRegistry();
+  ~ExecutorRegistry();
+  std::unique_ptr<Impl> impl_;
+};
+
+// Drives one executor through Prepare → Expand → Emit, timing each stage
+// into ctx.stages() and folding the context's counters into `stats` (when
+// non-null). A deadline/budget stop is surfaced as a *successful* result
+// with stats->truncated set — callers needing the distinction inspect
+// stats; the stop reason itself is ctx.stop_status().
+[[nodiscard]] Result<std::vector<RankedAnswer>> RunSearchPipeline(
+    SearchExecutor& executor, ExecutionContext& ctx, SearchStats* stats);
+
+// Convenience wrapper used by the engine and tests: looks up
+// `env.options.executor` in the global registry, builds the context from
+// the options' limits, and runs the pipeline.
+[[nodiscard]] Result<std::vector<RankedAnswer>> ExecuteSearch(
+    const ExecutorEnv& env, SearchStats* stats = nullptr);
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_EXECUTION_H_

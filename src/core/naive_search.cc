@@ -83,7 +83,7 @@ Result<std::vector<Jtt>> EnumerateAnswers(const Graph& graph,
                                           const Query& query,
                                           const EnumerateOptions& options) {
   if (query.empty()) return Status::InvalidArgument("empty query");
-  if (query.size() > 31) {
+  if (query.size() > Query::kMaxKeywords) {
     return Status::InvalidArgument("at most 31 keywords are supported");
   }
 
@@ -237,40 +237,104 @@ Result<std::vector<Jtt>> EnumerateAnswers(const Graph& graph,
   return answers;
 }
 
+namespace {
+
+// The "naive" executor: the paper's Sec. IV-A algorithm decomposed into the
+// pipeline stages. Prepare enumerates the full answer pool (BFS + path
+// combination); Expand scores it, checking the deadline/budget guard
+// between trees; Emit ranks the collected answers.
+class NaiveExecutor final : public SearchExecutor {
+ public:
+  NaiveExecutor(const TreeScorer& scorer, const Query& query,
+                const NaiveSearchOptions& options)
+      : scorer_(scorer),
+        query_(query),
+        options_(options),
+        answers_(static_cast<size_t>(options.k)) {}
+
+  std::string_view name() const override { return "naive"; }
+
+  Status Prepare(ExecutionContext& ctx) override {
+    EnumerateOptions enum_options;
+    enum_options.max_diameter = options_.max_diameter;
+    enum_options.max_combinations_per_root = options_.max_combinations_per_root;
+    enum_options.max_paths_per_source = options_.max_paths_per_source;
+    CIRANK_ASSIGN_OR_RETURN(
+        pool_, EnumerateAnswers(scorer_.model().graph(), scorer_.index(),
+                                query_, enum_options));
+    ctx.stages().candidates_generated = static_cast<int64_t>(pool_.size());
+    (void)ctx.ChargeCandidates(static_cast<int64_t>(pool_.size()));
+    return Status::OK();
+  }
+
+  Status Expand(ExecutionContext& ctx) override {
+    for (const Jtt& tree : pool_) {
+      if (ctx.ShouldStop()) return ctx.stop_status();
+      TreeScore ts = scorer_.Score(tree, query_);
+      answers_.Offer(tree, ts.score);
+      ++scored_;
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
+    (void)ctx;
+    return answers_.Take();
+  }
+
+  void FillStats(SearchStats* stats) const override {
+    stats->generated = scored_;
+    stats->answers_found = static_cast<int64_t>(answers_.distinct());
+  }
+
+ private:
+  const TreeScorer& scorer_;
+  const Query& query_;
+  const NaiveSearchOptions options_;
+  std::vector<Jtt> pool_;
+  AnswerCollector answers_;
+  int64_t scored_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SearchExecutor>> MakeNaiveExecutor(
+    const ExecutorEnv& env) {
+  if (env.scorer == nullptr || env.query == nullptr) {
+    return Status::InvalidArgument("executor env missing scorer or query");
+  }
+  if (env.query->empty()) return Status::InvalidArgument("empty query");
+  if (env.query->size() > Query::kMaxKeywords) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
+  }
+  if (env.options.k <= 0) return Status::InvalidArgument("k must be positive");
+  NaiveSearchOptions options;
+  options.k = env.options.k;
+  options.max_diameter = env.options.max_diameter;
+  std::unique_ptr<SearchExecutor> executor = std::make_unique<NaiveExecutor>(
+      *env.scorer, *env.query, options);
+  return executor;
+}
+
 Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
                                               const Query& query,
                                               const NaiveSearchOptions& options,
                                               SearchStats* stats) {
-  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
-
-  SearchStats local_stats;
-  SearchStats& st = stats != nullptr ? *stats : local_stats;
-  st = SearchStats{};
-
-  EnumerateOptions enum_options;
-  enum_options.max_diameter = options.max_diameter;
-  enum_options.max_combinations_per_root = options.max_combinations_per_root;
-  enum_options.max_paths_per_source = options.max_paths_per_source;
-  CIRANK_ASSIGN_OR_RETURN(
-      std::vector<Jtt> pool,
-      EnumerateAnswers(scorer.model().graph(), scorer.index(), query,
-                       enum_options));
-
-  AnswerCollector answers(static_cast<size_t>(options.k));
-  for (const Jtt& tree : pool) {
-    TreeScore ts = scorer.Score(tree, query);
-    answers.Offer(tree, ts.score);
-    ++st.generated;
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (query.size() > Query::kMaxKeywords) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
   }
-  st.answers_found = static_cast<int64_t>(answers.distinct());
-  return answers.Take();
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  NaiveExecutor executor(scorer, query, options);
+  ExecutionContext ctx(ExecutionLimits{});
+  return RunSearchPipeline(executor, ctx, stats);
 }
 
 Result<std::vector<RankedAnswer>> ExhaustiveSearch(
     const TreeScorer& scorer, const Query& query,
     const ExhaustiveSearchOptions& options) {
   if (query.empty()) return Status::InvalidArgument("empty query");
-  if (query.size() > 31) {
+  if (query.size() > Query::kMaxKeywords) {
     return Status::InvalidArgument("at most 31 keywords are supported");
   }
   if (options.k <= 0) return Status::InvalidArgument("k must be positive");

@@ -8,7 +8,10 @@
 #ifndef CIRANK_CORE_NAIVE_SEARCH_H_
 #define CIRANK_CORE_NAIVE_SEARCH_H_
 
+#include <memory>
+
 #include "core/bnb_search.h"
+#include "core/execution.h"
 #include "core/scorer.h"
 
 namespace cirank {
@@ -38,6 +41,15 @@ struct NaiveSearchOptions {
   int64_t max_combinations_per_root = 4096;
   int64_t max_paths_per_source = 16;
 };
+
+// Factory for the "naive" executor (registered in ExecutorRegistry::Global):
+// Prepare enumerates the answer pool, Expand scores it under the
+// deadline/budget guard, Emit ranks. Enumeration caps take their defaults
+// from NaiveSearchOptions; k and max_diameter come from
+// ExecutorEnv::options. Fails on empty queries, queries with more than
+// Query::kMaxKeywords keywords, or non-positive k.
+[[nodiscard]] Result<std::unique_ptr<SearchExecutor>> MakeNaiveExecutor(
+    const ExecutorEnv& env);
 
 [[nodiscard]] Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
                                               const Query& query,

@@ -1,9 +1,9 @@
 #include "core/parallel_search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
-#include <deque>
 #include <limits>
 #include <map>
 #include <memory>
@@ -24,10 +24,10 @@ namespace {
 
 constexpr size_t kNotAdmitted = static_cast<size_t>(-1);
 
-// One admitted candidate. Lives in a deque so element addresses stay stable
-// while other workers append; the chain bound is the Theorem-1 audit value
-// (minimum upper bound along the grow/merge derivation), and the leaf count
-// is cached for the merge pre-filter.
+// One admitted candidate, placed into the per-query arena (stable address;
+// wholesale release at query end). The chain bound is the Theorem-1 audit
+// value (minimum upper bound along the grow/merge derivation), and the leaf
+// count is cached for the merge pre-filter.
 struct ArenaEntry {
   Candidate c;
   double chain_bound = 0.0;
@@ -41,16 +41,16 @@ struct RegistryEntry {
 };
 
 // Everything the workers share. Container *structure* (indexing, push_back,
-// queue ops) is only touched under `mu`; the Candidate payloads are
-// immutable after admission, so workers read them through stable pointers
-// outside the lock.
+// queue ops) and arena allocation are only touched under `mu`; the
+// Candidate payloads are immutable after admission, so workers read them
+// through stable arena pointers outside the lock.
 struct SharedState {
   explicit SharedState(size_t k) : answers(k) {}
 
   std::mutex mu;
   std::condition_variable cv;
-  std::priority_queue<std::pair<double, size_t>> queue;  // (ub, arena idx)
-  std::deque<ArenaEntry> arena;
+  std::priority_queue<std::pair<double, size_t>> queue;  // (ub, slot idx)
+  std::vector<ArenaEntry*> slots;
   std::map<NodeId, std::vector<RegistryEntry>> by_root;
   std::set<std::string> seen;
   TopKAnswers answers;
@@ -59,37 +59,52 @@ struct SharedState {
   bool budget_exhausted = false;
   int64_t popped = 0;
   int64_t generated = 0;
+  int64_t merged = 0;
   int64_t answers_found = 0;
   double max_pruned_bound = 0.0;
+  // Viability/diameter rejections happen outside the lock, frontier prunes
+  // inside it; one atomic serves both without widening the critical section.
+  std::atomic<int64_t> pruned{0};
 };
 
 // Per-thread search context: owns a private UpperBoundCalculator (its
 // memo caches are not thread-safe) and runs the pop/expand loop against the
-// shared state.
+// shared state under the query's ExecutionContext.
 class Worker {
  public:
-  Worker(SharedState* shared, const TreeScorer* scorer, const Query* query,
-         const SearchOptions* options)
+  Worker(SharedState* shared, ExecutionContext* ctx, const TreeScorer* scorer,
+         const Query* query, const SearchOptions* options)
       : s_(shared),
+        ctx_(ctx),
         scorer_(scorer),
         query_(query),
         options_(options),
         calc_(*scorer, *query, options->max_diameter, options->bounds),
         all_(calc_.all_keywords_mask()) {}
 
+  int64_t bound_calls() const { return calc_.calls(); }
+
   // Admits a candidate into the shared state. The dedup insert runs first
   // (short lock) so exactly one worker pays for the bound/score computation
   // of any candidate; the heavy work then runs unlocked, and a second lock
-  // publishes the result. Returns the arena index, or kNotAdmitted.
-  size_t TryAdmit(Candidate&& c, double ancestor_bound) {
-    if (c.diameter > options_->max_diameter) return kNotAdmitted;
-    if (!IsViableCandidate(c, *query_, scorer_->index())) return kNotAdmitted;
+  // publishes the result. Returns the slot index, or kNotAdmitted.
+  size_t TryAdmit(Candidate&& c, double ancestor_bound, bool from_merge) {
+    if (c.diameter > options_->max_diameter ||
+        !IsViableCandidate(c, *query_, scorer_->index())) {
+      s_->pruned.fetch_add(1, std::memory_order_relaxed);
+      return kNotAdmitted;
+    }
     std::string key = CandidateKey(c);
     {
       std::lock_guard<std::mutex> lk(s_->mu);
       if (!s_->seen.insert(std::move(key)).second) return kNotAdmitted;
       ++s_->generated;
+      if (from_merge) ++s_->merged;
     }
+    // Budget accounting: exhaustion latches the context's stop flag (all
+    // workers observe it); the candidate just admitted still completes so
+    // the partial state stays consistent.
+    (void)ctx_->ChargeCandidates(1);
 
     c.upper_bound = calc_.UpperBound(c);
     const double chain_bound = std::min(ancestor_bound, c.upper_bound);
@@ -116,8 +131,11 @@ class Worker {
     if (complete && s_->answers.Offer(std::move(canon), score)) {
       ++s_->answers_found;
     }
-    s_->arena.push_back(ArenaEntry{std::move(c), chain_bound, leaves});
-    const size_t idx = s_->arena.size() - 1;
+    ArenaEntry* entry =
+        ctx_->arena().New<ArenaEntry>(ArenaEntry{std::move(c), chain_bound,
+                                                 leaves});
+    s_->slots.push_back(entry);
+    const size_t idx = s_->slots.size() - 1;
     if (ub > 0.0) {
       s_->queue.push({ub, idx});
       s_->cv.notify_one();  // work arrived; wake one idle worker
@@ -133,13 +151,14 @@ class Worker {
     const uint32_t max_leaves = static_cast<uint32_t>(query_->size());
     std::vector<size_t> worklist{start_idx};
     while (!worklist.empty()) {
+      if (ctx_->stopped()) return;
       const size_t idx = worklist.back();
       worklist.pop_back();
       const ArenaEntry* me;
       std::vector<RegistryEntry> partners;
       {
         std::lock_guard<std::mutex> lk(s_->mu);
-        me = &s_->arena[idx];
+        me = s_->slots[idx];
         partners = s_->by_root[me->c.root()];
       }
       for (const RegistryEntry& other : partners) {
@@ -154,23 +173,23 @@ class Worker {
         const ArenaEntry* oe;
         {
           std::lock_guard<std::mutex> lk(s_->mu);
-          oe = &s_->arena[other.idx];
+          oe = s_->slots[other.idx];
         }
         Result<Candidate> merged =
             MergeCandidates(me->c, oe->c, options_->strict_merge_rule);
         if (!merged.ok()) continue;
         const double parents_bound =
             std::min(me->chain_bound, oe->chain_bound);
-        const size_t nidx =
-            TryAdmit(std::move(merged).value(), parents_bound);
+        const size_t nidx = TryAdmit(std::move(merged).value(), parents_bound,
+                                     /*from_merge=*/true);
         if (nidx != kNotAdmitted) worklist.push_back(nidx);
       }
     }
   }
 
   // Grow step for one popped candidate (runs unlocked; `e` is a stable
-  // pointer into the arena).
-  void Expand(const ArenaEntry* e) {
+  // arena pointer).
+  void ExpandCandidate(const ArenaEntry* e) {
     const Graph& graph = scorer_->model().graph();
     const NodeId root = e->c.root();
     std::vector<NodeId> neighbors;
@@ -178,21 +197,28 @@ class Worker {
       if (!e->c.tree.contains(edge.to)) neighbors.push_back(edge.to);
     }
     for (NodeId nb : neighbors) {
+      if (ctx_->stopped()) return;
       Candidate grown = GrowCandidate(e->c, nb, *query_, scorer_->index());
-      const size_t idx = TryAdmit(std::move(grown), e->chain_bound);
+      const size_t idx = TryAdmit(std::move(grown), e->chain_bound,
+                                  /*from_merge=*/false);
       if (idx != kNotAdmitted) MergeClosure(idx);
     }
   }
 
   // The pop/expand loop. Termination: the queue is empty (or wholly
-  // prunable, which empties it) AND no worker is mid-expansion — only then
-  // can no new work appear. Workers otherwise sleep on the cv and are woken
-  // by queue pushes or by the last in-flight expansion finishing.
+  // prunable/stopped, which empties it) AND no worker is mid-expansion —
+  // only then can no new work appear. Workers otherwise sleep on the cv and
+  // are woken by queue pushes or by the last in-flight expansion finishing.
   void Run() {
     std::unique_lock<std::mutex> lk(s_->mu);
     for (;;) {
-      if (s_->budget_exhausted) {
+      if (s_->budget_exhausted || ctx_->stopped()) {
         s_->queue = {};
+      } else if (ctx_->ShouldStop()) {
+        // Deadline or candidate budget: drain the frontier so every worker
+        // falls through to termination with the best-so-far answers.
+        s_->queue = {};
+        s_->cv.notify_all();
       } else if (options_->max_expansions > 0 &&
                  s_->popped >= options_->max_expansions &&
                  !s_->queue.empty()) {
@@ -207,6 +233,8 @@ class Worker {
         // this is final.
         s_->max_pruned_bound =
             std::max(s_->max_pruned_bound, s_->queue.top().first);
+        s_->pruned.fetch_add(static_cast<int64_t>(s_->queue.size()),
+                             std::memory_order_relaxed);
         s_->queue = {};
       }
       if (s_->queue.empty()) {
@@ -219,12 +247,12 @@ class Worker {
       }
       const auto [ub, idx] = s_->queue.top();
       s_->queue.pop();
-      CIRANK_DCHECK(ub == s_->arena[idx].c.upper_bound);
+      CIRANK_DCHECK(ub == s_->slots[idx]->c.upper_bound);
       ++s_->popped;
       ++s_->in_flight;
-      const ArenaEntry* e = &s_->arena[idx];
+      const ArenaEntry* e = s_->slots[idx];
       lk.unlock();
-      Expand(e);
+      ExpandCandidate(e);
       lk.lock();
       --s_->in_flight;
       if (s_->in_flight == 0) s_->cv.notify_all();
@@ -233,6 +261,7 @@ class Worker {
 
  private:
   SharedState* s_;
+  ExecutionContext* ctx_;
   const TreeScorer* scorer_;
   const Query* query_;
   const SearchOptions* options_;
@@ -240,66 +269,119 @@ class Worker {
   KeywordMask all_;
 };
 
-}  // namespace
+// The "parallel" executor. Prepare builds one Worker per thread and seeds
+// the shared frontier single-threaded; Expand runs the workers on a
+// ThreadPool until the frontier is exhausted, pruned away, or the context
+// stops the query; Emit takes the shared top-k and folds the per-worker
+// counters into the stage stats.
+class ParallelBnbExecutor final : public SearchExecutor {
+ public:
+  explicit ParallelBnbExecutor(const ExecutorEnv& env)
+      : scorer_(*env.scorer),
+        query_(*env.query),
+        options_(env.options),
+        shared_(static_cast<size_t>(env.options.k)) {}
 
-Result<std::vector<RankedAnswer>> ParallelBnbSearch(
-    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
-    const ParallelSearchOptions& parallel, SearchStats* stats) {
-  if (query.empty()) return Status::InvalidArgument("empty query");
-  if (query.size() > 31) {
-    return Status::InvalidArgument("at most 31 keywords are supported");
-  }
-  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
-  if (parallel.num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
+  std::string_view name() const override { return "parallel"; }
 
-  SharedState shared(static_cast<size_t>(options.k));
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(static_cast<size_t>(parallel.num_threads));
-  for (int i = 0; i < parallel.num_threads; ++i) {
-    workers.push_back(
-        std::make_unique<Worker>(&shared, &scorer, &query, &options));
-  }
+  Status Prepare(ExecutionContext& ctx) override {
+    ctx_ = &ctx;
+    workers_.reserve(static_cast<size_t>(options_.num_threads));
+    for (int i = 0; i < options_.num_threads; ++i) {
+      workers_.push_back(std::make_unique<Worker>(&shared_, &ctx, &scorer_,
+                                                  &query_, &options_));
+    }
 
-  // Seed with single-node candidates for every non-free node, exactly as in
-  // the serial search. Seeds have distinct roots, so no merges can trigger
-  // yet; running this before the pool starts keeps it single-threaded.
-  {
+    // Seed with single-node candidates for every non-free node, exactly as
+    // in the serial search. Seeds have distinct roots, so no merges can
+    // trigger yet; running this before the pool starts keeps it
+    // single-threaded.
     constexpr double kInf = std::numeric_limits<double>::infinity();
-    const InvertedIndex& index = scorer.index();
+    const InvertedIndex& index = scorer_.index();
     std::set<NodeId> seeds;
-    for (const std::string& k : query.keywords) {
+    for (const std::string& k : query_.keywords) {
       for (NodeId v : index.MatchingNodes(k)) seeds.insert(v);
     }
     for (NodeId v : seeds) {
       Candidate c;
       c.tree = Jtt(v);
-      c.covered = NodeKeywordMask(v, query, index);
+      c.covered = NodeKeywordMask(v, query_, index);
       c.diameter = 0;
-      workers[0]->TryAdmit(std::move(c), kInf);
+      workers_[0]->TryAdmit(std::move(c), kInf, /*from_merge=*/false);
+      if (ctx.ShouldStop()) break;
     }
+    return Status::OK();
   }
 
-  {
-    ThreadPool pool(parallel.num_threads);
-    for (auto& w : workers) {
-      Worker* worker = w.get();
-      pool.Submit([worker] { worker->Run(); });
+  Status Expand(ExecutionContext& ctx) override {
+    {
+      ThreadPool pool(options_.num_threads);
+      for (auto& w : workers_) {
+        Worker* worker = w.get();
+        pool.Submit([worker] { worker->Run(); });
+      }
+      pool.WaitIdle();
     }
-    pool.WaitIdle();
+    return ctx.stopped() ? ctx.stop_status() : Status::OK();
   }
 
-  if (stats != nullptr) {
-    *stats = SearchStats{};
-    stats->popped = shared.popped;
-    stats->generated = shared.generated;
-    stats->answers_found = shared.answers_found;
-    stats->budget_exhausted = shared.budget_exhausted;
-    stats->proven_optimal = !shared.budget_exhausted;
-    stats->max_pruned_bound = shared.max_pruned_bound;
+  Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
+    StageStats& stages = ctx.stages();
+    stages.candidates_generated = shared_.generated;
+    stages.candidates_merged = shared_.merged;
+    stages.candidates_pruned =
+        shared_.pruned.load(std::memory_order_relaxed);
+    for (const auto& w : workers_) stages.bound_calls += w->bound_calls();
+    return shared_.answers.Take();
   }
-  return shared.answers.Take();
+
+  void FillStats(SearchStats* stats) const override {
+    stats->popped = shared_.popped;
+    stats->generated = shared_.generated;
+    stats->answers_found = shared_.answers_found;
+    stats->budget_exhausted = shared_.budget_exhausted;
+    stats->proven_optimal = !shared_.budget_exhausted;
+    stats->max_pruned_bound = shared_.max_pruned_bound;
+  }
+
+ private:
+  const TreeScorer& scorer_;
+  const Query& query_;
+  const SearchOptions options_;
+  ExecutionContext* ctx_ = nullptr;
+  SharedState shared_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SearchExecutor>> MakeParallelBnbExecutor(
+    const ExecutorEnv& env) {
+  if (env.scorer == nullptr || env.query == nullptr) {
+    return Status::InvalidArgument("executor env missing scorer or query");
+  }
+  if (env.query->empty()) return Status::InvalidArgument("empty query");
+  if (env.query->size() > Query::kMaxKeywords) {
+    return Status::InvalidArgument("at most 31 keywords are supported");
+  }
+  if (env.options.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (env.options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  std::unique_ptr<SearchExecutor> executor =
+      std::make_unique<ParallelBnbExecutor>(env);
+  return executor;
+}
+
+Result<std::vector<RankedAnswer>> ParallelBnbSearch(
+    const TreeScorer& scorer, const Query& query, const SearchOptions& options,
+    const ParallelSearchOptions& parallel, SearchStats* stats) {
+  ExecutorEnv env{&scorer, &query, options};
+  env.options.num_threads = parallel.num_threads;
+  CIRANK_ASSIGN_OR_RETURN(std::unique_ptr<SearchExecutor> executor,
+                          MakeParallelBnbExecutor(env));
+  ExecutionContext ctx(ExecutionLimits::FromOptions(options));
+  return RunSearchPipeline(*executor, ctx, stats);
 }
 
 }  // namespace cirank

@@ -17,12 +17,18 @@
 // the shared (score desc, canonical key asc) order. The differential test
 // suite checks this against the serial search on ~50 random graphs at 1, 2,
 // and 8 threads.
+//
+// This is the "parallel" SearchExecutor of the execution pipeline
+// (core/execution.h): candidates are arena-placed under the shared-state
+// mutex, and the per-query deadline/budget guard truncates all workers.
 #ifndef CIRANK_CORE_PARALLEL_SEARCH_H_
 #define CIRANK_CORE_PARALLEL_SEARCH_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/bnb_search.h"
+#include "core/execution.h"
 #include "core/scorer.h"
 
 namespace cirank {
@@ -33,6 +39,14 @@ struct ParallelSearchOptions {
   // src/util/thread_pool.*).
   int num_threads = 1;
 };
+
+// Factory for the "parallel" executor (registered in
+// ExecutorRegistry::Global); thread count comes from
+// ExecutorEnv::options.num_threads. Fails on empty queries, queries with
+// more than Query::kMaxKeywords keywords, non-positive k, or non-positive
+// num_threads.
+[[nodiscard]] Result<std::unique_ptr<SearchExecutor>> MakeParallelBnbExecutor(
+    const ExecutorEnv& env);
 
 // Parallel Algorithm 1. Identical results to BranchAndBoundSearch (see
 // above); `stats` counters are exact totals but `popped`-order-dependent

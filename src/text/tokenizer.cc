@@ -32,7 +32,7 @@ std::string NormalizeKeyword(std::string_view keyword) {
   return out;
 }
 
-Query Query::Parse(std::string_view text) {
+Result<Query> Query::Parse(std::string_view text) {
   Query q;
   for (std::string& token : Tokenize(text)) {
     if (std::find(q.keywords.begin(), q.keywords.end(), token) ==
@@ -40,7 +40,19 @@ Query Query::Parse(std::string_view text) {
       q.keywords.push_back(std::move(token));
     }
   }
+  if (q.keywords.size() > kMaxKeywords) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(q.keywords.size()) +
+        " distinct keywords; at most " + std::to_string(kMaxKeywords) +
+        " are supported (keyword coverage is tracked in a 32-bit mask)");
+  }
   return q;
+}
+
+Query Query::MustParse(std::string_view text) {
+  Result<Query> q = Parse(text);
+  CIRANK_CHECK_OK(q.status());
+  return std::move(q).value();
 }
 
 }  // namespace cirank

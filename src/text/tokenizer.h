@@ -5,9 +5,12 @@
 #ifndef CIRANK_TEXT_TOKENIZER_H_
 #define CIRANK_TEXT_TOKENIZER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace cirank {
 
@@ -21,10 +24,22 @@ std::string NormalizeKeyword(std::string_view keyword);
 // A keyword query: a set of normalized keywords with AND semantics
 // (Definition 1). Duplicate and empty keywords are dropped.
 struct Query {
+  // Keyword coverage is tracked in a 32-bit KeywordMask with one sentinel
+  // bit reserved, so at most 31 distinct keywords are representable. Parse
+  // enforces the limit at construction — downstream code may assume any
+  // Query it receives fits in a mask.
+  static constexpr size_t kMaxKeywords = 31;
+
   std::vector<std::string> keywords;
 
-  // Builds a Query from raw user input, normalizing each keyword.
-  static Query Parse(std::string_view text);
+  // Builds a Query from raw user input, normalizing each keyword. Returns
+  // InvalidArgument when the input contains more than kMaxKeywords distinct
+  // keywords (naming the limit and the offending count).
+  [[nodiscard]] static Result<Query> Parse(std::string_view text);
+
+  // Parse for inputs known valid at the call site (literals in tests,
+  // benches, examples); aborts via CIRANK_CHECK_OK on invalid input.
+  static Query MustParse(std::string_view text);
 
   size_t size() const { return keywords.size(); }
   bool empty() const { return keywords.empty(); }

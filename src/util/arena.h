@@ -1,0 +1,105 @@
+// Monotonic arena allocator for per-query scratch state. The search
+// pipeline creates one Arena per query (owned by ExecutionContext) and
+// places candidate trees, frontier entries, and scratch JTTs into it;
+// everything is released wholesale when the query ends instead of paying a
+// heap round-trip per node. Objects whose type is not trivially
+// destructible are tracked on a cleanup list and destroyed (in reverse
+// allocation order) by Reset()/the destructor, so arena-placed values may
+// own ordinary heap members (std::vector, std::string) without leaking.
+//
+// Thread-safety: none. The serial executors use the arena freely; the
+// parallel executor confines every allocation to its shared-state mutex
+// (candidate payloads are built outside the lock and moved into the arena
+// slot under it, so the critical section stays short).
+#ifndef CIRANK_UTIL_ARENA_H_
+#define CIRANK_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cirank {
+
+class Arena {
+ public:
+  // `block_bytes` is the payload size of each chained block; allocations
+  // larger than a block get a dedicated oversized block.
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < kMinBlockBytes ? kMinBlockBytes
+                                                  : block_bytes) {}
+  ~Arena() { Reset(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw aligned storage, valid until Reset()/destruction. `align` must be a
+  // power of two. Zero-byte requests return a unique non-null pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  // Constructs a T inside the arena. Non-trivially-destructible types are
+  // registered for destruction at Reset(); trivially destructible ones cost
+  // nothing beyond the bump.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* slot = Allocate(sizeof(T), alignof(T));
+    T* obj = ::new (slot) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      cleanups_.push_back(Cleanup{obj, [](void* p) {
+                                    static_cast<T*>(p)->~T();
+                                  }});
+    }
+    return obj;
+  }
+
+  // Uninitialized array of `n` Ts (T must be trivially destructible — the
+  // cleanup list tracks single objects only).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "AllocateArray requires a trivially destructible T");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Destroys registered objects (reverse allocation order) and releases
+  // every block. The arena is reusable afterwards.
+  void Reset();
+
+  // Total bytes handed out to callers (excludes block slack).
+  size_t bytes_used() const { return bytes_used_; }
+  // Total bytes reserved from the system heap across all blocks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  static constexpr size_t kMinBlockBytes = 256;
+
+  struct Block {
+    char* data = nullptr;
+    size_t size = 0;
+  };
+  struct Cleanup {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  // Adds a block of at least `min_bytes` payload and points the bump cursor
+  // at it.
+  void AddBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::vector<Cleanup> cleanups_;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_UTIL_ARENA_H_

@@ -35,6 +35,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnimplemented:
       return "Unimplemented";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

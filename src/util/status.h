@@ -28,6 +28,7 @@ class [[nodiscard]] Status {
     kFailedPrecondition,
     kInternal,
     kUnimplemented,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,6 +52,9 @@ class [[nodiscard]] Status {
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
   [[nodiscard]] Code code() const { return code_; }
@@ -67,6 +71,9 @@ class [[nodiscard]] Status {
   [[nodiscard]] bool IsInternal() const { return code_ == Code::kInternal; }
   [[nodiscard]] bool IsUnimplemented() const {
     return code_ == Code::kUnimplemented;
+  }
+  [[nodiscard]] bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
   }
 
   // Human-readable rendering, e.g. "InvalidArgument: k must be > 0".

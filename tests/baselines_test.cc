@@ -34,7 +34,7 @@ TEST(Discover2Test, CannotDistinguishTsimmisPapers) {
   TsimmisTrees t = MakeTsimmisTrees();
   InvertedIndex index(t.ex.dataset.graph);
   Discover2Scorer scorer(index);
-  Query q = Query::Parse("papakonstantinou ullman");
+  Query q = Query::MustParse("papakonstantinou ullman");
   // The connecting papers match no keyword, so both trees score the same --
   // the deficiency called out in Sec. II-B.1.
   EXPECT_NEAR(scorer.Score(t.via_a, q), scorer.Score(t.via_b, q), 1e-12);
@@ -45,7 +45,7 @@ TEST(Discover2Test, MatchingNodesScorePositive) {
   TsimmisTrees t = MakeTsimmisTrees();
   InvertedIndex index(t.ex.dataset.graph);
   Discover2Scorer scorer(index);
-  Query q = Query::Parse("papakonstantinou");
+  Query q = Query::MustParse("papakonstantinou");
   EXPECT_GT(scorer.NodeScore(t.ex.papakonstantinou, q), 0.0);
   EXPECT_DOUBLE_EQ(scorer.NodeScore(t.ex.ullman, q), 0.0);
 }
@@ -57,7 +57,7 @@ TEST(SparkTest, PrefersShorterTitleTsimmisPaper) {
   TsimmisTrees t = MakeTsimmisTrees();
   InvertedIndex index(t.ex.dataset.graph);
   SparkScorer scorer(index);
-  Query q = Query::Parse("papakonstantinou ullman");
+  Query q = Query::MustParse("papakonstantinou ullman");
   EXPECT_GT(scorer.Score(t.via_a, q), scorer.Score(t.via_b, q));
 }
 
@@ -66,17 +66,17 @@ TEST(SparkTest, CompletenessFactorPenalizesMissingKeywords) {
   InvertedIndex index(t.ex.dataset.graph);
   SparkScorer scorer(index);
   Jtt single(t.ex.papakonstantinou);
-  EXPECT_DOUBLE_EQ(scorer.ScoreB(single, Query::Parse("papakonstantinou")),
+  EXPECT_DOUBLE_EQ(scorer.ScoreB(single, Query::MustParse("papakonstantinou")),
                    1.0);
   EXPECT_LT(
-      scorer.ScoreB(single, Query::Parse("papakonstantinou ullman")), 1.0);
+      scorer.ScoreB(single, Query::MustParse("papakonstantinou ullman")), 1.0);
 }
 
 TEST(SparkTest, SizeNormalizationDecreasesWithSize) {
   TsimmisTrees t = MakeTsimmisTrees();
   InvertedIndex index(t.ex.dataset.graph);
   SparkScorer scorer(index);
-  Query q = Query::Parse("papakonstantinou ullman");
+  Query q = Query::MustParse("papakonstantinou ullman");
   Jtt single(t.ex.papakonstantinou);
   EXPECT_GT(scorer.ScoreC(single, q), scorer.ScoreC(t.via_a, q));
 }
@@ -90,7 +90,7 @@ TEST(BanksTest, BlindToIntermediateFreeNodes) {
   auto pr = ComputePageRank(ex.dataset.graph);
   BanksScorer scorer(ex.dataset.graph, pr->scores);
 
-  Query q = Query::Parse("bloom wood mortensen");
+  Query q = Query::MustParse("bloom wood mortensen");
   auto via_popular =
       Jtt::Create(ex.bloom, {{ex.bloom, ex.popular_movie},
                              {ex.popular_movie, ex.wood},
@@ -123,7 +123,7 @@ TEST(BanksSearchTest, FindsValidAnswers) {
   auto pr = ComputePageRank(ex.dataset.graph);
   BanksScorer scorer(ex.dataset.graph, pr->scores);
 
-  Query q = Query::Parse("bloom wood mortensen");
+  Query q = Query::MustParse("bloom wood mortensen");
   BanksSearchOptions opts;
   opts.k = 5;
   opts.max_diameter = 4;

@@ -15,7 +15,7 @@ TEST(BidirectionalSearchTest, FindsCostarAnswers) {
   auto pr = ComputePageRank(ex.dataset.graph);
   BanksScorer scorer(ex.dataset.graph, pr->scores);
 
-  Query q = Query::Parse("bloom wood mortensen");
+  Query q = Query::MustParse("bloom wood mortensen");
   auto result = BidirectionalSearch(ex.dataset.graph, index, scorer, q, {});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->empty());
@@ -34,7 +34,7 @@ TEST(BidirectionalSearchTest, SingleKeywordReturnsMatches) {
   InvertedIndex index(ex.dataset.graph);
   auto pr = ComputePageRank(ex.dataset.graph);
   BanksScorer scorer(ex.dataset.graph, pr->scores);
-  Query q = Query::Parse("ullman");
+  Query q = Query::MustParse("ullman");
   auto result = BidirectionalSearch(ex.dataset.graph, index, scorer, q, {});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->empty());
@@ -51,11 +51,11 @@ TEST(BidirectionalSearchTest, ValidatesArguments) {
   BidirectionalSearchOptions opts;
   opts.k = 0;
   EXPECT_FALSE(
-      BidirectionalSearch(g, index, scorer, Query::Parse("kw0"), opts).ok());
+      BidirectionalSearch(g, index, scorer, Query::MustParse("kw0"), opts).ok());
   opts = {};
   opts.activation_decay = 1.0;
   EXPECT_FALSE(
-      BidirectionalSearch(g, index, scorer, Query::Parse("kw0"), opts).ok());
+      BidirectionalSearch(g, index, scorer, Query::MustParse("kw0"), opts).ok());
 }
 
 TEST(BidirectionalSearchTest, NoMatchMeansNoAnswers) {
@@ -64,7 +64,7 @@ TEST(BidirectionalSearchTest, NoMatchMeansNoAnswers) {
   auto pr = ComputePageRank(g);
   BanksScorer scorer(g, pr->scores);
   auto result =
-      BidirectionalSearch(g, index, scorer, Query::Parse("zzzznope"), {});
+      BidirectionalSearch(g, index, scorer, Query::MustParse("zzzznope"), {});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->empty());
 }
@@ -76,7 +76,7 @@ TEST(BidirectionalSearchTest, AgreesWithBanksOnEasyQueries) {
   InvertedIndex index(g);
   auto pr = ComputePageRank(g);
   BanksScorer scorer(g, pr->scores);
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
 
   BanksSearchOptions banks_opts;
   banks_opts.k = 1;

@@ -34,13 +34,13 @@ TEST(BnbSearchTest, RejectsInvalidArguments) {
 
   opts.k = 0;
   EXPECT_FALSE(
-      BranchAndBoundSearch(*b.scorer, Query::Parse("kw0"), opts, &stats)
+      BranchAndBoundSearch(*b.scorer, Query::MustParse("kw0"), opts, &stats)
           .ok());
 }
 
 TEST(BnbSearchTest, SingleKeywordReturnsMatchingNodes) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(2, 12));
-  Query q = Query::Parse("kw0");
+  Query q = Query::MustParse("kw0");
   SearchOptions opts;
   opts.k = 50;
   opts.max_diameter = 2;
@@ -59,7 +59,7 @@ TEST(BnbSearchTest, SingleKeywordReturnsMatchingNodes) {
 
 TEST(BnbSearchTest, AnswersAreValidAndDeduplicated) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(3, 20));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   SearchOptions opts;
   opts.k = 20;
   opts.max_diameter = 4;
@@ -77,7 +77,7 @@ TEST(BnbSearchTest, AnswersAreValidAndDeduplicated) {
 
 TEST(BnbSearchTest, BudgetExhaustionIsReported) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(4, 60, 4.0));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   SearchOptions opts;
   opts.k = 10;
   opts.max_diameter = 4;
@@ -113,7 +113,7 @@ class BnbOptimalityTest : public ::testing::TestWithParam<PropertyCase> {};
 TEST_P(BnbOptimalityTest, MatchesExhaustiveTopK) {
   const PropertyCase& pc = GetParam();
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(pc.seed, pc.nodes));
-  Query q = Query::Parse(pc.query);
+  Query q = Query::MustParse(pc.query);
 
   ExhaustiveSearchOptions ex_opts;
   ex_opts.k = 5;
@@ -164,7 +164,7 @@ INSTANTIATE_TEST_SUITE_P(RandomGraphs, BnbOptimalityTest,
 TEST(BnbSearchTest, StrictMergeRuleIsSubsetOfRelaxed) {
   for (uint64_t seed : {7u, 8u, 9u}) {
     ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 16));
-    Query q = Query::Parse("kw0 kw1 kw2");
+    Query q = Query::MustParse("kw0 kw1 kw2");
     SearchOptions opts;
     opts.k = 5;
     opts.max_diameter = 4;

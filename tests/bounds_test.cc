@@ -20,7 +20,7 @@ using testing_util::ScorerBundle;
 TEST(BoundsTest, CompleteCandidateBoundDominatesOwnScore) {
   for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 16));
-    Query q = Query::Parse("kw0 kw1");
+    Query q = Query::MustParse("kw0 kw1");
     UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
 
     ExhaustiveSearchOptions opts;
@@ -43,7 +43,7 @@ TEST(BoundsTest, CompleteCandidateBoundDominatesOwnScore) {
 TEST(BoundsTest, SingletonBoundDominatesAnswersBuiltFromIt) {
   for (uint64_t seed : {11u, 12u, 13u}) {
     ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 14));
-    Query q = Query::Parse("kw0 kw1");
+    Query q = Query::MustParse("kw0 kw1");
     UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
 
     ExhaustiveSearchOptions opts;
@@ -72,7 +72,7 @@ TEST(BoundsTest, SingletonBoundDominatesAnswersBuiltFromIt) {
 TEST(BoundsTest, InfeasibleKeywordYieldsZeroBound) {
   // Graph where "kw9" matches nothing.
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(7, 12));
-  Query q = Query::Parse("kw0 kw9zzz");
+  Query q = Query::MustParse("kw0 kw9zzz");
   UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
   // Seed a kw0 singleton; the second keyword can never be supplied.
   auto matches = b.index->MatchingNodes("kw0");
@@ -88,7 +88,7 @@ TEST(BoundsTest, BoundShrinksOrHoldsAsCandidateGrows) {
   // Growing a candidate along the path of a real answer should not raise
   // the bound above the singleton's (sanity of monotone pruning).
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(21, 16));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   UpperBoundCalculator calc(*b.scorer, q, 4, nullptr);
 
   auto matches = b.index->MatchingNodes("kw0");

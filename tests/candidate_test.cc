@@ -20,7 +20,7 @@ class CandidateTest : public ::testing::Test {
     CIRANK_CHECK_OK(b.AddBidirectionalEdge(n_[1], n_[3], t, t));
     graph_ = b.Finalize();
     index_ = std::make_unique<InvertedIndex>(graph_);
-    query_ = Query::Parse("alpha beta gamma");
+    query_ = Query::MustParse("alpha beta gamma");
   }
 
   Candidate Single(NodeId v) {
@@ -109,7 +109,7 @@ TEST_F(CandidateTest, ViabilityPrunesUnmatchableLeaves) {
   EXPECT_FALSE(IsViableCandidate(bad, query_, *index_));
 
   // Two leaves both only matching "alpha" can never be distinct.
-  Query q2 = Query::Parse("alpha beta");
+  Query q2 = Query::MustParse("alpha beta");
   Candidate a = GrowCandidate(Single(n_[0]), n_[1], q2, *index_);
   Candidate b = GrowCandidate(Single(n_[4]), n_[1], q2, *index_);
   auto merged = MergeCandidates(a, b);

@@ -81,7 +81,7 @@ void ExpectIdentical(const std::vector<RankedAnswer>& expected,
 TEST_P(DifferentialSearchTest, ParallelMatchesSerialByteForByte) {
   const DiffCase& c = GetParam();
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
-  Query q = Query::Parse(c.query);
+  Query q = Query::MustParse(c.query);
   SearchOptions opts;
   opts.k = 5;
   opts.max_diameter = c.diameter;
@@ -110,11 +110,51 @@ TEST_P(DifferentialSearchTest, ParallelMatchesSerialByteForByte) {
   }
 }
 
+// The same identity must hold through the execution pipeline: the registry
+// executors ("bnb", "parallel" at 1/2/8 threads) place candidates in the
+// per-query arena and run under the deadline/budget guard, and none of that
+// may perturb a single byte of the answer.
+TEST_P(DifferentialSearchTest, RegistryExecutorsMatchSerialByteForByte) {
+  const DiffCase& c = GetParam();
+  ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
+  Query q = Query::MustParse(c.query);
+  SearchOptions opts;
+  opts.k = 5;
+  opts.max_diameter = c.diameter;
+
+  auto serial = BranchAndBoundSearch(*b.scorer, q, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  {
+    SearchOptions eopts = opts;
+    eopts.executor = "bnb";
+    ExecutorEnv env{b.scorer.get(), &q, eopts};
+    SearchStats stats;
+    auto r = ExecuteSearch(env, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectIdentical(*serial, *r, "pipeline bnb");
+    EXPECT_FALSE(stats.truncated);
+    EXPECT_GT(stats.stages.arena_bytes, 0u);
+  }
+  for (int threads : {1, 2, 8}) {
+    SearchOptions eopts = opts;
+    eopts.executor = "parallel";
+    eopts.num_threads = threads;
+    ExecutorEnv env{b.scorer.get(), &q, eopts};
+    SearchStats stats;
+    auto r = ExecuteSearch(env, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectIdentical(*serial, *r,
+                    "pipeline parallel t=" + std::to_string(threads));
+    EXPECT_FALSE(stats.truncated);
+  }
+}
+
 TEST_P(DifferentialSearchTest, SmallGraphsMatchExhaustiveGroundTruth) {
   const DiffCase& c = GetParam();
   if (c.nodes > 16) GTEST_SKIP() << "exhaustive reference too expensive";
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
-  Query q = Query::Parse(c.query);
+  Query q = Query::MustParse(c.query);
 
   ExhaustiveSearchOptions ex_opts;
   ex_opts.k = 5;
@@ -146,7 +186,7 @@ TEST_P(DifferentialSearchTest, SmallGraphsMatchExhaustiveGroundTruth) {
 TEST_P(DifferentialSearchTest, NaiveNeverBeatsBnb) {
   const DiffCase& c = GetParam();
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(c.seed, c.nodes));
-  Query q = Query::Parse(c.query);
+  Query q = Query::MustParse(c.query);
 
   SearchOptions opts;
   opts.k = 5;
@@ -188,7 +228,7 @@ TEST(ParallelSearchTest, RejectsInvalidArguments) {
   }
   EXPECT_FALSE(ParallelBnbSearch(*b.scorer, too_many, opts, popts).ok());
 
-  Query q = Query::Parse("kw0");
+  Query q = Query::MustParse("kw0");
   opts.k = 0;
   EXPECT_FALSE(ParallelBnbSearch(*b.scorer, q, opts, popts).ok());
 
@@ -199,7 +239,7 @@ TEST(ParallelSearchTest, RejectsInvalidArguments) {
 
 TEST(ParallelSearchTest, BudgetedRunsReportExhaustion) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(4, 60, 4.0));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   SearchOptions opts;
   opts.k = 10;
   opts.max_diameter = 4;
@@ -219,7 +259,7 @@ TEST(ParallelSearchTest, BudgetedRunsReportExhaustion) {
 // way as the serial one.
 TEST(ParallelSearchTest, AnswersAreValidAndDeduplicated) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(3, 20));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   SearchOptions opts;
   opts.k = 20;
   opts.max_diameter = 4;

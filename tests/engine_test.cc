@@ -42,7 +42,7 @@ TEST_F(EngineTest, BuildValidatesOptions) {
 TEST_F(EngineTest, SearchReturnsRankedValidAnswers) {
   // Query for an actor that certainly exists: take the most popular one.
   const NodeId actor = dataset_->nodes_by_relation[1].front();
-  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
   SearchOptions opts;
   opts.k = 5;
   opts.max_diameter = 2;
@@ -84,7 +84,7 @@ TEST_F(EngineTest, CoStarQueryConnectsThroughMovie) {
   }
   ASSERT_NE(movie, kInvalidNode);
 
-  Query q = Query::Parse(g.text_of(a1) + " " + g.text_of(a2));
+  Query q = Query::MustParse(g.text_of(a1) + " " + g.text_of(a2));
   SearchOptions opts;
   opts.k = 3;
   opts.max_diameter = 2;
@@ -99,7 +99,7 @@ TEST_F(EngineTest, StarIndexAcceleratedSearchMatches) {
   auto index = StarIndex::Build(dataset_->graph, engine_->model());
   ASSERT_TRUE(index.ok());
   const NodeId actor = dataset_->nodes_by_relation[1][3];
-  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
 
   SearchOptions opts;
   opts.k = 5;
@@ -116,7 +116,7 @@ TEST_F(EngineTest, StarIndexAcceleratedSearchMatches) {
 
 TEST_F(EngineTest, EngineIsMovable) {
   CiRankEngine moved = std::move(*engine_);
-  Query q = Query::Parse("smith");
+  Query q = Query::MustParse("smith");
   SearchOptions opts;
   opts.k = 2;
   opts.max_diameter = 2;
@@ -157,7 +157,7 @@ TEST_F(EngineTest, OverridesMergeOverEngineDefaults) {
   // Behavioral check: the override entry point returns the same answers as
   // the fully spelled-out options.
   const NodeId actor = dataset_->nodes_by_relation[1].front();
-  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
   auto via_overrides = engine.Search(q, just_k);
   SearchOptions explicit_opts = opts.search;
   explicit_opts.k = 7;
@@ -171,7 +171,7 @@ TEST_F(EngineTest, OverridesMergeOverEngineDefaults) {
 
 TEST_F(EngineTest, QueryCacheHitsAndFeedbackInvalidation) {
   const NodeId actor = dataset_->nodes_by_relation[1].front();
-  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
   SearchOverrides overrides;
   overrides.k = 3;
   overrides.max_diameter = 2;
@@ -210,7 +210,7 @@ TEST_F(EngineTest, QueryCacheHitsAndFeedbackInvalidation) {
 
 TEST_F(EngineTest, StatsRequestBypassesCacheRead) {
   const NodeId actor = dataset_->nodes_by_relation[1].front();
-  Query q = Query::Parse(dataset_->graph.text_of(actor));
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
   SearchOverrides overrides;
   overrides.k = 3;
   overrides.max_diameter = 2;
@@ -228,7 +228,7 @@ TEST_F(EngineTest, SearchBatchMatchesIndividualSearches) {
   std::vector<Query> queries;
   for (int i = 0; i < 6; ++i) {
     const NodeId actor = dataset_->nodes_by_relation[1][i];
-    queries.push_back(Query::Parse(dataset_->graph.text_of(actor)));
+    queries.push_back(Query::MustParse(dataset_->graph.text_of(actor)));
   }
   queries.push_back(Query());  // deliberately invalid entry
 
@@ -269,7 +269,7 @@ TEST_F(EngineTest, RebuildFromFeedbackShiftsImportanceTowardClicks) {
   EXPECT_GT(after, before);
 
   // The engine still serves coherent results from the rebuilt model.
-  Query q = Query::Parse(dataset_->graph.text_of(clicked));
+  Query q = Query::MustParse(dataset_->graph.text_of(clicked));
   SearchOverrides overrides;
   overrides.k = 3;
   overrides.max_diameter = 2;
@@ -290,7 +290,7 @@ TEST(EngineDblpTest, WorksOnDblpSchema) {
   ASSERT_TRUE(engine.ok());
 
   const NodeId author = ds->nodes_by_relation[1].front();
-  Query q = Query::Parse(ds->graph.text_of(author));
+  Query q = Query::MustParse(ds->graph.text_of(author));
   SearchOptions sopts;
   sopts.k = 3;
   sopts.max_diameter = 2;

@@ -46,7 +46,7 @@ class OracleTest : public ::testing::Test {
     ds_.nodes_by_relation.resize(1);
     index_ = std::make_unique<InvertedIndex>(ds_.graph);
 
-    lq_.query = Query::Parse("alpha beta");
+    lq_.query = Query::MustParse("alpha beta");
     lq_.targets = {a_, c_};
     lq_.kind = LabeledQuery::Kind::kTwoNonAdjacent;
   }
@@ -122,7 +122,7 @@ TEST_F(OracleTest, GroupRelevanceAcceptsSameNameSubstitutes) {
   RelevanceOracle oracle(ds, index);
 
   LabeledQuery lq;
-  lq.query = Query::Parse("john smith");
+  lq.query = Query::MustParse("john smith");
   lq.targets = {smith1};
   lq.target_keywords = {{"john", "smith"}};
   // The exact target and the same-name substitute are both fully relevant.
@@ -132,7 +132,7 @@ TEST_F(OracleTest, GroupRelevanceAcceptsSameNameSubstitutes) {
   // The spurious stitch: "wilson" from a movie and "cruz" from another
   // actor does NOT satisfy the single-entity group.
   LabeledQuery wc;
-  wc.query = Query::Parse("wilson cruz");
+  wc.query = Query::MustParse("wilson cruz");
   wc.targets = {wilson};
   wc.target_keywords = {{"wilson", "cruz"}};
   auto stitch = Jtt::Create(charlie, {{charlie, penelope}});

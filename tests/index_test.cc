@@ -152,7 +152,7 @@ TEST(IndexedSearchTest, BnbResultsUnchangedByIndexes) {
     auto naive_index = NaiveIndex::Build(b.graph, *b.model);
     ASSERT_TRUE(naive_index.ok());
 
-    Query q = Query::Parse("kw0 kw1");
+    Query q = Query::MustParse("kw0 kw1");
     SearchOptions opts;
     opts.k = 5;
     opts.max_diameter = 4;
@@ -173,7 +173,7 @@ TEST_F(StarIndexTest, BnbResultsUnchangedByStarIndex) {
   InvertedIndex inv(dataset_->graph);
   TreeScorer scorer(*model_, inv);
 
-  Query q = Query::Parse("james smith");  // common name tokens
+  Query q = Query::MustParse("james smith");  // common name tokens
   SearchOptions opts;
   opts.k = 5;
   opts.max_diameter = 4;
@@ -192,7 +192,7 @@ TEST(IndexedSearchTest, IndexReducesExpansions) {
   auto naive_index = NaiveIndex::Build(b.graph, *b.model);
   ASSERT_TRUE(naive_index.ok());
 
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   SearchOptions opts;
   opts.k = 5;
   opts.max_diameter = 4;

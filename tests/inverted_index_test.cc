@@ -53,7 +53,7 @@ TEST_F(InvertedIndexTest, TokenCounts) {
 }
 
 TEST_F(InvertedIndexTest, MatchedTokenCountsAndDistinct) {
-  Query q = Query::Parse("alpha gamma");
+  Query q = Query::MustParse("alpha gamma");
   EXPECT_EQ(index_->MatchedTokenCount(n0_, q), 2u);  // two "alpha" tokens
   EXPECT_EQ(index_->DistinctMatchedKeywords(n0_, q), 1u);
   EXPECT_EQ(index_->DistinctMatchedKeywords(n1_, q), 1u);

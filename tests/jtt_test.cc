@@ -92,7 +92,7 @@ TEST_F(JttTest, EdgesExistIn) {
 }
 
 TEST_F(JttTest, IsReducedRequiresMatchedLeaves) {
-  Query q = Query::Parse("alpha beta");
+  Query q = Query::MustParse("alpha beta");
   // alpha -- hub -- beta: leaves both match distinct keywords.
   auto good = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
   ASSERT_TRUE(good.ok());
@@ -107,7 +107,7 @@ TEST_F(JttTest, IsReducedRequiresMatchedLeaves) {
 TEST_F(JttTest, IsReducedNeedsDistinctKeywordAssignment) {
   // Both leaves match only "alpha": no valid assignment of distinct
   // keywords exists even though each leaf individually matches.
-  Query q = Query::Parse("alpha free");
+  Query q = Query::MustParse("alpha free");
   auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[3]}, {n_[3], n_[4]}});
   ASSERT_TRUE(t.ok());
   // Leaves are n0 ("alpha") and n4 ("alpha beta"); "free" is matched by the
@@ -116,21 +116,21 @@ TEST_F(JttTest, IsReducedNeedsDistinctKeywordAssignment) {
   EXPECT_FALSE(t->IsReduced(q, *index_));
 
   // With query "alpha beta" the assignment n0->alpha, n4->beta works.
-  EXPECT_TRUE(t->IsReduced(Query::Parse("alpha beta"), *index_));
+  EXPECT_TRUE(t->IsReduced(Query::MustParse("alpha beta"), *index_));
 }
 
 TEST_F(JttTest, SingleNodeReducedIffMatches) {
-  Query q = Query::Parse("alpha");
+  Query q = Query::MustParse("alpha");
   EXPECT_TRUE(Jtt(n_[0]).IsReduced(q, *index_));
   EXPECT_FALSE(Jtt(n_[1]).IsReduced(q, *index_));
 }
 
 TEST_F(JttTest, CoversAllKeywords) {
-  Query q = Query::Parse("alpha beta");
+  Query q = Query::MustParse("alpha beta");
   auto t = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
   ASSERT_TRUE(t.ok());
   EXPECT_TRUE(t->CoversAllKeywords(q, *index_));
-  EXPECT_FALSE(t->CoversAllKeywords(Query::Parse("alpha gamma beta"),
+  EXPECT_FALSE(t->CoversAllKeywords(Query::MustParse("alpha gamma beta"),
                                     *index_));
 }
 
@@ -146,7 +146,7 @@ TEST_F(JttTest, CanonicalKeyIsRootIndependent) {
 }
 
 TEST_F(JttTest, MatchableToDistinctKeywords) {
-  Query q = Query::Parse("alpha beta");
+  Query q = Query::MustParse("alpha beta");
   EXPECT_TRUE(MatchableToDistinctKeywords({n_[0], n_[2]}, q, *index_));
   // n4 matches both, n0 matches alpha: assignment n4->beta works.
   EXPECT_TRUE(MatchableToDistinctKeywords({n_[0], n_[4]}, q, *index_));
@@ -229,14 +229,14 @@ TEST_F(JttTest, ValidateRejectsCycleWithDisconnectedNode) {
 }
 
 TEST_F(JttTest, ValidateWithQueryEnforcesAnswerShape) {
-  Query q = Query::Parse("alpha beta");
+  Query q = Query::MustParse("alpha beta");
   auto good = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[2]}});
   ASSERT_TRUE(good.ok());
   CIRANK_CHECK_OK(ValidateJtt(*good, q, *index_));
 
   // Same tree, but "gamma" is nowhere in it: coverage fails.
   Status uncovered =
-      ValidateJtt(*good, Query::Parse("alpha gamma beta"), *index_);
+      ValidateJtt(*good, Query::MustParse("alpha gamma beta"), *index_);
   EXPECT_TRUE(uncovered.IsFailedPrecondition());
   EXPECT_NE(uncovered.message().find("cover"), std::string::npos);
 
@@ -244,7 +244,7 @@ TEST_F(JttTest, ValidateWithQueryEnforcesAnswerShape) {
   // leaf matches no keyword: Definition 3 fails.
   auto free_leaf = Jtt::Create(n_[1], {{n_[1], n_[0]}, {n_[1], n_[3]}});
   ASSERT_TRUE(free_leaf.ok());
-  Status unreduced = ValidateJtt(*free_leaf, Query::Parse("alpha free"),
+  Status unreduced = ValidateJtt(*free_leaf, Query::MustParse("alpha free"),
                                  *index_);
   EXPECT_TRUE(unreduced.IsFailedPrecondition());
   EXPECT_NE(unreduced.message().find("Definition 3"), std::string::npos);

@@ -16,7 +16,7 @@ TEST(MotivatingExamples, TsimmisHighlyCitedPaperWins) {
   auto engine = CiRankEngine::Build(ex.dataset.graph);
   ASSERT_TRUE(engine.ok());
 
-  Query q = Query::Parse("papakonstantinou ullman");
+  Query q = Query::MustParse("papakonstantinou ullman");
   auto via_a = Jtt::Create(ex.paper_a, {{ex.paper_a, ex.papakonstantinou},
                                         {ex.paper_a, ex.ullman}});
   auto via_b = Jtt::Create(ex.paper_b, {{ex.paper_b, ex.papakonstantinou},
@@ -43,7 +43,7 @@ TEST(MotivatingExamples, CostarPopularMovieWins) {
   auto engine = CiRankEngine::Build(ex.dataset.graph);
   ASSERT_TRUE(engine.ok());
 
-  Query q = Query::Parse("bloom wood mortensen");
+  Query q = Query::MustParse("bloom wood mortensen");
   auto via_popular =
       Jtt::Create(ex.bloom, {{ex.bloom, ex.popular_movie},
                              {ex.popular_movie, ex.wood},
@@ -74,7 +74,7 @@ TEST(MotivatingExamples, FreeNodeDominationAvoided) {
   auto engine = CiRankEngine::Build(ex.dataset.graph);
   ASSERT_TRUE(engine.ok());
 
-  Query q = Query::Parse("wilson cruz");
+  Query q = Query::MustParse("wilson cruz");
   Jtt t1(ex.wilson_cruz);
   auto t2 = Jtt::Create(
       ex.charlie_wilsons_war,
@@ -110,7 +110,7 @@ TEST(MotivatingExamples, StarBeatsChainUnderRwmp) {
   auto engine = CiRankEngine::Build(ex.dataset.graph);
   ASSERT_TRUE(engine.ok());
 
-  Query q = Query::Parse("alpha beta gamma delta");
+  Query q = Query::MustParse("alpha beta gamma delta");
   auto star = Jtt::Create(ex.star_nodes[4],
                           {{ex.star_nodes[4], ex.star_nodes[0]},
                            {ex.star_nodes[4], ex.star_nodes[1]},

@@ -15,7 +15,7 @@ using testing_util::ScorerBundle;
 
 TEST(EnumerateAnswersTest, AllAnswersValidAndDistinct) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(1, 24));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   EnumerateOptions opts;
   opts.max_diameter = 4;
   auto pool = EnumerateAnswers(b.graph, *b.index, q, opts);
@@ -32,7 +32,7 @@ TEST(EnumerateAnswersTest, AllAnswersValidAndDistinct) {
 
 TEST(EnumerateAnswersTest, RespectsAnswerCap) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(2, 30, 4.0));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   EnumerateOptions opts;
   opts.max_diameter = 4;
   opts.max_answers = 3;
@@ -54,7 +54,7 @@ TEST(EnumerateAnswersTest, FindsShortestConnections) {
   CIRANK_CHECK_OK(builder.AddBidirectionalEdge(m, c, t, t));
   ScorerBundle b = MakeScorerBundle(builder.Finalize());
 
-  Query q = Query::Parse("alpha beta");
+  Query q = Query::MustParse("alpha beta");
   auto pool = EnumerateAnswers(b.graph, *b.index, q, {});
   ASSERT_TRUE(pool.ok());
   ASSERT_EQ(pool->size(), 1u);
@@ -72,7 +72,7 @@ TEST(NaiveSearchTest, AgreesWithBnbOnTopAnswerForSimpleQueries) {
   int agreements = 0, total = 0;
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 16));
-    Query q = Query::Parse("kw0 kw1");
+    Query q = Query::MustParse("kw0 kw1");
     NaiveSearchOptions n_opts;
     n_opts.k = 5;
     n_opts.max_diameter = 3;
@@ -95,7 +95,7 @@ TEST(NaiveSearchTest, AgreesWithBnbOnTopAnswerForSimpleQueries) {
 
 TEST(NaiveSearchTest, StatsReportGeneratedAnswers) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(9, 20));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   NaiveSearchOptions opts;
   opts.k = 3;
   SearchStats stats;
@@ -107,7 +107,7 @@ TEST(NaiveSearchTest, StatsReportGeneratedAnswers) {
 
 TEST(ExhaustiveSearchTest, FindsSingleNodeAnswers) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(4, 12));
-  Query q = Query::Parse("kw0");
+  Query q = Query::MustParse("kw0");
   ExhaustiveSearchOptions opts;
   opts.k = 100;
   opts.max_diameter = 0;  // only single nodes

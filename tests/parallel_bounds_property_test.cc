@@ -34,7 +34,7 @@ TEST(PruningAdmissibilityTest, PrunedBoundsStayBelowKthScore) {
   int runs_with_pruning = 0;
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 18));
-    Query q = Query::Parse(seed % 2 == 0 ? "kw0 kw1" : "kw1 kw2 kw3");
+    Query q = Query::MustParse(seed % 2 == 0 ? "kw0 kw1" : "kw1 kw2 kw3");
     SearchOptions opts;
     opts.k = 3;
     opts.max_diameter = 4;
@@ -62,7 +62,7 @@ TEST(PruningAdmissibilityTest, PrunedBoundsStayBelowKthScore) {
 TEST(PruningAdmissibilityTest, PrunedBoundsStayBelowTrueKthScore) {
   for (uint64_t seed = 30; seed <= 40; ++seed) {
     ScorerBundle b = MakeScorerBundle(MakeRandomGraph(seed, 14));
-    Query q = Query::Parse("kw0 kw1");
+    Query q = Query::MustParse("kw0 kw1");
     SearchOptions opts;
     opts.k = 4;
     opts.max_diameter = 4;

@@ -113,11 +113,11 @@ TEST(RwmpModelTest, EmissionUsesMatchedFraction) {
   std::vector<double> importance = {0.5, 0.5};
   auto model = RwmpModel::Create(graph, importance);
   ASSERT_TRUE(model.ok());
-  Query q = Query::Parse("foo bar");
+  Query q = Query::MustParse("foo bar");
   // t = 2; a matches 2 of 4 tokens; c matches 1 of 1.
   EXPECT_NEAR(model->Emission(a, q, index), 2 * 0.5 * 2.0 / 4.0, 1e-12);
   EXPECT_NEAR(model->Emission(c, q, index), 2 * 0.5 * 1.0, 1e-12);
-  EXPECT_DOUBLE_EQ(model->Emission(a, Query::Parse("zap"), index), 0.0);
+  EXPECT_DOUBLE_EQ(model->Emission(a, Query::MustParse("zap"), index), 0.0);
 }
 
 }  // namespace

@@ -20,7 +20,7 @@ class ScorerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 // must hold or rankings would be ill-defined).
 TEST_P(ScorerPropertyTest, ScoreIsRootInvariant) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(GetParam(), 18));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
 
   ExhaustiveSearchOptions opts;
   opts.k = 20;
@@ -60,7 +60,7 @@ TEST_P(ScorerPropertyTest, ScoreIsRootInvariant) {
 // only shed mass (dampening < 1, splits <= 1).
 TEST_P(ScorerPropertyTest, NodeScoresBoundedByEmissions) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(GetParam() + 100, 18));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
 
   ExhaustiveSearchOptions opts;
   opts.k = 20;
@@ -87,7 +87,7 @@ TEST_P(ScorerPropertyTest, NodeScoresBoundedByEmissions) {
 // exceeds what was emitted.
 TEST_P(ScorerPropertyTest, PropagationNeverAmplifies) {
   ScorerBundle b = MakeScorerBundle(MakeRandomGraph(GetParam() + 200, 16));
-  Query q = Query::Parse("kw0 kw1");
+  Query q = Query::MustParse("kw0 kw1");
   auto matches = b.index->MatchingNodes("kw0");
   if (matches.empty()) GTEST_SKIP();
 

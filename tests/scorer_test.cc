@@ -70,7 +70,7 @@ TEST_F(ScorerTest, DampeningMatchesEquationTwo) {
 }
 
 TEST_F(ScorerTest, EmissionCountsMatchedTokens) {
-  Query q = Query::Parse("alpha delta");
+  Query q = Query::MustParse("alpha delta");
   // a: 1 of 1 tokens match; t = 1/p_min = 10.
   EXPECT_NEAR(model_->Emission(a_, q, *index_), 10.0 * 0.1 * 1.0, 1e-12);
   // b: no match.
@@ -83,7 +83,7 @@ TEST_F(ScorerTest, PropagateOnPathAppliesDampeningAndSplits) {
   // Tree: a - b - c (rooted at a). Source a with emission E.
   auto tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}});
   ASSERT_TRUE(tree.ok());
-  const double E = model_->Emission(a_, Query::Parse("alpha"), *index_);
+  const double E = model_->Emission(a_, Query::MustParse("alpha"), *index_);
 
   auto flows = scorer_->Propagate(*tree, a_, E);
   double at_a = 0, at_b = 0, at_c = 0;
@@ -125,7 +125,7 @@ TEST_F(ScorerTest, TreeScoreIsAverageOfLeastPopulousFlows) {
   // Tree a - b - c - d with sources a ("alpha") and d ("delta").
   auto tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}, {c_, d_}});
   ASSERT_TRUE(tree.ok());
-  Query q = Query::Parse("alpha delta");
+  Query q = Query::MustParse("alpha delta");
 
   const double Ea = model_->Emission(a_, q, *index_);
   const double Ed = model_->Emission(d_, q, *index_);
@@ -146,7 +146,7 @@ TEST_F(ScorerTest, TreeScoreIsAverageOfLeastPopulousFlows) {
 
 TEST_F(ScorerTest, SingleSourceTreeScoresItsEmission) {
   Jtt tree(a_);
-  Query q = Query::Parse("alpha");
+  Query q = Query::MustParse("alpha");
   TreeScore ts = scorer_->Score(tree, q);
   EXPECT_NEAR(ts.score, model_->Emission(a_, q, *index_), 1e-12);
 }
@@ -154,7 +154,7 @@ TEST_F(ScorerTest, SingleSourceTreeScoresItsEmission) {
 TEST_F(ScorerTest, FreeNodesReceiveNoScoreTerm) {
   auto tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}, {c_, d_}});
   ASSERT_TRUE(tree.ok());
-  Query q = Query::Parse("alpha delta");
+  Query q = Query::MustParse("alpha delta");
   TreeScore ts = scorer_->Score(*tree, q);
   for (const NodeScore& ns : ts.node_scores) {
     EXPECT_TRUE(ns.node == a_ || ns.node == d_);
@@ -167,9 +167,9 @@ TEST_F(ScorerTest, ScoreDecreasesWithLongerConnections) {
   auto long_tree = Jtt::Create(a_, {{a_, b_}, {b_, c_}, {c_, d_}});
   ASSERT_TRUE(short_tree.ok() && long_tree.ok());
   // Query matching a and c ("mid two" -> token "two"? use mid).
-  Query q_short = Query::Parse("alpha two");
+  Query q_short = Query::MustParse("alpha two");
   TreeScore s1 = scorer_->Score(*short_tree, q_short);
-  Query q_long = Query::Parse("alpha delta");
+  Query q_long = Query::MustParse("alpha delta");
   TreeScore s2 = scorer_->Score(*long_tree, q_long);
   EXPECT_GT(s1.score, s2.score);
 }

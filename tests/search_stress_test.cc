@@ -32,7 +32,7 @@ TEST(SearchStressTest, BatchSearchRacesFeedbackInvalidation) {
   const char* texts[] = {"kw0 kw1", "kw1 kw2", "kw0 kw2 kw3",
                          "kw3",     "kw2 kw3", "kw0 kw1 kw2"};
   for (int rep = 0; rep < 4; ++rep) {
-    for (const char* t : texts) queries.push_back(Query::Parse(t));
+    for (const char* t : texts) queries.push_back(Query::MustParse(t));
   }
 
   BatchSearchOptions batch;
@@ -94,7 +94,7 @@ TEST(SearchStressTest, ConcurrentParallelSearchesShareScorer) {
   opts.k = 5;
   opts.max_diameter = 4;
 
-  auto reference = BranchAndBoundSearch(*b.scorer, Query::Parse("kw0 kw1"),
+  auto reference = BranchAndBoundSearch(*b.scorer, Query::MustParse("kw0 kw1"),
                                         opts, nullptr);
   ASSERT_TRUE(reference.ok());
 
@@ -104,7 +104,7 @@ TEST(SearchStressTest, ConcurrentParallelSearchesShareScorer) {
     for (int t = 0; t < 4; ++t) {
       pool.Submit([&] {
         for (int i = 0; i < 3; ++i) {
-          auto r = ParallelBnbSearch(*b.scorer, Query::Parse("kw0 kw1"), opts,
+          auto r = ParallelBnbSearch(*b.scorer, Query::MustParse("kw0 kw1"), opts,
                                      {2});
           if (!r.ok() || r->size() != reference->size()) {
             mismatches.fetch_add(1);

@@ -1,5 +1,7 @@
 #include "text/tokenizer.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace cirank {
@@ -32,7 +34,7 @@ TEST(TokenizerTest, NormalizeKeyword) {
 }
 
 TEST(QueryTest, ParseDeduplicates) {
-  Query q = Query::Parse("Bloom Wood bloom Mortensen");
+  Query q = Query::MustParse("Bloom Wood bloom Mortensen");
   ASSERT_EQ(q.size(), 3u);
   EXPECT_EQ(q.keywords[0], "bloom");
   EXPECT_EQ(q.keywords[1], "wood");
@@ -40,8 +42,41 @@ TEST(QueryTest, ParseDeduplicates) {
 }
 
 TEST(QueryTest, ParseEmpty) {
-  Query q = Query::Parse("  ,, ");
+  Query q = Query::MustParse("  ,, ");
   EXPECT_TRUE(q.empty());
+}
+
+TEST(QueryTest, ParseAcceptsExactlyMaxKeywords) {
+  std::string text;
+  for (size_t i = 0; i < Query::kMaxKeywords; ++i) {
+    text += "kw" + std::to_string(i) + " ";
+  }
+  Result<Query> q = Query::Parse(text);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), Query::kMaxKeywords);
+}
+
+TEST(QueryTest, ParseRejectsMoreThanMaxKeywords) {
+  std::string text;
+  for (size_t i = 0; i < Query::kMaxKeywords + 1; ++i) {
+    text += "kw" + std::to_string(i) + " ";
+  }
+  Result<Query> q = Query::Parse(text);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().ToString().find("31"), std::string::npos);
+}
+
+TEST(QueryTest, DuplicatesDoNotCountTowardTheLimit) {
+  // 40 tokens but only 31 distinct keywords: under the mask limit.
+  std::string text;
+  for (size_t i = 0; i < Query::kMaxKeywords; ++i) {
+    text += "kw" + std::to_string(i) + " ";
+  }
+  for (int i = 0; i < 9; ++i) text += "kw0 ";
+  Result<Query> q = Query::Parse(text);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), Query::kMaxKeywords);
 }
 
 }  // namespace

@@ -27,6 +27,12 @@ raw-thread         std::thread / std::jthread / std::async anywhere outside
                    through cirank::ThreadPool so thread counts are bounded,
                    lifetimes are joined, and the termination reasoning in
                    the parallel search stays auditable.
+arena-discipline   Raw `new` / `delete` expressions in src/core, and
+                   per-candidate std::make_unique (Candidate / frontier-entry
+                   types). Query-scratch allocations flow through the
+                   per-query Arena (ExecutionContext::arena()) so candidates
+                   are freed wholesale at query end; the one sanctioned
+                   exception is the leaky ExecutorRegistry singleton.
 """
 
 import os
@@ -63,7 +69,24 @@ CALL_STMT = re.compile(r"^[ \t]*((?:\w+(?:\.|->|::))*)(\w+)\s*\(", re.M)
 
 # Factory-style members of Status itself count as unchecked temporaries too.
 STATUS_FACTORIES = {"OK", "InvalidArgument", "NotFound", "OutOfRange",
-                    "FailedPrecondition", "Internal", "Unimplemented"}
+                    "FailedPrecondition", "Internal", "Unimplemented",
+                    "DeadlineExceeded"}
+
+# The one sanctioned raw `new` in src/core: the intentionally-leaked
+# ExecutorRegistry::Global() singleton (never destroyed, so executor
+# factories stay valid during static destruction).
+ARENA_EXEMPT_FILES = {"src/core/execution.cc"}
+
+# A `new` expression (placement or plain). `delete` is matched separately so
+# `= delete;` declarations can be excluded.
+RAW_NEW = re.compile(r"(?:::)?\bnew\b")
+RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
+DELETED_FUNCTION = re.compile(r"=\s*delete\b")
+
+# Candidate-shaped payloads must be arena-placed, not heap-allocated one at
+# a time (the hot path the Arena exists for).
+PER_CANDIDATE_UNIQUE = re.compile(
+    r"std::make_unique\s*<\s*(?:Candidate|ArenaEntry|FrontierEntry)\b")
 
 
 def strip_comments_and_strings(text):
@@ -194,6 +217,26 @@ def check_raw_thread(rel, text, problems):
                 f"outside src/util/thread_pool.*; use cirank::ThreadPool")
 
 
+def check_arena_discipline(rel, text, problems):
+    if not rel.startswith("src/core/") or rel in ARENA_EXEMPT_FILES:
+        return
+    for i, line in enumerate(text.split("\n"), start=1):
+        if RAW_NEW.search(line):
+            problems.append(
+                f"{rel}:{i}: arena-discipline: raw `new` in src/core; place "
+                f"per-query state in ExecutionContext::arena() (or a "
+                f"container)")
+        if RAW_DELETE.search(line) and not DELETED_FUNCTION.search(line):
+            problems.append(
+                f"{rel}:{i}: arena-discipline: raw `delete` in src/core; "
+                f"arena-placed state is freed wholesale at query end")
+        if PER_CANDIDATE_UNIQUE.search(line):
+            problems.append(
+                f"{rel}:{i}: arena-discipline: per-candidate "
+                f"std::make_unique in src/core; use "
+                f"ExecutionContext::arena().New<T>() instead")
+
+
 def check_header_rules(rel, text, problems):
     if not rel.endswith(".h"):
         return
@@ -225,6 +268,7 @@ def main():
         check_unchecked_status(rel, text, names, problems)
         check_determinism(rel, text, problems)
         check_raw_thread(rel, text, problems)
+        check_arena_discipline(rel, text, problems)
         check_header_rules(rel, text, problems)
     if problems:
         print("\n".join(problems))

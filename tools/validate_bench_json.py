@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validates BENCH_<name>.json reports emitted by bench/bench_util's
+BenchReport against the documented schema (python3 stdlib only):
+
+    {
+      "bench": "<name>", "scale": <double>, "smoke": <bool>,
+      "metrics":  { "<key>": <double>, ... },
+      "counters": { "<key>": <integer>, ... },
+      "latency_ms": { "<series>": { "p50": <double>, "p95": <double>,
+                                    "mean": <double>, "count": <int> }, ... }
+    }
+
+Usage:
+    python3 tools/validate_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+
+Exit code 0 when every file conforms; 1 with per-file diagnostics
+otherwise. CI runs one bench in smoke mode and pipes its report through
+this script, so a malformed report (NaN leaks, missing keys, a renamed
+field) fails the build instead of silently breaking downstream dashboards.
+"""
+
+import json
+import math
+import sys
+
+SERIES_KEYS = {"p50", "p95", "mean", "count"}
+
+
+def is_finite_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and \
+        math.isfinite(v)
+
+
+def is_integer(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def validate(doc, errors):
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+
+    extra = set(doc) - {"bench", "scale", "smoke", "metrics", "counters",
+                        "latency_ms"}
+    for key in sorted(extra):
+        errors.append(f"unknown top-level key {key!r}")
+
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        errors.append("'bench' must be a non-empty string")
+    if not is_finite_number(doc.get("scale")):
+        errors.append("'scale' must be a finite number")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("'smoke' must be a boolean")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("'metrics' must be an object")
+    else:
+        for k, v in metrics.items():
+            if not is_finite_number(v):
+                errors.append(f"metrics[{k!r}] is not a finite number: {v!r}")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("'counters' must be an object")
+    else:
+        for k, v in counters.items():
+            if not is_integer(v):
+                errors.append(f"counters[{k!r}] is not an integer: {v!r}")
+
+    latency = doc.get("latency_ms")
+    if not isinstance(latency, dict):
+        errors.append("'latency_ms' must be an object")
+        return
+    for series, stats in latency.items():
+        if not isinstance(stats, dict):
+            errors.append(f"latency_ms[{series!r}] is not an object")
+            continue
+        missing = SERIES_KEYS - set(stats)
+        unknown = set(stats) - SERIES_KEYS
+        if missing:
+            errors.append(
+                f"latency_ms[{series!r}] missing {sorted(missing)}")
+        if unknown:
+            errors.append(
+                f"latency_ms[{series!r}] has unknown keys {sorted(unknown)}")
+        for k in ("p50", "p95", "mean"):
+            if k in stats and not is_finite_number(stats[k]):
+                errors.append(
+                    f"latency_ms[{series!r}].{k} is not a finite number")
+        if "count" in stats and (not is_integer(stats["count"]) or
+                                 stats["count"] < 0):
+            errors.append(
+                f"latency_ms[{series!r}].count is not a non-negative integer")
+        if is_finite_number(stats.get("p50")) and \
+                is_finite_number(stats.get("p95")) and \
+                stats["p95"] < stats["p50"]:
+            errors.append(f"latency_ms[{series!r}]: p95 < p50")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {argv[0]} BENCH_<name>.json [...]")
+        return 1
+    failures = 0
+    for path in argv[1:]:
+        errors = []
+        try:
+            with open(path, encoding="utf-8") as f:
+                # json.load accepts NaN/Infinity literals; the schema (and
+                # strict JSON consumers) do not.
+                doc = json.load(
+                    f, parse_constant=lambda c: errors.append(
+                        f"non-finite literal {c!r}"))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}")
+            failures += 1
+            continue
+        validate(doc, errors)
+        if errors:
+            for e in errors:
+                print(f"{path}: {e}")
+            failures += 1
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
