@@ -211,7 +211,8 @@ double Finite(double v) { return std::isfinite(v) ? v : 0.0; }
 
 }  // namespace
 
-bool BenchReport::Write() const {
+bool BenchReport::Write(const obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) registry = &obs::MetricsRegistry::Default();
   std::string dir = ".";
   if (const char* env = std::getenv("CIRANK_BENCH_JSON_DIR")) {
     if (env[0] != '\0') dir = env;
@@ -248,13 +249,32 @@ bool BenchReport::Write() const {
         << ", \"mean\": " << Finite(s.mean_ms) << ", \"count\": " << s.count
         << " }";
   }
-  out << (latency_.empty() ? "}\n" : "\n  }\n") << "}\n";
+  out << (latency_.empty() ? "},\n" : "\n  },\n");
+  // Serving-path observability snapshot (DESIGN.md §11): whatever the
+  // engine/pipeline instrumentation recorded while this bench ran.
+  out << "  \"registry\": " << registry->RenderJson() << "\n}\n";
   out.close();
   if (!out) {
     std::fprintf(stderr, "bench report: write to %s failed\n", path.c_str());
     return false;
   }
   std::printf("bench report: %s\n", path.c_str());
+
+  const std::string prom_path = dir + "/BENCH_" + name_ + ".prom";
+  std::ofstream prom(prom_path);
+  if (!prom) {
+    std::fprintf(stderr, "bench report: cannot open %s for writing\n",
+                 prom_path.c_str());
+    return false;
+  }
+  prom << registry->RenderPrometheus();
+  prom.close();
+  if (!prom) {
+    std::fprintf(stderr, "bench report: write to %s failed\n",
+                 prom_path.c_str());
+    return false;
+  }
+  std::printf("bench metrics: %s\n", prom_path.c_str());
   return true;
 }
 
@@ -271,6 +291,10 @@ void RunIndexFigure(BenchSetup setup, const char* label,
     return;
   }
   const double build_seconds = build_timer.ElapsedSeconds();
+  obs::MetricsRegistry::Default()
+      .GetGauge("cirank_build_star_index_seconds",
+                "Wall time of the last star-index build")
+      .Set(build_seconds);
   std::printf(
       "star index: %zu star nodes, %.1f MiB, built in %.2f s\n",
       index->num_star_nodes(),

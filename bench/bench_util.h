@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "datasets/dblp_gen.h"
 #include "datasets/imdb_gen.h"
 #include "datasets/query_gen.h"
@@ -68,9 +69,14 @@ void PrintDatasetLine(const Dataset& ds);
 //     "metrics":  { "<key>": <double>, ... },
 //     "counters": { "<key>": <integer>, ... },
 //     "latency_ms": { "<series>": { "p50": <double>, "p95": <double>,
-//                                   "mean": <double>, "count": <int> }, ... }
+//                                   "mean": <double>, "count": <int> }, ... },
+//     "registry": <obs::MetricsRegistry::RenderJson() snapshot: counters /
+//                  gauges / histograms recorded by the serving-path
+//                  instrumentation during the run (DESIGN.md §11)>
 //   }
-// The output directory defaults to the working directory; override with
+// Write() also renders the same registry as Prometheus text exposition to
+// BENCH_<name>.prom (CI greps it for the required metric families). The
+// output directory defaults to the working directory; override with
 // CIRANK_BENCH_JSON_DIR.
 
 // Nearest-rank percentile (pct in [0, 100]) of `samples_ms`; 0 when empty.
@@ -88,9 +94,12 @@ class BenchReport {
   // Folds the interesting SearchStats counters in under `prefix.`.
   void AddSearchStats(const std::string& prefix, const SearchStats& stats);
 
-  // Writes BENCH_<name>.json (and prints the path). Returns false on I/O
-  // failure, after printing a diagnostic.
-  bool Write() const;
+  // Writes BENCH_<name>.json plus BENCH_<name>.prom (and prints the paths),
+  // attaching a snapshot of `registry` — obs::MetricsRegistry::Default()
+  // when null, which is where bench engines record since they are built
+  // without an explicit metrics sink. Returns false on I/O failure, after
+  // printing a diagnostic.
+  bool Write(const obs::MetricsRegistry* registry = nullptr) const;
 
  private:
   struct Series {

@@ -28,9 +28,16 @@
 //                           cache counters instead of expansion stats;
 //                           --threads > 1, --deadline-ms, and non-default
 //                           --executor report fresh stage stats instead
+//   --metrics-out PATH      on exit, dump the engine's metrics registry to
+//                           PATH: Prometheus text exposition, or JSON when
+//                           PATH ends in ".json"; "-" writes to stdout
+//   --trace-out PATH        record a TraceSpan per query stage and write
+//                           Chrome trace_event JSON to PATH on exit (open
+//                           in chrome://tracing or Perfetto); "-" = stdout
 // Queries are read line by line from stdin; empty line or EOF quits.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -40,6 +47,8 @@
 #include "datasets/imdb_gen.h"
 #include "graph/serialize.h"
 #include "index/star_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 using namespace cirank;
@@ -58,7 +67,31 @@ struct CliOptions {
   std::string executor;  // empty = engine default ("bnb" / "parallel")
   double deadline_ms = 0.0;
   size_t cache_capacity = 1024;
+  std::string metrics_out;  // empty = off; "-" = stdout; *.json = JSON
+  std::string trace_out;    // empty = off; "-" = stdout
 };
+
+// Writes `content` to `path`, with "-" meaning stdout. Returns false (and
+// prints the reason) on I/O failure.
+bool WriteTextOutput(const std::string& path, const std::string& content,
+                     const char* what) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s file %s\n", what, path.c_str());
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +154,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
       opts->cache_capacity = static_cast<size_t>(n);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->trace_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -194,8 +235,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A CLI-local registry keeps the dump limited to this process's serving
+  // metrics; the trace collector is wired in only when requested.
+  obs::MetricsRegistry metrics;
+  obs::TraceCollector trace;
   CiRankOptions engine_opts;
   engine_opts.cache.capacity = opts.cache_capacity;
+  engine_opts.metrics = &metrics;
+  if (!opts.trace_out.empty()) engine_opts.trace = &trace;
   auto engine = CiRankEngine::Build(*graph, engine_opts);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed: %s\n",
@@ -286,6 +333,25 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < answers->size(); ++i) {
       std::printf("  #%zu score=%.5g %s\n", i + 1, (*answers)[i].score,
                   (*answers)[i].tree.ToString(*graph).c_str());
+    }
+  }
+
+  if (!opts.metrics_out.empty()) {
+    const std::string rendered = EndsWith(opts.metrics_out, ".json")
+                                     ? metrics.RenderJson()
+                                     : metrics.RenderPrometheus();
+    if (!WriteTextOutput(opts.metrics_out, rendered, "metrics")) return 1;
+    if (opts.metrics_out != "-") {
+      std::printf("metrics written to %s\n", opts.metrics_out.c_str());
+    }
+  }
+  if (!opts.trace_out.empty()) {
+    if (!WriteTextOutput(opts.trace_out, trace.RenderChromeJson(), "trace")) {
+      return 1;
+    }
+    if (opts.trace_out != "-") {
+      std::printf("%zu trace spans written to %s\n", trace.size(),
+                  opts.trace_out.c_str());
     }
   }
   return 0;

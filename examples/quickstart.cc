@@ -52,12 +52,12 @@ int main() {
   }
 
   // 4. Ask which papers connect Alice and Bob. CI-Rank prefers the
-  //    well-cited survey because its node importance is higher.
+  //    well-cited survey because its node importance is higher. Per-call
+  //    tweaks go through the fluent SearchOverrides builder, merged over
+  //    the engine's defaults (and still served from the query cache).
   Query query = Query::MustParse("alice bob");
-  SearchOptions options;
-  options.k = 3;
-  options.max_diameter = 2;
-  auto answers = engine->Search(query, options);
+  auto answers =
+      engine->Search(query, SearchOverrides().WithK(3).WithMaxDiameter(2));
   if (!answers.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  answers.status().ToString().c_str());
@@ -72,5 +72,10 @@ int main() {
   }
   std::printf("\nthe tree through \"a very influential survey\" ranks first"
               " -- collective importance at work.\n");
+
+  // 5. Every engine call is instrumented: dump the metrics the two lines
+  //    above produced (query counters, per-stage latency histograms, ...).
+  std::printf("\n--- metrics (Prometheus exposition) ---\n%s",
+              engine->metrics()->RenderPrometheus().c_str());
   return 0;
 }

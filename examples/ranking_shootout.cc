@@ -15,9 +15,10 @@ using namespace cirank;
 
 namespace {
 
-void Shootout(const char* title, const Graph& graph, const Query& query,
-              const std::vector<Jtt>& candidates,
+void Shootout(const char* title, const CiRankEngine& engine,
+              const Query& query, const std::vector<Jtt>& candidates,
               const std::vector<const AnswerRanker*>& rankers) {
+  const Graph& graph = engine.graph();
   std::printf("\n=== %s ===\n", title);
   std::string rendered;
   for (const std::string& k : query.keywords) {
@@ -36,6 +37,15 @@ void Shootout(const char* title, const Graph& graph, const Query& query,
     }
     std::printf("  %-12s prefers: %s\n", r->name().c_str(),
                 candidates[best].ToString(graph).c_str());
+  }
+  // End-to-end check: let the engine *search* (not just re-rank the
+  // hand-built candidates), using the fluent per-call overrides rather
+  // than a direct BranchAndBoundSearch call — the executor registry picks
+  // the algorithm and the run lands in the engine's metrics.
+  auto found = engine.Search(query, SearchOverrides().WithK(1));
+  if (found.ok() && !found->empty()) {
+    std::printf("  %-12s returns: %s\n", "engine(bnb)",
+                (*found)[0].tree.ToString(graph).c_str());
   }
 }
 
@@ -60,9 +70,8 @@ int main() {
     Discover2Ranker discover(engine->index());
     BanksRanker banks(ex.dataset.graph, engine->index(),
                       engine->model().importance_vector());
-    Shootout("TSIMMIS papers (Fig. 2): 7 vs 38 citations",
-             ex.dataset.graph, q, candidates,
-             {&ci, &spark, &discover, &banks});
+    Shootout("TSIMMIS papers (Fig. 2): 7 vs 38 citations", *engine, q,
+             candidates, {&ci, &spark, &discover, &banks});
   }
 
   // --- Co-star example ---
@@ -85,9 +94,8 @@ int main() {
     Discover2Ranker discover(engine->index());
     BanksRanker banks(ex.dataset.graph, engine->index(),
                       engine->model().importance_vector());
-    Shootout("Co-stars (Fig. 3): popular vs obscure connecting movie",
-             ex.dataset.graph, q, candidates,
-             {&ci, &spark, &discover, &banks});
+    Shootout("Co-stars (Fig. 3): popular vs obscure connecting movie", *engine,
+             q, candidates, {&ci, &spark, &discover, &banks});
   }
 
   // --- Free-node domination ---
@@ -105,8 +113,8 @@ int main() {
             .value()};
     CiRankRanker ci(engine->scorer());
     AvgAllImportanceRanker avg_all(engine->model());
-    Shootout("Free-node domination (Fig. 4): \"wilson cruz\"",
-             ex.dataset.graph, q, candidates, {&ci, &avg_all});
+    Shootout("Free-node domination (Fig. 4): \"wilson cruz\"", *engine, q,
+             candidates, {&ci, &avg_all});
   }
 
   std::printf("\nCI-Rank picks the intended answer in every scenario.\n");

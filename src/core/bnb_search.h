@@ -38,6 +38,12 @@ namespace cirank {
 // (parallel_search.h) returns byte-identical results for the same reason.
 // Fails on empty queries, queries with more than 31 keywords, or
 // non-positive k.
+//
+// DEPRECATED for application code: call CiRankEngine::Search with
+// SearchOptions/SearchOverrides (executor = "bnb") instead — the engine
+// routes through ExecutorRegistry and adds caching, metrics, and tracing
+// that this direct entry point bypasses. Kept for differential tests and
+// library-internal use.
 [[nodiscard]] Result<std::vector<RankedAnswer>> BranchAndBoundSearch(
     const TreeScorer& scorer, const Query& query, const SearchOptions& options,
     SearchStats* stats = nullptr);

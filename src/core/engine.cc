@@ -7,8 +7,10 @@
 
 #include "core/parallel_search.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/lru_cache.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace cirank {
 
@@ -37,19 +39,92 @@ std::string CacheKey(const Query& query, const SearchOptions& options) {
 // can stay const-correct: Search() is const yet touches the cache, and
 // feedback accumulates across calls.
 struct CiRankEngine::Serving {
-  Serving(size_t num_nodes, const QueryCacheOptions& cache_options)
+  Serving(size_t num_nodes, const QueryCacheOptions& cache_options,
+          obs::MetricsRegistry* metrics)
       : cache(cache_options.capacity, cache_options.shards),
-        feedback(num_nodes) {}
+        feedback(num_nodes) {
+    obs.Bind(metrics);
+  }
+
+  // Pre-resolved instrument handles: the name→instrument map probe happens
+  // once at Build, leaving only relaxed atomic ops on the serving path.
+  // All pointers are null when the engine was built with
+  // metrics_enabled = false.
+  struct Obs {
+    obs::Counter* queries = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* truncated = nullptr;
+    obs::Counter* invalidations = nullptr;
+    obs::Histogram* query_seconds = nullptr;
+    obs::Gauge* cache_entries = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* task_wait = nullptr;
+
+    void Bind(obs::MetricsRegistry* m) {
+      if (m == nullptr) return;
+      queries = &m->GetCounter("cirank_engine_queries_total",
+                               "Top-level queries served (cache hits + fresh)");
+      errors = &m->GetCounter("cirank_engine_query_errors_total",
+                              "Queries that returned a non-OK status");
+      cache_hits = &m->GetCounter("cirank_engine_cache_hits_total",
+                                  "Query-result cache hits");
+      cache_misses = &m->GetCounter("cirank_engine_cache_misses_total",
+                                    "Query-result cache misses");
+      truncated = &m->GetCounter(
+          "cirank_engine_truncated_total",
+          "Queries whose result was cut short by a deadline/budget guard");
+      invalidations = &m->GetCounter(
+          "cirank_engine_feedback_invalidations_total",
+          "Query-cache invalidations triggered by feedback/rebuild");
+      query_seconds = &m->GetHistogram(
+          "cirank_engine_query_seconds",
+          "End-to-end latency of fresh (uncached) queries, seconds");
+      cache_entries = &m->GetGauge("cirank_cache_entries",
+                                   "Entries currently resident in the "
+                                   "query-result cache");
+      queue_depth = &m->GetGauge(
+          "cirank_threadpool_queue_depth",
+          "Peak task-queue depth observed by the last SearchBatch pool");
+      task_wait = &m->GetHistogram(
+          "cirank_threadpool_task_wait_seconds",
+          "Submit-to-dequeue wait of thread-pool tasks, seconds");
+    }
+  };
 
   ShardedLruCache<std::string, CachedAnswers> cache;
 
   std::mutex feedback_mu;
   FeedbackModel feedback;
 
+  Obs obs;
+
   // Incremented around every model read during a search; RebuildFromFeedback
   // refuses to run while nonzero. This is a guard rail against API misuse,
   // not a lock: the caller owns quiescence.
   std::atomic<int64_t> active_searches{0};
+
+  // Publishes the cache's per-shard counters as {shard="i"}-labeled gauges.
+  // Called after batches and from cache_stats(): per-shard values are
+  // point-in-time exports of the cache's own atomics, so a gauge (Set) is
+  // the right instrument even for the monotonic ones.
+  void SyncCacheMetrics(obs::MetricsRegistry* m) {
+    if (m == nullptr) return;
+    if (obs.cache_entries != nullptr) {
+      obs.cache_entries->Set(static_cast<double>(cache.size()));
+    }
+    const auto shards = cache.PerShardStats();
+    for (size_t i = 0; i < shards.size(); ++i) {
+      const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+      m->GetGauge("cirank_cache_shard_hits" + label,
+                  "Cache hits, by shard (cumulative, exported as a gauge)")
+          .Set(static_cast<double>(shards[i].hits));
+      m->GetGauge("cirank_cache_shard_evictions" + label,
+                  "Cache evictions, by shard (cumulative, exported as a gauge)")
+          .Set(static_cast<double>(shards[i].evictions));
+    }
+  }
 };
 
 CiRankEngine::CiRankEngine() = default;
@@ -64,46 +139,49 @@ Result<CiRankEngine> CiRankEngine::Build(const Graph& graph,
   CiRankEngine engine;
   engine.graph_ = &graph;
   engine.options_ = options;
-  engine.index_ = std::make_unique<InvertedIndex>(graph);
+  engine.metrics_ =
+      options.metrics_enabled
+          ? (options.metrics != nullptr ? options.metrics
+                                        : &obs::MetricsRegistry::Default())
+          : nullptr;
 
+  Timer total_timer;
+  Timer stage_timer;
+  engine.index_ = std::make_unique<InvertedIndex>(graph);
+  const double index_seconds = stage_timer.ElapsedSeconds();
+
+  stage_timer.Reset();
   CIRANK_ASSIGN_OR_RETURN(PageRankResult pr,
                           ComputePageRank(graph, options.pagerank));
+  const double pagerank_seconds = stage_timer.ElapsedSeconds();
   CIRANK_ASSIGN_OR_RETURN(
       RwmpModel model,
       RwmpModel::Create(graph, std::move(pr.scores), options.rwmp));
   engine.model_ = std::make_unique<RwmpModel>(std::move(model));
   engine.scorer_ =
       std::make_unique<TreeScorer>(*engine.model_, *engine.index_);
-  engine.serving_ =
-      std::make_unique<Serving>(graph.num_nodes(), options.cache);
+  engine.serving_ = std::make_unique<Serving>(graph.num_nodes(), options.cache,
+                                              engine.metrics_);
+
+  if (engine.metrics_ != nullptr) {
+    obs::MetricsRegistry& m = *engine.metrics_;
+    m.GetGauge("cirank_build_index_seconds",
+               "Wall time of the last inverted-index build")
+        .Set(index_seconds);
+    m.GetGauge("cirank_build_pagerank_seconds",
+               "Wall time of the last PageRank computation")
+        .Set(pagerank_seconds);
+    m.GetGauge("cirank_build_total_seconds",
+               "Wall time of the last full engine build (index + PageRank + "
+               "RWMP model)")
+        .Set(total_timer.ElapsedSeconds());
+  }
   return engine;
 }
 
 SearchOptions CiRankEngine::EffectiveOptions(
     const SearchOverrides& overrides) const {
-  SearchOptions merged = options_.search;
-  if (overrides.k.has_value()) merged.k = *overrides.k;
-  if (overrides.max_diameter.has_value()) {
-    merged.max_diameter = *overrides.max_diameter;
-  }
-  if (overrides.max_expansions.has_value()) {
-    merged.max_expansions = *overrides.max_expansions;
-  }
-  if (overrides.strict_merge_rule.has_value()) {
-    merged.strict_merge_rule = *overrides.strict_merge_rule;
-  }
-  if (overrides.executor.has_value()) merged.executor = *overrides.executor;
-  if (overrides.num_threads.has_value()) {
-    merged.num_threads = *overrides.num_threads;
-  }
-  if (overrides.deadline_ms.has_value()) {
-    merged.deadline_ms = *overrides.deadline_ms;
-  }
-  if (overrides.candidate_budget.has_value()) {
-    merged.candidate_budget = *overrides.candidate_budget;
-  }
-  if (overrides.bounds != nullptr) merged.bounds = overrides.bounds;
-  return merged;
+  return MergeOverrides(options_.search, overrides);
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::Search(
@@ -114,13 +192,34 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
 Result<std::vector<RankedAnswer>> CiRankEngine::Search(
     const Query& query, const SearchOptions& options,
     SearchStats* stats) const {
+  if (serving_->obs.queries != nullptr) serving_->obs.queries->Increment();
+  return ExecuteUncached(query, options, stats);
+}
+
+Result<std::vector<RankedAnswer>> CiRankEngine::ExecuteUncached(
+    const Query& query, const SearchOptions& options,
+    SearchStats* stats) const {
   serving_->active_searches.fetch_add(1, std::memory_order_acq_rel);
   // Dispatch through the executor registry: options.executor picks the
   // SearchExecutor ("bnb" by default), and the execution pipeline applies
   // the deadline/budget guard and stage accounting uniformly.
-  ExecutorEnv env{scorer_.get(), &query, options};
-  auto result = ExecuteSearch(env, stats);
+  ExecutorEnv env{scorer_.get(), &query, options, metrics_, options_.trace};
+  // A local stats block keeps the truncation counter honest even when the
+  // caller passed nullptr.
+  SearchStats local;
+  SearchStats* st = stats != nullptr ? stats : &local;
+  Timer timer;
+  auto result = ExecuteSearch(env, st);
+  const double elapsed = timer.ElapsedSeconds();
   serving_->active_searches.fetch_sub(1, std::memory_order_acq_rel);
+
+  const Serving::Obs& obs = serving_->obs;
+  if (obs.query_seconds != nullptr) obs.query_seconds->Observe(elapsed);
+  if (!result.ok()) {
+    if (obs.errors != nullptr) obs.errors->Increment();
+  } else if (st->truncated && obs.truncated != nullptr) {
+    obs.truncated->Increment();
+  }
   return result;
 }
 
@@ -134,6 +233,8 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
 Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
     const Query& query, const SearchOptions& options, bool use_cache,
     SearchStats* stats, bool stats_from_cache_ok) const {
+  const Serving::Obs& obs = serving_->obs;
+  if (obs.queries != nullptr) obs.queries->Increment();
   // Deadline- and budget-limited queries are never cached: what they return
   // depends on how far the search got before the guard fired, so a memoized
   // copy is neither reproducible nor necessarily the full answer.
@@ -148,6 +249,7 @@ Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
     // opt into hits annotated with the from_cache marker instead.
     if (stats == nullptr || stats_from_cache_ok) {
       if (auto hit = serving_->cache.Get(key); hit.has_value()) {
+        if (obs.cache_hits != nullptr) obs.cache_hits->Increment();
         if (stats != nullptr) {
           *stats = SearchStats{};
           stats->from_cache = true;
@@ -155,10 +257,13 @@ Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
         }
         return **hit;
       }
+      // Counted only when a lookup actually happened, so the registry's
+      // hit/miss counters track the cache's own counters exactly.
+      if (obs.cache_misses != nullptr) obs.cache_misses->Increment();
     }
   }
   CIRANK_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
-                          Search(query, options, stats));
+                          ExecuteUncached(query, options, stats));
   if (cacheable) {
     serving_->cache.Put(
         std::move(key),
@@ -178,12 +283,38 @@ std::vector<Result<std::vector<RankedAnswer>>> CiRankEngine::SearchBatch(
   if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
   if (queries.empty()) return results;
 
-  ThreadPool pool(options.num_threads);
-  pool.ParallelFor(queries.size(), [&](size_t i) {
-    results[i] = CachedSearch(queries[i], merged, options.use_cache,
-                              stats != nullptr ? &(*stats)[i] : nullptr,
-                              /*stats_from_cache_ok=*/true);
-  });
+  const uint64_t hits_before = serving_->cache.hits();
+  Timer batch_timer;
+  {
+    ThreadPool pool(options.num_threads);
+    if (serving_->obs.task_wait != nullptr) {
+      obs::Histogram* task_wait = serving_->obs.task_wait;
+      pool.SetTaskWaitObserver(
+          [task_wait](double seconds) { task_wait->Observe(seconds); });
+    }
+    pool.ParallelFor(queries.size(), [&](size_t i) {
+      results[i] = CachedSearch(queries[i], merged, options.use_cache,
+                                stats != nullptr ? &(*stats)[i] : nullptr,
+                                /*stats_from_cache_ok=*/true);
+    });
+    if (serving_->obs.queue_depth != nullptr) {
+      serving_->obs.queue_depth->Set(
+          static_cast<double>(pool.stats().peak_queue_depth));
+    }
+  }
+  serving_->SyncCacheMetrics(metrics_);
+
+  if (metrics_ != nullptr) {
+    size_t failed = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) ++failed;
+    }
+    CIRANK_LOG(Info) << "SearchBatch: " << queries.size() << " queries, "
+                     << (serving_->cache.hits() - hits_before)
+                     << " cache hits, " << failed << " failed, "
+                     << batch_timer.ElapsedSeconds() << " s wall ("
+                     << options.num_threads << " threads)";
+  }
   return results;
 }
 
@@ -199,6 +330,9 @@ Status CiRankEngine::RecordFeedback(const std::vector<NodeId>& matched_nodes,
   // Clicks shift what the engine *should* return (once rebuilt), so memoized
   // results are no longer trustworthy snapshots.
   serving_->cache.Clear();
+  if (serving_->obs.invalidations != nullptr) {
+    serving_->obs.invalidations->Increment();
+  }
   return Status::OK();
 }
 
@@ -208,6 +342,9 @@ Status CiRankEngine::RecordClick(NodeId v, double weight) {
     CIRANK_RETURN_IF_ERROR(serving_->feedback.RecordClick(v, weight));
   }
   serving_->cache.Clear();
+  if (serving_->obs.invalidations != nullptr) {
+    serving_->obs.invalidations->Increment();
+  }
   return Status::OK();
 }
 
@@ -230,8 +367,15 @@ Status CiRankEngine::RebuildFromFeedback(const FeedbackOptions& options) {
   }
   PageRankOptions pr_options = options_.pagerank;
   pr_options.teleport_vector = std::move(teleport);
+  Timer pagerank_timer;
   CIRANK_ASSIGN_OR_RETURN(PageRankResult pr,
                           ComputePageRank(*graph_, pr_options));
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetGauge("cirank_build_pagerank_seconds",
+                   "Wall time of the last PageRank computation")
+        .Set(pagerank_timer.ElapsedSeconds());
+  }
   CIRANK_ASSIGN_OR_RETURN(
       RwmpModel model,
       RwmpModel::Create(*graph_, std::move(pr.scores), options_.rwmp));
@@ -239,6 +383,9 @@ Status CiRankEngine::RebuildFromFeedback(const FeedbackOptions& options) {
   // which stays valid across the swap.
   *model_ = std::move(model);
   serving_->cache.Clear();
+  if (serving_->obs.invalidations != nullptr) {
+    serving_->obs.invalidations->Increment();
+  }
   return Status::OK();
 }
 
@@ -248,6 +395,7 @@ QueryCacheStats CiRankEngine::cache_stats() const {
   stats.misses = serving_->cache.misses();
   stats.invalidations = serving_->cache.invalidations();
   stats.entries = serving_->cache.size();
+  serving_->SyncCacheMetrics(metrics_);
   return stats;
 }
 

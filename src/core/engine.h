@@ -27,58 +27,39 @@
 #include "core/bnb_search.h"
 #include "core/feedback.h"
 #include "core/naive_search.h"
+#include "core/options.h"
 #include "core/rwmp.h"
 #include "core/scorer.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rw/pagerank.h"
 #include "text/inverted_index.h"
 
 namespace cirank {
 
-struct QueryCacheOptions {
-  // Total cached query results across shards; 0 disables the cache.
-  size_t capacity = 1024;
-  size_t shards = 8;
-};
+// SearchOptions, SearchOverrides (with its fluent WithK()/WithExecutor()/
+// WithDeadlineMs() builder), QueryCacheOptions, and BatchSearchOptions all
+// live in core/options.h and are re-exported through this include.
 
 struct CiRankOptions {
   RwmpParams rwmp;          // alpha and g (Eq. 2)
   PageRankOptions pagerank;  // teleport constant etc. (Eq. 1)
   SearchOptions search;      // defaults for Search() calls
   QueryCacheOptions cache;   // query-result cache sizing
-};
 
-// Per-call overrides that are merged over the engine's default
-// SearchOptions: only fields the caller explicitly sets replace the
-// defaults. This is the explicit answer to the footgun where passing a
-// default-constructed SearchOptions silently replaced every engine default
-// (k back to 10, diameter back to 4, index bounds dropped).
-struct SearchOverrides {
-  std::optional<int> k;
-  std::optional<uint32_t> max_diameter;
-  std::optional<int64_t> max_expansions;
-  std::optional<bool> strict_merge_rule;
-  // Execution-pipeline knobs (core/execution.h): which registered
-  // SearchExecutor serves the query ("bnb", "parallel", "naive", or any
-  // name added via ExecutorRegistry), its thread count, and the per-query
-  // deadline / candidate-budget guard.
-  std::optional<std::string> executor;
-  std::optional<int> num_threads;
-  std::optional<double> deadline_ms;
-  std::optional<int64_t> candidate_budget;
-  // Non-null replaces the engine default's bound provider.
-  const PairwiseBoundProvider* bounds = nullptr;
-};
-
-struct BatchSearchOptions {
-  // Worker threads the batch is spread over (one query per task); values
-  // < 1 are clamped to 1.
-  int num_threads = 1;
-  // Consult and fill the engine's query-result cache (no-op when the
-  // engine was built with cache capacity 0).
-  bool use_cache = true;
-  // Merged over the engine's default SearchOptions for every query.
-  SearchOverrides overrides;
+  // --- Observability (DESIGN.md §11) --------------------------------------
+  // Metrics sink for the serving-path instrumentation (queries, cache
+  // hits/misses, truncations, stage latencies, build times). nullptr
+  // selects the process-wide obs::MetricsRegistry::Default(); set
+  // `metrics_enabled = false` to turn recording off entirely — the
+  // differential test proves that changes no search result byte-for-byte.
+  obs::MetricsRegistry* metrics = nullptr;
+  bool metrics_enabled = true;
+  // Optional trace-span sink: when non-null every query records a parent
+  // span plus one span per Prepare/Expand/Emit stage, exportable as Chrome
+  // trace_event JSON (obs/trace.h). Null (the default) disables tracing.
+  obs::TraceCollector* trace = nullptr;
 };
 
 // Snapshot of the query-result cache counters.
@@ -117,8 +98,9 @@ class CiRankEngine {
                                            const SearchOverrides& overrides,
                                            SearchStats* stats = nullptr) const;
 
-  // The explicit merge rule used by the override-based entry points,
-  // exposed for callers that want to inspect the effective configuration.
+  // The engine's view of MergeOverrides (core/options.h): the overrides
+  // applied over this engine's default SearchOptions. Exposed for callers
+  // that want to inspect the effective configuration.
   [[nodiscard]] SearchOptions EffectiveOptions(
       const SearchOverrides& overrides) const;
 
@@ -165,6 +147,9 @@ class CiRankEngine {
   const RwmpModel& model() const { return *model_; }
   const TreeScorer& scorer() const { return *scorer_; }
   const CiRankOptions& options() const { return options_; }
+  // The resolved metrics sink this engine records into; nullptr when the
+  // engine was built with metrics_enabled = false.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct Serving;  // cache + feedback state (definition in engine.cc)
@@ -181,8 +166,17 @@ class CiRankEngine {
       const Query& query, const SearchOptions& options, bool use_cache,
       SearchStats* stats, bool stats_from_cache_ok = false) const;
 
+  // The single fresh-execution path: dispatches through the executor
+  // registry, wires the engine's metrics/trace sinks into the pipeline, and
+  // folds latency/error/truncation counters. Does NOT count
+  // cirank_engine_queries_total — the public entry points own that.
+  Result<std::vector<RankedAnswer>> ExecuteUncached(
+      const Query& query, const SearchOptions& options,
+      SearchStats* stats) const;
+
   const Graph* graph_ = nullptr;
   CiRankOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // resolved; null = disabled
   // unique_ptr members keep internal cross-pointers stable under moves.
   std::unique_ptr<InvertedIndex> index_;
   std::unique_ptr<RwmpModel> model_;

@@ -149,6 +149,44 @@ std::vector<std::string> ExecutorRegistry::Names() const {
 // ---------------------------------------------------------------------------
 // Pipeline driver
 
+namespace {
+
+// Folds one finished pipeline run into the bound registry. Instrument
+// lookup is by name (a short mutex-protected map probe, once per query);
+// the increments themselves are relaxed atomics.
+void RecordPipelineMetrics(obs::MetricsRegistry* m, const SearchStats& st,
+                           const StageStats& sg) {
+  if (m == nullptr) return;
+  static constexpr char kStageHelp[] =
+      "Wall time per execution-pipeline stage, seconds";
+  m->GetHistogram("cirank_stage_seconds{stage=\"prepare\"}", kStageHelp)
+      .Observe(sg.prepare_seconds);
+  m->GetHistogram("cirank_stage_seconds{stage=\"expand\"}", kStageHelp)
+      .Observe(sg.expand_seconds);
+  m->GetHistogram("cirank_stage_seconds{stage=\"emit\"}", kStageHelp)
+      .Observe(sg.emit_seconds);
+  m->GetCounter("cirank_candidates_generated_total",
+                "Candidates admitted by grow/merge/seed across queries")
+      .Increment(sg.candidates_generated);
+  m->GetCounter("cirank_candidates_pruned_total",
+                "Candidates rejected by viability/diameter/bound checks")
+      .Increment(sg.candidates_pruned);
+  m->GetCounter("cirank_bound_calls_total",
+                "UpperBoundCalculator::UpperBound invocations")
+      .Increment(sg.bound_calls);
+  m->GetCounter("cirank_executor_queries_total{executor=\"" + st.executor +
+                    "\"}",
+                "Queries served, by executor")
+      .Increment();
+  if (st.truncated) {
+    m->GetCounter("cirank_executor_truncated_total",
+                  "Queries cut short by the deadline/candidate-budget guard")
+        .Increment();
+  }
+}
+
+}  // namespace
+
 Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
                                                     ExecutionContext& ctx,
                                                     SearchStats* stats) {
@@ -157,12 +195,30 @@ Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
   st = SearchStats{};
   st.executor = std::string(executor.name());
 
+  obs::TraceSpan query_span;
+  if (ctx.trace() != nullptr) {
+    query_span = obs::TraceSpan(ctx.trace(), "query:" + st.executor, "query",
+                                ctx.trace_track());
+  }
+  auto stage_span = [&ctx](const char* name) {
+    return ctx.trace() != nullptr
+               ? obs::TraceSpan(ctx.trace(), name, "stage", ctx.trace_track())
+               : obs::TraceSpan();
+  };
+
   Timer timer;
-  CIRANK_RETURN_IF_ERROR(executor.Prepare(ctx));
+  {
+    obs::TraceSpan span = stage_span("prepare");
+    CIRANK_RETURN_IF_ERROR(executor.Prepare(ctx));
+  }
   ctx.stages().prepare_seconds = timer.ElapsedSeconds();
 
   timer.Reset();
-  Status expand_status = executor.Expand(ctx);
+  Status expand_status;
+  {
+    obs::TraceSpan span = stage_span("expand");
+    expand_status = executor.Expand(ctx);
+  }
   ctx.stages().expand_seconds = timer.ElapsedSeconds();
   // A deadline/budget stop is a truncation, not a failure: Emit still runs
   // and the partial top-k is returned. Any other error is fatal.
@@ -171,8 +227,12 @@ Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
   }
 
   timer.Reset();
+  Result<std::vector<RankedAnswer>> emitted = [&] {
+    obs::TraceSpan span = stage_span("emit");
+    return executor.Emit(ctx);
+  }();
   CIRANK_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
-                          executor.Emit(ctx));
+                          std::move(emitted));
   ctx.stages().emit_seconds = timer.ElapsedSeconds();
 
   executor.FillStats(&st);
@@ -181,6 +241,7 @@ Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
   st.truncated = ctx.stopped();
   if (st.truncated) st.proven_optimal = false;
   st.stages = ctx.stages();
+  RecordPipelineMetrics(ctx.metrics(), st, ctx.stages());
   return answers;
 }
 
@@ -190,6 +251,7 @@ Result<std::vector<RankedAnswer>> ExecuteSearch(const ExecutorEnv& env,
       std::unique_ptr<SearchExecutor> executor,
       ExecutorRegistry::Global().Create(env.options.executor, env));
   ExecutionContext ctx(ExecutionLimits::FromOptions(env.options));
+  ctx.BindObservability(env.metrics, env.trace);
   return RunSearchPipeline(*executor, ctx, stats);
 }
 

@@ -27,49 +27,19 @@
 
 #include "core/bounds.h"
 #include "core/jtt.h"
+#include "core/options.h"
 #include "core/scorer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/status.h"
 
 namespace cirank {
 
 // ---------------------------------------------------------------------------
-// Search configuration and results (shared by every executor).
-
-struct SearchOptions {
-  // Number of answers to return.
-  int k = 10;
-  // Answer-tree diameter limit D (Sec. IV, "we put a limit D on the diameter
-  // of answer trees").
-  uint32_t max_diameter = 4;
-  // Safety valve: maximum number of candidates dequeued before the search
-  // gives up optimality and returns the best answers found. 0 = unlimited.
-  int64_t max_expansions = 0;
-  // Optional pairwise bound provider from the index module; null disables
-  // index-assisted bounds.
-  const PairwiseBoundProvider* bounds = nullptr;
-  // Use the paper's literal merge rule ("the result covers more keywords
-  // than either input"). Off by default: the strict rule can make some
-  // valid answers unreachable; the default relies on candidate-viability
-  // pruning instead (see candidate.h), which preserves Theorem 1.
-  bool strict_merge_rule = false;
-
-  // --- Execution-pipeline knobs (DESIGN.md §10) ---------------------------
-  // Executor the engine routes the query through; must name an entry of
-  // ExecutorRegistry ("bnb", "parallel", "naive", or a registered baseline).
-  // Direct calls to BranchAndBoundSearch etc. ignore this field.
-  std::string executor = "bnb";
-  // Worker threads for executors that parallelize within one query (the
-  // "parallel" executor); serial executors ignore it.
-  int num_threads = 1;
-  // Wall-clock deadline for the whole query; 0 = none. On expiry the
-  // executor stops expanding and emits the best-so-far partial top-k with
-  // SearchStats::truncated set and stop_status() == DeadlineExceeded.
-  double deadline_ms = 0.0;
-  // Cap on candidates *generated* (admitted) across the query; 0 =
-  // unlimited. Like the deadline, exhaustion truncates instead of failing.
-  int64_t candidate_budget = 0;
-};
+// Search results (shared by every executor). The configuration structs —
+// SearchOptions, SearchOverrides, BatchSearchOptions — live in
+// core/options.h and are re-exported through this include.
 
 struct RankedAnswer {
   Jtt tree;
@@ -168,6 +138,19 @@ class ExecutionContext {
   StageStats& stages() { return stages_; }
   const StageStats& stages() const { return stages_; }
 
+  // Binds the observability sinks the pipeline driver records into; either
+  // may be null (no recording — the default). Binding a trace collector
+  // claims a fresh track so this query's spans land on their own row.
+  void BindObservability(obs::MetricsRegistry* metrics,
+                         obs::TraceCollector* trace) {
+    metrics_ = metrics;
+    trace_ = trace;
+    if (trace_ != nullptr) trace_track_ = trace_->NewTrack();
+  }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::TraceCollector* trace() const { return trace_; }
+  int64_t trace_track() const { return trace_track_; }
+
  private:
   static constexpr int64_t kDeadlineCheckStride = 64;
 
@@ -179,6 +162,9 @@ class ExecutionContext {
   std::atomic<int64_t> stop_probe_{0};
   std::atomic<StopReason> stop_reason_{StopReason::kNone};
   StageStats stages_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
+  int64_t trace_track_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -222,6 +208,12 @@ struct ExecutorEnv {
   const TreeScorer* scorer = nullptr;
   const Query* query = nullptr;
   SearchOptions options;
+  // Observability sinks bound into the ExecutionContext by ExecuteSearch;
+  // null disables recording. The pipeline driver is the single
+  // instrumentation point, so every registered executor — core and
+  // baseline — reports the same metric families and span shapes.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceCollector* trace = nullptr;
 };
 
 using ExecutorFactory =

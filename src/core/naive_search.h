@@ -51,6 +51,10 @@ struct NaiveSearchOptions {
 [[nodiscard]] Result<std::unique_ptr<SearchExecutor>> MakeNaiveExecutor(
     const ExecutorEnv& env);
 
+// DEPRECATED for application code: prefer CiRankEngine::Search with
+// SearchOverrides().WithExecutor("naive") — the ExecutorRegistry path adds
+// the deadline/budget guard, caching, metrics, and tracing. Kept for the
+// soundness tests and baseline benches that need the raw algorithm.
 [[nodiscard]] Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
                                               const Query& query,
                                               const NaiveSearchOptions& options,

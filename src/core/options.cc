@@ -1,0 +1,32 @@
+#include "core/options.h"
+
+namespace cirank {
+
+SearchOptions MergeOverrides(const SearchOptions& base,
+                             const SearchOverrides& overrides) {
+  SearchOptions merged = base;
+  if (overrides.k.has_value()) merged.k = *overrides.k;
+  if (overrides.max_diameter.has_value()) {
+    merged.max_diameter = *overrides.max_diameter;
+  }
+  if (overrides.max_expansions.has_value()) {
+    merged.max_expansions = *overrides.max_expansions;
+  }
+  if (overrides.strict_merge_rule.has_value()) {
+    merged.strict_merge_rule = *overrides.strict_merge_rule;
+  }
+  if (overrides.executor.has_value()) merged.executor = *overrides.executor;
+  if (overrides.num_threads.has_value()) {
+    merged.num_threads = *overrides.num_threads;
+  }
+  if (overrides.deadline_ms.has_value()) {
+    merged.deadline_ms = *overrides.deadline_ms;
+  }
+  if (overrides.candidate_budget.has_value()) {
+    merged.candidate_budget = *overrides.candidate_budget;
+  }
+  if (overrides.bounds != nullptr) merged.bounds = overrides.bounds;
+  return merged;
+}
+
+}  // namespace cirank

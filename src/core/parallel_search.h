@@ -55,6 +55,12 @@ struct ParallelSearchOptions {
 // byte-identical guarantee, exactly as the serial search surrenders
 // optimality. Fails on empty queries, queries with more than 31 keywords,
 // non-positive k, or non-positive num_threads.
+//
+// DEPRECATED for application code: prefer CiRankEngine::Search with
+// SearchOverrides().WithExecutor("parallel").WithNumThreads(n) — the
+// registry path layers caching, metrics, and tracing on the same executor.
+// Kept for the differential suite, which compares it against the serial
+// search directly.
 [[nodiscard]] Result<std::vector<RankedAnswer>> ParallelBnbSearch(
     const TreeScorer& scorer, const Query& query, const SearchOptions& options,
     const ParallelSearchOptions& parallel, SearchStats* stats = nullptr);

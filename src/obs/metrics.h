@@ -1,0 +1,149 @@
+// Fleet-level metrics for the serving path (DESIGN.md §11). A
+// MetricsRegistry owns named instruments — monotonic Counters, Gauges, and
+// fixed-bucket latency Histograms with p50/p95/p99 snapshots — and renders
+// them in Prometheus text format (scrapeable) or JSON (attached to bench
+// reports). Registration (Get*) takes a mutex; the instruments themselves
+// are lock-free atomics, so the hot path (Observe/Increment per query or
+// per candidate batch) never blocks. Callers that instrument per-event
+// should resolve the instrument pointer once and reuse it.
+//
+// Instrument names follow Prometheus conventions and may carry an inline
+// label set: `cirank_stage_seconds{stage="expand"}`. The part before `{`
+// is the metric family; RenderPrometheus groups instruments by family so
+// one `# TYPE` header covers every label combination.
+//
+// Snapshots are a pure function of the observations recorded, never of the
+// clock — tests feed fixed values and golden-compare the rendering.
+#ifndef CIRANK_OBS_METRICS_H_
+#define CIRANK_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cirank {
+namespace obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A value that can move both ways (queue depth, cache entries, build time).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // compare_exchange loop instead of fetch_add: atomic<double>::fetch_add
+    // is C++20 but not yet lock-free everywhere.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket counts the rest. Observe is a binary search plus
+// two relaxed atomic adds — safe to call from any number of threads.
+class Histogram {
+ public:
+  // `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    // Cumulative counts per bound (Prometheus `le` semantics), ending with
+    // the +Inf bucket == count.
+    std::vector<int64_t> cumulative;
+  };
+
+  // Percentiles are estimated by linear interpolation inside the bucket
+  // holding the target rank; observations beyond the last bound report the
+  // last bound (there is no upper edge to interpolate toward). The result
+  // depends only on the recorded observations, never the clock.
+  Snapshot TakeSnapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default bounds for wall-clock latencies in seconds: 10 µs .. 10 s,
+  // roughly 2.5x apart — wide enough for both micro-graph queries and
+  // budget-capped batch scans.
+  static std::vector<double> DefaultLatencyBoundsSeconds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Thread-safe name → instrument map. Get* registers on first use and
+// returns a reference that stays valid for the registry's lifetime (tests
+// use short-lived local registries; the serving default lives forever).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry the engine and benches record into unless an
+  // explicit one is supplied (CiRankOptions::metrics). Never destroyed.
+  static MetricsRegistry& Default();
+
+  // `help` is kept from the first registration of the family; later calls
+  // may pass an empty string.
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  // Empty `bounds` selects Histogram::DefaultLatencyBoundsSeconds().
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          std::vector<double> bounds = {});
+
+  // Prometheus text exposition format: # HELP / # TYPE per family, then one
+  // sample line per instrument (histograms expand to _bucket/_sum/_count).
+  // Families render in lexicographic order, so output is deterministic.
+  std::string RenderPrometheus() const;
+
+  // JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+  // per-histogram count/sum/p50/p95/p99 and cumulative buckets. Embedded
+  // verbatim into BENCH_<name>.json reports under the "registry" key.
+  std::string RenderJson() const;
+
+  // Drops every instrument. Outstanding references dangle — test-only, for
+  // isolating goldens that share the Default() registry.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;  // family → help text
+};
+
+}  // namespace obs
+}  // namespace cirank
+
+#endif  // CIRANK_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace cirank {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceCollector::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceCollector::Record(Span span) {
+  std::lock_guard<std::mutex> lk(mu_);
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceCollector::Span> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_;
+}
+
+std::string TraceCollector::RenderChromeJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\":\"" << JsonEscape(s.name)
+        << "\",\"cat\":\"" << JsonEscape(s.category)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.track
+        << ",\"ts\":" << s.start_us << ",\"dur\":" << s.duration_us << "}";
+  }
+  out << (spans_.empty() ? "" : "\n") << "],\"displayTimeUnit\":\"ms\"}";
+  return std::move(out).str();
+}
+
+}  // namespace obs
+}  // namespace cirank

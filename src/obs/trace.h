@@ -1,0 +1,115 @@
+// Per-query trace spans (DESIGN.md §11). A TraceCollector accumulates
+// completed spans — one parent span per query, one child span per
+// Prepare/Expand/Emit pipeline stage — and renders them as Chrome
+// trace_event JSON, loadable in chrome://tracing or Perfetto. Recording a
+// span is one mutex-protected vector push at span end; a query that runs
+// with a null collector pays nothing.
+//
+// Spans are grouped by an integer `track` (rendered as the trace's thread
+// id): every query claims a fresh track via NewTrack(), so concurrent batch
+// queries land on separate rows instead of interleaving. Timestamps are
+// microseconds relative to the collector's construction, which keeps the
+// exported file small and stable in shape (tests assert structure, not
+// wall-clock values).
+#ifndef CIRANK_OBS_TRACE_H_
+#define CIRANK_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cirank {
+namespace obs {
+
+class TraceCollector {
+ public:
+  // One completed ("ph":"X") trace event.
+  struct Span {
+    std::string name;
+    std::string category;
+    int64_t track = 0;
+    int64_t start_us = 0;
+    int64_t duration_us = 0;
+  };
+
+  TraceCollector();
+
+  // Claims a fresh span row (one per query).
+  int64_t NewTrack() {
+    return next_track_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Microseconds since the collector was created.
+  int64_t NowMicros() const;
+
+  void Record(Span span);
+
+  size_t size() const;
+  std::vector<Span> Snapshot() const;
+
+  // {"traceEvents":[...], "displayTimeUnit":"ms"} — the Chrome trace_event
+  // JSON array format.
+  std::string RenderChromeJson() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int64_t> next_track_{1};
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+// RAII span: records [construction, End()/destruction) into the collector.
+// A default-constructed or null-collector span is inert. Move-only so a
+// span can be returned from a helper or stored in a pipeline frame.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(TraceCollector* collector, std::string name, std::string category,
+            int64_t track)
+      : collector_(collector),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        track_(track),
+        start_us_(collector != nullptr ? collector->NowMicros() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept { *this = std::move(other); }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    End();
+    collector_ = other.collector_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    track_ = other.track_;
+    start_us_ = other.start_us_;
+    other.collector_ = nullptr;
+    return *this;
+  }
+
+  ~TraceSpan() { End(); }
+
+  // Closes the span now; later calls (and destruction) are no-ops.
+  void End() {
+    if (collector_ == nullptr) return;
+    TraceCollector* c = collector_;
+    collector_ = nullptr;
+    c->Record({std::move(name_), std::move(category_), track_, start_us_,
+               c->NowMicros() - start_us_});
+  }
+
+ private:
+  TraceCollector* collector_ = nullptr;
+  std::string name_;
+  std::string category_;
+  int64_t track_ = 0;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cirank
+
+#endif  // CIRANK_OBS_TRACE_H_

@@ -47,10 +47,12 @@ class ShardedLruCache {
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     shard.order.splice(shard.order.begin(), shard.order, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
     return it->second->second;
   }
 
@@ -71,6 +73,8 @@ class ShardedLruCache {
     if (shard.order.size() > shard.capacity) {
       shard.index.erase(shard.order.back().first);
       shard.order.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -95,8 +99,36 @@ class ShardedLruCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   uint64_t invalidations() const {
     return invalidations_.load(std::memory_order_relaxed);
+  }
+
+  // Per-shard counter snapshot for the observability layer (exported as
+  // `{shard="i"}`-labeled metrics). Entry i describes shard i.
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  std::vector<ShardStats> PerShardStats() const {
+    std::vector<ShardStats> out;
+    out.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      ShardStats s;
+      s.hits = shard->hits.load(std::memory_order_relaxed);
+      s.misses = shard->misses.load(std::memory_order_relaxed);
+      s.evictions = shard->evictions.load(std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(shard->mu);
+        s.entries = shard->order.size();
+      }
+      out.push_back(s);
+    }
+    return out;
   }
 
  private:
@@ -108,6 +140,10 @@ class ShardedLruCache {
                        Hash>
         index;
     size_t capacity;
+    // Monotonic per-shard counters (the totals below aggregate them).
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Shard& ShardFor(const Key& key) {
@@ -126,6 +162,7 @@ class ShardedLruCache {
   Hash hash_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> invalidations_{0};
 };
 

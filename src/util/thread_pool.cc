@@ -27,9 +27,21 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
+    ++stats_.submitted;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, tasks_.size());
   }
   work_cv_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ThreadPool::SetTaskWaitObserver(std::function<void(double)> observer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  wait_observer_ = std::move(observer);
 }
 
 void ThreadPool::WaitIdle() {
@@ -42,12 +54,23 @@ void ThreadPool::WorkerMain() {
   for (;;) {
     work_cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
     if (tasks_.empty()) return;  // stopping_ and nothing left to run
-    std::function<void()> task = std::move(tasks_.front());
+    std::function<void()> task = std::move(tasks_.front().fn);
+    const double wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tasks_.front().enqueued)
+            .count();
     tasks_.pop_front();
+    stats_.total_wait_seconds += wait_seconds;
+    stats_.max_wait_seconds = std::max(stats_.max_wait_seconds, wait_seconds);
+    std::function<void(double)> observer = wait_observer_;  // copy under mu_
     ++active_;
     lk.unlock();
+    // Invoked outside the lock: the observer typically feeds a histogram
+    // and must not serialize the pool.
+    if (observer) observer(wait_seconds);
     task();
     lk.lock();
+    ++stats_.executed;
     --active_;
     if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
   }

@@ -7,8 +7,10 @@
 #ifndef CIRANK_UTIL_THREAD_POOL_H_
 #define CIRANK_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -19,6 +21,16 @@ namespace cirank {
 
 class ThreadPool {
  public:
+  // Counters for the observability layer (DESIGN.md §11): queue pressure
+  // and how long tasks sat waiting for a worker. Snapshot via stats().
+  struct Stats {
+    int64_t submitted = 0;          // tasks ever enqueued
+    int64_t executed = 0;           // tasks finished
+    size_t peak_queue_depth = 0;    // max tasks simultaneously waiting
+    double total_wait_seconds = 0;  // sum of submit→dequeue delays
+    double max_wait_seconds = 0;
+  };
+
   // Spawns `num_threads` workers immediately; values < 1 are clamped to 1.
   explicit ThreadPool(int num_threads);
 
@@ -45,16 +57,33 @@ class ThreadPool {
   // std::thread::hardware_concurrency with a floor of 1.
   static int HardwareThreads();
 
+  // Aggregate queue/wait counters since construction.
+  Stats stats() const;
+
+  // Called with each task's submit→dequeue wait (seconds) just before the
+  // task runs, from the worker thread, outside the pool lock. Install
+  // before submitting work (typically right after construction; the setter
+  // itself is not synchronized against in-flight Submit calls). The engine
+  // points this at a latency histogram.
+  void SetTaskWaitObserver(std::function<void(double)> observer);
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerMain();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: "a task or stop arrived"
   std::condition_variable idle_cv_;  // WaitIdle: "a task finished"
-  std::deque<std::function<void()>> tasks_;
+  std::deque<QueuedTask> tasks_;
   std::vector<std::thread> workers_;
   size_t active_ = 0;  // tasks currently executing
   bool stopping_ = false;
+  Stats stats_;                                 // guarded by mu_
+  std::function<void(double)> wait_observer_;   // called outside mu_
 };
 
 }  // namespace cirank

@@ -6,6 +6,8 @@
 #include "datasets/dblp_gen.h"
 #include "datasets/imdb_gen.h"
 #include "index/star_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cirank {
 namespace {
@@ -276,6 +278,162 @@ TEST_F(EngineTest, RebuildFromFeedbackShiftsImportanceTowardClicks) {
   auto answers = engine_->Search(q, overrides);
   ASSERT_TRUE(answers.ok());
   EXPECT_FALSE(answers->empty());
+}
+
+// The serving-path counters (DESIGN.md §11) must advance in lockstep with
+// what SearchStats and QueryCacheStats report — same events, two views.
+TEST_F(EngineTest, EngineCountersAdvanceExactlyAsSearchStats) {
+  obs::MetricsRegistry local;
+  CiRankOptions opts;
+  opts.metrics = &local;
+  auto built = CiRankEngine::Build(dataset_->graph, opts);
+  ASSERT_TRUE(built.ok());
+  CiRankEngine engine = std::move(built).value();
+  ASSERT_EQ(engine.metrics(), &local);
+  EXPECT_GT(local.GetGauge("cirank_build_total_seconds").Value(), 0.0);
+
+  const NodeId actor = dataset_->nodes_by_relation[1].front();
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
+  const SearchOverrides overrides = SearchOverrides().WithK(3).WithMaxDiameter(2);
+
+  obs::Counter& queries = local.GetCounter("cirank_engine_queries_total");
+  obs::Counter& hits = local.GetCounter("cirank_engine_cache_hits_total");
+  obs::Counter& misses = local.GetCounter("cirank_engine_cache_misses_total");
+  obs::Counter& generated =
+      local.GetCounter("cirank_candidates_generated_total");
+  obs::Counter& pruned = local.GetCounter("cirank_candidates_pruned_total");
+
+  ASSERT_TRUE(engine.Search(q, overrides).ok());  // cold: miss, then fill
+  EXPECT_EQ(queries.Value(), 1);
+  EXPECT_EQ(hits.Value(), 0);
+  EXPECT_EQ(misses.Value(), 1);
+
+  ASSERT_TRUE(engine.Search(q, overrides).ok());  // warm: hit
+  EXPECT_EQ(queries.Value(), 2);
+  EXPECT_EQ(hits.Value(), 1);
+  EXPECT_EQ(misses.Value(), 1);
+  EXPECT_EQ(static_cast<uint64_t>(hits.Value()), engine.cache_stats().hits);
+
+  // A stats-carrying call skips the cache read entirely, so neither hit nor
+  // miss may move — and the pipeline counters advance by exactly the deltas
+  // SearchStats reports for this one query.
+  const int64_t generated_before = generated.Value();
+  const int64_t pruned_before = pruned.Value();
+  SearchStats stats;
+  ASSERT_TRUE(engine.Search(q, overrides, &stats).ok());
+  EXPECT_EQ(queries.Value(), 3);
+  EXPECT_EQ(hits.Value(), 1);
+  EXPECT_EQ(misses.Value(), 1);
+  EXPECT_GT(stats.stages.candidates_generated, 0);
+  EXPECT_EQ(generated.Value() - generated_before,
+            stats.stages.candidates_generated);
+  EXPECT_EQ(pruned.Value() - pruned_before, stats.stages.candidates_pruned);
+  // Two searches actually executed (the hit served from memory); each
+  // observed one end-to-end latency.
+  EXPECT_EQ(local.GetHistogram("cirank_engine_query_seconds")
+                .TakeSnapshot()
+                .count,
+            2);
+  EXPECT_EQ(local.GetCounter("cirank_executor_queries_total{executor=\"bnb\"}")
+                .Value(),
+            2);
+}
+
+TEST_F(EngineTest, TruncationCounterMatchesSearchStats) {
+  obs::MetricsRegistry local;
+  CiRankOptions opts;
+  opts.metrics = &local;
+  auto built = CiRankEngine::Build(dataset_->graph, opts);
+  ASSERT_TRUE(built.ok());
+  CiRankEngine engine = std::move(built).value();
+
+  const NodeId actor = dataset_->nodes_by_relation[1].front();
+  Query q = Query::MustParse(dataset_->graph.text_of(actor));
+  SearchStats stats;
+  auto partial = engine.Search(
+      q, SearchOverrides().WithK(5).WithMaxDiameter(4).WithCandidateBudget(1),
+      &stats);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_TRUE(stats.truncated);
+  EXPECT_EQ(local.GetCounter("cirank_engine_truncated_total").Value(), 1);
+  EXPECT_EQ(local.GetCounter("cirank_executor_truncated_total").Value(), 1);
+  // Budget-limited queries are never cached, so no lookup was counted.
+  EXPECT_EQ(local.GetCounter("cirank_engine_cache_misses_total").Value(), 0);
+}
+
+// The acceptance check from the issue: after a SearchBatch, the Prometheus
+// rendering must expose the serving-path metric families.
+TEST_F(EngineTest, SearchBatchPopulatesRequiredMetricFamilies) {
+  obs::MetricsRegistry local;
+  CiRankOptions opts;
+  opts.metrics = &local;
+  auto built = CiRankEngine::Build(dataset_->graph, opts);
+  ASSERT_TRUE(built.ok());
+  CiRankEngine engine = std::move(built).value();
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(Query::MustParse(
+        dataset_->graph.text_of(dataset_->nodes_by_relation[1][i])));
+  }
+  BatchSearchOptions batch;
+  batch.num_threads = 2;
+  batch.overrides.WithK(3).WithMaxDiameter(2);
+  auto results = engine.SearchBatch(queries, batch);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  const std::string prom = local.RenderPrometheus();
+  for (const char* family :
+       {"cirank_engine_queries_total", "cirank_engine_cache_hits_total",
+        "cirank_stage_seconds_bucket{stage=", "cirank_threadpool_queue_depth",
+        "cirank_threadpool_task_wait_seconds", "cirank_cache_entries"}) {
+    EXPECT_NE(prom.find(family), std::string::npos)
+        << "missing family " << family << " in:\n" << prom;
+  }
+  EXPECT_EQ(local.GetCounter("cirank_engine_queries_total").Value(),
+            static_cast<int64_t>(queries.size()));
+}
+
+// Instrumentation must be observation only: an engine with metrics and
+// tracing wired in returns byte-for-byte the answers of one built with
+// metrics_enabled = false.
+TEST_F(EngineTest, InstrumentationDoesNotChangeResults) {
+  CiRankOptions plain_opts;
+  plain_opts.metrics_enabled = false;
+  auto plain_built = CiRankEngine::Build(dataset_->graph, plain_opts);
+  ASSERT_TRUE(plain_built.ok());
+  CiRankEngine plain = std::move(plain_built).value();
+  ASSERT_EQ(plain.metrics(), nullptr);
+
+  obs::MetricsRegistry local;
+  obs::TraceCollector trace;
+  CiRankOptions instrumented_opts;
+  instrumented_opts.metrics = &local;
+  instrumented_opts.trace = &trace;
+  auto instr_built = CiRankEngine::Build(dataset_->graph, instrumented_opts);
+  ASSERT_TRUE(instr_built.ok());
+  CiRankEngine instrumented = std::move(instr_built).value();
+
+  const SearchOverrides overrides =
+      SearchOverrides().WithK(5).WithMaxDiameter(4);
+  for (int i = 0; i < 5; ++i) {
+    Query q = Query::MustParse(
+        dataset_->graph.text_of(dataset_->nodes_by_relation[1][i]));
+    auto a = plain.Search(q, overrides);
+    auto b = instrumented.Search(q, overrides);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size()) << "query " << i;
+    for (size_t j = 0; j < a->size(); ++j) {
+      EXPECT_EQ((*a)[j].score, (*b)[j].score)  // bitwise, no tolerance
+          << "query " << i << " rank " << j;
+      EXPECT_EQ((*a)[j].tree.CanonicalKey(), (*b)[j].tree.CanonicalKey())
+          << "query " << i << " rank " << j;
+    }
+  }
+  // The instrumented engine really did record: spans per query (one parent
+  // plus one per stage) and a positive query counter.
+  EXPECT_GE(trace.size(), 5u * 4u);
+  EXPECT_EQ(local.GetCounter("cirank_engine_queries_total").Value(), 5);
 }
 
 TEST(EngineDblpTest, WorksOnDblpSchema) {

@@ -1,0 +1,337 @@
+// Tests for the observability layer (src/obs): instrument semantics,
+// deterministic snapshot math, golden renderings, thread-safety under a
+// concurrent hammer (the TSan preset makes the hammer a race detector),
+// and trace-span structure.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace cirank {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_EQ(g.Value(), 1.5);
+  g.Set(0.25);
+  EXPECT_EQ(g.Value(), 0.25);
+}
+
+TEST(HistogramTest, BucketsObservationsAtBoundaries) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0 (le semantics: <= bound)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(9.0);  // overflow
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 16.0);
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.cumulative[0], 2);
+  EXPECT_EQ(snap.cumulative[1], 3);
+  EXPECT_EQ(snap.cumulative[2], 4);
+  EXPECT_EQ(snap.cumulative[3], 5);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h({1.0});
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p95, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBucket) {
+  // 100 observations spread evenly into (0, 10]: ranks map linearly, so
+  // p50 lands mid-bucket. Bucket (0,10] holds all 100; rank(q) =
+  // ceil(q*100); interpolation gives 10 * rank/100.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snap.p50, 10.0 * 50 / 100);
+  EXPECT_DOUBLE_EQ(snap.p95, 10.0 * 95 / 100);
+  EXPECT_DOUBLE_EQ(snap.p99, 10.0 * 99 / 100);
+}
+
+TEST(HistogramTest, PercentilesPickTheRightBucket) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  // 90 observations in (0,1], 10 in (3,4]: p50 is inside the first bucket,
+  // p95 and p99 inside the fourth.
+  for (int i = 0; i < 90; ++i) h.Observe(0.5);
+  for (int i = 0; i < 10; ++i) h.Observe(3.5);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  // rank(0.5) = 50 of 90 in-bucket → 1.0 * 50/90.
+  EXPECT_NEAR(snap.p50, 50.0 / 90.0, 1e-12);
+  // rank(0.95) = 95; 90 before the fourth bucket, 10 inside → 3 + 5/10.
+  EXPECT_DOUBLE_EQ(snap.p95, 3.5);
+  EXPECT_DOUBLE_EQ(snap.p99, 3.9);
+}
+
+TEST(HistogramTest, OverflowReportsLastBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.Observe(100.0);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snap.p50, 2.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 2.0);
+}
+
+TEST(HistogramTest, EmptyBoundsSelectDefaultLatencyBuckets) {
+  Histogram h({});
+  EXPECT_EQ(h.bounds(), Histogram::DefaultLatencyBoundsSeconds());
+}
+
+TEST(RegistryTest, GetReturnsSameInstrumentForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("cirank_test_total", "help");
+  Counter& b = registry.GetCounter("cirank_test_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1);
+  Histogram& h1 = registry.GetHistogram("cirank_test_seconds", "", {1.0});
+  Histogram& h2 = registry.GetHistogram("cirank_test_seconds", "", {9.0});
+  EXPECT_EQ(&h1, &h2);  // bounds fixed by the first registration
+  ASSERT_EQ(h2.bounds().size(), 1u);
+  EXPECT_EQ(h2.bounds()[0], 1.0);
+}
+
+TEST(RegistryTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("cirank_queries_total", "Queries served").Increment(3);
+  registry.GetCounter("cirank_stage_total{stage=\"expand\"}", "Per stage")
+      .Increment(2);
+  registry.GetCounter("cirank_stage_total{stage=\"prepare\"}").Increment();
+  registry.GetGauge("cirank_depth", "Queue depth").Set(4.0);
+  Histogram& h =
+      registry.GetHistogram("cirank_latency_seconds", "Latency", {0.1, 1.0});
+  // Exactly representable doubles, so the sum renders without noise digits.
+  h.Observe(0.0625);
+  h.Observe(0.5);
+  h.Observe(5.0);
+
+  const std::string expected =
+      "# HELP cirank_queries_total Queries served\n"
+      "# TYPE cirank_queries_total counter\n"
+      "cirank_queries_total 3\n"
+      "# HELP cirank_stage_total Per stage\n"
+      "# TYPE cirank_stage_total counter\n"
+      "cirank_stage_total{stage=\"expand\"} 2\n"
+      "cirank_stage_total{stage=\"prepare\"} 1\n"
+      "# HELP cirank_depth Queue depth\n"
+      "# TYPE cirank_depth gauge\n"
+      "cirank_depth 4\n"
+      "# HELP cirank_latency_seconds Latency\n"
+      "# TYPE cirank_latency_seconds histogram\n"
+      "cirank_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "cirank_latency_seconds_bucket{le=\"1\"} 2\n"
+      "cirank_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "cirank_latency_seconds_sum 5.5625\n"
+      "cirank_latency_seconds_count 3\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(RegistryTest, LabeledHistogramKeepsLabelsOnEverySample) {
+  MetricsRegistry registry;
+  registry.GetHistogram("cirank_s{stage=\"emit\"}", "h", {1.0}).Observe(0.5);
+  const std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("cirank_s_bucket{stage=\"emit\",le=\"1\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cirank_s_sum{stage=\"emit\"} 0.5"), std::string::npos);
+  EXPECT_NE(out.find("cirank_s_count{stage=\"emit\"} 1"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Increment(7);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h_seconds", "", {1.0}).Observe(0.5);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"c_total\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g\": 1.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      // A single observation interpolates to the full bucket width: rank 1
+      // of 1 in (0, 1] lands on the upper edge for every percentile.
+      "    \"h_seconds\": { \"count\": 1, \"sum\": 0.5, \"p50\": 1, "
+      "\"p95\": 1, \"p99\": 1, \"buckets\": [{ \"le\": 1, \"count\": 1 "
+      "}, { \"le\": \"+Inf\", \"count\": 1 }] }\n"
+      "  }\n"
+      "}";
+  EXPECT_EQ(registry.RenderJson(), expected);
+}
+
+TEST(RegistryTest, EmptyRegistryRendersEmptyObjects) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  EXPECT_EQ(registry.RenderJson(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}");
+}
+
+TEST(RegistryTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Increment();
+  registry.Reset();
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+}
+
+// The hammer: many threads pounding one counter/gauge/histogram through the
+// project ThreadPool. Totals must be exact (relaxed atomics still guarantee
+// atomicity); under the tsan preset this doubles as a race detector for the
+// registration path, which takes the registry mutex concurrently.
+TEST(RegistryTest, ConcurrentHammerKeepsExactTotals) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t t) {
+    // Every thread also re-registers by name, exercising Get* under
+    // contention, and hits a per-thread labeled sibling.
+    Counter& c = registry.GetCounter("hammer_total", "hammered");
+    Gauge& g = registry.GetGauge("hammer_gauge");
+    Histogram& h = registry.GetHistogram("hammer_seconds", "", {0.5, 1.0});
+    registry
+        .GetCounter("hammer_total{t=\"" + std::to_string(t) + "\"}")
+        .Increment(static_cast<int64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      c.Increment();
+      g.Add(1.0);
+      h.Observe(i % 2 == 0 ? 0.25 : 0.75);
+    }
+  });
+  pool.WaitIdle();
+
+  EXPECT_EQ(registry.GetCounter("hammer_total").Value(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("hammer_gauge").Value(),
+                   static_cast<double>(kThreads) * kPerThread);
+  const Histogram::Snapshot snap =
+      registry.GetHistogram("hammer_seconds").TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<int64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(snap.cumulative.size(), 3u);
+  EXPECT_EQ(snap.cumulative[0], snap.count / 2);  // the 0.25 observations
+  EXPECT_EQ(snap.cumulative[1], snap.count);
+  EXPECT_EQ(snap.cumulative[2], snap.count);
+}
+
+// Rendering while writers are active must stay well-formed (it locks the
+// registration mutex, the instruments are atomics) — exercised for TSan.
+TEST(RegistryTest, RenderWhileWriting) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  for (int w = 0; w < 3; ++w) {
+    pool.Submit([&registry, &stop] {
+      while (!stop.load()) {
+        registry.GetCounter("spin_total").Increment();
+        registry.GetHistogram("spin_seconds", "", {1.0}).Observe(0.5);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string prom = registry.RenderPrometheus();
+    const std::string json = registry.RenderJson();
+    EXPECT_TRUE(prom.empty() ||
+                prom.find("spin_total") != std::string::npos);
+    EXPECT_NE(json.find("counters"), std::string::npos);
+  }
+  stop.store(true);
+  pool.WaitIdle();
+}
+
+// --- Trace spans ----------------------------------------------------------
+
+TEST(TraceTest, SpansRecordStructure) {
+  TraceCollector trace;
+  const int64_t track = trace.NewTrack();
+  {
+    TraceSpan query(&trace, "query:bnb", "query", track);
+    { TraceSpan stage(&trace, "prepare", "stage", track); }
+    { TraceSpan stage(&trace, "expand", "stage", track); }
+  }
+  ASSERT_EQ(trace.size(), 3u);
+  const std::vector<TraceCollector::Span> spans = trace.Snapshot();
+  // Inner spans end (and record) before the enclosing query span.
+  EXPECT_EQ(spans[0].name, "prepare");
+  EXPECT_EQ(spans[1].name, "expand");
+  EXPECT_EQ(spans[2].name, "query:bnb");
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.track, track);
+    EXPECT_GE(s.start_us, 0);
+    EXPECT_GE(s.duration_us, 0);
+  }
+  // The query span encloses its stages.
+  EXPECT_LE(spans[2].start_us, spans[0].start_us);
+}
+
+TEST(TraceTest, NullCollectorSpanIsInert) {
+  TraceSpan inert;
+  TraceSpan null_collector(nullptr, "x", "y", 1);
+  inert.End();
+  null_collector.End();  // no crash, nothing recorded
+}
+
+TEST(TraceTest, MoveTransfersOwnership) {
+  TraceCollector trace;
+  {
+    TraceSpan a(&trace, "moved", "stage", trace.NewTrack());
+    TraceSpan b = std::move(a);
+    // `a` must not also record at destruction.
+  }
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceTest, NewTrackIsUniquePerCall) {
+  TraceCollector trace;
+  const int64_t t1 = trace.NewTrack();
+  const int64_t t2 = trace.NewTrack();
+  EXPECT_NE(t1, t2);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceCollector trace;
+  { TraceSpan s(&trace, "query:\"x\"", "query", trace.NewTrack()); }
+  const std::string json = trace.RenderChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Quotes in span names must be escaped into valid JSON.
+  EXPECT_NE(json.find("query:\\\"x\\\""), std::string::npos);
+  EXPECT_EQ(json.find("\"query:\"x"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyCollectorRendersEmptyArray) {
+  TraceCollector trace;
+  EXPECT_EQ(trace.RenderChromeJson(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cirank

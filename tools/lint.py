@@ -33,6 +33,9 @@ arena-discipline   Raw `new` / `delete` expressions in src/core, and
                    per-query Arena (ExecutionContext::arena()) so candidates
                    are freed wholesale at query end; the one sanctioned
                    exception is the leaky ExecutorRegistry singleton.
+file-extension     C++ sources must use .cc (headers .h) repo-wide; .cpp /
+                   .cxx / .hpp stragglers are flagged so the tree stays
+                   uniform (examples/ was renamed to .cc in PR 5).
 """
 
 import os
@@ -42,6 +45,10 @@ import sys
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SOURCE_DIRS = ("src", "tests", "bench", "examples")
 CXX_EXTENSIONS = (".cc", ".cpp", ".h")
+
+# The repo-wide spelling is .cc/.h; everything else C++-shaped is flagged by
+# the file-extension rule (and still scanned by the content rules above).
+BANNED_EXTENSIONS = (".cpp", ".cxx", ".c++", ".hpp", ".hh", ".hxx")
 
 # Files allowed to reference the raw PRNG primitives.
 RANDOM_IMPL_FILES = {"src/util/random.h", "src/util/random.cc"}
@@ -134,7 +141,7 @@ def iter_source_files():
     for d in SOURCE_DIRS:
         for dirpath, _, filenames in os.walk(os.path.join(ROOT, d)):
             for name in sorted(filenames):
-                if name.endswith(CXX_EXTENSIONS):
+                if name.endswith(CXX_EXTENSIONS + BANNED_EXTENSIONS):
                     path = os.path.join(dirpath, name)
                     yield os.path.relpath(path, ROOT).replace(os.sep, "/")
 
@@ -237,6 +244,13 @@ def check_arena_discipline(rel, text, problems):
                 f"ExecutionContext::arena().New<T>() instead")
 
 
+def check_file_extension(rel, problems):
+    if rel.endswith(tuple(BANNED_EXTENSIONS)):
+        problems.append(
+            f"{rel}:1: file-extension: C++ sources use .cc and headers .h "
+            f"in this repo; rename (git mv) and update the CMake target")
+
+
 def check_header_rules(rel, text, problems):
     if not rel.endswith(".h"):
         return
@@ -269,6 +283,7 @@ def main():
         check_determinism(rel, text, problems)
         check_raw_thread(rel, text, problems)
         check_arena_discipline(rel, text, problems)
+        check_file_extension(rel, problems)
         check_header_rules(rel, text, problems)
     if problems:
         print("\n".join(problems))

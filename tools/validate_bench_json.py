@@ -7,8 +7,21 @@ BenchReport against the documented schema (python3 stdlib only):
       "metrics":  { "<key>": <double>, ... },
       "counters": { "<key>": <integer>, ... },
       "latency_ms": { "<series>": { "p50": <double>, "p95": <double>,
-                                    "mean": <double>, "count": <int> }, ... }
+                                    "mean": <double>, "count": <int> }, ... },
+      "registry": {
+        "counters":   { "<name>": <integer>, ... },
+        "gauges":     { "<name>": <double>, ... },
+        "histograms": { "<name>": { "count": <int>, "sum": <double>,
+                                    "p50": <double>, "p95": <double>,
+                                    "p99": <double>,
+                                    "buckets": [ { "le": <double>|"+Inf",
+                                                   "count": <int> }, ... ] },
+                        ... }
+      }
     }
+
+The "registry" block is obs::MetricsRegistry::RenderJson() — the
+serving-path observability snapshot attached by BenchReport::Write.
 
 Usage:
     python3 tools/validate_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
@@ -24,6 +37,7 @@ import math
 import sys
 
 SERIES_KEYS = {"p50", "p95", "mean", "count"}
+HISTOGRAM_KEYS = {"count", "sum", "p50", "p95", "p99", "buckets"}
 
 
 def is_finite_number(v):
@@ -41,7 +55,7 @@ def validate(doc, errors):
         return
 
     extra = set(doc) - {"bench", "scale", "smoke", "metrics", "counters",
-                        "latency_ms"}
+                        "latency_ms", "registry"}
     for key in sorted(extra):
         errors.append(f"unknown top-level key {key!r}")
 
@@ -68,6 +82,8 @@ def validate(doc, errors):
         for k, v in counters.items():
             if not is_integer(v):
                 errors.append(f"counters[{k!r}] is not an integer: {v!r}")
+
+    validate_registry(doc.get("registry"), errors)
 
     latency = doc.get("latency_ms")
     if not isinstance(latency, dict):
@@ -97,6 +113,105 @@ def validate(doc, errors):
                 is_finite_number(stats.get("p95")) and \
                 stats["p95"] < stats["p50"]:
             errors.append(f"latency_ms[{series!r}]: p95 < p50")
+
+
+def validate_registry(registry, errors):
+    """Checks the attached obs::MetricsRegistry::RenderJson() snapshot."""
+    if registry is None:
+        errors.append("missing 'registry' (metrics snapshot) block")
+        return
+    if not isinstance(registry, dict):
+        errors.append("'registry' must be an object")
+        return
+    extra = set(registry) - {"counters", "gauges", "histograms"}
+    for key in sorted(extra):
+        errors.append(f"registry has unknown key {key!r}")
+
+    counters = registry.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("registry.counters must be an object")
+    else:
+        for k, v in counters.items():
+            if not is_integer(v) or v < 0:
+                errors.append(
+                    f"registry.counters[{k!r}] is not a non-negative "
+                    f"integer: {v!r}")
+
+    gauges = registry.get("gauges")
+    if not isinstance(gauges, dict):
+        errors.append("registry.gauges must be an object")
+    else:
+        for k, v in gauges.items():
+            if not is_finite_number(v):
+                errors.append(
+                    f"registry.gauges[{k!r}] is not a finite number: {v!r}")
+
+    histograms = registry.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append("registry.histograms must be an object")
+        return
+    for name, h in histograms.items():
+        if not isinstance(h, dict):
+            errors.append(f"registry.histograms[{name!r}] is not an object")
+            continue
+        missing = HISTOGRAM_KEYS - set(h)
+        unknown = set(h) - HISTOGRAM_KEYS
+        if missing:
+            errors.append(
+                f"registry.histograms[{name!r}] missing {sorted(missing)}")
+        if unknown:
+            errors.append(
+                f"registry.histograms[{name!r}] has unknown keys "
+                f"{sorted(unknown)}")
+        if "count" in h and (not is_integer(h["count"]) or h["count"] < 0):
+            errors.append(
+                f"registry.histograms[{name!r}].count is not a "
+                f"non-negative integer")
+        for k in ("sum", "p50", "p95", "p99"):
+            if k in h and not is_finite_number(h[k]):
+                errors.append(
+                    f"registry.histograms[{name!r}].{k} is not a finite "
+                    f"number")
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            errors.append(
+                f"registry.histograms[{name!r}].buckets must be a "
+                f"non-empty array")
+            continue
+        prev = -1
+        for i, b in enumerate(buckets):
+            if not isinstance(b, dict) or set(b) != {"le", "count"}:
+                errors.append(
+                    f"registry.histograms[{name!r}].buckets[{i}] must be "
+                    f"{{le, count}}")
+                continue
+            le, count = b["le"], b["count"]
+            last = i == len(buckets) - 1
+            if last:
+                if le != "+Inf":
+                    errors.append(
+                        f"registry.histograms[{name!r}]: last bucket le "
+                        f"must be \"+Inf\", got {le!r}")
+            elif not is_finite_number(le):
+                errors.append(
+                    f"registry.histograms[{name!r}].buckets[{i}].le is not "
+                    f"a finite number: {le!r}")
+            if not is_integer(count) or count < 0:
+                errors.append(
+                    f"registry.histograms[{name!r}].buckets[{i}].count is "
+                    f"not a non-negative integer")
+            elif count < prev:
+                errors.append(
+                    f"registry.histograms[{name!r}].buckets[{i}]: "
+                    f"cumulative count decreases ({count} < {prev})")
+            else:
+                prev = count
+        if is_integer(h.get("count")) and is_integer(
+                buckets[-1].get("count")) and \
+                h["count"] != buckets[-1]["count"]:
+            errors.append(
+                f"registry.histograms[{name!r}]: +Inf cumulative count "
+                f"{buckets[-1]['count']} != count {h['count']}")
 
 
 def main(argv):
