@@ -17,6 +17,7 @@
 #include "core/bounds.h"
 #include "util/arena.h"
 #include "util/timer.h"
+#include "util/status.h"
 
 namespace cirank {
 namespace {
@@ -122,7 +123,7 @@ void EndToEnd(bench::BenchReport* report) {
   for (const LabeledQuery& lq : setup.queries) {
     Timer t;
     SearchStats stats;
-    (void)engine.Search(lq.query, opts, &stats);
+    CIRANK_IGNORE_ERROR(engine.Search(lq.query, opts, &stats));
     search_ms.push_back(t.ElapsedSeconds() * 1e3);
     arena_bytes += static_cast<int64_t>(stats.stages.arena_bytes);
     generated += stats.stages.candidates_generated;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "index/star_index.h"
+#include "util/status.h"
 
 namespace cirank {
 namespace bench {
@@ -338,14 +339,14 @@ void RunIndexFigure(BenchSetup setup, const char* label,
 
       Timer t;
       SearchStats stats;
-      (void)engine.Search(lq.query, opts, &stats);
+      CIRANK_IGNORE_ERROR(engine.Search(lq.query, opts, &stats));
       plain_time.Add(t.ElapsedSeconds());
       plain_ms.push_back(t.ElapsedSeconds() * 1e3);
       plain_budget_hits += stats.budget_exhausted ? 1 : 0;
 
       opts.bounds = &index.value();
       t.Reset();
-      (void)engine.Search(lq.query, opts, &stats);
+      CIRANK_IGNORE_ERROR(engine.Search(lq.query, opts, &stats));
       indexed_time.Add(t.ElapsedSeconds());
       indexed_ms.push_back(t.ElapsedSeconds() * 1e3);
       indexed_budget_hits += stats.budget_exhausted ? 1 : 0;

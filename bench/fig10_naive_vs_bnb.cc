@@ -23,6 +23,7 @@
 #include "core/naive_search.h"
 #include "util/random.h"
 #include "util/timer.h"
+#include "util/status.h"
 
 namespace cirank {
 namespace {
@@ -76,7 +77,7 @@ void RunDataset(const bench::BenchSetup& setup, const char* label,
     nopts.max_combinations_per_root = 300000;
     nopts.max_paths_per_source = 64;
     SearchStats nstats;
-    (void)NaiveSearch(engine.scorer(), q, nopts, &nstats);
+    CIRANK_IGNORE_ERROR(NaiveSearch(engine.scorer(), q, nopts, &nstats));
     naive_time.Add(t.ElapsedSeconds());
     naive_ms.push_back(t.ElapsedSeconds() * 1e3);
     naive_generated += nstats.generated;
@@ -87,7 +88,7 @@ void RunDataset(const bench::BenchSetup& setup, const char* label,
     sopts.max_diameter = 4;
     sopts.max_expansions = 150000;
     SearchStats bstats;
-    (void)engine.Search(q, sopts, &bstats);
+    CIRANK_IGNORE_ERROR(engine.Search(q, sopts, &bstats));
     bnb_time.Add(t.ElapsedSeconds());
     bnb_ms.push_back(t.ElapsedSeconds() * 1e3);
     bnb_popped += bstats.popped;

@@ -22,6 +22,7 @@
 #include "core/parallel_search.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/status.h"
 
 namespace cirank {
 namespace {
@@ -147,9 +148,9 @@ void Run(bench::BenchReport* report) {
     BatchSearchOptions batch;
     batch.num_threads = 4;
     batch.overrides = overrides;
-    (void)engine.SearchBatch(queries, batch);  // warm
+    CIRANK_IGNORE_ERROR(engine.SearchBatch(queries, batch));  // warm
     t.Reset();
-    (void)engine.SearchBatch(queries, batch);
+    CIRANK_IGNORE_ERROR(engine.SearchBatch(queries, batch));
     const double warm_s = t.ElapsedSeconds();
     QueryCacheStats cs = engine.cache_stats();
     std::printf("    warm pass: %7.4f s (%6.1fx vs serial cold); "

@@ -1,14 +1,15 @@
 #include "core/engine.h"
 
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "core/parallel_search.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/lru_cache.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -93,10 +94,15 @@ struct CiRankEngine::Serving {
     }
   };
 
+  // Internally synchronized (per-shard capabilities; see lru_cache.h).
   ShardedLruCache<std::string, CachedAnswers> cache;
 
-  std::mutex feedback_mu;
-  FeedbackModel feedback;
+  // feedback_mu is the engine level — the top — of the declared lock
+  // hierarchy (engine → cache-shard → pool): cache-shard and pool locks
+  // may be acquired while it is held (they never are today), never the
+  // reverse. mutable: FeedbackClicks reads through a const engine.
+  mutable Mutex feedback_mu;
+  FeedbackModel feedback CIRANK_GUARDED_BY(feedback_mu);
 
   Obs obs;
 
@@ -322,7 +328,7 @@ Status CiRankEngine::RecordFeedback(const std::vector<NodeId>& matched_nodes,
                                     const std::vector<NodeId>& connector_nodes,
                                     double weight) {
   {
-    std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+    MutexLock lk(serving_->feedback_mu);
     CIRANK_RETURN_IF_ERROR(
         serving_->feedback.RecordAnswer(matched_nodes, connector_nodes,
                                         weight));
@@ -338,7 +344,7 @@ Status CiRankEngine::RecordFeedback(const std::vector<NodeId>& matched_nodes,
 
 Status CiRankEngine::RecordClick(NodeId v, double weight) {
   {
-    std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+    MutexLock lk(serving_->feedback_mu);
     CIRANK_RETURN_IF_ERROR(serving_->feedback.RecordClick(v, weight));
   }
   serving_->cache.Clear();
@@ -349,7 +355,7 @@ Status CiRankEngine::RecordClick(NodeId v, double weight) {
 }
 
 double CiRankEngine::FeedbackClicks(NodeId v) const {
-  std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+  MutexLock lk(serving_->feedback_mu);
   if (v >= serving_->feedback.num_nodes()) return 0.0;
   return serving_->feedback.clicks(v);
 }
@@ -361,7 +367,7 @@ Status CiRankEngine::RebuildFromFeedback(const FeedbackOptions& options) {
   }
   std::vector<double> teleport;
   {
-    std::lock_guard<std::mutex> lk(serving_->feedback_mu);
+    MutexLock lk(serving_->feedback_mu);
     CIRANK_ASSIGN_OR_RETURN(teleport,
                             serving_->feedback.TeleportVector(options));
   }

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "core/bnb_search.h"
 #include "core/naive_search.h"
 #include "core/parallel_search.h"
+#include "util/annotations.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace cirank {
@@ -76,8 +77,8 @@ Status ExecutionContext::stop_status() const {
 // ExecutorRegistry
 
 struct ExecutorRegistry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, ExecutorFactory> factories;
+  mutable Mutex mu;
+  std::map<std::string, ExecutorFactory> factories CIRANK_GUARDED_BY(mu);
 };
 
 ExecutorRegistry::ExecutorRegistry() : impl_(std::make_unique<Impl>()) {}
@@ -102,7 +103,7 @@ Status ExecutorRegistry::Register(std::string name, ExecutorFactory factory) {
   if (factory == nullptr) {
     return Status::InvalidArgument("executor factory is null");
   }
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  MutexLock lk(impl_->mu);
   if (!impl_->factories.emplace(std::move(name), std::move(factory)).second) {
     return Status::InvalidArgument("executor already registered");
   }
@@ -113,7 +114,7 @@ Result<std::unique_ptr<SearchExecutor>> ExecutorRegistry::Create(
     const std::string& name, const ExecutorEnv& env) const {
   ExecutorFactory factory;
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     auto it = impl_->factories.find(name);
     if (it == impl_->factories.end()) {
       std::string known;
@@ -131,12 +132,12 @@ Result<std::unique_ptr<SearchExecutor>> ExecutorRegistry::Create(
 }
 
 bool ExecutorRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  MutexLock lk(impl_->mu);
   return impl_->factories.count(name) != 0;
 }
 
 std::vector<std::string> ExecutorRegistry::Names() const {
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  MutexLock lk(impl_->mu);
   std::vector<std::string> names;
   names.reserve(impl_->factories.size());
   for (const auto& [n, f] : impl_->factories) {

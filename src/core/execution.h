@@ -99,7 +99,11 @@ struct ExecutionLimits {
 // query. Charge/stop checks are lock-free (atomics) so the parallel
 // executor's workers can consult them concurrently; the arena itself is NOT
 // thread-safe and must be confined to one thread or an external mutex (the
-// parallel executor allocates only under its shared-state lock).
+// parallel executor allocates only under its shared-state lock). The three
+// atomics below are deliberately outside any capability (DESIGN.md §12):
+// the counters are relaxed (readers tolerate staleness), while the sticky
+// stop_reason_ publishes with release/acquire so a worker observing a stop
+// also observes why.
 class ExecutionContext {
  public:
   enum class StopReason { kNone, kDeadline, kCandidateBudget };

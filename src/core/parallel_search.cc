@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <string>
@@ -15,7 +13,9 @@
 
 #include "core/bounds.h"
 #include "core/topk.h"
+#include "util/annotations.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace cirank {
@@ -41,27 +41,36 @@ struct RegistryEntry {
 };
 
 // Everything the workers share. Container *structure* (indexing, push_back,
-// queue ops) and arena allocation are only touched under `mu`; the
+// queue ops) and arena allocation are only touched under `mu` — the
+// CIRANK_GUARDED_BY annotations make the `tsa` preset prove it. The
 // Candidate payloads are immutable after admission, so workers read them
-// through stable arena pointers outside the lock.
+// through stable arena pointers outside the lock (the ArenaEntry* values
+// escape the capability on purpose; the *vector* of slots does not).
 struct SharedState {
   explicit SharedState(size_t k) : answers(k) {}
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::priority_queue<std::pair<double, size_t>> queue;  // (ub, slot idx)
-  std::vector<ArenaEntry*> slots;
-  std::map<NodeId, std::vector<RegistryEntry>> by_root;
-  std::set<std::string> seen;
-  TopKAnswers answers;
+  // mutable: Emit/FillStats read the counters through a const executor
+  // after the pool has joined, and still take the lock to satisfy the
+  // capability model (uncontended by then).
+  mutable Mutex mu;
+  CondVar cv;
+  std::priority_queue<std::pair<double, size_t>> queue
+      CIRANK_GUARDED_BY(mu);  // (ub, slot idx)
+  std::vector<ArenaEntry*> slots CIRANK_GUARDED_BY(mu);
+  std::map<NodeId, std::vector<RegistryEntry>> by_root CIRANK_GUARDED_BY(mu);
+  std::set<std::string> seen CIRANK_GUARDED_BY(mu);
+  TopKAnswers answers CIRANK_GUARDED_BY(mu);
 
-  size_t in_flight = 0;  // workers currently expanding a popped candidate
-  bool budget_exhausted = false;
-  int64_t popped = 0;
-  int64_t generated = 0;
-  int64_t merged = 0;
-  int64_t answers_found = 0;
-  double max_pruned_bound = 0.0;
+  // Workers currently expanding a popped candidate.
+  size_t in_flight CIRANK_GUARDED_BY(mu) = 0;
+  bool budget_exhausted CIRANK_GUARDED_BY(mu) = false;
+  int64_t popped CIRANK_GUARDED_BY(mu) = 0;
+  int64_t generated CIRANK_GUARDED_BY(mu) = 0;
+  int64_t merged CIRANK_GUARDED_BY(mu) = 0;
+  int64_t answers_found CIRANK_GUARDED_BY(mu) = 0;
+  // Theorem-1 audit value: the largest bound ever discarded by the
+  // frontier-wide prune (SearchStats::max_pruned_bound).
+  double max_pruned_bound CIRANK_GUARDED_BY(mu) = 0.0;
   // Viability/diameter rejections happen outside the lock, frontier prunes
   // inside it; one atomic serves both without widening the critical section.
   std::atomic<int64_t> pruned{0};
@@ -96,7 +105,7 @@ class Worker {
     }
     std::string key = CandidateKey(c);
     {
-      std::lock_guard<std::mutex> lk(s_->mu);
+      MutexLock lk(s_->mu);
       if (!s_->seen.insert(std::move(key)).second) return kNotAdmitted;
       ++s_->generated;
       if (from_merge) ++s_->merged;
@@ -127,7 +136,7 @@ class Worker {
     const NodeId root = c.root();
     const KeywordMask covered = c.covered;
     const double ub = c.upper_bound;
-    std::lock_guard<std::mutex> lk(s_->mu);
+    MutexLock lk(s_->mu);
     if (complete && s_->answers.Offer(std::move(canon), score)) {
       ++s_->answers_found;
     }
@@ -138,7 +147,7 @@ class Worker {
     const size_t idx = s_->slots.size() - 1;
     if (ub > 0.0) {
       s_->queue.push({ub, idx});
-      s_->cv.notify_one();  // work arrived; wake one idle worker
+      s_->cv.NotifyOne();  // work arrived; wake one idle worker
     }
     s_->by_root[root].push_back(RegistryEntry{idx, leaves, covered});
     return idx;
@@ -157,7 +166,7 @@ class Worker {
       const ArenaEntry* me;
       std::vector<RegistryEntry> partners;
       {
-        std::lock_guard<std::mutex> lk(s_->mu);
+        MutexLock lk(s_->mu);
         me = s_->slots[idx];
         partners = s_->by_root[me->c.root()];
       }
@@ -172,7 +181,7 @@ class Worker {
         }
         const ArenaEntry* oe;
         {
-          std::lock_guard<std::mutex> lk(s_->mu);
+          MutexLock lk(s_->mu);
           oe = s_->slots[other.idx];
         }
         Result<Candidate> merged =
@@ -209,8 +218,11 @@ class Worker {
   // prunable/stopped, which empties it) AND no worker is mid-expansion —
   // only then can no new work appear. Workers otherwise sleep on the cv and
   // are woken by queue pushes or by the last in-flight expansion finishing.
+  // Hand-over-hand locking (release around ExpandCandidate) is written with
+  // explicit Lock/Unlock so the analysis can follow the lock state through
+  // every branch.
   void Run() {
-    std::unique_lock<std::mutex> lk(s_->mu);
+    s_->mu.Lock();
     for (;;) {
       if (s_->budget_exhausted || ctx_->stopped()) {
         s_->queue = {};
@@ -218,13 +230,13 @@ class Worker {
         // Deadline or candidate budget: drain the frontier so every worker
         // falls through to termination with the best-so-far answers.
         s_->queue = {};
-        s_->cv.notify_all();
+        s_->cv.NotifyAll();
       } else if (options_->max_expansions > 0 &&
                  s_->popped >= options_->max_expansions &&
                  !s_->queue.empty()) {
         s_->budget_exhausted = true;
         s_->queue = {};
-        s_->cv.notify_all();
+        s_->cv.NotifyAll();
       } else if (!s_->queue.empty() && s_->answers.Full() &&
                  s_->queue.top().first < s_->answers.MinScore()) {
         // The top of the max-heap cannot beat (or canonically displace a
@@ -239,10 +251,11 @@ class Worker {
       }
       if (s_->queue.empty()) {
         if (s_->in_flight == 0) {
-          s_->cv.notify_all();
+          s_->cv.NotifyAll();
+          s_->mu.Unlock();
           return;
         }
-        s_->cv.wait(lk);
+        s_->cv.Wait(s_->mu);
         continue;
       }
       const auto [ub, idx] = s_->queue.top();
@@ -251,11 +264,11 @@ class Worker {
       ++s_->popped;
       ++s_->in_flight;
       const ArenaEntry* e = s_->slots[idx];
-      lk.unlock();
+      s_->mu.Unlock();
       ExpandCandidate(e);
-      lk.lock();
+      s_->mu.Lock();
       --s_->in_flight;
-      if (s_->in_flight == 0) s_->cv.notify_all();
+      if (s_->in_flight == 0) s_->cv.NotifyAll();
     }
   }
 
@@ -325,8 +338,13 @@ class ParallelBnbExecutor final : public SearchExecutor {
     return ctx.stopped() ? ctx.stop_status() : Status::OK();
   }
 
+  // Emit/FillStats run after the pool has joined, so the lock below is
+  // uncontended — it is taken anyway because the counters are capability-
+  // guarded and the analysis (rightly) does not model "the threads are
+  // gone" as a synchronization event.
   Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
     StageStats& stages = ctx.stages();
+    MutexLock lk(shared_.mu);
     stages.candidates_generated = shared_.generated;
     stages.candidates_merged = shared_.merged;
     stages.candidates_pruned =
@@ -336,6 +354,7 @@ class ParallelBnbExecutor final : public SearchExecutor {
   }
 
   void FillStats(SearchStats* stats) const override {
+    MutexLock lk(shared_.mu);
     stats->popped = shared_.popped;
     stats->generated = shared_.generated;
     stats->answers_found = shared_.answers_found;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/mutex.h"
+
 namespace cirank {
 namespace obs {
 
@@ -73,7 +75,9 @@ void AtomicAddDouble(std::atomic<double>* target, double delta) {
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = DefaultLatencyBoundsSeconds();
   counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Observe(double value) {
@@ -143,7 +147,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -156,7 +160,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
@@ -170,7 +174,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -184,7 +188,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream out;
   out.precision(17);
 
@@ -240,7 +244,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream out;
   out.precision(17);
   out << "{\n  \"counters\": {";
@@ -281,7 +285,7 @@ std::string MetricsRegistry::RenderJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace cirank {
 namespace obs {
@@ -136,11 +138,18 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;  // family → help text
+  // Registration-path capability: guards the name→instrument maps only.
+  // The instruments themselves are relaxed atomics and escape the lock by
+  // design (the hot path holds a pre-resolved pointer and never locks) —
+  // that split is the documented discipline of DESIGN.md §11/§12.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CIRANK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CIRANK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CIRANK_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_
+      CIRANK_GUARDED_BY(mu_);  // family → help text
 };
 
 }  // namespace obs

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/mutex.h"
+
 namespace cirank {
 namespace obs {
 
@@ -34,22 +36,22 @@ int64_t TraceCollector::NowMicros() const {
 }
 
 void TraceCollector::Record(Span span) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   spans_.push_back(std::move(span));
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return spans_.size();
 }
 
 std::vector<TraceCollector::Span> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return spans_;
 }
 
 std::string TraceCollector::RenderChromeJson() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   for (size_t i = 0; i < spans_.size(); ++i) {

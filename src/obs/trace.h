@@ -17,10 +17,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace cirank {
 namespace obs {
@@ -58,8 +60,8 @@ class TraceCollector {
  private:
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<int64_t> next_track_{1};
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ CIRANK_GUARDED_BY(mu_);
 };
 
 // RAII span: records [construction, End()/destruction) into the collector.

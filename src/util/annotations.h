@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis annotations (DESIGN.md §12). Under Clang
+// with -Wthread-safety these expand to the compiler's capability attributes,
+// turning every "must hold the shard mutex" comment into a compile error;
+// under every other compiler they expand to nothing. The `tsa` CMake preset
+// builds the whole tree with -Wthread-safety -Wthread-safety-beta -Werror,
+// and CI gates on it.
+//
+// Usage pattern (the only sanctioned lock types live in util/mutex.h):
+//
+//   class CIRANK_CAPABILITY("mutex") Mutex { ... };
+//
+//   Mutex mu_;
+//   std::deque<Task> tasks_ CIRANK_GUARDED_BY(mu_);
+//   void Submit(Task t) CIRANK_EXCLUDES(mu_);
+//
+// A read or write of `tasks_` outside a scope that holds `mu_` (via
+// MutexLock, or Lock()/Unlock() pairs the analysis can see) fails the tsa
+// build. See DESIGN.md §12 for how to read a -Wthread-safety failure.
+#ifndef CIRANK_UTIL_ANNOTATIONS_H_
+#define CIRANK_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CIRANK_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CIRANK_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+// Declares a class to be a capability (lockable type). The string names the
+// capability kind in diagnostics ("mutex").
+#define CIRANK_CAPABILITY(x) CIRANK_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII class whose lifetime acquires/releases a capability
+// (MutexLock). The constructor carries CIRANK_ACQUIRE(mu), the destructor
+// CIRANK_RELEASE().
+#define CIRANK_SCOPED_CAPABILITY CIRANK_THREAD_ANNOTATION_(scoped_lockable)
+
+// Field/variable may only be read or written while holding the capability.
+#define CIRANK_GUARDED_BY(x) CIRANK_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer field: the *pointee* may only be dereferenced while holding the
+// capability (the pointer itself is unguarded).
+#define CIRANK_PT_GUARDED_BY(x) CIRANK_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Declared lock-order edges, checked by -Wthread-safety-beta. The repo's
+// two-level hierarchy (engine → cache-shard → pool) is additionally
+// enforced lexically by the `lock-order` rule in tools/analyze.
+#define CIRANK_ACQUIRED_BEFORE(...) \
+  CIRANK_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define CIRANK_ACQUIRED_AFTER(...) \
+  CIRANK_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Caller must hold the capability exclusively (shared) when calling.
+#define CIRANK_REQUIRES(...) \
+  CIRANK_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CIRANK_REQUIRES_SHARED(...) \
+  CIRANK_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return.
+#define CIRANK_ACQUIRE(...) \
+  CIRANK_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CIRANK_ACQUIRE_SHARED(...) \
+  CIRANK_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (which the caller must hold).
+#define CIRANK_RELEASE(...) \
+  CIRANK_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CIRANK_RELEASE_SHARED(...) \
+  CIRANK_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `b`.
+#define CIRANK_TRY_ACQUIRE(b, ...) \
+  CIRANK_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the capability (self-deadlock guard for functions
+// that acquire it internally).
+#define CIRANK_EXCLUDES(...) \
+  CIRANK_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (informs the analysis).
+#define CIRANK_ASSERT_CAPABILITY(x) \
+  CIRANK_THREAD_ANNOTATION_(assert_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define CIRANK_RETURN_CAPABILITY(x) CIRANK_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: the function's locking is correct but beyond the analysis
+// (e.g. lock handoff through a std type). Use sparingly, with a comment.
+#define CIRANK_NO_THREAD_SAFETY_ANALYSIS \
+  CIRANK_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CIRANK_UTIL_ANNOTATIONS_H_

@@ -8,6 +8,9 @@ namespace cirank {
 
 namespace {
 
+// Unguarded by design (DESIGN.md §12): the log threshold is a single word
+// read on every log call; relaxed loads/stores are exact for a lone atomic
+// and keep the hot path fence-free.
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelTag(LogLevel level) {

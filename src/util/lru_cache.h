@@ -1,8 +1,13 @@
 // Sharded, mutex-per-shard LRU cache for serving-path memoization (the
 // engine's query-result cache). Sharding keeps the lock hold times of
 // concurrent readers from serializing on one mutex; each shard owns an
-// intrusive recency list plus a hash index. Values are returned by copy, so
-// callers typically store a shared_ptr when entries are large.
+// intrusive recency list plus a hash index, both declared
+// CIRANK_GUARDED_BY the shard's mutex so the `tsa` preset proves no
+// structure is touched outside it (DESIGN.md §12). Shard mutexes sit at
+// the cache-shard level of the lock hierarchy (engine → cache-shard →
+// pool); per-shard counters are relaxed atomics and deliberately
+// unguarded. Values are returned by copy, so callers typically store a
+// shared_ptr when entries are large.
 #ifndef CIRANK_UTIL_LRU_CACHE_H_
 #define CIRANK_UTIL_LRU_CACHE_H_
 
@@ -12,11 +17,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace cirank {
 
@@ -43,7 +50,7 @@ class ShardedLruCache {
   std::optional<Value> Get(const Key& key) {
     if (!enabled()) return std::nullopt;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +68,7 @@ class ShardedLruCache {
   void Put(const Key& key, Value value) {
     if (!enabled()) return;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->second = std::move(value);
@@ -78,10 +85,13 @@ class ShardedLruCache {
     }
   }
 
-  // Drops every entry (the feedback-invalidation path).
+  // Drops every entry (the feedback-invalidation path). Shards are swept
+  // one at a time — concurrent readers of later shards may still hit until
+  // the sweep reaches them, which is fine: invalidation only promises no
+  // stale entry survives the call.
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lk(shard->mu);
+      MutexLock lk(shard->mu);
       shard->order.clear();
       shard->index.clear();
     }
@@ -91,7 +101,7 @@ class ShardedLruCache {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lk(shard->mu);
+      MutexLock lk(shard->mu);
       total += shard->order.size();
     }
     return total;
@@ -123,7 +133,7 @@ class ShardedLruCache {
       s.misses = shard->misses.load(std::memory_order_relaxed);
       s.evictions = shard->evictions.load(std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lk(shard->mu);
+        MutexLock lk(shard->mu);
         s.entries = shard->order.size();
       }
       out.push_back(s);
@@ -134,13 +144,15 @@ class ShardedLruCache {
  private:
   struct Shard {
     explicit Shard(size_t cap) : capacity(cap) {}
-    mutable std::mutex mu;
-    std::list<std::pair<Key, Value>> order;  // front = most recently used
+    mutable Mutex mu;  // cache-shard level of the lock hierarchy
+    std::list<std::pair<Key, Value>> order
+        CIRANK_GUARDED_BY(mu);  // front = most recently used
     std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
                        Hash>
-        index;
-    size_t capacity;
-    // Monotonic per-shard counters (the totals below aggregate them).
+        index CIRANK_GUARDED_BY(mu);
+    size_t capacity;  // immutable after construction
+    // Monotonic per-shard counters (the totals below aggregate them);
+    // relaxed atomics, intentionally outside the shard capability.
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> evictions{0};
@@ -158,7 +170,7 @@ class ShardedLruCache {
     return *shards_[h % shards_.size()];
   }
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // set once in the ctor
   Hash hash_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

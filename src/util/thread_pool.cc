@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/mutex.h"
+
 namespace cirank {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -17,43 +19,46 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(pool_mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(pool_mu_);
     tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
     ++stats_.submitted;
     stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, tasks_.size());
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(pool_mu_);
   return stats_;
 }
 
 void ThreadPool::SetTaskWaitObserver(std::function<void(double)> observer) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(pool_mu_);
   wait_observer_ = std::move(observer);
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lk(pool_mu_);
+  while (!(tasks_.empty() && active_ == 0)) idle_cv_.Wait(pool_mu_);
 }
 
 void ThreadPool::WorkerMain() {
-  std::unique_lock<std::mutex> lk(mu_);
+  pool_mu_.Lock();
   for (;;) {
-    work_cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
-    if (tasks_.empty()) return;  // stopping_ and nothing left to run
+    while (!stopping_ && tasks_.empty()) work_cv_.Wait(pool_mu_);
+    if (tasks_.empty()) {  // stopping_ and nothing left to run
+      pool_mu_.Unlock();
+      return;
+    }
     std::function<void()> task = std::move(tasks_.front().fn);
     const double wait_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -62,17 +67,17 @@ void ThreadPool::WorkerMain() {
     tasks_.pop_front();
     stats_.total_wait_seconds += wait_seconds;
     stats_.max_wait_seconds = std::max(stats_.max_wait_seconds, wait_seconds);
-    std::function<void(double)> observer = wait_observer_;  // copy under mu_
+    std::function<void(double)> observer = wait_observer_;  // copy under lock
     ++active_;
-    lk.unlock();
+    pool_mu_.Unlock();
     // Invoked outside the lock: the observer typically feeds a histogram
     // and must not serialize the pool.
     if (observer) observer(wait_seconds);
     task();
-    lk.lock();
+    pool_mu_.Lock();
     ++stats_.executed;
     --active_;
-    if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (tasks_.empty() && active_ == 0) idle_cv_.NotifyAll();
   }
 }
 
@@ -81,20 +86,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct Shared {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto shared = std::make_shared<Shared>();
   // Helpers and the calling thread all claim indices from one counter; fn
   // stays valid by reference because this function blocks until done == n.
+  // `done` is release/acquire so every fn(i)'s writes are visible to the
+  // caller when the final count is observed — the fast path below checks
+  // the counter before ever touching the mutex the notifier holds.
   auto drain = [shared, &fn, n] {
     for (;;) {
-      const size_t i = shared->next.fetch_add(1);
+      const size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       fn(i);
-      if (shared->done.fetch_add(1) + 1 == n) {
-        std::lock_guard<std::mutex> lk(shared->mu);
-        shared->cv.notify_all();
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        MutexLock lk(shared->mu);
+        shared->cv.NotifyAll();
       }
     }
   };
@@ -102,8 +110,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       std::min(workers_.size(), n > 0 ? n - 1 : size_t{0});
   for (size_t i = 0; i < helpers; ++i) Submit(drain);
   drain();
-  std::unique_lock<std::mutex> lk(shared->mu);
-  shared->cv.wait(lk, [&] { return shared->done.load() == n; });
+  MutexLock lk(shared->mu);
+  while (shared->done.load(std::memory_order_acquire) != n) {
+    shared->cv.Wait(shared->mu);
+  }
 }
 
 int ThreadPool::HardwareThreads() {

@@ -1,21 +1,26 @@
 // Fixed-size worker pool: the project's single sanctioned owner of raw
-// std::thread (tools/lint.py enforces this). Deliberately work-stealing-free:
+// std::thread (tools/analyze enforces this). Deliberately work-stealing-free:
 // one mutex-protected FIFO feeds every worker, which is plenty for the
 // coarse-grained tasks the engine submits (whole queries, frontier
 // expansions) and keeps the termination reasoning in the parallel search
-// trivial to audit.
+// trivial to audit. The queue discipline is machine-checked: every field
+// below carries a CIRANK_GUARDED_BY annotation and the `tsa` preset fails
+// to compile any access outside pool_mu_ (DESIGN.md §12). pool_mu_ is the
+// lowest level of the declared lock hierarchy (engine → cache-shard →
+// pool): no other project lock may be acquired while holding it.
 #ifndef CIRANK_UTIL_THREAD_POOL_H_
 #define CIRANK_UTIL_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace cirank {
 
@@ -44,28 +49,30 @@ class ThreadPool {
 
   // Enqueues a task. Tasks must not throw (the project is exception-free)
   // and must not block waiting on a later-submitted task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CIRANK_EXCLUDES(pool_mu_);
 
   // Blocks until every submitted task has finished and no worker is busy.
-  void WaitIdle();
+  void WaitIdle() CIRANK_EXCLUDES(pool_mu_);
 
   // Runs fn(0) .. fn(n-1), distributing indices dynamically over the pool's
   // workers plus the calling thread. Blocks until every call returned.
   // Distinct indices may run concurrently; fn must be safe for that.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      CIRANK_EXCLUDES(pool_mu_);
 
   // std::thread::hardware_concurrency with a floor of 1.
   static int HardwareThreads();
 
   // Aggregate queue/wait counters since construction.
-  Stats stats() const;
+  Stats stats() const CIRANK_EXCLUDES(pool_mu_);
 
   // Called with each task's submit→dequeue wait (seconds) just before the
   // task runs, from the worker thread, outside the pool lock. Install
   // before submitting work (typically right after construction; the setter
   // itself is not synchronized against in-flight Submit calls). The engine
   // points this at a latency histogram.
-  void SetTaskWaitObserver(std::function<void(double)> observer);
+  void SetTaskWaitObserver(std::function<void(double)> observer)
+      CIRANK_EXCLUDES(pool_mu_);
 
  private:
   struct QueuedTask {
@@ -73,17 +80,18 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerMain();
+  void WorkerMain() CIRANK_EXCLUDES(pool_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: "a task or stop arrived"
-  std::condition_variable idle_cv_;  // WaitIdle: "a task finished"
-  std::deque<QueuedTask> tasks_;
-  std::vector<std::thread> workers_;
-  size_t active_ = 0;  // tasks currently executing
-  bool stopping_ = false;
-  Stats stats_;                                 // guarded by mu_
-  std::function<void(double)> wait_observer_;   // called outside mu_
+  mutable Mutex pool_mu_;
+  CondVar work_cv_;  // workers: "a task or stop arrived"
+  CondVar idle_cv_;  // WaitIdle: "a task finished"
+  std::deque<QueuedTask> tasks_ CIRANK_GUARDED_BY(pool_mu_);
+  std::vector<std::thread> workers_;  // written only by ctor/dtor
+  size_t active_ CIRANK_GUARDED_BY(pool_mu_) = 0;  // tasks executing now
+  bool stopping_ CIRANK_GUARDED_BY(pool_mu_) = false;
+  Stats stats_ CIRANK_GUARDED_BY(pool_mu_);
+  // Copied out under pool_mu_, invoked outside it (must not serialize).
+  std::function<void(double)> wait_observer_ CIRANK_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace cirank

@@ -1,0 +1,17 @@
+// Fixture: rule-abiding source file plus one suppressed violation, so the
+// clean run also proves suppressions are honored and counted.
+#include "tidy.h"
+
+#include <thread>
+
+namespace cirank {
+
+int64_t UseCounter() {
+  TidyCounter c;
+  std::thread t([&c] { c.Add(2); });  // cirank-lint: disable=raw-thread
+  t.join();
+  c.Add(1);
+  return c.total();
+}
+
+}  // namespace cirank

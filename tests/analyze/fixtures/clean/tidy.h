@@ -1,0 +1,21 @@
+// Fixture: a file that follows every rule — the analyzer must stay silent.
+#ifndef CIRANK_TIDY_H_
+#define CIRANK_TIDY_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cirank {
+
+class TidyCounter {
+ public:
+  void Add(int64_t v) { total_.fetch_add(v, std::memory_order_relaxed); }
+  int64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> total_{0};
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_TIDY_H_

@@ -1,0 +1,51 @@
+// Fixture: the declared lock hierarchy is engine -> cache-shard -> pool.
+// Acquiring an outer (lower-rank) lock while holding an inner one is an
+// inversion; same-order nesting and hand-over-hand sequences are fine.
+#include "util/mutex.h"
+
+namespace cirank {
+
+struct Locks {
+  Mutex feedback_mu;   // engine level
+  Mutex pool_mu_;      // pool level
+};
+struct ShardLike {
+  Mutex mu;
+};
+
+// OK: outer before inner matches the declared order.
+void GoodNesting(Locks& l, ShardLike& shard) {
+  MutexLock engine_lk(l.feedback_mu);
+  MutexLock shard_lk(shard.mu);
+  MutexLock pool_lk(l.pool_mu_);
+}
+
+// BAD: pool is the innermost level; nothing may be acquired under it.
+void PoolThenEngine(Locks& l) {
+  MutexLock pool_lk(l.pool_mu_);
+  MutexLock engine_lk(l.feedback_mu);
+}
+
+// BAD: cache-shard -> engine inverts the first edge of the hierarchy.
+void ShardThenEngine(Locks& l, ShardLike& shard) {
+  shard.mu.Lock();
+  MutexLock engine_lk(l.feedback_mu);
+  shard.mu.Unlock();
+}
+
+// OK: hand-over-hand — the pool lock is released before engine is taken.
+void HandOverHand(Locks& l) {
+  l.pool_mu_.Lock();
+  l.pool_mu_.Unlock();
+  MutexLock engine_lk(l.feedback_mu);
+}
+
+// OK: scoped lock released at the brace, so no overlap.
+void DisjointScopes(Locks& l) {
+  {
+    MutexLock pool_lk(l.pool_mu_);
+  }
+  MutexLock engine_lk(l.feedback_mu);
+}
+
+}  // namespace cirank

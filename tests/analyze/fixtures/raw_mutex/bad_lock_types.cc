@@ -1,0 +1,22 @@
+// Fixture: every raw standard-library lock type must be flagged outside
+// src/util/mutex.h.
+#include <condition_variable>
+#include <mutex>
+
+static std::mutex g_mu;
+static std::condition_variable g_cv;
+
+void Locked() {
+  std::lock_guard<std::mutex> lk(g_mu);
+}
+
+void Waits() {
+  std::unique_lock<std::mutex> lk(g_mu);
+  g_cv.wait(lk);
+}
+
+void SuppressedUse() {
+  std::mutex local;  // cirank-lint: disable=raw-mutex
+  local.lock();
+  local.unlock();
+}

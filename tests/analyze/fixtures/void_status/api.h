@@ -1,0 +1,17 @@
+// Fixture header: declares status-returning functions for the
+// unchecked-status rule to track.
+#ifndef CIRANK_API_H_
+#define CIRANK_API_H_
+
+namespace cirank {
+
+class Status;
+template <typename T>
+class Result;
+
+Status DoThing(int x);
+Result<int> Compute(int x);
+
+}  // namespace cirank
+
+#endif  // CIRANK_API_H_

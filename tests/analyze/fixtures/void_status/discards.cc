@@ -1,0 +1,16 @@
+// Fixture: bare and (void)-cast discards of Status/Result are flagged;
+// CIRANK_IGNORE_ERROR and consumed values are not.
+#include "api.h"
+
+namespace cirank {
+
+void Caller() {
+  DoThing(1);                      // flagged: bare statement discard
+  (void)DoThing(2);                // flagged: (void) cast discard
+  (void)Compute(3);                // flagged: (void) cast discard
+  CIRANK_IGNORE_ERROR(DoThing(4));  // ok: sanctioned explicit drop
+  auto r = Compute(5);             // ok: consumed
+  (void)r;                         // ok: not a call
+}
+
+}  // namespace cirank

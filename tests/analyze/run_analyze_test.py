@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/analyze: runs the analyzer over each fixture tree
+and compares JSON output against the fixture's expected.json golden.
+
+Each fixture directory under fixtures/ holds a small source tree plus an
+expected.json:
+
+    {
+      "rules": ["raw-mutex"],   # optional subset passed as --rules
+      "exit_code": 1,           # required exit status
+      "suppressed": 1,          # optional: expected suppression count
+      "findings": [{"file":..., "line":..., "rule":...}, ...]
+    }
+
+Finding comparison is on (file, line, rule) triplets so message wording can
+evolve without re-blessing goldens. Every run also validates the analyzer's
+JSON output against the documented schema (framework.py), and a final run
+asserts the real repo tree is clean. Registered as the `analyze_test` ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+CLI = os.path.join(ROOT, "tools", "analyze", "cli.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_ERROR = 0, 1, 2
+
+
+def run_analyzer(root, rules=None):
+    cmd = [sys.executable, CLI, "--root", root, "--format", "json"]
+    if rules:
+        cmd += ["--rules", ",".join(rules)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc
+
+
+def validate_schema(doc, context, errors):
+    """Checks the documented JSON schema (framework.py, version 1)."""
+    def fail(msg):
+        errors.append(f"{context}: schema: {msg}")
+
+    for key, typ in (("version", int), ("tool", str), ("files_checked", int),
+                     ("suppressed", int), ("rules", list),
+                     ("findings", list)):
+        if key not in doc:
+            fail(f"missing key `{key}`")
+            return
+        if not isinstance(doc[key], typ):
+            fail(f"`{key}` is {type(doc[key]).__name__}, want {typ.__name__}")
+            return
+    if doc["version"] != 1:
+        fail(f"unknown schema version {doc['version']}")
+    if doc["tool"] != "cirank-analyze":
+        fail(f"unexpected tool name {doc['tool']!r}")
+    for r in doc["rules"]:
+        if not (isinstance(r, dict) and isinstance(r.get("name"), str) and
+                isinstance(r.get("description"), str)):
+            fail(f"malformed rule entry {r!r}")
+            return
+    for f in doc["findings"]:
+        if not (isinstance(f, dict) and isinstance(f.get("file"), str) and
+                isinstance(f.get("line"), int) and
+                isinstance(f.get("rule"), str) and
+                isinstance(f.get("message"), str)):
+            fail(f"malformed finding {f!r}")
+            return
+
+
+def check_fixture(name, errors):
+    fixture = os.path.join(FIXTURES, name)
+    with open(os.path.join(fixture, "expected.json"), encoding="utf-8") as f:
+        expected = json.load(f)
+
+    proc = run_analyzer(fixture, expected.get("rules"))
+    if proc.returncode != expected["exit_code"]:
+        errors.append(f"{name}: exit code {proc.returncode}, want "
+                      f"{expected['exit_code']}\nstderr: {proc.stderr}")
+        return
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        errors.append(f"{name}: output is not JSON: {e}")
+        return
+    validate_schema(doc, name, errors)
+
+    got = sorted((f["file"], f["line"], f["rule"]) for f in doc["findings"])
+    want = sorted((f["file"], f["line"], f["rule"])
+                  for f in expected["findings"])
+    if got != want:
+        errors.append(f"{name}: findings mismatch\n  got:  {got}\n"
+                      f"  want: {want}")
+    if "suppressed" in expected and doc["suppressed"] != expected["suppressed"]:
+        errors.append(f"{name}: suppressed={doc['suppressed']}, want "
+                      f"{expected['suppressed']}")
+
+
+def check_error_paths(errors):
+    """--rules with an unknown name and a bad --root must exit 2."""
+    proc = run_analyzer(FIXTURES and os.path.join(FIXTURES, "clean"),
+                        rules=["no-such-rule"])
+    if proc.returncode != EXIT_ERROR:
+        errors.append(f"unknown rule: exit {proc.returncode}, want 2")
+    proc = subprocess.run(
+        [sys.executable, CLI, "--root", os.path.join(HERE, "does-not-exist")],
+        capture_output=True, text=True)
+    if proc.returncode != EXIT_ERROR:
+        errors.append(f"bad root: exit {proc.returncode}, want 2")
+
+
+def check_real_tree(errors):
+    proc = run_analyzer(ROOT)
+    if proc.returncode != EXIT_CLEAN:
+        errors.append(f"real tree not clean (exit {proc.returncode}):\n"
+                      f"{proc.stdout}\n{proc.stderr}")
+        return
+    doc = json.loads(proc.stdout)
+    validate_schema(doc, "real-tree", errors)
+    if doc["files_checked"] < 100:
+        errors.append(f"real tree scanned only {doc['files_checked']} files; "
+                      f"the walker looks broken")
+
+
+def main():
+    errors = []
+    fixtures = sorted(d for d in os.listdir(FIXTURES)
+                      if os.path.isdir(os.path.join(FIXTURES, d)))
+    if not fixtures:
+        errors.append("no fixtures found")
+    for name in fixtures:
+        check_fixture(name, errors)
+    check_error_paths(errors)
+    check_real_tree(errors)
+    if errors:
+        print("\n".join(errors))
+        print(f"\nanalyze_test: FAIL ({len(errors)} error(s))")
+        return 1
+    print(f"analyze_test: OK ({len(fixtures)} fixtures + error paths + "
+          f"real tree)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

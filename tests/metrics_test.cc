@@ -248,7 +248,7 @@ TEST(RegistryTest, RenderWhileWriting) {
   std::atomic<bool> stop{false};
   for (int w = 0; w < 3; ++w) {
     pool.Submit([&registry, &stop] {
-      while (!stop.load()) {
+      while (!stop.load(std::memory_order_relaxed)) {
         registry.GetCounter("spin_total").Increment();
         registry.GetHistogram("spin_seconds", "", {1.0}).Observe(0.5);
       }
@@ -261,7 +261,7 @@ TEST(RegistryTest, RenderWhileWriting) {
                 prom.find("spin_total") != std::string::npos);
     EXPECT_NE(json.find("counters"), std::string::npos);
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_relaxed);
   pool.WaitIdle();
 }
 

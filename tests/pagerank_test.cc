@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
+#include "util/status.h"
 
 namespace cirank {
 namespace {
@@ -16,10 +17,10 @@ Graph MakeTriangleWithTail() {
   GraphBuilder b(schema);
   for (int i = 0; i < 4; ++i) b.AddNode(e, "n" + std::to_string(i));
   // Triangle 0-1-2 (both directions) plus a dangling tail 2 -> 3.
-  (void)b.AddBidirectionalEdge(0, 1, t, t);
-  (void)b.AddBidirectionalEdge(1, 2, t, t);
-  (void)b.AddBidirectionalEdge(0, 2, t, t);
-  (void)b.AddEdge(2, 3, t);  // 3 is dangling (no out-edges)
+  CIRANK_IGNORE_ERROR(b.AddBidirectionalEdge(0, 1, t, t));
+  CIRANK_IGNORE_ERROR(b.AddBidirectionalEdge(1, 2, t, t));
+  CIRANK_IGNORE_ERROR(b.AddBidirectionalEdge(0, 2, t, t));
+  CIRANK_IGNORE_ERROR(b.AddEdge(2, 3, t));  // 3 is dangling (no out-edges)
   return b.Finalize();
 }
 
@@ -82,10 +83,10 @@ TEST(PageRankTest, WeightedEdgesShiftMass) {
   GraphBuilder b(schema);
   for (int i = 0; i < 3; ++i) b.AddNode(e, "n");
   // 0 sends heavily to 1, lightly to 2; 1 and 2 send back to 0.
-  (void)b.AddEdge(0, 1, heavy);
-  (void)b.AddEdge(0, 2, light);
-  (void)b.AddEdge(1, 0, light);
-  (void)b.AddEdge(2, 0, light);
+  CIRANK_IGNORE_ERROR(b.AddEdge(0, 1, heavy));
+  CIRANK_IGNORE_ERROR(b.AddEdge(0, 2, light));
+  CIRANK_IGNORE_ERROR(b.AddEdge(1, 0, light));
+  CIRANK_IGNORE_ERROR(b.AddEdge(2, 0, light));
   Graph g = b.Finalize();
   auto result = ComputePageRank(g);
   ASSERT_TRUE(result.ok());

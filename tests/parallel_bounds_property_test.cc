@@ -10,7 +10,6 @@
 //     offers through the mutex discipline the parallel search uses.
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +19,7 @@
 #include "core/parallel_search.h"
 #include "core/topk.h"
 #include "tests/test_util.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -149,21 +149,21 @@ TEST(TopKAnswersTest, ConcurrentOffersMatchSerialFold) {
   }
 
   TopKAnswers concurrent(kK);
-  std::mutex mu;
+  cirank::Mutex mu;
   std::atomic<bool> monotone{true};
   {
     ThreadPool pool(kThreads);
     pool.ParallelFor(offers.size(), [&](size_t i) {
-      std::lock_guard<std::mutex> lk(mu);
+      cirank::MutexLock lk(mu);
       const bool full_before = concurrent.Full();
       const double min_before = full_before ? concurrent.MinScore() : 0.0;
       (void)concurrent.Offer(Jtt(offers[i].first), offers[i].second);
       if (full_before && concurrent.MinScore() < min_before) {
-        monotone.store(false);
+        monotone.store(false, std::memory_order_relaxed);
       }
     });
   }
-  EXPECT_TRUE(monotone.load());
+  EXPECT_TRUE(monotone.load(std::memory_order_relaxed));
 
   TopKAnswers serial(kK);
   for (const auto& [node, score] : offers) {

@@ -49,7 +49,7 @@ TEST(SearchStressTest, BatchSearchRacesFeedbackInvalidation) {
     NodeId v = 0;
     while (!stop.load(std::memory_order_acquire)) {
       if (!engine.RecordClick(v % graph.num_nodes()).ok()) {
-        feedback_errors.fetch_add(1);
+        feedback_errors.fetch_add(1, std::memory_order_relaxed);
       }
       ++v;
     }
@@ -57,7 +57,7 @@ TEST(SearchStressTest, BatchSearchRacesFeedbackInvalidation) {
   background.Submit([&] {
     while (!stop.load(std::memory_order_acquire)) {
       if (!engine.RecordFeedback({1, 2}, {3}, 0.5).ok()) {
-        feedback_errors.fetch_add(1);
+        feedback_errors.fetch_add(1, std::memory_order_relaxed);
       }
     }
   });
@@ -80,7 +80,7 @@ TEST(SearchStressTest, BatchSearchRacesFeedbackInvalidation) {
 
   stop.store(true, std::memory_order_release);
   background.WaitIdle();
-  EXPECT_EQ(feedback_errors.load(), 0);
+  EXPECT_EQ(feedback_errors.load(std::memory_order_relaxed), 0);
   EXPECT_GT(engine.FeedbackClicks(1), 0.0);
 }
 
@@ -107,14 +107,14 @@ TEST(SearchStressTest, ConcurrentParallelSearchesShareScorer) {
           auto r = ParallelBnbSearch(*b.scorer, Query::MustParse("kw0 kw1"), opts,
                                      {2});
           if (!r.ok() || r->size() != reference->size()) {
-            mismatches.fetch_add(1);
+            mismatches.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
           for (size_t j = 0; j < r->size(); ++j) {
             if ((*r)[j].score != (*reference)[j].score ||
                 (*r)[j].tree.CanonicalKey() !=
                     (*reference)[j].tree.CanonicalKey()) {
-              mismatches.fetch_add(1);
+              mismatches.fetch_add(1, std::memory_order_relaxed);
             }
           }
         }
@@ -122,7 +122,7 @@ TEST(SearchStressTest, ConcurrentParallelSearchesShareScorer) {
     }
     pool.WaitIdle();
   }
-  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0);
 }
 
 }  // namespace

@@ -3,7 +3,6 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -26,10 +25,10 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   {
     ThreadPool pool(4);
     for (int i = 0; i < 100; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
     }
     pool.WaitIdle();
-    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(counter.load(std::memory_order_relaxed), 100);
   }
 }
 
@@ -38,11 +37,11 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
     }
     // No WaitIdle: the destructor must still run everything.
   }
-  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 50);
 }
 
 TEST(ThreadPoolTest, WaitIdleIsReusable) {
@@ -50,10 +49,10 @@ TEST(ThreadPoolTest, WaitIdleIsReusable) {
   std::atomic<int> counter{0};
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 20; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
     }
     pool.WaitIdle();
-    EXPECT_EQ(counter.load(), 20 * (round + 1));
+    EXPECT_EQ(counter.load(std::memory_order_relaxed), 20 * (round + 1));
   }
 }
 
@@ -61,29 +60,29 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   constexpr size_t kN = 1000;
   std::vector<std::atomic<int>> hits(kN);
-  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
   for (size_t i = 0; i < kN; ++i) {
-    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    EXPECT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
   }
 }
 
 TEST(ThreadPoolTest, ParallelForHandlesDegenerateSizes) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
-  pool.ParallelFor(0, [&](size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 0);
-  pool.ParallelFor(1, [&](size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 1);
+  pool.ParallelFor(0, [&](size_t) { counter.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 0);
+  pool.ParallelFor(1, [&](size_t) { counter.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 1);
   // Fewer items than workers.
-  pool.ParallelFor(2, [&](size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 3);
+  pool.ParallelFor(2, [&](size_t) { counter.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 3);
 }
 
 TEST(ThreadPoolTest, ParallelForWorksOnSingleThreadPool) {
   ThreadPool pool(1);
   std::atomic<int> sum{0};
-  pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
-  EXPECT_EQ(sum.load(), 45);
+  pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 45);
 }
 
 TEST(ThreadPoolTest, HardwareThreadsIsPositive) {

@@ -1,0 +1,36 @@
+// NEGATIVE-COMPILE DEMO — deliberately violates the locking discipline.
+//
+// This file is NOT part of any CMake target. The CI `tsa` job compiles it
+// with `clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror`
+// and asserts the compilation FAILS: it reads and writes a field declared
+// CIRANK_GUARDED_BY without holding the guarding mutex. If Clang ever
+// accepts this file, the thread-safety gate is broken.
+#include <cstdint>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace cirank {
+
+class BrokenCounter {
+ public:
+  // BUG (intentional): touches value_ without acquiring mu_. Under the
+  // `tsa` preset this is a -Wthread-safety error:
+  //   writing variable 'value_' requires holding mutex 'mu_' exclusively
+  void IncrementWithoutLock() { ++value_; }
+
+  // BUG (intentional): reads guarded state with no lock held.
+  int64_t UnlockedRead() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int64_t value_ CIRANK_GUARDED_BY(mu_) = 0;
+};
+
+int64_t DemoEntryPoint() {
+  BrokenCounter c;
+  c.IncrementWithoutLock();
+  return c.UnlockedRead();
+}
+
+}  // namespace cirank

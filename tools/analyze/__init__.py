@@ -1,0 +1,23 @@
+"""cirank static analyzer: rule registry, runner, and CLI.
+
+Entry points:
+    python3 tools/analyze/cli.py   (canonical)
+    python3 tools/lint.py          (compatibility shim)
+
+See framework.py for the registry/output contracts and rules.py for the
+rules themselves.
+"""
+
+from analyze.framework import (  # noqa: F401
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    REGISTRY,
+    Rule,
+    format_json,
+    format_text,
+    run,
+    rule,
+    strip_comments_and_strings,
+)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Command-line entry point for the cirank analyzer.
+
+    python3 tools/analyze/cli.py [--root DIR] [--format text|json]
+                                 [--rules r1,r2] [--list-rules]
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+`python3 tools/lint.py` is a compatibility shim for the same thing.
+"""
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):
+    # Direct execution: make `analyze.*` imports resolve from tools/.
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from analyze import framework
+from analyze import rules as _rules  # noqa: F401  (registers the rules)
+
+DEFAULT_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="cirank-analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=DEFAULT_ROOT,
+                        help="tree to scan (default: the repo root)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--rules", default=None, metavar="R1,R2",
+                        help="comma-separated subset of rules to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in framework.REGISTRY.values():
+            print(f"{r.name:18s} {r.description}")
+        return framework.EXIT_CLEAN
+
+    if not os.path.isdir(args.root):
+        print(f"cirank-analyze: not a directory: {args.root}",
+              file=sys.stderr)
+        return framework.EXIT_ERROR
+
+    selected = None
+    if args.rules is not None:
+        selected = [s.strip() for s in args.rules.split(",") if s.strip()]
+
+    try:
+        result = framework.run(args.root, selected)
+    except KeyError as e:
+        print(f"cirank-analyze: {e.args[0]}", file=sys.stderr)
+        return framework.EXIT_ERROR
+
+    if args.format == "json":
+        print(framework.format_json(result))
+    else:
+        print(framework.format_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Core machinery for the cirank analyzer: rule registry, source model,
+suppressions, runner, and output formatters.
+
+Rules live in analyze/rules.py and register themselves with @rule(...).
+The framework is dependency-free (python3 stdlib only) so it can run as a
+ctest on any machine that can build the repo.
+
+Exit codes (stable, scripts may rely on them):
+    0  clean — no findings
+    1  findings reported
+    2  usage or internal error (bad --rules name, unreadable root, ...)
+
+JSON output schema (version 1):
+    {
+      "version": 1,
+      "tool": "cirank-analyze",
+      "files_checked": <int>,
+      "suppressed": <int>,            # findings silenced by inline comments
+      "rules": [{"name": str, "description": str}, ...],
+      "findings": [{"file": str, "line": int, "rule": str, "message": str}]
+    }
+
+Inline suppression: append `// cirank-lint: disable=<rule>[,<rule>...]` to
+the offending line. Suppressions are counted and reported, never silent.
+"""
+
+import dataclasses
+import json
+import os
+import re
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+JSON_SCHEMA_VERSION = 1
+TOOL_NAME = "cirank-analyze"
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTENSIONS = (".cc", ".cpp", ".h")
+
+# The repo-wide spelling is .cc/.h; everything else C++-shaped is flagged by
+# the file-extension rule (and still scanned by the content rules).
+BANNED_EXTENSIONS = (".cpp", ".cxx", ".c++", ".hpp", ".hh", ".hxx")
+
+# Analyzer fixtures contain deliberate violations; never scan them as part
+# of the real tree (they are analyzed explicitly via --root by their test).
+EXCLUDED_PREFIXES = ("tests/analyze/",)
+
+SUPPRESS = re.compile(r"//\s*cirank-lint:\s*disable=([\w, \-]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def to_json(self):
+        return {"file": self.file, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+    def render(self):
+        return f"{self.file}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    name: str
+    description: str
+    check: object  # callable(Analysis, SourceFile) -> iterable[Finding]
+
+
+# name -> Rule, in registration order (dicts preserve insertion order).
+REGISTRY = {}
+
+
+def rule(name, description):
+    """Decorator: registers `fn(analysis, src)` as a named rule."""
+    def wrap(fn):
+        if name in REGISTRY:
+            raise ValueError(f"duplicate rule name: {name}")
+        REGISTRY[name] = Rule(name=name, description=description, check=fn)
+        return fn
+    return wrap
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One scanned file: raw text, stripped text, and its suppressions."""
+
+    def __init__(self, rel, raw):
+        self.rel = rel
+        self.raw = raw
+        self.text = strip_comments_and_strings(raw)
+        # line number -> set of rule names disabled on that line. Parsed from
+        # the raw text because stripping blanks the comments out.
+        self.suppressions = {}
+        for lineno, line in enumerate(raw.split("\n"), start=1):
+            m = SUPPRESS.search(line)
+            if m:
+                names = {s.strip() for s in m.group(1).split(",") if s.strip()}
+                if names:
+                    self.suppressions[lineno] = names
+
+    def line_of(self, offset):
+        """1-based line number of a character offset into .text/.raw."""
+        return self.text.count("\n", 0, offset) + 1
+
+    def suppressed(self, line, rule_name):
+        return rule_name in self.suppressions.get(line, ())
+
+
+class Analysis:
+    """Shared context for one analyzer run over a source tree."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+        self.tree_mode = any(
+            os.path.isdir(os.path.join(self.root, d)) for d in SOURCE_DIRS)
+        self.files = [SourceFile(rel, self._read(rel))
+                      for rel in self._iter_rel_paths()]
+        self._status_names = None
+
+    def _read(self, rel):
+        with open(os.path.join(self.root, rel), encoding="utf-8") as f:
+            return f.read()
+
+    def _iter_rel_paths(self):
+        # Tree mode walks the repo's source dirs; fallback mode (used by the
+        # fixture tests) walks the root itself so fixtures stay flat.
+        tops = SOURCE_DIRS if self.tree_mode else ("",)
+        for top in tops:
+            base = os.path.join(self.root, top)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _, filenames in os.walk(base):
+                for name in sorted(filenames):
+                    if not name.endswith(CXX_EXTENSIONS + BANNED_EXTENSIONS):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+                    if rel.startswith(EXCLUDED_PREFIXES):
+                        continue
+                    yield rel
+
+    @property
+    def status_names(self):
+        """Names of functions declared in headers to return Status/Result."""
+        if self._status_names is None:
+            from analyze import rules  # registry side-effect import is fine
+            names = set(rules.STATUS_FACTORIES)
+            for src in self.files:
+                if not src.rel.endswith(".h"):
+                    continue
+                if self.tree_mode and not src.rel.startswith("src/"):
+                    continue
+                for m in rules.DECL.finditer(src.text):
+                    names.add(m.group(1))
+            self._status_names = names
+        return self._status_names
+
+
+class RunResult:
+    def __init__(self, findings, suppressed, files_checked, rules_used):
+        self.findings = findings
+        self.suppressed = suppressed
+        self.files_checked = files_checked
+        self.rules_used = rules_used
+
+    @property
+    def exit_code(self):
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+def run(root, rule_names=None):
+    """Runs the selected rules (default: all) over the tree at `root`."""
+    if rule_names is None:
+        selected = list(REGISTRY.values())
+    else:
+        unknown = [n for n in rule_names if n not in REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
+        selected = [REGISTRY[n] for n in rule_names]
+    analysis = Analysis(root)
+    findings, suppressed = [], 0
+    for src in analysis.files:
+        for rl in selected:
+            for f in rl.check(analysis, src):
+                if src.suppressed(f.line, f.rule):
+                    suppressed += 1
+                else:
+                    findings.append(f)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return RunResult(findings, suppressed, len(analysis.files), selected)
+
+
+def format_text(result):
+    lines = [f.render() for f in result.findings]
+    if result.findings:
+        lines.append("")
+        lines.append(f"lint: {len(result.findings)} problem(s) in "
+                     f"{result.files_checked} files"
+                     + (f" ({result.suppressed} suppressed)"
+                        if result.suppressed else ""))
+    else:
+        lines.append(f"lint: OK ({result.files_checked} files, "
+                     f"{len(result.rules_used)} rules"
+                     + (f", {result.suppressed} suppressed"
+                        if result.suppressed else "") + ")")
+    return "\n".join(lines)
+
+
+def format_json(result):
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "rules": [{"name": r.name, "description": r.description}
+                  for r in result.rules_used],
+        "findings": [f.to_json() for f in result.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,298 +1,21 @@
 #!/usr/bin/env python3
-"""Repo-specific lint rules that clang-tidy cannot express.
+"""Compatibility shim: the lint rules now live in the tools/analyze package.
 
-Dependency-free (python3 stdlib only); registered as the `lint` ctest so
-tier-1 catches regressions. Run from the repo root:
+This keeps `python3 tools/lint.py` (the registered `lint` ctest and every
+script/doc that grew around it) working. New invocations and options:
 
-    python3 tools/lint.py
+    python3 tools/analyze/cli.py --help
 
-Rules
------
-unchecked-status   A call to a Status/Result-returning function used as a
-                   bare expression statement. The [[nodiscard]] attribute
-                   already makes this a compiler warning; the lint rule keeps
-                   builds honest on toolchains where -Wunused-result is off,
-                   and catches discards behind explicit (void) casts. Use
-                   CIRANK_CHECK_OK / CIRANK_IGNORE_ERROR instead.
-determinism        std::rand / std::mt19937 / std::random_device (and
-                   friends) anywhere outside src/util/random.*. All project
-                   randomness flows through cirank::Rng so every experiment
-                   reproduces from a single seed.
-include-guard      Header guards must be CIRANK_<PATH>_H_ derived from the
-                   file path (src/ prefix dropped), e.g. src/core/jtt.h ->
-                   CIRANK_CORE_JTT_H_.
-using-namespace    `using namespace` is banned in headers (fine in .cc/.cpp).
-raw-thread         std::thread / std::jthread / std::async anywhere outside
-                   src/util/thread_pool.*. All project concurrency flows
-                   through cirank::ThreadPool so thread counts are bounded,
-                   lifetimes are joined, and the termination reasoning in
-                   the parallel search stays auditable.
-arena-discipline   Raw `new` / `delete` expressions in src/core, and
-                   per-candidate std::make_unique (Candidate / frontier-entry
-                   types). Query-scratch allocations flow through the
-                   per-query Arena (ExecutionContext::arena()) so candidates
-                   are freed wholesale at query end; the one sanctioned
-                   exception is the leaky ExecutorRegistry singleton.
-file-extension     C++ sources must use .cc (headers .h) repo-wide; .cpp /
-                   .cxx / .hpp stragglers are flagged so the tree stays
-                   uniform (examples/ was renamed to .cc in PR 5).
+Rules, suppression syntax (`// cirank-lint: disable=<rule>`), output modes
+and exit codes are documented in tools/analyze/framework.py and README.md.
 """
 
 import os
-import re
 import sys
 
-ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SOURCE_DIRS = ("src", "tests", "bench", "examples")
-CXX_EXTENSIONS = (".cc", ".cpp", ".h")
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__))))
 
-# The repo-wide spelling is .cc/.h; everything else C++-shaped is flagged by
-# the file-extension rule (and still scanned by the content rules above).
-BANNED_EXTENSIONS = (".cpp", ".cxx", ".c++", ".hpp", ".hh", ".hxx")
-
-# Files allowed to reference the raw PRNG primitives.
-RANDOM_IMPL_FILES = {"src/util/random.h", "src/util/random.cc"}
-
-# The single sanctioned owner of raw threads.
-THREAD_IMPL_FILES = {"src/util/thread_pool.h", "src/util/thread_pool.cc"}
-
-BANNED_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
-
-BANNED_RANDOM = re.compile(
-    r"\bstd::(rand|srand|mt19937(_64)?|random_device|default_random_engine|"
-    r"minstd_rand0?)\b|\bsrand\s*\(")
-
-USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
-
-# Declarations of status-returning functions in headers, e.g.
-#   [[nodiscard]] static Result<Jtt> Create(
-#   Status AddEdge(
-DECL = re.compile(
-    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+)?"
-    r"(?:Status|Result<[^;{=()]*>)\s+(\w+)\s*\(", re.M)
-
-# A bare call statement: optional object/scope prefix, then a known name.
-CALL_STMT = re.compile(r"^[ \t]*((?:\w+(?:\.|->|::))*)(\w+)\s*\(", re.M)
-
-# Factory-style members of Status itself count as unchecked temporaries too.
-STATUS_FACTORIES = {"OK", "InvalidArgument", "NotFound", "OutOfRange",
-                    "FailedPrecondition", "Internal", "Unimplemented",
-                    "DeadlineExceeded"}
-
-# The one sanctioned raw `new` in src/core: the intentionally-leaked
-# ExecutorRegistry::Global() singleton (never destroyed, so executor
-# factories stay valid during static destruction).
-ARENA_EXEMPT_FILES = {"src/core/execution.cc"}
-
-# A `new` expression (placement or plain). `delete` is matched separately so
-# `= delete;` declarations can be excluded.
-RAW_NEW = re.compile(r"(?:::)?\bnew\b")
-RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
-DELETED_FUNCTION = re.compile(r"=\s*delete\b")
-
-# Candidate-shaped payloads must be arena-placed, not heap-allocated one at
-# a time (the hot path the Arena exists for).
-PER_CANDIDATE_UNIQUE = re.compile(
-    r"std::make_unique\s*<\s*(?:Candidate|ArenaEntry|FrontierEntry)\b")
-
-
-def strip_comments_and_strings(text):
-    """Blanks out comments, string and char literals, preserving offsets."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out.append(" ")
-                i += 1
-        elif c == "/" and nxt == "*":
-            out.append("  ")
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and
-                                 text[i + 1] == "/"):
-                out.append("\n" if text[i] == "\n" else " ")
-                i += 1
-            if i < n:
-                out.append("  ")
-                i += 2
-        elif c in "\"'":
-            quote = c
-            out.append(" ")
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append("\n" if text[i] == "\n" else " ")
-                    i += 1
-            if i < n:
-                out.append(" ")
-                i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def iter_source_files():
-    for d in SOURCE_DIRS:
-        for dirpath, _, filenames in os.walk(os.path.join(ROOT, d)):
-            for name in sorted(filenames):
-                if name.endswith(CXX_EXTENSIONS + BANNED_EXTENSIONS):
-                    path = os.path.join(dirpath, name)
-                    yield os.path.relpath(path, ROOT).replace(os.sep, "/")
-
-
-def collect_status_returning_names():
-    """Scans src/ headers for functions declared to return Status/Result."""
-    names = set(STATUS_FACTORIES)
-    for rel in iter_source_files():
-        if not rel.startswith("src/") or not rel.endswith(".h"):
-            continue
-        with open(os.path.join(ROOT, rel), encoding="utf-8") as f:
-            text = strip_comments_and_strings(f.read())
-        for m in DECL.finditer(text):
-            names.add(m.group(1))
-    return names
-
-
-def expected_guard(rel):
-    path = rel[len("src/"):] if rel.startswith("src/") else rel
-    return "CIRANK_" + re.sub(r"[^A-Za-z0-9]", "_", path).upper() + "_"
-
-
-def check_unchecked_status(rel, text, names, problems):
-    for m in CALL_STMT.finditer(text):
-        name = m.group(2)
-        if name not in names:
-            continue
-        # Statement start only: the previous significant character must end a
-        # statement or open a block. Skips continuations like
-        # `auto x =\n    Jtt::Create(...);` where the value is consumed.
-        p = m.start() - 1
-        while p >= 0 and text[p] in " \t\n":
-            p -= 1
-        if p >= 0 and text[p] not in ";{}":
-            continue
-        # CIRANK_RETURN_IF_ERROR(...) etc. look like calls; macros are exempt
-        # by construction (they consume the status) and never in `names`.
-        # Scan from the opening paren for the balancing close paren, then
-        # require a `;` — anything else (`,`, `)`, `.`) means the value is
-        # consumed by an enclosing expression.
-        j = m.end() - 1  # position of '('
-        depth = 0
-        while j < len(text):
-            if text[j] == "(":
-                depth += 1
-            elif text[j] == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            j += 1
-        if j >= len(text):
-            continue
-        k = j + 1
-        while k < len(text) and text[k] in " \t\n":
-            k += 1
-        if k < len(text) and text[k] == ";":
-            line = text.count("\n", 0, m.start()) + 1
-            problems.append(
-                f"{rel}:{line}: unchecked-status: result of `{name}(...)` is "
-                f"discarded; use CIRANK_CHECK_OK or CIRANK_IGNORE_ERROR")
-
-
-def check_determinism(rel, text, problems):
-    if rel in RANDOM_IMPL_FILES:
-        return
-    for i, line in enumerate(text.split("\n"), start=1):
-        if BANNED_RANDOM.search(line):
-            problems.append(
-                f"{rel}:{i}: determinism: raw PRNG primitive outside "
-                f"src/util/random.*; route randomness through cirank::Rng")
-
-
-def check_raw_thread(rel, text, problems):
-    if rel in THREAD_IMPL_FILES:
-        return
-    for i, line in enumerate(text.split("\n"), start=1):
-        if BANNED_THREAD.search(line):
-            problems.append(
-                f"{rel}:{i}: raw-thread: std::thread/std::jthread/std::async "
-                f"outside src/util/thread_pool.*; use cirank::ThreadPool")
-
-
-def check_arena_discipline(rel, text, problems):
-    if not rel.startswith("src/core/") or rel in ARENA_EXEMPT_FILES:
-        return
-    for i, line in enumerate(text.split("\n"), start=1):
-        if RAW_NEW.search(line):
-            problems.append(
-                f"{rel}:{i}: arena-discipline: raw `new` in src/core; place "
-                f"per-query state in ExecutionContext::arena() (or a "
-                f"container)")
-        if RAW_DELETE.search(line) and not DELETED_FUNCTION.search(line):
-            problems.append(
-                f"{rel}:{i}: arena-discipline: raw `delete` in src/core; "
-                f"arena-placed state is freed wholesale at query end")
-        if PER_CANDIDATE_UNIQUE.search(line):
-            problems.append(
-                f"{rel}:{i}: arena-discipline: per-candidate "
-                f"std::make_unique in src/core; use "
-                f"ExecutionContext::arena().New<T>() instead")
-
-
-def check_file_extension(rel, problems):
-    if rel.endswith(tuple(BANNED_EXTENSIONS)):
-        problems.append(
-            f"{rel}:1: file-extension: C++ sources use .cc and headers .h "
-            f"in this repo; rename (git mv) and update the CMake target")
-
-
-def check_header_rules(rel, text, problems):
-    if not rel.endswith(".h"):
-        return
-    guard = expected_guard(rel)
-    m = re.search(r"^\s*#ifndef\s+(\S+)", text, re.M)
-    if not m or m.group(1) != guard:
-        found = m.group(1) if m else "<none>"
-        problems.append(
-            f"{rel}:1: include-guard: expected guard {guard}, found {found}")
-    elif not re.search(r"^\s*#define\s+" + re.escape(guard) + r"\s*$",
-                       text, re.M):
-        problems.append(
-            f"{rel}:1: include-guard: missing `#define {guard}`")
-    for i, line in enumerate(text.split("\n"), start=1):
-        if USING_NAMESPACE.search(line):
-            problems.append(
-                f"{rel}:{i}: using-namespace: banned in headers (pollutes "
-                f"every includer)")
-
-
-def main():
-    names = collect_status_returning_names()
-    problems = []
-    checked = 0
-    for rel in iter_source_files():
-        with open(os.path.join(ROOT, rel), encoding="utf-8") as f:
-            text = strip_comments_and_strings(f.read())
-        checked += 1
-        check_unchecked_status(rel, text, names, problems)
-        check_determinism(rel, text, problems)
-        check_raw_thread(rel, text, problems)
-        check_arena_discipline(rel, text, problems)
-        check_file_extension(rel, problems)
-        check_header_rules(rel, text, problems)
-    if problems:
-        print("\n".join(problems))
-        print(f"\nlint: {len(problems)} problem(s) in {checked} files")
-        return 1
-    print(f"lint: OK ({checked} files, "
-          f"{len(names)} status-returning functions tracked)")
-    return 0
-
+from analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
