@@ -1,0 +1,155 @@
+// Serving-path load generator: starts an in-process CirankServer over a
+// synthetic IMDB engine, hammers POST /search from N keep-alive client
+// connections for a fixed duration, and reports throughput (QPS) plus
+// p50/p95/p99 request latency into BENCH_serving_load.json (schema
+// validated by tools/validate_bench_json.py).
+//
+// Clients run on a cirank::ThreadPool (one connection per client, no
+// sharing); latencies are collected per client and merged afterwards, so
+// the measurement path takes no locks. Smoke mode (CIRANK_BENCH_SMOKE=1)
+// shrinks clients and duration to a wiring check.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_executors.h"
+#include "bench/bench_util.h"
+#include "serve/http.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace cirank;
+
+namespace {
+
+// One client's whole run: a keep-alive connection issuing queries
+// round-robin until the deadline.
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  int64_t requests = 0;
+  int64_t failures = 0;
+};
+
+std::string SearchBody(const Query& query, int k) {
+  std::string text;
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    if (i > 0) text += ' ';
+    text += query.keywords[i];
+  }
+  std::string body = "{\"query\":";
+  serve::AppendJsonString(&body, text);
+  body += ",\"k\":" + std::to_string(k) + "}";
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeMode();
+  const int num_clients = smoke ? 2 : 8;
+  const double duration_seconds = smoke ? 0.3 : 3.0;
+  const int k = 5;
+
+  bench::PrintFigureHeader(
+      "serving_load",
+      "QPS and request-latency percentiles of cirankd's serving stack "
+      "(in-process server, keep-alive HTTP clients)");
+
+  if (Status st = RegisterBaselineExecutors(); !st.ok()) {
+    std::fprintf(stderr, "executor registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  bench::BenchSetup setup =
+      bench::MakeImdbSetup(/*num_queries=*/smoke ? 8 : 64,
+                           /*user_log_style=*/false, /*query_seed=*/17,
+                           bench::BenchScale(), /*ambiguous_prob=*/0.0);
+  bench::PrintDatasetLine(*setup.dataset);
+
+  serve::ServerOptions server_opts;
+  server_opts.num_workers = num_clients;
+  serve::CirankServer server(setup.engine.get(), server_opts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Pre-render the request bodies once; clients cycle through them.
+  std::vector<std::string> bodies;
+  for (const auto& lq : setup.queries) {
+    if (!lq.query.empty()) bodies.push_back(SearchBody(lq.query, k));
+  }
+  if (bodies.empty()) {
+    std::fprintf(stderr, "no usable queries generated\n");
+    return 1;
+  }
+
+  std::vector<ClientResult> per_client(num_clients);
+  Timer wall;
+  {
+    ThreadPool pool(num_clients);
+    pool.ParallelFor(static_cast<size_t>(num_clients), [&](size_t c) {
+      ClientResult& mine = per_client[c];
+      auto client =
+          serve::HttpBlockingClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++mine.failures;
+        return;
+      }
+      Timer deadline;
+      size_t next = c;  // stagger the starting query per client
+      while (deadline.ElapsedSeconds() < duration_seconds) {
+        const std::string& body = bodies[next % bodies.size()];
+        ++next;
+        Timer rt;
+        auto response = client->RoundTrip("POST", "/search", body);
+        const double ms = rt.ElapsedSeconds() * 1e3;
+        ++mine.requests;
+        if (!response.ok() || response->status_code != 200) {
+          ++mine.failures;
+          continue;
+        }
+        mine.latencies_ms.push_back(ms);
+      }
+    });
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  server.Stop();
+
+  std::vector<double> latencies_ms;
+  int64_t requests = 0;
+  int64_t failures = 0;
+  for (const ClientResult& r : per_client) {
+    requests += r.requests;
+    failures += r.failures;
+    latencies_ms.insert(latencies_ms.end(), r.latencies_ms.begin(),
+                        r.latencies_ms.end());
+  }
+  const double qps = elapsed > 0.0 ? static_cast<double>(requests) / elapsed
+                                   : 0.0;
+  const double p50 = bench::PercentileMs(latencies_ms, 50);
+  const double p95 = bench::PercentileMs(latencies_ms, 95);
+  const double p99 = bench::PercentileMs(latencies_ms, 99);
+
+  std::printf("%d clients, %.1f s: %lld requests (%lld failed), "
+              "%.0f QPS; p50 %.2f ms / p95 %.2f ms / p99 %.2f ms\n",
+              num_clients, elapsed, static_cast<long long>(requests),
+              static_cast<long long>(failures), qps, p50, p95, p99);
+
+  bench::BenchReport report("serving_load");
+  report.AddMetric("qps", qps);
+  report.AddMetric("duration_seconds", elapsed);
+  report.AddMetric("p99_ms", p99);
+  report.AddCounter("clients", num_clients);
+  report.AddCounter("requests", requests);
+  report.AddCounter("failures", failures);
+  report.AddLatencySeries("search_request", latencies_ms);
+  if (!report.Write()) return 1;
+  // The benches build engines against the default registry; the server's
+  // cirank_http_* families land there too, so the .prom sidecar carries
+  // both serving layers.
+  return failures == requests ? 1 : 0;
+}

@@ -236,6 +236,18 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
                       stats);
 }
 
+Result<std::vector<RankedAnswer>> CiRankEngine::ServingSearch(
+    const Query& query, const SearchOverrides& overrides,
+    SearchStats* stats) const {
+  auto result = CachedSearch(query, EffectiveOptions(overrides),
+                             /*use_cache=*/true, stats,
+                             /*stats_from_cache_ok=*/true);
+  // Scrapes happen between queries, so keep the cache gauges current here
+  // rather than only on the batch path.
+  serving_->SyncCacheMetrics(metrics_);
+  return result;
+}
+
 Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
     const Query& query, const SearchOptions& options, bool use_cache,
     SearchStats* stats, bool stats_from_cache_ok) const {

@@ -98,6 +98,17 @@ class CiRankEngine {
                                            const SearchOverrides& overrides,
                                            SearchStats* stats = nullptr) const;
 
+  // The serving-path entry point (cirankd, src/serve). Like the overrides
+  // Search, but a stats-requesting call may still be served from the query
+  // cache: a hit fills `stats` with just the from_cache marker and the
+  // executor name (every counter zero — no search ran), which is exactly
+  // what the HTTP response envelope reports to clients. Also refreshes the
+  // cache gauges so a /metrics scrape between queries sees current entry
+  // counts. Deadline- or budget-limited queries still bypass the cache.
+  [[nodiscard]] Result<std::vector<RankedAnswer>> ServingSearch(
+      const Query& query, const SearchOverrides& overrides,
+      SearchStats* stats) const;
+
   // The engine's view of MergeOverrides (core/options.h): the overrides
   // applied over this engine's default SearchOptions. Exposed for callers
   // that want to inspect the effective configuration.

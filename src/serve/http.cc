@@ -1,0 +1,426 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace cirank {
+namespace serve {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// RFC 7230 token characters, the legal alphabet for header names.
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Splits `head` (which must end in CRLFCRLF) into CRLF-terminated lines,
+// validating the framing. The final two empty lines are not returned.
+Status SplitHeadLines(std::string_view head,
+                      std::vector<std::string_view>* lines) {
+  if (head.size() < 4 || head.substr(head.size() - 4) != "\r\n\r\n") {
+    return Status::InvalidArgument(
+        "HTTP head must terminate with CRLFCRLF");
+  }
+  std::string_view rest = head.substr(0, head.size() - 2);  // keep last CRLF
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    if (eol == std::string_view::npos) {
+      return Status::InvalidArgument("HTTP head line missing CRLF");
+    }
+    std::string_view line = rest.substr(0, eol);
+    if (line.find('\r') != std::string_view::npos ||
+        line.find('\n') != std::string_view::npos) {
+      return Status::InvalidArgument("bare CR/LF inside HTTP head line");
+    }
+    lines->push_back(line);
+    rest.remove_prefix(eol + 2);
+  }
+  if (lines->empty()) {
+    return Status::InvalidArgument("empty HTTP head");
+  }
+  return Status::OK();
+}
+
+Status ParseHeaderLines(const std::vector<std::string_view>& lines,
+                        const HttpLimits& limits,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  if (lines.size() - 1 > limits.max_headers) {
+    return Status::InvalidArgument(
+        "too many headers (" + std::to_string(lines.size() - 1) +
+        " > " + std::to_string(limits.max_headers) + ")");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line (no name)");
+    }
+    const std::string_view name = line.substr(0, colon);
+    for (const char c : name) {
+      if (!IsTokenChar(c)) {
+        return Status::InvalidArgument(
+            "illegal character in header name");
+      }
+    }
+    const std::string_view value = TrimOws(line.substr(colon + 1));
+    out->emplace_back(std::string(name), std::string(value));
+  }
+  return Status::OK();
+}
+
+const std::string* FindHeaderIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+Result<HttpRequest> ParseHttpRequestHead(std::string_view head,
+                                         const HttpLimits& limits) {
+  if (head.size() > limits.max_head_bytes) {
+    return Status::InvalidArgument("HTTP head exceeds " +
+                                   std::to_string(limits.max_head_bytes) +
+                                   " bytes");
+  }
+  std::vector<std::string_view> lines;
+  CIRANK_RETURN_IF_ERROR(SplitHeadLines(head, &lines));
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  const std::string_view request_line = lines[0];
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "malformed request line (expected METHOD SP target SP version)");
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty()) {
+    return Status::InvalidArgument("empty method or target");
+  }
+  for (const char c : request.method) {
+    if (!IsTokenChar(c)) {
+      return Status::InvalidArgument("illegal character in method");
+    }
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version '" +
+                                   request.version + "'");
+  }
+  CIRANK_RETURN_IF_ERROR(ParseHeaderLines(lines, limits, &request.headers));
+  return request;
+}
+
+Result<size_t> ContentLength(const HttpRequest& request,
+                             const HttpLimits& limits) {
+  const std::string* value = request.FindHeader("Content-Length");
+  if (value == nullptr) return size_t{0};
+  if (value->empty() || value->size() > 18) {
+    return Status::InvalidArgument("malformed Content-Length");
+  }
+  size_t length = 0;
+  for (const char c : *value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    length = length * 10 + static_cast<size_t>(c - '0');
+  }
+  if (length > limits.max_body_bytes) {
+    return Status::InvalidArgument(
+        "request body of " + std::to_string(length) + " bytes exceeds the " +
+        std::to_string(limits.max_body_bytes) + "-byte limit");
+  }
+  return length;
+}
+
+bool WantsKeepAlive(const HttpRequest& request) {
+  const std::string* connection = request.FindHeader("Connection");
+  if (connection != nullptr) {
+    if (EqualsIgnoreCase(*connection, "close")) return false;
+    if (EqualsIgnoreCase(*connection, "keep-alive")) return true;
+  }
+  return request.version == "HTTP/1.1";  // 1.1 default is persistent
+}
+
+const char* HttpStatusText(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+         HttpStatusText(response.status_code) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+namespace {
+
+// Parses the status line + headers of `head` (must end with CRLFCRLF).
+Result<HttpClientResponse> ParseResponseHead(std::string_view head,
+                                             const HttpLimits& limits) {
+  std::vector<std::string_view> lines;
+  CIRANK_RETURN_IF_ERROR(SplitHeadLines(head, &lines));
+
+  const std::string_view status_line = lines[0];
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > status_line.size()) {
+    return Status::InvalidArgument("malformed status line");
+  }
+  HttpClientResponse response;
+  response.version = std::string(status_line.substr(0, sp1));
+  int code = 0;
+  for (size_t i = sp1 + 1; i < sp1 + 4; ++i) {
+    const char c = status_line[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed status code");
+    }
+    code = code * 10 + (c - '0');
+  }
+  response.status_code = code;
+  CIRANK_RETURN_IF_ERROR(ParseHeaderLines(lines, limits, &response.headers));
+  return response;
+}
+
+// Decodes a digits-only Content-Length header value.
+Result<size_t> ParseLengthValue(const std::string& value) {
+  if (value.empty() || value.size() > 18) {
+    return Status::InvalidArgument("malformed Content-Length");
+  }
+  size_t length = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    length = length * 10 + static_cast<size_t>(c - '0');
+  }
+  return length;
+}
+
+}  // namespace
+
+Result<HttpClientResponse> ParseHttpResponse(std::string_view raw,
+                                             const HttpLimits& limits) {
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return Status::InvalidArgument("HTTP response head not terminated");
+  }
+  CIRANK_ASSIGN_OR_RETURN(
+      HttpClientResponse response,
+      ParseResponseHead(raw.substr(0, head_end + 4), limits));
+
+  const std::string* length_header = response.FindHeader("Content-Length");
+  const std::string_view rest = raw.substr(head_end + 4);
+  if (length_header == nullptr) {
+    response.body = std::string(rest);  // read-to-EOF framing
+    return response;
+  }
+  CIRANK_ASSIGN_OR_RETURN(size_t length, ParseLengthValue(*length_header));
+  if (rest.size() < length) {
+    return Status::InvalidArgument("truncated response body");
+  }
+  response.body = std::string(rest.substr(0, length));
+  return response;
+}
+
+// --- Blocking client ------------------------------------------------------
+
+Result<HttpBlockingClient> HttpBlockingClient::Connect(
+    const std::string& host, int port, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable IPv4 host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            "): " + std::strerror(err));
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return HttpBlockingClient(fd);
+}
+
+HttpBlockingClient::HttpBlockingClient(HttpBlockingClient&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+HttpBlockingClient& HttpBlockingClient::operator=(
+    HttpBlockingClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+HttpBlockingClient::~HttpBlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status HttpBlockingClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send(): ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpBlockingClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  bool body_framed = false;  // Content-Length present once head parsed
+  size_t body_needed = 0;
+  char chunk[4096];
+  while (true) {
+    if (head_end == std::string::npos) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Frame the body so keep-alive reads stop at the right byte.
+        CIRANK_ASSIGN_OR_RETURN(
+            HttpClientResponse head,
+            ParseResponseHead(
+                std::string_view(buffer).substr(0, head_end + 4), {}));
+        const std::string* length = head.FindHeader("Content-Length");
+        if (length != nullptr) {
+          body_framed = true;
+          CIRANK_ASSIGN_OR_RETURN(body_needed, ParseLengthValue(*length));
+        }
+      }
+    }
+    if (head_end != std::string::npos && body_framed &&
+        buffer.size() >= head_end + 4 + body_needed) {
+      return ParseHttpResponse(
+          std::string_view(buffer).substr(0, head_end + 4 + body_needed));
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (head_end != std::string::npos && !body_framed) {
+        return ParseHttpResponse(buffer);  // EOF-framed body complete
+      }
+      return Status::Internal("connection closed mid-response");
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("recv(): ") + std::strerror(errno));
+  }
+}
+
+Result<HttpClientResponse> HttpBlockingClient::RoundTrip(
+    const std::string& method, const std::string& target,
+    const std::string& body, bool keep_alive) {
+  std::string request;
+  request.reserve(body.size() + 160);
+  request += method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: cirankd\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  request += "\r\n";
+  request += body;
+  CIRANK_RETURN_IF_ERROR(SendRaw(request));
+  return ReadResponse();
+}
+
+}  // namespace serve
+}  // namespace cirank

@@ -1,0 +1,128 @@
+// Minimal HTTP/1.1 support for `cirankd` (DESIGN.md §13): a pure
+// request/response parser, a response serializer, and a blocking client the
+// tests and the serving-load bench drive the daemon with. Deliberately
+// stdlib-plus-POSIX only, and deliberately small: one request framing
+// scheme (Content-Length; no chunked encoding, no trailers), CRLF line
+// endings, and a hard cap on head/body sizes so hostile input degrades to
+// an InvalidArgument Status instead of unbounded buffering.
+//
+// The parsing functions are pure (bytes in, Result out) so the fuzz-ish
+// property test exercises them without sockets; only HttpBlockingClient and
+// the send/recv helpers touch file descriptors.
+#ifndef CIRANK_SERVE_HTTP_H_
+#define CIRANK_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cirank {
+namespace serve {
+
+struct HttpLimits {
+  size_t max_head_bytes = 64u << 10;  // request line + headers
+  size_t max_body_bytes = 1u << 20;   // Content-Length cap
+  size_t max_headers = 100;
+};
+
+struct HttpRequest {
+  std::string method;   // uppercase by convention; matched case-sensitively
+  std::string target;   // origin-form, e.g. "/search"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // Case-insensitive lookup of the first header named `name`.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+// Parses the request head — everything up to and including the blank line,
+// i.e. `head` must end with "\r\n\r\n". Strict CRLF framing; header names
+// must be non-empty token characters; the body is NOT consumed here (the
+// caller frames it via ContentLength).
+[[nodiscard]] Result<HttpRequest> ParseHttpRequestHead(
+    std::string_view head, const HttpLimits& limits = {});
+
+// The request's Content-Length (0 when absent). Fails on a malformed value
+// or one exceeding limits.max_body_bytes.
+[[nodiscard]] Result<size_t> ContentLength(const HttpRequest& request,
+                                           const HttpLimits& limits = {});
+
+// HTTP/1.1 keep-alive semantics: persistent unless "Connection: close".
+bool WantsKeepAlive(const HttpRequest& request);
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  // Set by handlers that must terminate the connection (parse errors leave
+  // the stream unsynchronized); the server also forces it while draining.
+  bool close = false;
+};
+
+// Reason phrase for the handful of codes the server emits.
+const char* HttpStatusText(int status_code);
+
+// Renders status line + Content-Type/Content-Length/Connection headers +
+// body, ready to write to the socket.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+// --- Client side (tests, bench, CI smoke) ---------------------------------
+
+struct HttpClientResponse {
+  int status_code = 0;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+// Parses a complete serialized response (head + Content-Length body).
+[[nodiscard]] Result<HttpClientResponse> ParseHttpResponse(
+    std::string_view raw, const HttpLimits& limits = {});
+
+// A blocking HTTP/1.1 connection to 127.0.0.1-style hosts. One in-flight
+// request at a time; keep-alive by default so load-bench clients reuse the
+// connection. Not thread-safe — one client per thread.
+class HttpBlockingClient {
+ public:
+  // Connects with a receive timeout (a stuck server fails the round trip
+  // instead of hanging the test binary).
+  [[nodiscard]] static Result<HttpBlockingClient> Connect(
+      const std::string& host, int port, double timeout_seconds = 10.0);
+
+  HttpBlockingClient(HttpBlockingClient&& other) noexcept;
+  HttpBlockingClient& operator=(HttpBlockingClient&& other) noexcept;
+  HttpBlockingClient(const HttpBlockingClient&) = delete;
+  HttpBlockingClient& operator=(const HttpBlockingClient&) = delete;
+  ~HttpBlockingClient();
+
+  // Sends one request and reads the response. `body` may be empty (GET).
+  [[nodiscard]] Result<HttpClientResponse> RoundTrip(
+      const std::string& method, const std::string& target,
+      const std::string& body = "", bool keep_alive = true);
+
+  // Writes raw bytes to the connection (tests use this to send malformed
+  // or partial requests the RoundTrip API refuses to construct).
+  [[nodiscard]] Status SendRaw(std::string_view bytes);
+
+  // Reads and parses one Content-Length-framed response.
+  [[nodiscard]] Result<HttpClientResponse> ReadResponse();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit HttpBlockingClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace cirank
+
+#endif  // CIRANK_SERVE_HTTP_H_

@@ -1,0 +1,401 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/request.h"
+#include "util/timer.h"
+
+namespace cirank {
+namespace serve {
+
+namespace {
+
+// Maps an engine/search failure onto an HTTP status. Parse failures are
+// handled before the engine runs, so InvalidArgument here means the engine
+// itself rejected the configuration.
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kOutOfRange:
+      return 400;
+    case Status::Code::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse ErrorResponse(int http_status, const Status& status,
+                           bool close = false) {
+  HttpResponse response;
+  response.status_code = http_status;
+  response.body = RenderErrorJson(status);
+  response.close = close;
+  return response;
+}
+
+// Writes all of `bytes` to `fd`; returns false on a dead peer.
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void CirankServer::Obs::Bind(obs::MetricsRegistry* m) {
+  if (m == nullptr) return;
+  requests_search = &m->GetCounter(
+      "cirank_http_requests_total{endpoint=\"search\"}",
+      "HTTP requests received, by endpoint");
+  requests_metrics =
+      &m->GetCounter("cirank_http_requests_total{endpoint=\"metrics\"}");
+  requests_healthz =
+      &m->GetCounter("cirank_http_requests_total{endpoint=\"healthz\"}");
+  requests_other =
+      &m->GetCounter("cirank_http_requests_total{endpoint=\"other\"}");
+  responses_2xx = &m->GetCounter(
+      "cirank_http_responses_total{class=\"2xx\"}",
+      "HTTP responses sent, by status class");
+  responses_4xx =
+      &m->GetCounter("cirank_http_responses_total{class=\"4xx\"}");
+  responses_5xx =
+      &m->GetCounter("cirank_http_responses_total{class=\"5xx\"}");
+  request_seconds = &m->GetHistogram(
+      "cirank_http_request_seconds",
+      "Wall time from request fully read to response rendered, seconds");
+  connections_active = &m->GetGauge("cirank_http_connections_active",
+                                    "Currently open client connections");
+}
+
+void CirankServer::Obs::CountResponse(int status_code) const {
+  obs::Counter* counter = status_code >= 500   ? responses_5xx
+                          : status_code >= 400 ? responses_4xx
+                                               : responses_2xx;
+  if (counter != nullptr) counter->Increment();
+}
+
+CirankServer::CirankServer(const CiRankEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : engine_->metrics();
+  obs_.Bind(metrics_);
+}
+
+CirankServer::~CirankServer() {
+  Stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Status CirankServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("CirankServer::Start called twice");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable IPv4 host '" + options_.host +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("bind(" + options_.host + ":" +
+                            std::to_string(options_.port) +
+                            "): " + std::strerror(err));
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen(): ") + std::strerror(err));
+  }
+  // Resolve the bound port (options_.port == 0 asked the kernel to pick).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname(): ") +
+                            std::strerror(err));
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+
+  accept_pool_ = std::make_unique<ThreadPool>(1);
+  worker_pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  accept_pool_->Submit([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void CirankServer::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(conn_mu_);
+    stopping_ = true;
+  }
+  // Wake the accept loop out of its blocked accept(); on Linux the call
+  // returns with EINVAL after shutdown() on the listening socket.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  accept_pool_->WaitIdle();
+  {
+    // Connections notice the drain at their next idle-read timeout (or at
+    // the end of the request currently in flight) and close.
+    MutexLock lock(conn_mu_);
+    while (active_connections_ > 0) {
+      drained_cv_.Wait(conn_mu_);
+    }
+  }
+  worker_pool_->WaitIdle();
+}
+
+ServerStats CirankServer::stats() const {
+  MutexLock lock(conn_mu_);
+  ServerStats out;
+  out.connections_accepted = connections_accepted_;
+  out.requests_served = requests_served_;
+  out.active_connections = active_connections_;
+  out.stopping = stopping_;
+  return out;
+}
+
+bool CirankServer::IsStopping() const {
+  MutexLock lock(conn_mu_);
+  return stopping_;
+}
+
+void CirankServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // shutdown() during drain, or a fatal listener error
+    }
+    bool admitted;
+    {
+      MutexLock lock(conn_mu_);
+      admitted = !stopping_;
+      if (admitted) {
+        ++connections_accepted_;
+        ++active_connections_;
+      }
+    }
+    if (!admitted) {
+      ::close(fd);
+      continue;
+    }
+    if (obs_.connections_active != nullptr) obs_.connections_active->Add(1.0);
+    worker_pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void CirankServer::HandleConnection(int fd) {
+  // The receive timeout doubles as the drain-notice tick: a blocked read
+  // wakes every idle_read_timeout_ms to check stopping_.
+  timeval tv{};
+  tv.tv_sec = options_.idle_read_timeout_ms / 1000;
+  tv.tv_usec = (options_.idle_read_timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  char chunk[4096];
+  bool close_conn = false;
+  while (!close_conn) {
+    // Read until one framed request (head + Content-Length body) is
+    // buffered. `needed` is npos until the head is parsed.
+    size_t head_end = std::string::npos;
+    size_t needed = std::string::npos;
+    HttpRequest request;
+    bool have_request = false;
+    while (true) {
+      if (head_end == std::string::npos) {
+        head_end = buffer.find("\r\n\r\n");
+        if (head_end == std::string::npos &&
+            buffer.size() > options_.limits.max_head_bytes) {
+          obs_.CountResponse(431);
+          (void)SendAll(fd, SerializeHttpResponse(ErrorResponse(
+                                431,
+                                Status::InvalidArgument(
+                                    "request head exceeds limit"),
+                                /*close=*/true)));
+          close_conn = true;
+          break;
+        }
+        if (head_end != std::string::npos) {
+          auto parsed = ParseHttpRequestHead(
+              std::string_view(buffer).substr(0, head_end + 4),
+              options_.limits);
+          if (!parsed.ok()) {
+            // The stream is unsynchronized after a framing error; answer
+            // and drop the connection.
+            obs_.CountResponse(400);
+            (void)SendAll(fd, SerializeHttpResponse(ErrorResponse(
+                                  400, parsed.status(), /*close=*/true)));
+            close_conn = true;
+            break;
+          }
+          request = std::move(parsed).value();
+          auto length = ContentLength(request, options_.limits);
+          if (!length.ok()) {
+            obs_.CountResponse(400);
+            (void)SendAll(fd, SerializeHttpResponse(ErrorResponse(
+                                  400, length.status(), /*close=*/true)));
+            close_conn = true;
+            break;
+          }
+          needed = head_end + 4 + *length;
+        }
+      }
+      if (needed != std::string::npos && buffer.size() >= needed) {
+        request.body = buffer.substr(head_end + 4, needed - head_end - 4);
+        buffer.erase(0, needed);
+        have_request = true;
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        close_conn = true;  // peer closed (mid-request data is abandoned)
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (IsStopping()) {
+          // Drain: nothing (or only a partial request) buffered — a
+          // request-in-flight never reaches this branch, because its
+          // handler runs between reads.
+          close_conn = true;
+          break;
+        }
+        continue;
+      }
+      close_conn = true;  // connection reset or similar
+      break;
+    }
+    if (!have_request) break;
+
+    Timer timer;
+    HttpResponse response = Route(request);
+    if (obs_.request_seconds != nullptr) {
+      obs_.request_seconds->Observe(timer.ElapsedSeconds());
+    }
+    obs_.CountResponse(response.status_code);
+    {
+      MutexLock lock(conn_mu_);
+      ++requests_served_;
+      if (stopping_) response.close = true;  // drain: finish, then close
+    }
+    if (!WantsKeepAlive(request)) response.close = true;
+    if (!SendAll(fd, SerializeHttpResponse(response))) break;
+    close_conn = response.close;
+  }
+
+  ::close(fd);
+  if (obs_.connections_active != nullptr) obs_.connections_active->Add(-1.0);
+  {
+    MutexLock lock(conn_mu_);
+    --active_connections_;
+  }
+  drained_cv_.NotifyAll();
+}
+
+HttpResponse CirankServer::Route(const HttpRequest& request) {
+  if (request.target == "/search") {
+    if (obs_.requests_search != nullptr) obs_.requests_search->Increment();
+    if (request.method != "POST") {
+      return ErrorResponse(
+          405, Status::InvalidArgument("/search requires POST"));
+    }
+    return HandleSearch(request);
+  }
+  if (request.target == "/metrics") {
+    if (obs_.requests_metrics != nullptr) obs_.requests_metrics->Increment();
+    if (request.method != "GET") {
+      return ErrorResponse(405,
+                           Status::InvalidArgument("/metrics requires GET"));
+    }
+    return HandleMetrics();
+  }
+  if (request.target == "/healthz") {
+    if (obs_.requests_healthz != nullptr) obs_.requests_healthz->Increment();
+    if (request.method != "GET") {
+      return ErrorResponse(405,
+                           Status::InvalidArgument("/healthz requires GET"));
+    }
+    return HandleHealthz();
+  }
+  if (obs_.requests_other != nullptr) obs_.requests_other->Increment();
+  return ErrorResponse(
+      404, Status::NotFound("no route for '" + request.target + "'"));
+}
+
+HttpResponse CirankServer::HandleSearch(const HttpRequest& request) {
+  auto parsed = ParseSearchRequest(request.body);
+  if (!parsed.ok()) return ErrorResponse(400, parsed.status());
+  SearchStats stats;
+  auto answers =
+      engine_->ServingSearch(parsed->query, parsed->overrides, &stats);
+  if (!answers.ok()) {
+    return ErrorResponse(HttpStatusForStatus(answers.status()),
+                         answers.status());
+  }
+  HttpResponse response;
+  response.body =
+      RenderSearchResponseJson(*parsed, *answers, stats, engine_->graph());
+  return response;
+}
+
+HttpResponse CirankServer::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = metrics_ != nullptr
+                      ? metrics_->RenderPrometheus()
+                      : "# metrics disabled (engine built without a "
+                        "registry)\n";
+  return response;
+}
+
+HttpResponse CirankServer::HandleHealthz() {
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\"}";
+  return response;
+}
+
+}  // namespace serve
+}  // namespace cirank

@@ -1,0 +1,152 @@
+// CirankServer: the network front of `cirankd` (DESIGN.md §13). A blocking
+// accept loop (run on a dedicated 1-thread cirank::ThreadPool — the repo's
+// only sanctioned thread owner) hands accepted sockets to a worker pool;
+// each worker speaks HTTP/1.1 with Content-Length framing (serve/http.h)
+// and routes:
+//
+//   POST /search   — JSON query DSL (serve/request.h) mapped onto
+//                    SearchOverrides, served by CiRankEngine::ServingSearch;
+//                    the 200 envelope carries answers + SearchStats, errors
+//                    carry {"error":{"code","message"}}.
+//   GET  /metrics  — MetricsRegistry Prometheus text, verbatim.
+//   GET  /healthz  — {"status":"ok"} liveness probe.
+//
+// Graceful drain (Stop, idempotent): latch `stopping_`, shutdown() the
+// listening socket to wake the blocked accept, wait for the accept task,
+// then wait until every in-flight connection finishes its current request
+// (responses sent while draining carry "Connection: close"). Connection
+// reads use a short SO_RCVTIMEO so idle keep-alive connections notice the
+// drain within ~idle_read_timeout_ms instead of holding Stop hostage.
+//
+// Locking: conn_mu_ is the connection-table level of the declared lock
+// hierarchy (engine → connection-table → pool). It guards only the
+// stopping flag and the active-connection count — never held across an
+// engine call, a socket op, or a pool Submit.
+#ifndef CIRANK_SERVE_SERVER_H_
+#define CIRANK_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace cirank {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; read the result back via port().
+  int port = 0;
+  int num_workers = 4;
+  int backlog = 64;
+  // SO_RCVTIMEO on connection sockets: the drain-notice latency for idle
+  // keep-alive connections, and the slow-client guard.
+  int idle_read_timeout_ms = 250;
+  HttpLimits limits;
+  // Metrics sink for the cirank_http_* families and the /metrics endpoint.
+  // nullptr uses the engine's registry (which may itself be null when the
+  // engine was built with metrics_enabled = false — /metrics then serves a
+  // comment-only body).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Point-in-time counters, for tests and the daemon's shutdown log line.
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t requests_served = 0;
+  int64_t active_connections = 0;
+  bool stopping = false;
+};
+
+class CirankServer {
+ public:
+  // `engine` must outlive the server. No sockets are touched until Start.
+  CirankServer(const CiRankEngine* engine, ServerOptions options = {});
+
+  // Stops (drains) if still running.
+  ~CirankServer();
+
+  CirankServer(const CirankServer&) = delete;
+  CirankServer& operator=(const CirankServer&) = delete;
+
+  // Binds, listens, and launches the accept loop. Fails (without leaking
+  // the socket) when the address is unparsable or the port is taken.
+  // Call at most once.
+  [[nodiscard]] Status Start();
+
+  // Graceful drain as documented above. Idempotent; safe to call from any
+  // thread except a server worker (a handler calling Stop would deadlock
+  // waiting for itself to finish).
+  void Stop();
+
+  // The bound port (resolved after Start when options.port == 0).
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  ServerStats stats() const;
+
+ private:
+  // Pre-resolved cirank_http_* instruments (see engine.cc's Obs for the
+  // pattern); all null when no registry is configured.
+  struct Obs {
+    obs::Counter* requests_search = nullptr;
+    obs::Counter* requests_metrics = nullptr;
+    obs::Counter* requests_healthz = nullptr;
+    obs::Counter* requests_other = nullptr;
+    obs::Counter* responses_2xx = nullptr;
+    obs::Counter* responses_4xx = nullptr;
+    obs::Counter* responses_5xx = nullptr;
+    obs::Histogram* request_seconds = nullptr;
+    obs::Gauge* connections_active = nullptr;
+
+    void Bind(obs::MetricsRegistry* m);
+    void CountResponse(int status_code) const;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  // Routing and handlers: pure request → response (no socket access), so
+  // the connection loop owns all I/O.
+  HttpResponse Route(const HttpRequest& request);
+  HttpResponse HandleSearch(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz();
+
+  bool IsStopping() const CIRANK_EXCLUDES(conn_mu_);
+
+  const CiRankEngine* engine_;
+  ServerOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // resolved; may be null
+  Obs obs_;
+
+  int listen_fd_ = -1;  // owned by Start/Stop; accept loop only reads it
+  int port_ = 0;
+  bool started_ = false;
+
+  // conn_mu_ ranks between the engine lock and pool_mu_ in the declared
+  // hierarchy (engine → connection-table → pool).
+  mutable Mutex conn_mu_;
+  CondVar drained_cv_;  // Stop: "a connection closed"
+  bool stopping_ CIRANK_GUARDED_BY(conn_mu_) = false;
+  int64_t active_connections_ CIRANK_GUARDED_BY(conn_mu_) = 0;
+  int64_t connections_accepted_ CIRANK_GUARDED_BY(conn_mu_) = 0;
+  int64_t requests_served_ CIRANK_GUARDED_BY(conn_mu_) = 0;
+
+  // Construction order matters: pools are declared last so their workers
+  // never outlive the state above; accept_pool_ runs exactly the accept
+  // loop, worker_pool_ runs connections.
+  std::unique_ptr<ThreadPool> accept_pool_;
+  std::unique_ptr<ThreadPool> worker_pool_;
+};
+
+}  // namespace serve
+}  // namespace cirank
+
+#endif  // CIRANK_SERVE_SERVER_H_

@@ -43,6 +43,28 @@ const char* CodeName(Status::Code code) {
 
 }  // namespace
 
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+    case Status::Code::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);

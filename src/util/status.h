@@ -86,6 +86,13 @@ class [[nodiscard]] Status {
   std::string message_;
 };
 
+// Wire-format name of `code`: "OK", "INVALID_ARGUMENT", "NOT_FOUND",
+// "OUT_OF_RANGE", "FAILED_PRECONDITION", "INTERNAL", "UNIMPLEMENTED",
+// "DEADLINE_EXCEEDED". Stable machine-matchable identifiers for the serving
+// layer's error envelope (serve/request.h), distinct from the prose
+// rendering ToString() uses.
+const char* StatusCodeName(Status::Code code);
+
 // Result<T> couples a Status with a value that is present iff ok().
 template <typename T>
 class [[nodiscard]] Result {

@@ -1,0 +1,117 @@
+// Concurrency stress for the serving stack: 8 client threads hammer
+// POST /search over keep-alive connections while the main thread feeds
+// RecordClick into the engine, invalidating the query cache under the
+// clients' feet. Exercises the full lock hierarchy (engine feedback_mu →
+// cache shard → connection table → pool) from both ends at once; run under
+// tsan in CI this is the serving layer's data-race detector.
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "serve/http.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "test_util.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeServingHarness;
+
+constexpr size_t kClients = 8;
+constexpr int kRequestsPerClient = 30;
+
+std::string SearchBody(const std::string& query, int k) {
+  std::string body = "{\"query\":";
+  serve::AppendJsonString(&body, query);
+  body += ",\"k\":" + std::to_string(k) + "}";
+  return body;
+}
+
+TEST(ServingStressTest, ConcurrentSearchesSurviveCacheInvalidation) {
+  // A small cache forces constant hit/miss/invalidate churn; enough server
+  // workers that all clients can be in a handler simultaneously.
+  auto h = MakeServingHarness(/*seed=*/29, /*num_nodes=*/150,
+                              /*cache_capacity=*/8,
+                              /*num_workers=*/static_cast<int>(kClients));
+
+  // A few distinct queries so clients collide on cache entries.
+  const std::vector<std::string> bodies = {
+      SearchBody("kw0", 3),     SearchBody("kw1", 3),
+      SearchBody("kw0 kw1", 4), SearchBody("kw2 kw3", 4),
+      SearchBody("kw1 kw2", 2),
+  };
+
+  std::atomic<int> remaining{static_cast<int>(kClients)};
+  std::atomic<int> successes{0};
+  std::vector<std::string> failures(kClients);
+
+  ThreadPool pool(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    pool.Submit([&, c] {
+      auto finish = [&](const std::string& message) {
+        failures[c] = message;
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      };
+      auto client =
+          serve::HttpBlockingClient::Connect("127.0.0.1", h->port());
+      if (!client.ok()) {
+        finish("connect: " + client.status().ToString());
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string& body = bodies[(c + i) % bodies.size()];
+        auto response = client->RoundTrip("POST", "/search", body,
+                                          /*keep_alive=*/true);
+        if (!response.ok()) {
+          finish("round trip: " + response.status().ToString());
+          return;
+        }
+        if (response->status_code != 200) {
+          finish("status " + std::to_string(response->status_code) + ": " +
+                 response->body);
+          return;
+        }
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+      finish("");
+    });
+  }
+
+  // Main thread: pound feedback into the engine until every client is
+  // done. Each click bumps node importance and invalidates the cache.
+  const size_t num_nodes = h->graph.num_nodes();
+  size_t clicks = 0;
+  while (remaining.load(std::memory_order_acquire) > 0) {
+    CIRANK_CHECK_OK(h->engine->RecordClick(
+        static_cast<NodeId>(clicks % num_nodes), /*weight=*/0.1));
+    ++clicks;
+  }
+  pool.WaitIdle();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_EQ(successes.load(std::memory_order_acquire),
+            static_cast<int>(kClients * kRequestsPerClient));
+  EXPECT_GT(clicks, 0u);
+
+  // The server survived: it still serves, and its books balance.
+  auto health = h->RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status_code, 200);
+
+  h->server->Stop();
+  serve::ServerStats stats = h->server->stats();
+  EXPECT_EQ(stats.active_connections, 0);
+  EXPECT_GE(stats.requests_served, kClients * kRequestsPerClient);
+}
+
+}  // namespace
+}  // namespace cirank

@@ -1,0 +1,231 @@
+// Integration tests for the serving stack (DESIGN.md §13): an in-process
+// CirankServer on an ephemeral port, driven with the blocking HTTP client.
+// The headline assertion is differential: the answer bytes served over
+// HTTP must equal a direct CiRankEngine search rendered through the same
+// RenderAnswersJson — the daemon adds transport, never ranking changes.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "serve/http.h"
+#include "serve/json.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "test_util.h"
+#include "util/status.h"
+
+namespace cirank {
+namespace {
+
+using testing_util::MakeServingHarness;
+using testing_util::ServingHarness;
+
+// Unwraps a Result in a test body with a readable failure.
+#define ASSERT_OK_AND_MOVE(lhs, rexpr)                     \
+  auto lhs##_result = (rexpr);                             \
+  ASSERT_TRUE(lhs##_result.ok())                           \
+      << lhs##_result.status().ToString();                 \
+  auto lhs = std::move(lhs##_result).value()
+
+TEST(ServingTest, SearchMatchesDirectEngineByteForByte) {
+  // Cache disabled: both sides must independently compute — byte equality
+  // then certifies the whole parse → search → render path, not memoization.
+  auto h = MakeServingHarness(/*seed=*/11, /*num_nodes=*/150,
+                              /*cache_capacity=*/0);
+
+  const std::string body = "{\"query\":\"kw0 kw1\",\"k\":4}";
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("POST", "/search", body));
+  ASSERT_EQ(response.status_code, 200) << response.body;
+
+  Query query = Query::MustParse("kw0 kw1");
+  ASSERT_OK_AND_MOVE(direct,
+                     h->engine->Search(query, SearchOverrides().WithK(4)));
+  ASSERT_FALSE(direct.empty());
+  const std::string rendered =
+      "\"answers\":" + serve::RenderAnswersJson(direct, h->graph);
+  EXPECT_NE(response.body.find(rendered), std::string::npos)
+      << "HTTP answers differ from direct engine answers.\nHTTP:   "
+      << response.body << "\nDirect: " << rendered;
+}
+
+TEST(ServingTest, HealthzReportsOk) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("GET", "/healthz"));
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "{\"status\":\"ok\"}");
+}
+
+TEST(ServingTest, MetricsServesPrometheusFamilies) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(search, h->RoundTrip("POST", "/search",
+                                          "{\"query\":\"kw0\",\"k\":2}"));
+  ASSERT_EQ(search.status_code, 200) << search.body;
+
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("GET", "/metrics"));
+  EXPECT_EQ(response.status_code, 200);
+  const std::string* content_type = response.FindHeader("Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_NE(content_type->find("text/plain"), std::string::npos);
+  // Engine families and the server's own, with the search above counted.
+  EXPECT_NE(response.body.find("cirank_engine_queries_total"),
+            std::string::npos);
+  EXPECT_NE(response.body.find(
+                "cirank_http_requests_total{endpoint=\"search\"} 1"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("cirank_http_request_seconds"),
+            std::string::npos);
+  // The body is the registry's own rendering, verbatim — check a line the
+  // registry formats, not just a family name. (Exact body equality against
+  // a later RenderPrometheus() would race: the served snapshot predates its
+  // own response counters ticking.)
+  EXPECT_NE(response.body.find("# TYPE cirank_http_requests_total counter"),
+            std::string::npos);
+}
+
+TEST(ServingTest, MalformedJsonIs400WithErrorCode) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("POST", "/search", "{nope"));
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"message\":"), std::string::npos);
+}
+
+TEST(ServingTest, UnknownExecutorIs400) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(
+      response, h->RoundTrip("POST", "/search",
+                             "{\"query\":\"kw0\",\"executor\":\"warp\"}"));
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("unknown executor 'warp'"), std::string::npos)
+      << response.body;
+}
+
+TEST(ServingTest, UnknownFieldIs400) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(response,
+                     h->RoundTrip("POST", "/search",
+                                  "{\"query\":\"kw0\",\"topk\":3}"));
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("unknown field 'topk'"), std::string::npos)
+      << response.body;
+}
+
+// Regression: the 31-keyword mask limit must surface through HTTP as a
+// structured 400, not a 500 or a crash.
+TEST(ServingTest, KeywordLimitSurfacesAs400ThroughHttp) {
+  auto h = MakeServingHarness();
+  std::string query;
+  for (int i = 0; i < 32; ++i) {
+    if (i > 0) query += ' ';
+    query += "unique" + std::to_string(i);
+  }
+  std::string body = "{\"query\":";
+  serve::AppendJsonString(&body, query);
+  body += "}";
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("POST", "/search", body));
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("32 distinct keywords"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("at most 31"), std::string::npos);
+}
+
+TEST(ServingTest, UnknownRouteIs404AndWrongMethodIs405) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(missing, h->RoundTrip("GET", "/bogus"));
+  EXPECT_EQ(missing.status_code, 404);
+  EXPECT_NE(missing.body.find("\"code\":\"NOT_FOUND\""), std::string::npos);
+
+  ASSERT_OK_AND_MOVE(get_search, h->RoundTrip("GET", "/search"));
+  EXPECT_EQ(get_search.status_code, 405);
+
+  ASSERT_OK_AND_MOVE(post_healthz, h->RoundTrip("POST", "/healthz", "{}"));
+  EXPECT_EQ(post_healthz.status_code, 405);
+}
+
+TEST(ServingTest, RepeatQueryIsServedFromCache) {
+  auto h = MakeServingHarness(/*seed=*/5, /*num_nodes=*/120,
+                              /*cache_capacity=*/64);
+  const std::string body = "{\"query\":\"kw0 kw1\",\"k\":3}";
+  ASSERT_OK_AND_MOVE(first, h->RoundTrip("POST", "/search", body));
+  ASSERT_EQ(first.status_code, 200) << first.body;
+  EXPECT_NE(first.body.find("\"from_cache\":false"), std::string::npos);
+
+  ASSERT_OK_AND_MOVE(second, h->RoundTrip("POST", "/search", body));
+  ASSERT_EQ(second.status_code, 200) << second.body;
+  EXPECT_NE(second.body.find("\"from_cache\":true"), std::string::npos)
+      << second.body;
+}
+
+TEST(ServingTest, MalformedHttpFramingClosesWithResponse) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(client, serve::HttpBlockingClient::Connect(
+                                 "127.0.0.1", h->port()));
+  CIRANK_CHECK_OK(client.SendRaw("BROKEN REQUEST\r\n\r\n"));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 400);
+  const std::string* connection = response->FindHeader("Connection");
+  ASSERT_NE(connection, nullptr);
+  EXPECT_EQ(*connection, "close");
+}
+
+// Graceful drain: a query in flight when Stop() is called completes and
+// its response reaches the client before Stop returns.
+TEST(ServingTest, StopDrainsInFlightQuery) {
+  auto h = MakeServingHarness(/*seed=*/3, /*num_nodes=*/200);
+  ASSERT_OK_AND_MOVE(client, serve::HttpBlockingClient::Connect(
+                                 "127.0.0.1", h->port()));
+  // A deadline-bounded query occupies the engine for ~the deadline, giving
+  // Stop something genuinely in flight to wait for.
+  const std::string body =
+      "{\"query\":\"kw0 kw1 kw2\",\"deadline_ms\":400}";
+  std::string request = "POST /search HTTP/1.1\r\nHost: t\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  CIRANK_CHECK_OK(client.SendRaw(request));
+
+  // The engine counts the query before executing it; once the counter
+  // ticks, the request is provably mid-flight inside the handler.
+  obs::Counter& queries =
+      h->metrics.GetCounter("cirank_engine_queries_total");
+  while (queries.Value() == 0) {
+  }
+
+  h->server->Stop();
+  serve::ServerStats stats = h->server->stats();
+  EXPECT_TRUE(stats.stopping);
+  EXPECT_EQ(stats.active_connections, 0);
+  EXPECT_EQ(stats.requests_served, 1);
+
+  // The response was flushed before Stop returned; the read drains it from
+  // the socket buffer even though the server is down.
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  const std::string* connection = response->FindHeader("Connection");
+  ASSERT_NE(connection, nullptr);
+  EXPECT_EQ(*connection, "close") << "drain must force connection close";
+
+  // New connections are refused service after Stop.
+  auto late = h->RoundTrip("GET", "/healthz");
+  EXPECT_FALSE(late.ok());
+}
+
+TEST(ServingTest, StopIsIdempotent) {
+  auto h = MakeServingHarness();
+  h->server->Stop();
+  h->server->Stop();
+  EXPECT_TRUE(h->server->stats().stopping);
+}
+
+}  // namespace
+}  // namespace cirank

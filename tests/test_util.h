@@ -1,15 +1,21 @@
-// Shared helpers for the test suite: random graph generation and engine
-// assembly on small graphs.
+// Shared helpers for the test suite: random graph generation, engine
+// assembly on small graphs, and an in-process serving harness.
 #ifndef CIRANK_TESTS_TEST_UTIL_H_
 #define CIRANK_TESTS_TEST_UTIL_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/rwmp.h"
 #include "core/scorer.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "rw/pagerank.h"
+#include "serve/http.h"
+#include "serve/server.h"
 #include "text/inverted_index.h"
 #include "util/random.h"
 
@@ -78,6 +84,51 @@ inline ScorerBundle MakeScorerBundle(Graph graph, RwmpParams params = {}) {
   bundle.scorer =
       std::make_unique<TreeScorer>(*bundle.model, *bundle.index);
   return bundle;
+}
+
+// --- In-process serving harness (tests/serving_*.cc) ----------------------
+// A random graph, an engine recording into a test-local registry, and a
+// CirankServer bound to an ephemeral 127.0.0.1 port. Heap-allocated because
+// MetricsRegistry is pinned (the engine and server hold resolved instrument
+// pointers into it). The server is started before the factory returns and
+// drained by the destructor (CirankServer::~CirankServer calls Stop).
+struct ServingHarness {
+  Graph graph;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<CiRankEngine> engine;
+  std::unique_ptr<serve::CirankServer> server;
+
+  int port() const { return server->port(); }
+
+  // One fresh-connection request/response exchange against the server.
+  Result<serve::HttpClientResponse> RoundTrip(const std::string& method,
+                                              const std::string& target,
+                                              const std::string& body = "") {
+    CIRANK_ASSIGN_OR_RETURN(serve::HttpBlockingClient client,
+                            serve::HttpBlockingClient::Connect("127.0.0.1",
+                                                               port()));
+    return client.RoundTrip(method, target, body, /*keep_alive=*/false);
+  }
+};
+
+inline std::unique_ptr<ServingHarness> MakeServingHarness(
+    uint64_t seed = 7, size_t num_nodes = 120, size_t cache_capacity = 64,
+    int num_workers = 4) {
+  auto harness = std::make_unique<ServingHarness>();
+  harness->graph = MakeRandomGraph(seed, num_nodes);
+  CiRankOptions options;
+  options.cache.capacity = cache_capacity;
+  options.metrics = &harness->metrics;
+  auto engine = CiRankEngine::Build(harness->graph, options);
+  CIRANK_CHECK_OK(engine.status());
+  harness->engine =
+      std::make_unique<CiRankEngine>(std::move(engine).value());
+  serve::ServerOptions server_options;
+  server_options.num_workers = num_workers;
+  harness->server = std::make_unique<serve::CirankServer>(
+      harness->engine.get(), server_options);
+  CIRANK_CHECK_OK(harness->server->Start());
+  return harness;
 }
 
 }  // namespace testing_util

@@ -89,10 +89,12 @@ MANUAL_UNLOCK = re.compile(r"([\w.\->\[\]]*(?:\.|->))Unlock\s*\(\s*\)")
 # thread holding a lock may only acquire locks of strictly greater rank.
 #   engine (Engine::Serving::feedback_mu)
 #     → cache-shard (ShardedLruCache::Shard::mu)
-#       → pool (ThreadPool::pool_mu_)
+#       → connection-table (CirankServer::conn_mu_)
+#         → pool (ThreadPool::pool_mu_)
 LOCK_HIERARCHY = (
     ("engine", re.compile(r"\bfeedback_mu\b")),
     ("cache-shard", re.compile(r"\bshard\w*\s*(?:\.|->)\s*mu\b")),
+    ("connection-table", re.compile(r"\bconn_mu_?\b")),
     ("pool", re.compile(r"\bpool_mu_?\b")),
 )
 

@@ -1,0 +1,260 @@
+// cirankd: the standalone CI-Rank serving daemon (DESIGN.md §13).
+//
+//   $ ./build/tools/cirankd --port 8080 --dataset imdb --scale 0.25
+//   cirankd listening on 127.0.0.1:8080 (...)
+//   $ curl -s localhost:8080/healthz
+//   $ curl -s -X POST localhost:8080/search -d '{"query":"tom hanks","k":3}'
+//   $ curl -s localhost:8080/metrics | grep cirank_http
+//
+// Options:
+//   --host ADDR          bind address (default 127.0.0.1)
+//   --port N             listen port (default 8080; 0 = ephemeral, the
+//                        chosen port is printed on the "listening" line)
+//   --dataset imdb|dblp  generate a synthetic dataset (default imdb)
+//   --load PATH          load a graph saved with SaveGraphToFile instead
+//   --scale S            generator scale factor (default 0.25)
+//   --workers N          connection worker threads (default 4)
+//   --cache N            query-result LRU capacity (default 1024; 0 = off)
+//   --no-index           skip building the star index (engine default
+//                        bounds are then index-free)
+//   --trace-out PATH     record per-query trace spans; flushed as Chrome
+//                        trace_event JSON to PATH during graceful shutdown
+//
+// Shutdown: SIGTERM or SIGINT latches a flag (the handler is async-signal-
+// safe — one sig_atomic_t store); the main loop notices, drains the server
+// (stop accepting, finish in-flight queries), flushes the trace file, and
+// exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <poll.h>
+
+#include "baselines/baseline_executors.h"
+#include "core/engine.h"
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "graph/serialize.h"
+#include "index/star_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "util/timer.h"
+
+using namespace cirank;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int /*signum*/) { g_shutdown = 1; }
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  std::string dataset = "imdb";
+  std::string load_path;
+  double scale = 0.25;
+  int workers = 4;
+  size_t cache_capacity = 1024;
+  bool use_index = true;
+  std::string trace_out;
+};
+
+bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      opts->host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      opts->port = std::atoi(v);
+      if (opts->port < 0 || opts->port > 65535) {
+        std::fprintf(stderr, "--port must be in [0, 65535]\n");
+        return false;
+      }
+    } else if (arg == "--dataset") {
+      const char* v = next();
+      if (!v) return false;
+      opts->dataset = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (!v) return false;
+      opts->load_path = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      opts->scale = std::atof(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      opts->workers = std::atoi(v);
+      if (opts->workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) {
+        std::fprintf(stderr, "--cache must be >= 0\n");
+        return false;
+      }
+      opts->cache_capacity = static_cast<size_t>(n);
+    } else if (arg == "--no-index") {
+      opts->use_index = false;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->trace_out = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Graph> MakeGraph(const DaemonOptions& opts) {
+  if (!opts.load_path.empty()) return LoadGraphFromFile(opts.load_path);
+  if (opts.dataset == "imdb") {
+    ImdbGenOptions gen;
+    gen.num_movies = static_cast<int>(4000 * opts.scale);
+    gen.num_actors = static_cast<int>(5000 * opts.scale);
+    gen.num_actresses = static_cast<int>(3000 * opts.scale);
+    gen.num_directors = static_cast<int>(800 * opts.scale);
+    gen.num_producers = static_cast<int>(500 * opts.scale);
+    gen.num_companies = static_cast<int>(300 * opts.scale);
+    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildImdbDataset(gen));
+    return std::move(ds.graph);
+  }
+  if (opts.dataset == "dblp") {
+    DblpGenOptions gen;
+    gen.num_papers = static_cast<int>(6000 * opts.scale);
+    gen.num_authors = static_cast<int>(4000 * opts.scale);
+    gen.num_conferences = 24;
+    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildDblpDataset(gen));
+    return std::move(ds.graph);
+  }
+  return Status::InvalidArgument("unknown dataset: " + opts.dataset);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return 1;
+
+  Timer setup_timer;
+  auto graph = MakeGraph(opts);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph setup failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Every registered executor is addressable through the query DSL's
+  // "executor" field.
+  if (Status st = RegisterBaselineExecutors(); !st.ok()) {
+    std::fprintf(stderr, "executor registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::TraceCollector trace;
+  CiRankOptions engine_opts;
+  engine_opts.cache.capacity = opts.cache_capacity;
+  engine_opts.metrics = &metrics;
+  if (!opts.trace_out.empty()) engine_opts.trace = &trace;
+  auto engine = CiRankEngine::Build(*graph, engine_opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // The star index sharpens the branch-and-bound pruning; wiring it into
+  // the engine's default options makes every /search benefit without a
+  // per-request knob.
+  Result<StarIndex> index = Status::FailedPrecondition("index disabled");
+  if (opts.use_index) {
+    index = StarIndex::Build(*graph, engine->model());
+    if (index.ok()) {
+      engine_opts.search.bounds = &index.value();
+      engine = CiRankEngine::Build(*graph, engine_opts);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "engine rebuild with index failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "star index unavailable (%s); continuing\n",
+                   index.status().ToString().c_str());
+    }
+  }
+
+  serve::ServerOptions server_opts;
+  server_opts.host = opts.host;
+  server_opts.port = opts.port;
+  server_opts.num_workers = opts.workers;
+  server_opts.metrics = &metrics;
+  serve::CirankServer server(&engine.value(), server_opts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::printf("cirankd listening on %s:%d (%zu nodes, %zu edges, %s star "
+              "index, %d workers, cache %zu, %.1f s setup)\n",
+              server.host().c_str(), server.port(), graph->num_nodes(),
+              graph->num_edges(), index.ok() ? "with" : "without",
+              opts.workers, opts.cache_capacity,
+              setup_timer.ElapsedSeconds());
+  std::fflush(stdout);
+
+  // Park the main thread until a signal arrives: poll with no fds is a
+  // plain interruptible sleep, and the 200 ms tick bounds the latency of
+  // noticing a flag set between polls.
+  while (g_shutdown == 0) {
+    (void)::poll(nullptr, 0, 200);
+  }
+
+  std::printf("cirankd draining...\n");
+  std::fflush(stdout);
+  server.Stop();
+  const serve::ServerStats stats = server.stats();
+  std::printf("cirankd drained: %lld connections, %lld requests served\n",
+              static_cast<long long>(stats.connections_accepted),
+              static_cast<long long>(stats.requests_served));
+
+  if (!opts.trace_out.empty()) {
+    std::ofstream out(opts.trace_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file %s\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
+    out << trace.RenderChromeJson();
+    if (!out) {
+      std::fprintf(stderr, "trace write to %s failed\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
+    std::printf("%zu trace spans written to %s\n", trace.size(),
+                opts.trace_out.c_str());
+  }
+  return 0;
+}
