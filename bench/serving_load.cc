@@ -4,6 +4,12 @@
 // p50/p95/p99 request latency into BENCH_serving_load.json (schema
 // validated by tools/validate_bench_json.py).
 //
+// The load runs twice over the same engine: once with request-scoped
+// diagnostics on (request log ring, slow-query check, trace-id minting —
+// the cirankd defaults) and once with everything off, so the report
+// quantifies the diagnostics overhead (`diagnostics_overhead_pct`), which
+// DESIGN.md §14 promises is near zero.
+//
 // Clients run on a cirank::ThreadPool (one connection per client, no
 // sharing); latencies are collected per client and merged afterwards, so
 // the measurement path takes no locks. Smoke mode (CIRANK_BENCH_SMOKE=1)
@@ -32,6 +38,13 @@ struct ClientResult {
   int64_t failures = 0;
 };
 
+struct LoadResult {
+  double qps = 0.0;
+  int64_t requests = 0;
+  int64_t failures = 0;
+  std::vector<double> latencies_ms;
+};
+
 std::string SearchBody(const Query& query, int k) {
   std::string text;
   for (size_t i = 0; i < query.keywords.size(); ++i) {
@@ -44,47 +57,18 @@ std::string SearchBody(const Query& query, int k) {
   return body;
 }
 
-}  // namespace
-
-int main() {
-  const bool smoke = bench::SmokeMode();
-  const int num_clients = smoke ? 2 : 8;
-  const double duration_seconds = smoke ? 0.3 : 3.0;
-  const int k = 5;
-
-  bench::PrintFigureHeader(
-      "serving_load",
-      "QPS and request-latency percentiles of cirankd's serving stack "
-      "(in-process server, keep-alive HTTP clients)");
-
-  if (Status st = RegisterBaselineExecutors(); !st.ok()) {
-    std::fprintf(stderr, "executor registration failed: %s\n",
-                 st.ToString().c_str());
-    return 1;
-  }
-
-  bench::BenchSetup setup =
-      bench::MakeImdbSetup(/*num_queries=*/smoke ? 8 : 64,
-                           /*user_log_style=*/false, /*query_seed=*/17,
-                           bench::BenchScale(), /*ambiguous_prob=*/0.0);
-  bench::PrintDatasetLine(*setup.dataset);
-
-  serve::ServerOptions server_opts;
-  server_opts.num_workers = num_clients;
-  serve::CirankServer server(setup.engine.get(), server_opts);
+// One full measurement: a fresh server over `engine` with the given
+// options, `num_clients` keep-alive connections for `duration_seconds`.
+LoadResult RunLoad(const CiRankEngine* engine,
+                   const serve::ServerOptions& server_opts, int num_clients,
+                   double duration_seconds,
+                   const std::vector<std::string>& bodies) {
+  LoadResult result;
+  serve::CirankServer server(engine, server_opts);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-
-  // Pre-render the request bodies once; clients cycle through them.
-  std::vector<std::string> bodies;
-  for (const auto& lq : setup.queries) {
-    if (!lq.query.empty()) bodies.push_back(SearchBody(lq.query, k));
-  }
-  if (bodies.empty()) {
-    std::fprintf(stderr, "no usable queries generated\n");
-    return 1;
+    result.failures = 1;
+    return result;
   }
 
   std::vector<ClientResult> per_client(num_clients);
@@ -119,37 +103,106 @@ int main() {
   const double elapsed = wall.ElapsedSeconds();
   server.Stop();
 
-  std::vector<double> latencies_ms;
-  int64_t requests = 0;
-  int64_t failures = 0;
   for (const ClientResult& r : per_client) {
-    requests += r.requests;
-    failures += r.failures;
-    latencies_ms.insert(latencies_ms.end(), r.latencies_ms.begin(),
-                        r.latencies_ms.end());
+    result.requests += r.requests;
+    result.failures += r.failures;
+    result.latencies_ms.insert(result.latencies_ms.end(),
+                               r.latencies_ms.begin(), r.latencies_ms.end());
   }
-  const double qps = elapsed > 0.0 ? static_cast<double>(requests) / elapsed
-                                   : 0.0;
-  const double p50 = bench::PercentileMs(latencies_ms, 50);
-  const double p95 = bench::PercentileMs(latencies_ms, 95);
-  const double p99 = bench::PercentileMs(latencies_ms, 99);
+  result.qps = elapsed > 0.0
+                   ? static_cast<double>(result.requests) / elapsed
+                   : 0.0;
+  return result;
+}
 
-  std::printf("%d clients, %.1f s: %lld requests (%lld failed), "
-              "%.0f QPS; p50 %.2f ms / p95 %.2f ms / p99 %.2f ms\n",
-              num_clients, elapsed, static_cast<long long>(requests),
-              static_cast<long long>(failures), qps, p50, p95, p99);
+void PrintRun(const char* label, int num_clients, const LoadResult& r) {
+  std::printf("%-16s %d clients: %lld requests (%lld failed), %.0f QPS; "
+              "p50 %.2f ms / p95 %.2f ms / p99 %.2f ms\n",
+              label, num_clients, static_cast<long long>(r.requests),
+              static_cast<long long>(r.failures), r.qps,
+              bench::PercentileMs(r.latencies_ms, 50),
+              bench::PercentileMs(r.latencies_ms, 95),
+              bench::PercentileMs(r.latencies_ms, 99));
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeMode();
+  const int num_clients = smoke ? 2 : 8;
+  const double duration_seconds = smoke ? 0.3 : 3.0;
+  const int k = 5;
+
+  bench::PrintFigureHeader(
+      "serving_load",
+      "QPS and request-latency percentiles of cirankd's serving stack, "
+      "with request-scoped diagnostics on vs off");
+
+  if (Status st = RegisterBaselineExecutors(); !st.ok()) {
+    std::fprintf(stderr, "executor registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  bench::BenchSetup setup =
+      bench::MakeImdbSetup(/*num_queries=*/smoke ? 8 : 64,
+                           /*user_log_style=*/false, /*query_seed=*/17,
+                           bench::BenchScale(), /*ambiguous_prob=*/0.0);
+  bench::PrintDatasetLine(*setup.dataset);
+
+  // Pre-render the request bodies once; clients cycle through them.
+  std::vector<std::string> bodies;
+  for (const auto& lq : setup.queries) {
+    if (!lq.query.empty()) bodies.push_back(SearchBody(lq.query, k));
+  }
+  if (bodies.empty()) {
+    std::fprintf(stderr, "no usable queries generated\n");
+    return 1;
+  }
+
+  // Diagnostics on: the cirankd defaults — request ring, slow-query check
+  // (threshold high enough that nothing actually logs; the cost measured
+  // is the always-on bookkeeping, not sink I/O), trace-id minting.
+  serve::ServerOptions diag_on;
+  diag_on.num_workers = num_clients;
+  diag_on.request_log_capacity = 128;
+  diag_on.slow_query_ms = 1e9;
+
+  // Diagnostics off: no ring, no slow-query check.
+  serve::ServerOptions diag_off;
+  diag_off.num_workers = num_clients;
+  diag_off.request_log_capacity = 0;
+  diag_off.slow_query_ms = -1.0;
+
+  const LoadResult on = RunLoad(setup.engine.get(), diag_on, num_clients,
+                                duration_seconds, bodies);
+  const LoadResult off = RunLoad(setup.engine.get(), diag_off, num_clients,
+                                 duration_seconds, bodies);
+  PrintRun("diagnostics-on", num_clients, on);
+  PrintRun("diagnostics-off", num_clients, off);
+
+  const double overhead_pct =
+      off.qps > 0.0 ? (off.qps - on.qps) / off.qps * 100.0 : 0.0;
+  std::printf("diagnostics overhead: %.1f%% QPS\n", overhead_pct);
 
   bench::BenchReport report("serving_load");
-  report.AddMetric("qps", qps);
-  report.AddMetric("duration_seconds", elapsed);
-  report.AddMetric("p99_ms", p99);
+  // `qps` stays the headline (diagnostics-on — what production runs).
+  report.AddMetric("qps", on.qps);
+  report.AddMetric("qps_diagnostics_on", on.qps);
+  report.AddMetric("qps_diagnostics_off", off.qps);
+  report.AddMetric("diagnostics_overhead_pct", overhead_pct);
+  report.AddMetric("p99_ms", bench::PercentileMs(on.latencies_ms, 99));
   report.AddCounter("clients", num_clients);
-  report.AddCounter("requests", requests);
-  report.AddCounter("failures", failures);
-  report.AddLatencySeries("search_request", latencies_ms);
+  report.AddCounter("requests", on.requests + off.requests);
+  report.AddCounter("failures", on.failures + off.failures);
+  report.AddLatencySeries("search_request", on.latencies_ms);
+  report.AddLatencySeries("search_request_diag_off", off.latencies_ms);
   if (!report.Write()) return 1;
   // The benches build engines against the default registry; the server's
   // cirank_http_* families land there too, so the .prom sidecar carries
   // both serving layers.
-  return failures == requests ? 1 : 0;
+  return (on.requests > 0 && on.failures == on.requests) ||
+                 (off.requests > 0 && off.failures == off.requests)
+             ? 1
+             : 0;
 }

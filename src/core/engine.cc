@@ -7,7 +7,7 @@
 #include "core/parallel_search.h"
 #include "util/annotations.h"
 #include "util/check.h"
-#include "util/logging.h"
+#include "obs/log.h"
 #include "util/lru_cache.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
@@ -203,13 +203,14 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::ExecuteUncached(
-    const Query& query, const SearchOptions& options,
-    SearchStats* stats) const {
+    const Query& query, const SearchOptions& options, SearchStats* stats,
+    uint64_t trace_id) const {
   serving_->active_searches.fetch_add(1, std::memory_order_acq_rel);
   // Dispatch through the executor registry: options.executor picks the
   // SearchExecutor ("bnb" by default), and the execution pipeline applies
   // the deadline/budget guard and stage accounting uniformly.
-  ExecutorEnv env{scorer_.get(), &query, options, metrics_, options_.trace};
+  ExecutorEnv env{scorer_.get(), &query,        options,
+                  metrics_,      options_.trace, trace_id};
   // A local stats block keeps the truncation counter honest even when the
   // caller passed nullptr.
   SearchStats local;
@@ -237,11 +238,12 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::ServingSearch(
-    const Query& query, const SearchOverrides& overrides,
-    SearchStats* stats) const {
+    const Query& query, const SearchOverrides& overrides, SearchStats* stats,
+    const obs::RequestContext* request) const {
   auto result = CachedSearch(query, EffectiveOptions(overrides),
                              /*use_cache=*/true, stats,
-                             /*stats_from_cache_ok=*/true);
+                             /*stats_from_cache_ok=*/true,
+                             request != nullptr ? request->trace_id : 0);
   // Scrapes happen between queries, so keep the cache gauges current here
   // rather than only on the batch path.
   serving_->SyncCacheMetrics(metrics_);
@@ -250,7 +252,7 @@ Result<std::vector<RankedAnswer>> CiRankEngine::ServingSearch(
 
 Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
     const Query& query, const SearchOptions& options, bool use_cache,
-    SearchStats* stats, bool stats_from_cache_ok) const {
+    SearchStats* stats, bool stats_from_cache_ok, uint64_t trace_id) const {
   const Serving::Obs& obs = serving_->obs;
   if (obs.queries != nullptr) obs.queries->Increment();
   // Deadline- and budget-limited queries are never cached: what they return
@@ -281,7 +283,7 @@ Result<std::vector<RankedAnswer>> CiRankEngine::CachedSearch(
     }
   }
   CIRANK_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
-                          ExecuteUncached(query, options, stats));
+                          ExecuteUncached(query, options, stats, trace_id));
   if (cacheable) {
     serving_->cache.Put(
         std::move(key),

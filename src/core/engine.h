@@ -32,6 +32,7 @@
 #include "core/scorer.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "rw/pagerank.h"
 #include "text/inverted_index.h"
@@ -105,9 +106,14 @@ class CiRankEngine {
   // what the HTTP response envelope reports to clients. Also refreshes the
   // cache gauges so a /metrics scrape between queries sees current entry
   // counts. Deadline- or budget-limited queries still bypass the cache.
+  // `request` (optional) carries the request-scoped trace id (DESIGN.md
+  // §14); when non-null it is threaded into the ExecutionContext so every
+  // span the query records joins against the serving layer's logs and
+  // /debug/requestz. It never affects ranking — results are byte-identical
+  // with or without it.
   [[nodiscard]] Result<std::vector<RankedAnswer>> ServingSearch(
       const Query& query, const SearchOverrides& overrides,
-      SearchStats* stats) const;
+      SearchStats* stats, const obs::RequestContext* request = nullptr) const;
 
   // The engine's view of MergeOverrides (core/options.h): the overrides
   // applied over this engine's default SearchOptions. Exposed for callers
@@ -175,15 +181,16 @@ class CiRankEngine {
   // stats-requesting call is served fresh so its counters are real.
   Result<std::vector<RankedAnswer>> CachedSearch(
       const Query& query, const SearchOptions& options, bool use_cache,
-      SearchStats* stats, bool stats_from_cache_ok = false) const;
+      SearchStats* stats, bool stats_from_cache_ok = false,
+      uint64_t trace_id = 0) const;
 
   // The single fresh-execution path: dispatches through the executor
   // registry, wires the engine's metrics/trace sinks into the pipeline, and
   // folds latency/error/truncation counters. Does NOT count
   // cirank_engine_queries_total — the public entry points own that.
   Result<std::vector<RankedAnswer>> ExecuteUncached(
-      const Query& query, const SearchOptions& options,
-      SearchStats* stats) const;
+      const Query& query, const SearchOptions& options, SearchStats* stats,
+      uint64_t trace_id = 0) const;
 
   const Graph* graph_ = nullptr;
   CiRankOptions options_;

@@ -199,11 +199,12 @@ Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
   obs::TraceSpan query_span;
   if (ctx.trace() != nullptr) {
     query_span = obs::TraceSpan(ctx.trace(), "query:" + st.executor, "query",
-                                ctx.trace_track());
+                                ctx.trace_track(), ctx.trace_id());
   }
   auto stage_span = [&ctx](const char* name) {
     return ctx.trace() != nullptr
-               ? obs::TraceSpan(ctx.trace(), name, "stage", ctx.trace_track())
+               ? obs::TraceSpan(ctx.trace(), name, "stage", ctx.trace_track(),
+                                ctx.trace_id())
                : obs::TraceSpan();
   };
 
@@ -252,7 +253,7 @@ Result<std::vector<RankedAnswer>> ExecuteSearch(const ExecutorEnv& env,
       std::unique_ptr<SearchExecutor> executor,
       ExecutorRegistry::Global().Create(env.options.executor, env));
   ExecutionContext ctx(ExecutionLimits::FromOptions(env.options));
-  ctx.BindObservability(env.metrics, env.trace);
+  ctx.BindObservability(env.metrics, env.trace, env.trace_id);
   return RunSearchPipeline(*executor, ctx, stats);
 }
 

@@ -145,15 +145,19 @@ class ExecutionContext {
   // Binds the observability sinks the pipeline driver records into; either
   // may be null (no recording — the default). Binding a trace collector
   // claims a fresh track so this query's spans land on their own row.
+  // `trace_id` is the request correlation id (obs/request_context.h),
+  // stamped on every span this query records; 0 = no request scope.
   void BindObservability(obs::MetricsRegistry* metrics,
-                         obs::TraceCollector* trace) {
+                         obs::TraceCollector* trace, uint64_t trace_id = 0) {
     metrics_ = metrics;
     trace_ = trace;
+    trace_id_ = trace_id;
     if (trace_ != nullptr) trace_track_ = trace_->NewTrack();
   }
   obs::MetricsRegistry* metrics() const { return metrics_; }
   obs::TraceCollector* trace() const { return trace_; }
   int64_t trace_track() const { return trace_track_; }
+  uint64_t trace_id() const { return trace_id_; }
 
  private:
   static constexpr int64_t kDeadlineCheckStride = 64;
@@ -169,6 +173,7 @@ class ExecutionContext {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceCollector* trace_ = nullptr;
   int64_t trace_track_ = 0;
+  uint64_t trace_id_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -218,6 +223,9 @@ struct ExecutorEnv {
   // baseline — reports the same metric families and span shapes.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceCollector* trace = nullptr;
+  // Request correlation id threaded down from the serving layer
+  // (obs/request_context.h); 0 when the query has no request scope.
+  uint64_t trace_id = 0;
 };
 
 using ExecutorFactory =

@@ -1,0 +1,233 @@
+// The repo's only sanctioned output channel (DESIGN.md §14; the analyzer
+// `raw-output` rule bans raw fprintf/std::cerr everywhere else in src/).
+// A process-wide Logger renders leveled, structured records — text for
+// humans, JSON for log shippers — through a mutex-guarded sink. The hot
+// path is lock-free: CIRANK_LOG first consults a relaxed atomic level and
+// builds the message only when it will actually be emitted, so a disabled
+// callsite costs one load and one branch.
+//
+//   CIRANK_LOG(Info) << "built graph with " << n << " nodes";
+//   CIRANK_LOG_EVERY_N(Warning, 100) << "slow shard";   // callsites 1, 101, ...
+//   CIRANK_LOG_FIRST_N(Error, 3) << "parse failure";    // then silent
+//
+// Request correlation: the serving path wraps each request in a
+// ScopedLogTraceId; every record emitted on that thread while the scope is
+// live carries the 64-bit trace id (rendered as 16 hex digits — the same
+// form the `x-cirank-trace-id` response header and the trace spans use).
+//
+// Determinism: rendering is a pure function of the LogEntry, and the clock
+// is injectable (SetClockForTest), so tests golden-compare exact bytes.
+#ifndef CIRANK_OBS_LOG_H_
+#define CIRANK_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace cirank {
+namespace obs {
+
+// kOff is a filter-only level: messages cannot be logged *at* kOff, but
+// setting the threshold there silences everything.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3,
+                      kOff = 4 };
+
+enum class LogFormat { kText, kJson };
+
+// "debug"/"info"/"warning"/"error"/"off" (and the single-letter tags);
+// anything else is false and leaves *level untouched.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+const char* LogLevelName(LogLevel level);  // "debug", ..., "off"
+
+// One structured record, fully assembled before it reaches the sink.
+struct LogEntry {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  // __FILE__; rendered as its basename
+  int line = 0;
+  uint64_t trace_id = 0;       // 0 = no request scope
+  int64_t timestamp_us = 0;    // from the logger's clock
+  std::string message;
+};
+
+// Pure renderers (exposed for the golden tests and the slow-query log).
+//   text: [I file.cc:42 ts=1234 trace=00000000deadbeef] message
+//         (ts/trace omitted when zero)
+//   json: {"level":"info","file":"file.cc","line":42,"ts_us":1234,
+//          "trace_id":"00000000deadbeef","msg":"message"}
+//         (trace_id omitted when zero)
+std::string RenderLogText(const LogEntry& entry);
+std::string RenderLogJson(const LogEntry& entry);
+
+// The process-wide logger. Level/format live in lone relaxed atomics
+// (exact for a single word, fence-free — DESIGN.md §12); the sink and the
+// clock are mutex-guarded because they change only at startup or in tests.
+class Logger {
+ public:
+  // A sink receives the rendered line (no trailing newline) plus the raw
+  // entry, already filtered by level. Must be callable from any thread;
+  // the logger serializes calls under its sink mutex.
+  using Sink = std::function<void(const std::string& line,
+                                  const LogEntry& entry)>;
+
+  // Never destroyed: instruments and daemons may log during static
+  // destruction.
+  static Logger& Default();
+
+  Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogFormat format() const { return format_.load(std::memory_order_relaxed); }
+  void set_format(LogFormat format) {
+    format_.store(format, std::memory_order_relaxed);
+  }
+
+  bool Enabled(LogLevel level) const {
+    return level >= this->level() && level != LogLevel::kOff;
+  }
+
+  // nullptr restores the default stderr sink.
+  void SetSink(Sink sink);
+  // nullptr restores the wall clock (microseconds since the Unix epoch).
+  void SetClockForTest(std::function<int64_t()> clock);
+
+  // Stamps the timestamp, renders per the current format, and hands the
+  // line to the sink. Entries below the threshold are dropped (callers
+  // normally pre-filter via Enabled, but Log re-checks so direct calls —
+  // e.g. the slow-query log — obey the level too).
+  void Log(LogEntry entry);
+
+  // Total lines that reached the sink (monotonic; for tests and statusz).
+  int64_t lines_emitted() const {
+    return lines_emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+  std::atomic<LogFormat> format_{LogFormat::kText};
+  std::atomic<int64_t> lines_emitted_{0};
+  // Serializes clock read + render + sink call so lines never interleave
+  // and a test swapping the sink never races an emit in flight.
+  Mutex sink_mu_;
+  Sink sink_ CIRANK_GUARDED_BY(sink_mu_);
+  std::function<int64_t()> clock_ CIRANK_GUARDED_BY(sink_mu_);
+};
+
+// --- Request correlation ---------------------------------------------------
+
+// The trace id every CIRANK_LOG on this thread is stamped with (0 outside
+// any request scope).
+uint64_t CurrentLogTraceId();
+
+// RAII: installs `trace_id` as the thread's current id, restoring the
+// previous value on destruction (scopes nest).
+class ScopedLogTraceId {
+ public:
+  explicit ScopedLogTraceId(uint64_t trace_id);
+  ~ScopedLogTraceId();
+  ScopedLogTraceId(const ScopedLogTraceId&) = delete;
+  ScopedLogTraceId& operator=(const ScopedLogTraceId&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+// --- Per-callsite rate limiting --------------------------------------------
+
+// One callsite's counter. ShouldLog(n) admits calls 1, n+1, 2n+1, ... —
+// exactly ceil(total/n) of `total` calls, even under concurrency (the
+// fetch_add ticket is unique per call). n <= 1 admits everything.
+class LogEveryNState {
+ public:
+  bool ShouldLog(int64_t n) {
+    const int64_t count = counter_.fetch_add(1, std::memory_order_relaxed);
+    return n <= 1 || count % n == 0;
+  }
+  // Admits only the first n calls.
+  bool ShouldLogFirstN(int64_t n) {
+    return counter_.fetch_add(1, std::memory_order_relaxed) < n;
+  }
+  int64_t count() const { return counter_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> counter_{0};
+};
+
+namespace internal {
+
+// Builds the message in a buffer and emits through Logger::Default() on
+// destruction. Constructed only when the level passed the Enabled check.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logger::Default().Log(LogEntry{level_, file_, line_, CurrentLogTraceId(),
+                                   0, std::move(stream_).str()});
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream so the disabled arm of the ternary below has type
+// void (the classic glog voidify trick).
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace cirank
+
+// Usage: CIRANK_LOG(Info) << "built graph with " << n << " nodes";
+// The message expression is NOT evaluated when the level is filtered.
+#define CIRANK_LOG(severity)                                                 \
+  !::cirank::obs::Logger::Default().Enabled(                                 \
+      ::cirank::obs::LogLevel::k##severity)                                  \
+      ? (void)0                                                              \
+      : ::cirank::obs::internal::LogVoidify() &                              \
+            ::cirank::obs::internal::LogMessage(                             \
+                ::cirank::obs::LogLevel::k##severity, __FILE__, __LINE__)    \
+                .stream()
+
+// Per-callsite rate limit: emits calls 1, n+1, 2n+1, ... The switch/if
+// shell keeps the macro a single statement (dangling-else safe) while the
+// function-local static gives each expansion its own counter.
+#define CIRANK_LOG_EVERY_N(severity, n)                                      \
+  switch (0)                                                                 \
+  case 0:                                                                    \
+  default:                                                                   \
+    if (static ::cirank::obs::LogEveryNState cirank_internal_log_state;      \
+        !cirank_internal_log_state.ShouldLog(n)) {                           \
+    } else                                                                   \
+      CIRANK_LOG(severity)
+
+// Emits only the first n calls at this callsite, then goes silent.
+#define CIRANK_LOG_FIRST_N(severity, n)                                      \
+  switch (0)                                                                 \
+  case 0:                                                                    \
+  default:                                                                   \
+    if (static ::cirank::obs::LogEveryNState cirank_internal_log_state;      \
+        !cirank_internal_log_state.ShouldLogFirstN(n)) {                     \
+    } else                                                                   \
+      CIRANK_LOG(severity)
+
+#endif  // CIRANK_OBS_LOG_H_

@@ -63,6 +63,7 @@ std::string Num(double v) {
 void AtomicAddDouble(std::atomic<double>* target, double delta) {
   double cur = target->load(std::memory_order_relaxed);
   while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed,
                                         std::memory_order_relaxed)) {
   }
 }

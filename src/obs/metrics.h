@@ -48,9 +48,12 @@ class Gauge {
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void Add(double delta) {
     // compare_exchange loop instead of fetch_add: atomic<double>::fetch_add
-    // is C++20 but not yet lock-free everywhere.
+    // is C++20 but not yet lock-free everywhere. Failure order spelled out:
+    // the two-argument form's derived failure order is implementation-
+    // visible subtlety we don't want readers reasoning about.
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed,
                                          std::memory_order_relaxed)) {
     }
   }

@@ -1,0 +1,68 @@
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace cirank {
+namespace obs {
+namespace {
+
+// splitmix64 finalizer (Steele et al.): a full-avalanche bijection, so
+// distinct inputs give distinct ids and sequential counters don't produce
+// visually-adjacent hex strings.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t MintTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t ticket = counter.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  // The counter in the high bits guarantees per-process uniqueness even if
+  // two mints land on the same nanosecond.
+  uint64_t id = Mix64((ticket << 20) ^ nanos);
+  if (id == 0) id = 1;  // 0 is the "no id" sentinel
+  return id;
+}
+
+std::string FormatTraceId(uint64_t trace_id) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+bool ParseTraceId(std::string_view text, uint64_t* trace_id) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  if (value == 0) return false;
+  *trace_id = value;
+  return true;
+}
+
+}  // namespace obs
+}  // namespace cirank

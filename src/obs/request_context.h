@@ -1,0 +1,43 @@
+// Per-request correlation (DESIGN.md §14). A RequestContext carries the
+// 64-bit trace id minted (or accepted via the `x-cirank-trace-id` header)
+// by CirankServer for each request; the engine threads it through
+// ServingSearch → ExecutionContext so every log line, trace span, and
+// slow-query record the request produces carries the same id — and the
+// client gets it back in the response header to quote when filing a bug.
+//
+// IDs render as exactly 16 lowercase hex digits everywhere (header, logs,
+// trace args, /debug/requestz) so one `grep` correlates all four.
+#ifndef CIRANK_OBS_REQUEST_CONTEXT_H_
+#define CIRANK_OBS_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cirank {
+namespace obs {
+
+struct RequestContext {
+  uint64_t trace_id = 0;  // 0 = diagnostics off / no request scope
+};
+
+// Mints a fresh nonzero trace id. Not a std PRNG (the determinism rule
+// reserves those for src/util/random): a process-wide counter and the
+// steady clock are mixed through a splitmix64 finalizer, which is
+// collision-free per process (the counter is unique) and unpredictable
+// enough across processes for correlation purposes — these are join keys,
+// not secrets.
+uint64_t MintTraceId();
+
+// 16 lowercase hex digits, zero-padded ("00000000deadbeef").
+std::string FormatTraceId(uint64_t trace_id);
+
+// Accepts exactly 16 hex digits (either case). Returns false (leaving
+// *trace_id untouched) on any other shape, including the nonzero check:
+// 0 means "no id" and is not accepted over the wire.
+bool ParseTraceId(std::string_view text, uint64_t* trace_id);
+
+}  // namespace obs
+}  // namespace cirank
+
+#endif  // CIRANK_OBS_REQUEST_CONTEXT_H_

@@ -1,0 +1,42 @@
+#include "obs/request_log.h"
+
+#include <utility>
+
+namespace cirank {
+namespace obs {
+
+void RequestLog::Record(RequestRecord record) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<RequestRecord> RequestLog::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<RequestRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    // Not yet wrapped: insertion order is oldest-first already.
+    out = ring_;
+  } else {
+    // Wrapped: next_ points at the oldest entry.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+int64_t RequestLog::total_recorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+}  // namespace obs
+}  // namespace cirank

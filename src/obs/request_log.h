@@ -1,0 +1,75 @@
+// Bounded in-memory ring of completed requests (DESIGN.md §14) — the
+// backing store for `GET /debug/requestz` and the slow-query log. The
+// server records one flat RequestRecord per finished /search (obs/ sits
+// below core/, so the record carries the StageStats fields by value rather
+// than depending on the core type); a fixed-capacity ring overwrites the
+// oldest entry, so memory is O(capacity) no matter how long the daemon
+// runs.
+#ifndef CIRANK_OBS_REQUEST_LOG_H_
+#define CIRANK_OBS_REQUEST_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace cirank {
+namespace obs {
+
+// Everything /debug/requestz shows about one completed request. Stage
+// fields mirror core's StageStats 1:1.
+struct RequestRecord {
+  uint64_t trace_id = 0;
+  std::string query;
+  std::string executor;
+  int status_code = 0;
+  bool from_cache = false;
+  bool truncated = false;
+  bool slow = false;  // exceeded the slow-query threshold
+  double total_seconds = 0.0;
+  // StageStats breakdown.
+  int64_t candidates_generated = 0;
+  int64_t candidates_pruned = 0;
+  int64_t candidates_merged = 0;
+  int64_t bound_calls = 0;
+  int64_t arena_bytes = 0;
+  double prepare_seconds = 0.0;
+  double expand_seconds = 0.0;
+  double emit_seconds = 0.0;
+};
+
+class RequestLog {
+ public:
+  // capacity == 0 disables recording entirely (Record is a no-op and
+  // Snapshot is always empty) — the diagnostics-off configuration.
+  explicit RequestLog(size_t capacity) : capacity_(capacity) {}
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  void Record(RequestRecord record);
+
+  // The retained records, oldest first.
+  std::vector<RequestRecord> Snapshot() const;
+
+  // Total Records ever accepted (>= Snapshot().size(); the difference is
+  // how many the ring has evicted).
+  int64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  // Ring storage: grows to capacity_, then next_ overwrites in place.
+  std::vector<RequestRecord> ring_ CIRANK_GUARDED_BY(mu_);
+  size_t next_ CIRANK_GUARDED_BY(mu_) = 0;
+  int64_t total_ CIRANK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace cirank
+
+#endif  // CIRANK_OBS_REQUEST_LOG_H_

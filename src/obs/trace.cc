@@ -27,7 +27,25 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+// 16 lowercase hex digits — the shape FormatTraceId uses, duplicated here
+// to keep trace.cc free of extra deps.
+std::string Hex16(uint64_t value) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHexDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()), max_spans_(max_spans) {}
 
 int64_t TraceCollector::NowMicros() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -37,7 +55,12 @@ int64_t TraceCollector::NowMicros() const {
 
 void TraceCollector::Record(Span span) {
   MutexLock lk(mu_);
-  spans_.push_back(std::move(span));
+  if (max_spans_ == 0 || spans_.size() < max_spans_) {
+    spans_.push_back(std::move(span));
+  } else {
+    spans_[next_] = std::move(span);
+    next_ = (next_ + 1) % max_spans_;
+  }
 }
 
 size_t TraceCollector::size() const {
@@ -47,21 +70,33 @@ size_t TraceCollector::size() const {
 
 std::vector<TraceCollector::Span> TraceCollector::Snapshot() const {
   MutexLock lk(mu_);
-  return spans_;
+  // Once the ring is full, next_ points at the oldest entry; re-linearize
+  // so callers always see oldest-first.
+  if (max_spans_ == 0 || spans_.size() < max_spans_) return spans_;
+  std::vector<Span> out;
+  out.reserve(spans_.size());
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    out.push_back(spans_[(next_ + i) % spans_.size()]);
+  }
+  return out;
 }
 
 std::string TraceCollector::RenderChromeJson() const {
-  MutexLock lk(mu_);
+  const std::vector<Span> spans = Snapshot();
   std::ostringstream out;
   out << "{\"traceEvents\":[";
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    const Span& s = spans_[i];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
     out << (i == 0 ? "\n" : ",\n") << "{\"name\":\"" << JsonEscape(s.name)
         << "\",\"cat\":\"" << JsonEscape(s.category)
         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.track
-        << ",\"ts\":" << s.start_us << ",\"dur\":" << s.duration_us << "}";
+        << ",\"ts\":" << s.start_us << ",\"dur\":" << s.duration_us;
+    if (s.trace_id != 0) {
+      out << ",\"args\":{\"trace_id\":\"" << Hex16(s.trace_id) << "\"}";
+    }
+    out << "}";
   }
-  out << (spans_.empty() ? "" : "\n") << "],\"displayTimeUnit\":\"ms\"}";
+  out << (spans.empty() ? "" : "\n") << "],\"displayTimeUnit\":\"ms\"}";
   return std::move(out).str();
 }
 

@@ -29,16 +29,23 @@ namespace obs {
 
 class TraceCollector {
  public:
-  // One completed ("ph":"X") trace event.
+  // One completed ("ph":"X") trace event. trace_id (when nonzero) is the
+  // request correlation id (obs/request_context.h), rendered into the
+  // event's "args" so a span joins against logs and /debug/requestz.
   struct Span {
     std::string name;
     std::string category;
     int64_t track = 0;
     int64_t start_us = 0;
     int64_t duration_us = 0;
+    uint64_t trace_id = 0;
   };
 
-  TraceCollector();
+  // max_spans == 0 means unbounded (the offline --trace-out use). A daemon
+  // that traces continuously passes a cap: the span store becomes a ring
+  // that overwrites the oldest entry, so /debug/tracez always shows recent
+  // activity in O(max_spans) memory.
+  explicit TraceCollector(size_t max_spans = 0);
 
   // Claims a fresh span row (one per query).
   int64_t NewTrack() {
@@ -59,9 +66,13 @@ class TraceCollector {
 
  private:
   const std::chrono::steady_clock::time_point epoch_;
+  const size_t max_spans_;
   std::atomic<int64_t> next_track_{1};
   mutable Mutex mu_;
+  // Insertion-ordered until max_spans_ is hit, then a ring with next_
+  // marking the oldest entry (Snapshot/Render re-linearize oldest-first).
   std::vector<Span> spans_ CIRANK_GUARDED_BY(mu_);
+  size_t next_ CIRANK_GUARDED_BY(mu_) = 0;
 };
 
 // RAII span: records [construction, End()/destruction) into the collector.
@@ -71,11 +82,12 @@ class TraceSpan {
  public:
   TraceSpan() = default;
   TraceSpan(TraceCollector* collector, std::string name, std::string category,
-            int64_t track)
+            int64_t track, uint64_t trace_id = 0)
       : collector_(collector),
         name_(std::move(name)),
         category_(std::move(category)),
         track_(track),
+        trace_id_(trace_id),
         start_us_(collector != nullptr ? collector->NowMicros() : 0) {}
 
   TraceSpan(const TraceSpan&) = delete;
@@ -87,6 +99,7 @@ class TraceSpan {
     name_ = std::move(other.name_);
     category_ = std::move(other.category_);
     track_ = other.track_;
+    trace_id_ = other.trace_id_;
     start_us_ = other.start_us_;
     other.collector_ = nullptr;
     return *this;
@@ -100,7 +113,7 @@ class TraceSpan {
     TraceCollector* c = collector_;
     collector_ = nullptr;
     c->Record({std::move(name_), std::move(category_), track_, start_us_,
-               c->NowMicros() - start_us_});
+               c->NowMicros() - start_us_, trace_id_});
   }
 
  private:
@@ -108,6 +121,7 @@ class TraceSpan {
   std::string name_;
   std::string category_;
   int64_t track_ = 0;
+  uint64_t trace_id_ = 0;
   int64_t start_us_ = 0;
 };
 

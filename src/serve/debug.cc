@@ -1,0 +1,210 @@
+#include "serve/debug.h"
+
+#include <map>
+#include <utility>
+
+#include "obs/request_context.h"
+#include "serve/json.h"
+
+namespace cirank {
+namespace serve {
+namespace {
+
+void AppendKey(std::string* out, std::string_view key) {
+  AppendJsonString(out, key);
+  out->push_back(':');
+}
+
+void AppendStringField(std::string* out, std::string_view key,
+                       std::string_view value) {
+  AppendKey(out, key);
+  AppendJsonString(out, value);
+}
+
+void AppendNumberField(std::string* out, std::string_view key, double value) {
+  AppendKey(out, key);
+  AppendJsonNumber(out, value);
+}
+
+void AppendBoolField(std::string* out, std::string_view key, bool value) {
+  AppendKey(out, key);
+  out->append(value ? "true" : "false");
+}
+
+}  // namespace
+
+std::string RenderStatuszJson(const StatuszInfo& info) {
+  std::string out;
+  out.reserve(1024);
+  out.append("{\"build\":{");
+  AppendStringField(&out, "version", info.version);
+  out.push_back(',');
+  AppendStringField(&out, "compiler", info.compiler);
+  out.push_back(',');
+  AppendStringField(&out, "build_type", info.build_type);
+  out.append("},");
+  AppendNumberField(&out, "uptime_seconds", info.uptime_seconds);
+  out.append(",\"dataset\":{");
+  AppendStringField(&out, "name", info.dataset);
+  out.push_back(',');
+  AppendNumberField(&out, "nodes", static_cast<double>(info.graph_nodes));
+  out.push_back(',');
+  AppendNumberField(&out, "edges", static_cast<double>(info.graph_edges));
+  out.append("},\"options\":{");
+  AppendNumberField(&out, "num_workers", info.num_workers);
+  out.push_back(',');
+  AppendNumberField(&out, "request_log_capacity",
+                    static_cast<double>(info.request_log_capacity));
+  out.push_back(',');
+  AppendNumberField(&out, "slow_query_ms", info.slow_query_ms);
+  out.push_back(',');
+  AppendBoolField(&out, "trace_enabled", info.trace_enabled);
+  out.push_back(',');
+  AppendBoolField(&out, "metrics_enabled", info.metrics_enabled);
+  out.append("},\"log\":{");
+  AppendStringField(&out, "level", info.log_level);
+  out.push_back(',');
+  AppendStringField(&out, "format", info.log_format);
+  out.push_back(',');
+  AppendNumberField(&out, "lines_emitted",
+                    static_cast<double>(info.log_lines_emitted));
+  out.append("},");
+  AppendNumberField(&out, "requests_recorded",
+                    static_cast<double>(info.requests_recorded));
+  out.append(",\"executors\":[");
+  for (size_t i = 0; i < info.executors.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, info.executors[i]);
+  }
+  // The declared lock hierarchy (DESIGN.md §12; mirrored from
+  // tools/analyze/rules.py LOCK_HIERARCHY — the analyzer fixture grep in CI
+  // keeps prose and code from drifting silently).
+  out.append("],\"lock_hierarchy\":[\"engine\",\"cache-shard\","
+             "\"connection-table\",\"pool\"]}");
+  return out;
+}
+
+std::string RenderRequestzJson(const obs::RequestLog& log) {
+  const std::vector<obs::RequestRecord> records = log.Snapshot();
+  std::string out;
+  out.reserve(256 + records.size() * 320);
+  out.push_back('{');
+  AppendNumberField(&out, "capacity", static_cast<double>(log.capacity()));
+  out.push_back(',');
+  AppendNumberField(&out, "total_recorded",
+                    static_cast<double>(log.total_recorded()));
+  out.append(",\"requests\":[");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const obs::RequestRecord& r = records[i];
+    if (i > 0) out.push_back(',');
+    out.push_back('{');
+    AppendStringField(&out, "trace_id", obs::FormatTraceId(r.trace_id));
+    out.push_back(',');
+    AppendStringField(&out, "query", r.query);
+    out.push_back(',');
+    AppendStringField(&out, "executor", r.executor);
+    out.push_back(',');
+    AppendNumberField(&out, "status", r.status_code);
+    out.push_back(',');
+    AppendBoolField(&out, "from_cache", r.from_cache);
+    out.push_back(',');
+    AppendBoolField(&out, "truncated", r.truncated);
+    out.push_back(',');
+    AppendBoolField(&out, "slow", r.slow);
+    out.push_back(',');
+    AppendNumberField(&out, "total_seconds", r.total_seconds);
+    out.append(",\"stages\":{");
+    AppendNumberField(&out, "candidates_generated",
+                      static_cast<double>(r.candidates_generated));
+    out.push_back(',');
+    AppendNumberField(&out, "candidates_pruned",
+                      static_cast<double>(r.candidates_pruned));
+    out.push_back(',');
+    AppendNumberField(&out, "candidates_merged",
+                      static_cast<double>(r.candidates_merged));
+    out.push_back(',');
+    AppendNumberField(&out, "bound_calls",
+                      static_cast<double>(r.bound_calls));
+    out.push_back(',');
+    AppendNumberField(&out, "arena_bytes",
+                      static_cast<double>(r.arena_bytes));
+    out.push_back(',');
+    AppendNumberField(&out, "prepare_seconds", r.prepare_seconds);
+    out.push_back(',');
+    AppendNumberField(&out, "expand_seconds", r.expand_seconds);
+    out.push_back(',');
+    AppendNumberField(&out, "emit_seconds", r.emit_seconds);
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string RenderTracezJson(const obs::TraceCollector* trace,
+                             size_t max_spans_per_family) {
+  std::string out;
+  out.reserve(512);
+  if (trace == nullptr) {
+    return "{\"enabled\":false,\"span_count\":0,\"families\":[]}";
+  }
+  const std::vector<obs::TraceCollector::Span> spans = trace->Snapshot();
+
+  struct Family {
+    int64_t count = 0;
+    int64_t total_duration_us = 0;
+    std::string category;
+    std::vector<const obs::TraceCollector::Span*> recent;
+  };
+  // std::map: families render in deterministic (sorted) order.
+  std::map<std::string, Family> families;
+  for (const obs::TraceCollector::Span& s : spans) {
+    Family& f = families[s.name];
+    ++f.count;
+    f.total_duration_us += s.duration_us;
+    f.category = s.category;
+    f.recent.push_back(&s);
+  }
+
+  out.append("{\"enabled\":true,");
+  AppendNumberField(&out, "span_count", static_cast<double>(spans.size()));
+  out.append(",\"families\":[");
+  bool first_family = true;
+  for (const auto& [name, f] : families) {
+    if (!first_family) out.push_back(',');
+    first_family = false;
+    out.push_back('{');
+    AppendStringField(&out, "name", name);
+    out.push_back(',');
+    AppendStringField(&out, "category", f.category);
+    out.push_back(',');
+    AppendNumberField(&out, "count", static_cast<double>(f.count));
+    out.push_back(',');
+    AppendNumberField(&out, "total_duration_us",
+                      static_cast<double>(f.total_duration_us));
+    out.append(",\"recent\":[");
+    // Snapshot is oldest-first; sample the tail so "recent" means recent.
+    const size_t begin = f.recent.size() > max_spans_per_family
+                             ? f.recent.size() - max_spans_per_family
+                             : 0;
+    for (size_t i = begin; i < f.recent.size(); ++i) {
+      const obs::TraceCollector::Span& s = *f.recent[i];
+      if (i > begin) out.push_back(',');
+      out.push_back('{');
+      AppendNumberField(&out, "start_us", static_cast<double>(s.start_us));
+      out.push_back(',');
+      AppendNumberField(&out, "duration_us",
+                        static_cast<double>(s.duration_us));
+      if (s.trace_id != 0) {
+        out.push_back(',');
+        AppendStringField(&out, "trace_id", obs::FormatTraceId(s.trace_id));
+      }
+      out.append("}");
+    }
+    out.append("]}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace serve
+}  // namespace cirank

@@ -1,0 +1,63 @@
+// Renderers for the live-introspection endpoints (DESIGN.md §14):
+//
+//   GET /debug/statusz  — build identity, uptime, configuration, loaded
+//                         dataset, registered executors, lock hierarchy
+//   GET /debug/requestz — the RequestLog ring of recently completed
+//                         requests with their StageStats breakdowns
+//   GET /debug/tracez   — recent TraceCollector spans sampled per span
+//                         family (name), with per-family counts/totals
+//
+// All three are pure (state in, JSON string out) so the tests exercise
+// them without a socket; CirankServer only assembles the inputs.
+#ifndef CIRANK_SERVE_DEBUG_H_
+#define CIRANK_SERVE_DEBUG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/request_log.h"
+#include "obs/trace.h"
+
+namespace cirank {
+namespace serve {
+
+// Everything /debug/statusz reports; the server fills this from its own
+// options, the engine, and Logger::Default().
+struct StatuszInfo {
+  std::string version;
+  std::string compiler;
+  std::string build_type;
+  double uptime_seconds = 0.0;
+  std::string dataset;  // "" when unknown (tests, custom graphs)
+  int64_t graph_nodes = 0;
+  int64_t graph_edges = 0;
+  int num_workers = 0;
+  int64_t request_log_capacity = 0;
+  int64_t requests_recorded = 0;
+  double slow_query_ms = 0.0;
+  bool trace_enabled = false;
+  bool metrics_enabled = false;
+  std::string log_level;
+  std::string log_format;
+  int64_t log_lines_emitted = 0;
+  std::vector<std::string> executors;
+};
+
+std::string RenderStatuszJson(const StatuszInfo& info);
+
+// {"capacity":N,"total_recorded":M,"requests":[...]} — oldest first, each
+// request carrying its trace id (16 hex digits), query, outcome flags, and
+// the full stage breakdown.
+std::string RenderRequestzJson(const obs::RequestLog& log);
+
+// Groups the collector's retained spans by name: per family a count, total
+// duration, and up to `max_spans_per_family` most-recent spans. A null
+// collector renders the same shape with zero families.
+std::string RenderTracezJson(const obs::TraceCollector* trace,
+                             size_t max_spans_per_family = 8);
+
+}  // namespace serve
+}  // namespace cirank
+
+#endif  // CIRANK_SERVE_DEBUG_H_

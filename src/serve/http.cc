@@ -219,6 +219,9 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
          HttpStatusText(response.status_code) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
   out += "\r\n";
   out += response.body;

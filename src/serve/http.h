@@ -59,6 +59,10 @@ struct HttpResponse {
   int status_code = 200;
   std::string content_type = "application/json";
   std::string body;
+  // Extra response headers beyond the three the serializer always emits
+  // (e.g. the `x-cirank-trace-id` correlation header on /search). Names
+  // must be valid header tokens; the serializer writes them verbatim.
+  std::vector<std::pair<std::string, std::string>> headers;
   // Set by handlers that must terminate the connection (parse errors leave
   // the stream unsynchronized); the server also forces it while draining.
   bool close = false;

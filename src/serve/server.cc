@@ -11,8 +11,12 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/request_context.h"
+#include "serve/debug.h"
 #include "serve/request.h"
 #include "util/timer.h"
+#include "util/version.h"
 
 namespace cirank {
 namespace serve {
@@ -69,8 +73,21 @@ void CirankServer::Obs::Bind(obs::MetricsRegistry* m) {
       &m->GetCounter("cirank_http_requests_total{endpoint=\"metrics\"}");
   requests_healthz =
       &m->GetCounter("cirank_http_requests_total{endpoint=\"healthz\"}");
+  requests_debug =
+      &m->GetCounter("cirank_http_requests_total{endpoint=\"debug\"}");
   requests_other =
       &m->GetCounter("cirank_http_requests_total{endpoint=\"other\"}");
+  slow_queries =
+      &m->GetCounter("cirank_slow_queries_total",
+                     "Queries exceeding the slow-query threshold");
+  uptime_seconds = &m->GetGauge("cirank_uptime_seconds",
+                                "Seconds since the server was constructed");
+  // A constant-1 gauge whose labels carry the build identity — the
+  // standard Prometheus build-info idiom (join on it, never sum it).
+  m->GetGauge(std::string("cirank_build_info{version=\"") + kCirankVersion +
+                  "\"}",
+              "Build identity; constant 1")
+      .Set(1.0);
   responses_2xx = &m->GetCounter(
       "cirank_http_responses_total{class=\"2xx\"}",
       "HTTP responses sent, by status class");
@@ -93,9 +110,12 @@ void CirankServer::Obs::CountResponse(int status_code) const {
 }
 
 CirankServer::CirankServer(const CiRankEngine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {
+    : engine_(engine),
+      options_(std::move(options)),
+      request_log_(options_.request_log_capacity) {
   metrics_ = options_.metrics != nullptr ? options_.metrics
                                          : engine_->metrics();
+  trace_ = engine_->options().trace;
   obs_.Bind(metrics_);
 }
 
@@ -336,7 +356,17 @@ void CirankServer::HandleConnection(int fd) {
 }
 
 HttpResponse CirankServer::Route(const HttpRequest& request) {
-  if (request.target == "/search") {
+  // Split origin-form target into path + query string; only /metrics
+  // currently consumes the latter, but the split keeps every route
+  // insensitive to stray "?..." suffixes a proxy might append.
+  const std::string_view target(request.target);
+  const size_t question = target.find('?');
+  const std::string_view path = target.substr(0, question);
+  const std::string_view query_string =
+      question == std::string_view::npos ? std::string_view()
+                                         : target.substr(question + 1);
+
+  if (path == "/search") {
     if (obs_.requests_search != nullptr) obs_.requests_search->Increment();
     if (request.method != "POST") {
       return ErrorResponse(
@@ -344,15 +374,15 @@ HttpResponse CirankServer::Route(const HttpRequest& request) {
     }
     return HandleSearch(request);
   }
-  if (request.target == "/metrics") {
+  if (path == "/metrics") {
     if (obs_.requests_metrics != nullptr) obs_.requests_metrics->Increment();
     if (request.method != "GET") {
       return ErrorResponse(405,
                            Status::InvalidArgument("/metrics requires GET"));
     }
-    return HandleMetrics();
+    return HandleMetrics(query_string);
   }
-  if (request.target == "/healthz") {
+  if (path == "/healthz") {
     if (obs_.requests_healthz != nullptr) obs_.requests_healthz->Increment();
     if (request.method != "GET") {
       return ErrorResponse(405,
@@ -360,34 +390,167 @@ HttpResponse CirankServer::Route(const HttpRequest& request) {
     }
     return HandleHealthz();
   }
+  if (path == "/debug/statusz" || path == "/debug/requestz" ||
+      path == "/debug/tracez") {
+    if (obs_.requests_debug != nullptr) obs_.requests_debug->Increment();
+    if (request.method != "GET") {
+      return ErrorResponse(
+          405, Status::InvalidArgument("debug endpoints require GET"));
+    }
+    if (path == "/debug/statusz") return HandleStatusz();
+    if (path == "/debug/requestz") return HandleRequestz();
+    return HandleTracez();
+  }
   if (obs_.requests_other != nullptr) obs_.requests_other->Increment();
   return ErrorResponse(
       404, Status::NotFound("no route for '" + request.target + "'"));
 }
 
 HttpResponse CirankServer::HandleSearch(const HttpRequest& request) {
-  auto parsed = ParseSearchRequest(request.body);
-  if (!parsed.ok()) return ErrorResponse(400, parsed.status());
-  SearchStats stats;
-  auto answers =
-      engine_->ServingSearch(parsed->query, parsed->overrides, &stats);
-  if (!answers.ok()) {
-    return ErrorResponse(HttpStatusForStatus(answers.status()),
-                         answers.status());
+  // Correlation id: accept a well-formed one from the client (so a proxy
+  // or a retry loop can stitch its own id through), else mint one. The id
+  // is stamped on the response header, every log line this thread emits
+  // while handling the request, every trace span, and the requestz record.
+  obs::RequestContext ctx;
+  if (const std::string* header = request.FindHeader("x-cirank-trace-id");
+      header == nullptr || !obs::ParseTraceId(*header, &ctx.trace_id)) {
+    ctx.trace_id = obs::MintTraceId();
   }
+  const obs::ScopedLogTraceId log_scope(ctx.trace_id);
+
   HttpResponse response;
-  response.body =
-      RenderSearchResponseJson(*parsed, *answers, stats, engine_->graph());
+  SearchStats stats;
+  Timer timer;
+  auto parsed = ParseSearchRequest(request.body);
+  if (!parsed.ok()) {
+    response = ErrorResponse(400, parsed.status());
+  } else {
+    auto answers =
+        engine_->ServingSearch(parsed->query, parsed->overrides, &stats, &ctx);
+    if (!answers.ok()) {
+      response = ErrorResponse(HttpStatusForStatus(answers.status()),
+                               answers.status());
+    } else {
+      response.body =
+          RenderSearchResponseJson(*parsed, *answers, stats, engine_->graph());
+    }
+  }
+  const double elapsed_seconds = timer.ElapsedSeconds();
+  response.headers.emplace_back("x-cirank-trace-id",
+                                obs::FormatTraceId(ctx.trace_id));
+
+  const bool slow = options_.slow_query_ms >= 0.0 &&
+                    elapsed_seconds * 1e3 >= options_.slow_query_ms;
+  if (request_log_.enabled()) {
+    obs::RequestRecord record;
+    record.trace_id = ctx.trace_id;
+    record.query = parsed.ok() ? parsed->normalized_query : std::string();
+    record.executor = stats.executor;
+    record.status_code = response.status_code;
+    record.from_cache = stats.from_cache;
+    record.truncated = stats.truncated;
+    record.slow = slow;
+    record.total_seconds = elapsed_seconds;
+    record.candidates_generated = stats.stages.candidates_generated;
+    record.candidates_pruned = stats.stages.candidates_pruned;
+    record.candidates_merged = stats.stages.candidates_merged;
+    record.bound_calls = stats.stages.bound_calls;
+    record.arena_bytes = static_cast<int64_t>(stats.stages.arena_bytes);
+    record.prepare_seconds = stats.stages.prepare_seconds;
+    record.expand_seconds = stats.stages.expand_seconds;
+    record.emit_seconds = stats.stages.emit_seconds;
+    request_log_.Record(std::move(record));
+  }
+  if (slow) {
+    if (obs_.slow_queries != nullptr) obs_.slow_queries->Increment();
+    // One structured record with the full stage breakdown — everything a
+    // "why was request X slow" investigation starts from. The trace id
+    // rides in via the ScopedLogTraceId above.
+    CIRANK_LOG(Warning) << "slow query: total="
+                        << elapsed_seconds * 1e3 << "ms threshold="
+                        << options_.slow_query_ms << "ms query=\""
+                        << (parsed.ok() ? parsed->normalized_query : "")
+                        << "\" executor=" << stats.executor
+                        << " status=" << response.status_code
+                        << " from_cache=" << stats.from_cache
+                        << " truncated=" << stats.truncated
+                        << " prepare=" << stats.stages.prepare_seconds * 1e3
+                        << "ms expand=" << stats.stages.expand_seconds * 1e3
+                        << "ms emit=" << stats.stages.emit_seconds * 1e3
+                        << "ms generated="
+                        << stats.stages.candidates_generated
+                        << " pruned=" << stats.stages.candidates_pruned
+                        << " bound_calls=" << stats.stages.bound_calls
+                        << " arena_bytes=" << stats.stages.arena_bytes;
+  }
   return response;
 }
 
-HttpResponse CirankServer::HandleMetrics() {
+HttpResponse CirankServer::HandleMetrics(std::string_view query_string) {
+  if (obs_.uptime_seconds != nullptr) {
+    obs_.uptime_seconds->Set(uptime_timer_.ElapsedSeconds());
+  }
   HttpResponse response;
+  if (query_string == "format=json") {
+    response.content_type = "application/json";
+    response.body = metrics_ != nullptr
+                        ? metrics_->RenderJson()
+                        : "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+    return response;
+  }
+  if (!query_string.empty() && query_string != "format=prometheus") {
+    return ErrorResponse(
+        400, Status::InvalidArgument(
+                 "unknown /metrics query '" + std::string(query_string) +
+                 "' (supported: format=json, format=prometheus)"));
+  }
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = metrics_ != nullptr
                       ? metrics_->RenderPrometheus()
                       : "# metrics disabled (engine built without a "
                         "registry)\n";
+  return response;
+}
+
+HttpResponse CirankServer::HandleStatusz() {
+  if (obs_.uptime_seconds != nullptr) {
+    obs_.uptime_seconds->Set(uptime_timer_.ElapsedSeconds());
+  }
+  const obs::Logger& logger = obs::Logger::Default();
+  StatuszInfo info;
+  info.version = kCirankVersion;
+  info.compiler = CirankCompiler();
+  info.build_type = CirankBuildType();
+  info.uptime_seconds = uptime_timer_.ElapsedSeconds();
+  info.dataset = options_.dataset;
+  info.graph_nodes = static_cast<int64_t>(engine_->graph().num_nodes());
+  info.graph_edges = static_cast<int64_t>(engine_->graph().num_edges());
+  info.num_workers = options_.num_workers;
+  info.request_log_capacity =
+      static_cast<int64_t>(request_log_.capacity());
+  info.requests_recorded = request_log_.total_recorded();
+  info.slow_query_ms = options_.slow_query_ms;
+  info.trace_enabled = trace_ != nullptr;
+  info.metrics_enabled = metrics_ != nullptr;
+  info.log_level = obs::LogLevelName(logger.level());
+  info.log_format =
+      logger.format() == obs::LogFormat::kJson ? "json" : "text";
+  info.log_lines_emitted = logger.lines_emitted();
+  info.executors = ExecutorRegistry::Global().Names();
+  HttpResponse response;
+  response.body = RenderStatuszJson(info);
+  return response;
+}
+
+HttpResponse CirankServer::HandleRequestz() {
+  HttpResponse response;
+  response.body = RenderRequestzJson(request_log_);
+  return response;
+}
+
+HttpResponse CirankServer::HandleTracez() {
+  HttpResponse response;
+  response.body = RenderTracezJson(trace_);
   return response;
 }
 

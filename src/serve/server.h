@@ -7,9 +7,16 @@
 //   POST /search   — JSON query DSL (serve/request.h) mapped onto
 //                    SearchOverrides, served by CiRankEngine::ServingSearch;
 //                    the 200 envelope carries answers + SearchStats, errors
-//                    carry {"error":{"code","message"}}.
-//   GET  /metrics  — MetricsRegistry Prometheus text, verbatim.
+//                    carry {"error":{"code","message"}}. Every response
+//                    carries an `x-cirank-trace-id` header: the request's
+//                    correlation id (minted here, or accepted from the same
+//                    header on the request — DESIGN.md §14).
+//   GET  /metrics  — MetricsRegistry Prometheus text, verbatim; or the
+//                    registry's JSON rendering with `?format=json`.
 //   GET  /healthz  — {"status":"ok"} liveness probe.
+//   GET  /debug/statusz  — build info, uptime, options, dataset, executors.
+//   GET  /debug/requestz — ring of recently completed /search requests.
+//   GET  /debug/tracez   — recent trace spans grouped per span family.
 //
 // Graceful drain (Stop, idempotent): latch `stopping_`, shutdown() the
 // listening socket to wake the blocked accept, wait for the accept task,
@@ -28,10 +35,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/engine.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "serve/http.h"
+#include "util/timer.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
@@ -54,6 +64,18 @@ struct ServerOptions {
   // engine was built with metrics_enabled = false — /metrics then serves a
   // comment-only body).
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- Request-scoped diagnostics (DESIGN.md §14) -------------------------
+  // Completed /search requests retained for /debug/requestz. 0 disables the
+  // ring entirely (the diagnostics-off configuration).
+  size_t request_log_capacity = 128;
+  // A /search slower than this emits one structured slow-query record
+  // (full StageStats breakdown) through the log sink at Warning, and is
+  // flagged `slow` in /debug/requestz. 0 flags everything (the e2e test's
+  // forced-threshold mode); negative disables the slow-query log.
+  double slow_query_ms = 100.0;
+  // Dataset label echoed in /debug/statusz ("" when unknown).
+  std::string dataset;
 };
 
 // Point-in-time counters, for tests and the daemon's shutdown log line.
@@ -98,12 +120,17 @@ class CirankServer {
     obs::Counter* requests_search = nullptr;
     obs::Counter* requests_metrics = nullptr;
     obs::Counter* requests_healthz = nullptr;
+    obs::Counter* requests_debug = nullptr;
     obs::Counter* requests_other = nullptr;
     obs::Counter* responses_2xx = nullptr;
     obs::Counter* responses_4xx = nullptr;
     obs::Counter* responses_5xx = nullptr;
+    obs::Counter* slow_queries = nullptr;
     obs::Histogram* request_seconds = nullptr;
     obs::Gauge* connections_active = nullptr;
+    // Set to the process start→now delta on every scrape/statusz hit (a
+    // pull-model gauge: scraping is the only time anyone reads it).
+    obs::Gauge* uptime_seconds = nullptr;
 
     void Bind(obs::MetricsRegistry* m);
     void CountResponse(int status_code) const;
@@ -113,11 +140,15 @@ class CirankServer {
   void HandleConnection(int fd);
 
   // Routing and handlers: pure request → response (no socket access), so
-  // the connection loop owns all I/O.
+  // the connection loop owns all I/O. Route splits the target into path +
+  // query string ("/metrics?format=json") before dispatching.
   HttpResponse Route(const HttpRequest& request);
   HttpResponse HandleSearch(const HttpRequest& request);
-  HttpResponse HandleMetrics();
+  HttpResponse HandleMetrics(std::string_view query_string);
   HttpResponse HandleHealthz();
+  HttpResponse HandleStatusz();
+  HttpResponse HandleRequestz();
+  HttpResponse HandleTracez();
 
   bool IsStopping() const CIRANK_EXCLUDES(conn_mu_);
 
@@ -125,6 +156,13 @@ class CirankServer {
   ServerOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;  // resolved; may be null
   Obs obs_;
+  // The engine's trace collector (may be null); /debug/tracez renders it
+  // and /search threads its ids into the spans.
+  obs::TraceCollector* trace_ = nullptr;
+  // Ring of completed /search requests (internally locked; its mutex is a
+  // leaf — never held while calling out).
+  obs::RequestLog request_log_;
+  Timer uptime_timer_;  // started at construction
 
   int listen_fd_ = -1;  // owned by Start/Stop; accept loop only reads it
   int port_ = 0;

@@ -1,0 +1,34 @@
+// Build identity for /debug/statusz and the cirank_build_info metric.
+// Header-only on purpose: the compiler macros are evaluated where the
+// including TU is built, so the daemon reports the toolchain that actually
+// produced it.
+#ifndef CIRANK_UTIL_VERSION_H_
+#define CIRANK_UTIL_VERSION_H_
+
+namespace cirank {
+
+// Bumped per PR series; the serving wire format is versioned independently
+// by the JSON envelope shape.
+inline constexpr char kCirankVersion[] = "0.8.0";
+
+inline const char* CirankCompiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* CirankBuildType() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace cirank
+
+#endif  // CIRANK_UTIL_VERSION_H_

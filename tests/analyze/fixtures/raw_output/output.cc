@@ -1,0 +1,17 @@
+// Deliberate raw-output violations for the analyzer fixture test.
+#include <cstdio>
+#include <iostream>
+
+void Report(int n) {
+  std::printf("n=%d\n", n);
+  fprintf(stderr, "bad\n");
+  std::cerr << "oops " << n;
+  std::cout << n;
+  puts("done");
+  std::fprintf(stderr, "sanctioned\n");  // cirank-lint: disable=raw-output
+}
+
+void Fine(char* buf, int n) {
+  // Buffer formatting never touches a stream; not raw output.
+  std::snprintf(buf, 16, "%d", n);
+}

@@ -1,0 +1,116 @@
+// Tests for obs/request_log.h (the /debug/requestz ring) and
+// obs/request_context.h (trace-id minting, formatting, parsing).
+#include "obs/request_context.h"
+#include "obs/request_log.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace cirank {
+namespace obs {
+namespace {
+
+RequestRecord Rec(uint64_t id) {
+  RequestRecord r;
+  r.trace_id = id;
+  r.query = "q" + std::to_string(id);
+  r.status_code = 200;
+  return r;
+}
+
+TEST(RequestLogTest, FillsUpToCapacityInOrder) {
+  RequestLog log(4);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_EQ(log.capacity(), 4u);
+  for (uint64_t i = 1; i <= 3; ++i) log.Record(Rec(i));
+
+  const std::vector<RequestRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].trace_id, i + 1) << "oldest first";
+    EXPECT_EQ(snap[i].query, "q" + std::to_string(i + 1));
+  }
+  EXPECT_EQ(log.total_recorded(), 3);
+}
+
+TEST(RequestLogTest, RingEvictsOldest) {
+  RequestLog log(4);
+  for (uint64_t i = 1; i <= 10; ++i) log.Record(Rec(i));
+
+  const std::vector<RequestRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // The last 4 of 10, still oldest first.
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].trace_id, i + 7);
+  }
+  EXPECT_EQ(log.total_recorded(), 10);
+}
+
+TEST(RequestLogTest, ZeroCapacityDisables) {
+  RequestLog log(0);
+  EXPECT_FALSE(log.enabled());
+  log.Record(Rec(1));
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.total_recorded(), 0);
+}
+
+TEST(RequestLogTest, ConcurrentRecordsAllCounted) {
+  RequestLog log(64);
+  ThreadPool pool(8);
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&log, t] {
+      for (uint64_t i = 0; i < 100; ++i) {
+        log.Record(Rec(static_cast<uint64_t>(t) * 1000 + i));
+      }
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(log.total_recorded(), 800);
+  EXPECT_EQ(log.Snapshot().size(), 64u);
+}
+
+TEST(TraceIdTest, MintIsNonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = MintTraceId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  // The counter makes ids unique within a process.
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceIdTest, FormatIsSixteenLowercaseHex) {
+  EXPECT_EQ(FormatTraceId(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(FormatTraceId(0xffffffffffffffffULL), "ffffffffffffffff");
+  EXPECT_EQ(FormatTraceId(1), "0000000000000001");
+}
+
+TEST(TraceIdTest, ParseRoundTripsAndRejectsJunk) {
+  for (const uint64_t id : {uint64_t{1}, uint64_t{0xdeadbeef},
+                            uint64_t{0xffffffffffffffffULL}}) {
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseTraceId(FormatTraceId(id), &parsed));
+    EXPECT_EQ(parsed, id);
+  }
+  uint64_t parsed = 99;
+  EXPECT_TRUE(ParseTraceId("00000000DEADBEEF", &parsed)) << "upper ok";
+  EXPECT_EQ(parsed, 0xdeadbeefULL);
+
+  parsed = 99;
+  EXPECT_FALSE(ParseTraceId("", &parsed));
+  EXPECT_FALSE(ParseTraceId("deadbeef", &parsed)) << "too short";
+  EXPECT_FALSE(ParseTraceId("00000000deadbeef00", &parsed)) << "too long";
+  EXPECT_FALSE(ParseTraceId("00000000deadbeeg", &parsed)) << "non-hex";
+  EXPECT_FALSE(ParseTraceId("0000000000000000", &parsed))
+      << "zero means no id and is rejected over the wire";
+  EXPECT_EQ(parsed, 99u) << "failed parse must not write";
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cirank

@@ -4,22 +4,27 @@
 // HTTP must equal a direct CiRankEngine search rendered through the same
 // RenderAnswersJson — the daemon adds transport, never ranking changes.
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "obs/log.h"
+#include "obs/request_context.h"
 #include "serve/http.h"
 #include "serve/json.h"
 #include "serve/request.h"
 #include "serve/server.h"
 #include "test_util.h"
 #include "util/status.h"
+#include "util/version.h"
 
 namespace cirank {
 namespace {
 
 using testing_util::MakeServingHarness;
 using testing_util::ServingHarness;
+using testing_util::ServingHarnessDiagnostics;
 
 // Unwraps a Result in a test body with a readable failure.
 #define ASSERT_OK_AND_MOVE(lhs, rexpr)                     \
@@ -225,6 +230,277 @@ TEST(ServingTest, StopIsIdempotent) {
   h->server->Stop();
   h->server->Stop();
   EXPECT_TRUE(h->server->stats().stopping);
+}
+
+// --- Request-scoped diagnostics (DESIGN.md §14) ----------------------------
+
+// RAII guard: captures log lines through a test sink and restores the
+// process-wide logger afterwards (other suites share Logger::Default()).
+class CapturedLog {
+ public:
+  CapturedLog() {
+    saved_level_ = obs::Logger::Default().level();
+    saved_format_ = obs::Logger::Default().format();
+    obs::Logger::Default().set_level(obs::LogLevel::kInfo);
+    obs::Logger::Default().set_format(obs::LogFormat::kText);
+    obs::Logger::Default().SetSink(
+        [this](const std::string& line, const obs::LogEntry&) {
+          lines_.push_back(line);
+        });
+  }
+  ~CapturedLog() {
+    obs::Logger::Default().SetSink(nullptr);
+    obs::Logger::Default().set_level(saved_level_);
+    obs::Logger::Default().set_format(saved_format_);
+  }
+
+  // The sink serializes under the logger's mutex; reading after the server
+  // responded is race-free for these single-request tests.
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+  obs::LogLevel saved_level_;
+  obs::LogFormat saved_format_;
+};
+
+TEST(ServingDiagnosticsTest, MetricsJsonAgreesWithPrometheus) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(search, h->RoundTrip("POST", "/search",
+                                          "{\"query\":\"kw0\",\"k\":2}"));
+  ASSERT_EQ(search.status_code, 200) << search.body;
+
+  ASSERT_OK_AND_MOVE(prom, h->RoundTrip("GET", "/metrics"));
+  ASSERT_EQ(prom.status_code, 200);
+  ASSERT_OK_AND_MOVE(json, h->RoundTrip("GET", "/metrics?format=json"));
+  ASSERT_EQ(json.status_code, 200);
+  const std::string* content_type = json.FindHeader("Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_NE(content_type->find("application/json"), std::string::npos);
+
+  // Both renderings must agree on the one counter whose value cannot have
+  // moved between the scrapes: the search endpoint was hit exactly once.
+  const std::string search_counter =
+      "cirank_http_requests_total{endpoint=\"search\"}";
+  EXPECT_NE(prom.body.find(search_counter + " 1"), std::string::npos)
+      << prom.body;
+  ASSERT_OK_AND_MOVE(doc, serve::ParseJson(json.body));
+  const serve::JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const serve::JsonValue* counter = counters->Find(search_counter);
+  ASSERT_NE(counter, nullptr) << json.body;
+  EXPECT_EQ(counter->number, 1.0);
+
+  // The build-info / uptime families (satellite 2) show up in both.
+  const std::string build_info =
+      std::string("cirank_build_info{version=\"") + kCirankVersion + "\"}";
+  EXPECT_NE(prom.body.find(build_info + " 1"), std::string::npos)
+      << prom.body;
+  const serve::JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const serve::JsonValue* build_gauge = gauges->Find(build_info);
+  ASSERT_NE(build_gauge, nullptr);
+  EXPECT_EQ(build_gauge->number, 1.0);
+  const serve::JsonValue* uptime = gauges->Find("cirank_uptime_seconds");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GE(uptime->number, 0.0);
+
+  ASSERT_OK_AND_MOVE(bad, h->RoundTrip("GET", "/metrics?format=xml"));
+  EXPECT_EQ(bad.status_code, 400) << bad.body;
+}
+
+// The headline e2e assertion: one /search produces a trace id that joins
+// the response header, /debug/requestz, the slow-query log line, and the
+// Chrome trace dump.
+TEST(ServingDiagnosticsTest, TraceIdCorrelatesHeaderRequestzLogAndTrace) {
+  CapturedLog log;
+  ServingHarnessDiagnostics diag;
+  diag.enable_trace = true;
+  diag.request_log_capacity = 16;
+  diag.slow_query_ms = 0.0;  // flag every query as slow
+  auto h = MakeServingHarness(/*seed=*/7, /*num_nodes=*/120,
+                              /*cache_capacity=*/64, /*num_workers=*/2, diag);
+
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("POST", "/search",
+                                            "{\"query\":\"kw0 kw1\",\"k\":3}"));
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  const std::string* header = response.FindHeader("x-cirank-trace-id");
+  ASSERT_NE(header, nullptr) << "every /search response carries the id";
+  uint64_t trace_id = 0;
+  ASSERT_TRUE(obs::ParseTraceId(*header, &trace_id)) << *header;
+  const std::string hex = obs::FormatTraceId(trace_id);
+
+  // /debug/requestz shows the request, flagged slow, under the same id.
+  ASSERT_OK_AND_MOVE(requestz, h->RoundTrip("GET", "/debug/requestz"));
+  ASSERT_EQ(requestz.status_code, 200);
+  ASSERT_OK_AND_MOVE(doc, serve::ParseJson(requestz.body));
+  const serve::JsonValue* requests = doc.Find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_EQ(requests->array.size(), 1u) << requestz.body;
+  const serve::JsonValue& record = requests->array[0];
+  ASSERT_NE(record.Find("trace_id"), nullptr);
+  EXPECT_EQ(record.Find("trace_id")->string, hex);
+  EXPECT_TRUE(record.Find("slow")->bool_value) << requestz.body;
+  EXPECT_EQ(record.Find("query")->string, "kw0 kw1");
+  EXPECT_EQ(record.Find("status")->number, 200.0);
+  ASSERT_NE(record.Find("stages"), nullptr);
+
+  // The slow-query log line carries the same id via the thread scope.
+  bool found_in_log = false;
+  for (const std::string& line : log.lines()) {
+    if (line.find("slow query") != std::string::npos &&
+        line.find("trace=" + hex) != std::string::npos) {
+      found_in_log = true;
+    }
+  }
+  EXPECT_TRUE(found_in_log) << "no slow-query line with trace=" << hex;
+
+  // The query's spans carry the id into the Chrome trace dump...
+  const std::string chrome = h->trace.RenderChromeJson();
+  EXPECT_NE(chrome.find(hex), std::string::npos) << chrome;
+
+  // ...and /debug/tracez serves the same spans grouped by family.
+  ASSERT_OK_AND_MOVE(tracez, h->RoundTrip("GET", "/debug/tracez"));
+  ASSERT_EQ(tracez.status_code, 200);
+  ASSERT_OK_AND_MOVE(tracez_doc, serve::ParseJson(tracez.body));
+  EXPECT_TRUE(tracez_doc.Find("enabled")->bool_value);
+  EXPECT_GE(tracez_doc.Find("span_count")->number, 1.0);
+  EXPECT_NE(tracez.body.find(hex), std::string::npos) << tracez.body;
+}
+
+TEST(ServingDiagnosticsTest, ClientSuppliedTraceIdIsEchoed) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(client, serve::HttpBlockingClient::Connect(
+                                 "127.0.0.1", h->port()));
+  const std::string body = "{\"query\":\"kw0\",\"k\":2}";
+  std::string request = "POST /search HTTP/1.1\r\nHost: t\r\n";
+  request += "x-cirank-trace-id: 00000000deadbeef\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  CIRANK_CHECK_OK(client.SendRaw(request));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const std::string* header = response->FindHeader("x-cirank-trace-id");
+  ASSERT_NE(header, nullptr);
+  EXPECT_EQ(*header, "00000000deadbeef") << "valid client ids are honored";
+}
+
+TEST(ServingDiagnosticsTest, MalformedClientTraceIdIsReplaced) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(client, serve::HttpBlockingClient::Connect(
+                                 "127.0.0.1", h->port()));
+  const std::string body = "{\"query\":\"kw0\",\"k\":2}";
+  std::string request = "POST /search HTTP/1.1\r\nHost: t\r\n";
+  request += "x-cirank-trace-id: not-a-trace-id\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  CIRANK_CHECK_OK(client.SendRaw(request));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const std::string* header = response->FindHeader("x-cirank-trace-id");
+  ASSERT_NE(header, nullptr);
+  uint64_t minted = 0;
+  EXPECT_TRUE(obs::ParseTraceId(*header, &minted))
+      << "a fresh id is minted: " << *header;
+}
+
+TEST(ServingDiagnosticsTest, StatuszReportsBuildOptionsAndExecutors) {
+  ServingHarnessDiagnostics diag;
+  diag.request_log_capacity = 32;
+  auto h = MakeServingHarness(/*seed=*/7, /*num_nodes=*/120,
+                              /*cache_capacity=*/64, /*num_workers=*/3, diag);
+  ASSERT_OK_AND_MOVE(search, h->RoundTrip("POST", "/search",
+                                          "{\"query\":\"kw0\",\"k\":2}"));
+  ASSERT_EQ(search.status_code, 200);
+
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("GET", "/debug/statusz"));
+  ASSERT_EQ(response.status_code, 200);
+  ASSERT_OK_AND_MOVE(doc, serve::ParseJson(response.body));
+
+  const serve::JsonValue* build = doc.Find("build");
+  ASSERT_NE(build, nullptr) << response.body;
+  EXPECT_EQ(build->Find("version")->string, kCirankVersion);
+  EXPECT_FALSE(build->Find("compiler")->string.empty());
+  EXPECT_GE(doc.Find("uptime_seconds")->number, 0.0);
+
+  const serve::JsonValue* dataset = doc.Find("dataset");
+  ASSERT_NE(dataset, nullptr);
+  EXPECT_EQ(dataset->Find("nodes")->number,
+            static_cast<double>(h->graph.num_nodes()));
+
+  const serve::JsonValue* options = doc.Find("options");
+  ASSERT_NE(options, nullptr);
+  EXPECT_EQ(options->Find("num_workers")->number, 3.0);
+  EXPECT_EQ(options->Find("request_log_capacity")->number, 32.0);
+
+  EXPECT_EQ(doc.Find("requests_recorded")->number, 1.0);
+  const serve::JsonValue* executors = doc.Find("executors");
+  ASSERT_NE(executors, nullptr);
+  EXPECT_FALSE(executors->array.empty());
+  const serve::JsonValue* hierarchy = doc.Find("lock_hierarchy");
+  ASSERT_NE(hierarchy, nullptr);
+  EXPECT_EQ(hierarchy->array.size(), 4u);
+
+  // /debug endpoints are GET-only.
+  ASSERT_OK_AND_MOVE(post, h->RoundTrip("POST", "/debug/statusz", "{}"));
+  EXPECT_EQ(post.status_code, 405);
+}
+
+TEST(ServingDiagnosticsTest, RequestLogDisabledAtZeroCapacity) {
+  ServingHarnessDiagnostics diag;
+  diag.request_log_capacity = 0;
+  diag.slow_query_ms = -1.0;  // diagnostics-off configuration
+  auto h = MakeServingHarness(/*seed=*/7, /*num_nodes=*/120,
+                              /*cache_capacity=*/64, /*num_workers=*/2, diag);
+  ASSERT_OK_AND_MOVE(search, h->RoundTrip("POST", "/search",
+                                          "{\"query\":\"kw0\",\"k\":2}"));
+  ASSERT_EQ(search.status_code, 200);
+
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("GET", "/debug/requestz"));
+  ASSERT_EQ(response.status_code, 200);
+  ASSERT_OK_AND_MOVE(doc, serve::ParseJson(response.body));
+  EXPECT_EQ(doc.Find("capacity")->number, 0.0);
+  EXPECT_TRUE(doc.Find("requests")->array.empty());
+
+  // Tracing was never wired, so /debug/tracez reports disabled.
+  ASSERT_OK_AND_MOVE(tracez, h->RoundTrip("GET", "/debug/tracez"));
+  ASSERT_EQ(tracez.status_code, 200);
+  ASSERT_OK_AND_MOVE(tracez_doc, serve::ParseJson(tracez.body));
+  EXPECT_FALSE(tracez_doc.Find("enabled")->bool_value);
+}
+
+// Differential: diagnostics fully off (no metrics, no trace, no request
+// context) produces byte-identical answers to diagnostics fully on. The
+// whole subsystem observes; it never steers.
+TEST(ServingDiagnosticsTest, DiagnosticsOffIsByteIdenticalToOn) {
+  const Graph graph = testing_util::MakeRandomGraph(/*seed=*/13, 150);
+
+  obs::MetricsRegistry registry;
+  obs::TraceCollector collector;
+  CiRankOptions on;
+  on.metrics = &registry;
+  on.trace = &collector;
+  ASSERT_OK_AND_MOVE(engine_on, CiRankEngine::Build(graph, on));
+
+  CiRankOptions off;
+  off.metrics_enabled = false;
+  ASSERT_OK_AND_MOVE(engine_off, CiRankEngine::Build(graph, off));
+
+  for (const char* text : {"kw0", "kw0 kw1", "kw1 kw2 kw3"}) {
+    const Query query = Query::MustParse(text);
+    const SearchOverrides overrides = SearchOverrides().WithK(5);
+    obs::RequestContext ctx;
+    ctx.trace_id = obs::MintTraceId();
+    SearchStats stats_on, stats_off;
+    ASSERT_OK_AND_MOVE(with_diag, engine_on.ServingSearch(query, overrides,
+                                                          &stats_on, &ctx));
+    ASSERT_OK_AND_MOVE(without_diag,
+                       engine_off.ServingSearch(query, overrides, &stats_off,
+                                                nullptr));
+    EXPECT_EQ(serve::RenderAnswersJson(with_diag, graph),
+              serve::RenderAnswersJson(without_diag, graph))
+        << "diagnostics changed the answer bytes for: " << text;
+  }
 }
 
 }  // namespace

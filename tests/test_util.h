@@ -13,6 +13,7 @@
 #include "core/scorer.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rw/pagerank.h"
 #include "serve/http.h"
 #include "serve/server.h"
@@ -95,6 +96,7 @@ inline ScorerBundle MakeScorerBundle(Graph graph, RwmpParams params = {}) {
 struct ServingHarness {
   Graph graph;
   obs::MetricsRegistry metrics;
+  obs::TraceCollector trace;  // wired into the engine when requested
   std::unique_ptr<CiRankEngine> engine;
   std::unique_ptr<serve::CirankServer> server;
 
@@ -111,20 +113,31 @@ struct ServingHarness {
   }
 };
 
+// Diagnostics knobs for the harness (DESIGN.md §14); the defaults match a
+// production-ish server, the e2e correlation test turns everything up.
+struct ServingHarnessDiagnostics {
+  bool enable_trace = false;       // wire harness->trace into the engine
+  size_t request_log_capacity = 128;
+  double slow_query_ms = 100.0;    // 0 = flag everything, <0 = disabled
+};
+
 inline std::unique_ptr<ServingHarness> MakeServingHarness(
     uint64_t seed = 7, size_t num_nodes = 120, size_t cache_capacity = 64,
-    int num_workers = 4) {
+    int num_workers = 4, const ServingHarnessDiagnostics& diag = {}) {
   auto harness = std::make_unique<ServingHarness>();
   harness->graph = MakeRandomGraph(seed, num_nodes);
   CiRankOptions options;
   options.cache.capacity = cache_capacity;
   options.metrics = &harness->metrics;
+  if (diag.enable_trace) options.trace = &harness->trace;
   auto engine = CiRankEngine::Build(harness->graph, options);
   CIRANK_CHECK_OK(engine.status());
   harness->engine =
       std::make_unique<CiRankEngine>(std::move(engine).value());
   serve::ServerOptions server_options;
   server_options.num_workers = num_workers;
+  server_options.request_log_capacity = diag.request_log_capacity;
+  server_options.slow_query_ms = diag.slow_query_ms;
   harness->server = std::make_unique<serve::CirankServer>(
       harness->engine.get(), server_options);
   CIRANK_CHECK_OK(harness->server->Start());

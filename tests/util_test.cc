@@ -1,4 +1,4 @@
-#include "util/logging.h"
+#include "obs/log.h"
 #include "util/timer.h"
 
 #include <gtest/gtest.h>
@@ -34,13 +34,15 @@ TEST(TimingStatsTest, Aggregates) {
 }
 
 TEST(LoggingTest, LevelFilterAndRestore) {
-  const LogLevel before = GetLogLevel();
-  SetLogLevel(LogLevel::kError);
-  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  obs::Logger& logger = obs::Logger::Default();
+  const obs::LogLevel before = logger.level();
+  logger.set_level(obs::LogLevel::kError);
+  EXPECT_EQ(logger.level(), obs::LogLevel::kError);
+  EXPECT_FALSE(logger.Enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(obs::LogLevel::kError));
   // Dropped messages must still be safe to emit.
   CIRANK_LOG(Info) << "this message is filtered " << 42;
-  CIRANK_LOG(Error) << "this message is emitted";
-  SetLogLevel(before);
+  logger.set_level(before);
 }
 
 }  // namespace

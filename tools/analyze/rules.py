@@ -75,6 +75,22 @@ DELETED_FUNCTION = re.compile(r"=\s*delete\b")
 PER_CANDIDATE_UNIQUE = re.compile(
     r"std::make_unique\s*<\s*(?:Candidate|ArenaEntry|FrontierEntry)\b")
 
+# The sanctioned raw-output sites in src/: the logger's stderr sink and the
+# two check-failure paths that must keep working when the logger itself is
+# the thing that broke. Everything else routes through CIRANK_LOG
+# (DESIGN.md §14). Tests, benches, and examples are programs — they print.
+# tools/ is outside SOURCE_DIRS entirely (daemon mains own their stdout).
+RAW_OUTPUT_IMPL_FILES = {"src/obs/log.h", "src/obs/log.cc",
+                         "src/util/check.cc", "src/util/status.cc"}
+
+RAW_OUTPUT_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
+
+# stdio writers and the iostream globals. \b keeps buffer formatters
+# (snprintf/sprintf) out of scope — they don't touch a stream.
+BANNED_OUTPUT = re.compile(
+    r"\bstd::c(?:err|out|log)\b|"
+    r"\b(?:std::)?(?:v?f?printf|fputs|fputc|puts|putchar|perror)\s*\(")
+
 # std::atomic member operations that accept a std::memory_order argument.
 ATOMIC_OP = re.compile(
     r"(?:\.|->)(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
@@ -281,6 +297,23 @@ def check_lock_order(analysis, src):
                         f"pool")
             held.append({"kind": kind, "expr": payload, "rank": rank,
                          "level": level, "depth": depth})
+
+
+@rule("raw-output",
+      "stdout/stderr writes in src/ flow through CIRANK_LOG (obs/log.h); "
+      "raw fprintf/std::cerr are confined to the logger sink and the "
+      "check-failure paths")
+def check_raw_output(analysis, src):
+    if src.rel in RAW_OUTPUT_IMPL_FILES:
+        return
+    if src.rel.startswith(RAW_OUTPUT_EXEMPT_PREFIXES):
+        return
+    for i, line in enumerate(src.text.split("\n"), start=1):
+        if BANNED_OUTPUT.search(line):
+            yield Finding(src.rel, i, "raw-output",
+                          "raw stream write outside the sanctioned sites; "
+                          "log through CIRANK_LOG(...) so lines carry level, "
+                          "callsite, and trace id")
 
 
 @rule("memory-order",

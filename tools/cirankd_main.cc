@@ -19,6 +19,17 @@
 //                        bounds are then index-free)
 //   --trace-out PATH     record per-query trace spans; flushed as Chrome
 //                        trace_event JSON to PATH during graceful shutdown
+//   --log-level L        debug|info|warning|error|off (default info)
+//   --log-format F       text|json structured-log rendering (default text)
+//   --slow-query-ms MS   slow-query log threshold; 0 logs every query,
+//                        negative disables (default 100)
+//   --requestz N         /debug/requestz ring capacity; 0 disables
+//                        (default 128)
+//
+// Live diagnostics (DESIGN.md §14): /debug/statusz, /debug/requestz,
+// /debug/tracez, and /metrics?format=json are always served; per-query
+// trace spans are retained in a bounded in-memory ring even without
+// --trace-out so /debug/tracez has data on a long-running daemon.
 //
 // Shutdown: SIGTERM or SIGINT latches a flag (the handler is async-signal-
 // safe — one sig_atomic_t store); the main loop notices, drains the server
@@ -38,6 +49,7 @@
 #include "datasets/imdb_gen.h"
 #include "graph/serialize.h"
 #include "index/star_index.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -61,6 +73,10 @@ struct DaemonOptions {
   size_t cache_capacity = 1024;
   bool use_index = true;
   std::string trace_out;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  obs::LogFormat log_format = obs::LogFormat::kText;
+  double slow_query_ms = 100.0;
+  size_t requestz_capacity = 128;
 };
 
 bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
@@ -116,6 +132,39 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->trace_out = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (!v) return false;
+      if (!obs::ParseLogLevel(v, &opts->log_level)) {
+        std::fprintf(stderr,
+                     "--log-level must be debug|info|warning|error|off\n");
+        return false;
+      }
+    } else if (arg == "--log-format") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string format = v;
+      if (format == "text") {
+        opts->log_format = obs::LogFormat::kText;
+      } else if (format == "json") {
+        opts->log_format = obs::LogFormat::kJson;
+      } else {
+        std::fprintf(stderr, "--log-format must be text|json\n");
+        return false;
+      }
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts->slow_query_ms = std::atof(v);
+    } else if (arg == "--requestz") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) {
+        std::fprintf(stderr, "--requestz must be >= 0\n");
+        return false;
+      }
+      opts->requestz_capacity = static_cast<size_t>(n);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -170,12 +219,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::Logger::Default().set_level(opts.log_level);
+  obs::Logger::Default().set_format(opts.log_format);
+
   obs::MetricsRegistry metrics;
-  obs::TraceCollector trace;
+  // Spans are always collected so /debug/tracez has data on a long-running
+  // daemon; without --trace-out the collector is a bounded ring (recent
+  // spans only), with it the collector is unbounded for a complete dump.
+  obs::TraceCollector trace(opts.trace_out.empty() ? 4096 : 0);
   CiRankOptions engine_opts;
   engine_opts.cache.capacity = opts.cache_capacity;
   engine_opts.metrics = &metrics;
-  if (!opts.trace_out.empty()) engine_opts.trace = &trace;
+  engine_opts.trace = &trace;
   auto engine = CiRankEngine::Build(*graph, engine_opts);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed: %s\n",
@@ -208,6 +263,10 @@ int main(int argc, char** argv) {
   server_opts.port = opts.port;
   server_opts.num_workers = opts.workers;
   server_opts.metrics = &metrics;
+  server_opts.request_log_capacity = opts.requestz_capacity;
+  server_opts.slow_query_ms = opts.slow_query_ms;
+  server_opts.dataset =
+      opts.load_path.empty() ? opts.dataset : opts.load_path;
   serve::CirankServer server(&engine.value(), server_opts);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
