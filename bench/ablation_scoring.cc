@@ -6,10 +6,14 @@
 //      alternative actually exhibits its documented failure; and
 //   2. MRR of every alternative on the synthetic IMDB workload.
 #include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "datasets/micro_graphs.h"
 #include "eval/experiment.h"
+#include "eval/rankers.h"
 
 namespace cirank {
 namespace {
@@ -27,15 +31,18 @@ void PitfallExamples() {
                           {{ex.charlie_wilsons_war, ex.tom_hanks},
                            {ex.tom_hanks, ex.tribute},
                            {ex.tribute, ex.penelope_cruz}});
-    AvgAllImportanceRanker avg_all(engine->model());
-    CiRankRanker ci(engine->scorer());
+    auto avg_all = MakeEvalRanker("avg-all-importance", engine->scorer());
+    auto ci = MakeEvalRanker("rwmp", engine->scorer());
+    if (!avg_all.ok() || !ci.ok()) return;
     std::printf(
         "free-node domination: avg-all ranks spurious tree %s "
         "(T2=%.2e vs T1=%.2e); CI-Rank ranks intended tree %s\n",
-        avg_all.ScoreAnswer(*t2, q) > avg_all.ScoreAnswer(t1, q) ? "FIRST"
-                                                                 : "second",
-        avg_all.ScoreAnswer(*t2, q), avg_all.ScoreAnswer(t1, q),
-        ci.ScoreAnswer(t1, q) > ci.ScoreAnswer(*t2, q) ? "FIRST" : "second");
+        (*avg_all)->ScoreAnswer(*t2, q) > (*avg_all)->ScoreAnswer(t1, q)
+            ? "FIRST"
+            : "second",
+        (*avg_all)->ScoreAnswer(*t2, q), (*avg_all)->ScoreAnswer(t1, q),
+        (*ci)->ScoreAnswer(t1, q) > (*ci)->ScoreAnswer(*t2, q) ? "FIRST"
+                                                               : "second");
   }
 
   // Structure blindness (star vs chain).
@@ -53,12 +60,13 @@ void PitfallExamples() {
                               {ex.chain_nodes[1], ex.chain_nodes[0]},
                               {ex.chain_nodes[2], ex.chain_nodes[3]},
                               {ex.chain_nodes[3], ex.chain_nodes[4]}});
-    AvgImportancePerSizeRanker per_size(engine->model());
-    CiRankRanker ci(engine->scorer());
-    const double a1 = per_size.ScoreAnswer(*star, q);
-    const double a2 = per_size.ScoreAnswer(*chain, q);
-    const double c1 = ci.ScoreAnswer(*star, q);
-    const double c2 = ci.ScoreAnswer(*chain, q);
+    auto per_size = MakeEvalRanker("avg-importance-per-size", engine->scorer());
+    auto ci = MakeEvalRanker("rwmp", engine->scorer());
+    if (!per_size.ok() || !ci.ok()) return;
+    const double a1 = (*per_size)->ScoreAnswer(*star, q);
+    const double a2 = (*per_size)->ScoreAnswer(*chain, q);
+    const double c1 = (*ci)->ScoreAnswer(*star, q);
+    const double c2 = (*ci)->ScoreAnswer(*chain, q);
     std::printf(
         "structure blindness: avg/size separates star vs chain by %.1f%%; "
         "RWMP separates by %.1f%% (star wins)\n",
@@ -71,9 +79,9 @@ void PitfallExamples() {
 // form -- the paper rejects it as "too heavy" because importance spans
 // orders of magnitude, making the dampening range "too large and
 // inflexible". Scoring re-runs the RWMP propagation with d_i = p_i / p_max.
-class LinearDampeningRanker : public AnswerRanker {
+class LinearDampeningScorer {
  public:
-  LinearDampeningRanker(const Graph& graph, const RwmpModel& base,
+  LinearDampeningScorer(const Graph& graph, const RwmpModel& base,
                         const InvertedIndex& index)
       : index_(&index) {
     double p_max = 0.0;
@@ -84,22 +92,17 @@ class LinearDampeningRanker : public AnswerRanker {
         RwmpModel::Create(graph, base.importance_vector()).value());
   }
 
-  std::string name() const override { return "linear-dampening"; }
-
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override {
-    return ScoreWithDampening(tree, query);
-  }
+  double Score(const Jtt& tree, const Query& query) const;
 
  private:
-  double ScoreWithDampening(const Jtt& tree, const Query& query) const;
 
   const InvertedIndex* index_;
   std::unique_ptr<RwmpModel> model_;
   std::vector<double> linear_dampening_;
 };
 
-double LinearDampeningRanker::ScoreWithDampening(const Jtt& tree,
-                                                 const Query& query) const {
+double LinearDampeningScorer::Score(const Jtt& tree,
+                                    const Query& query) const {
   // Manual propagation identical to TreeScorer::Propagate but with the
   // linear dampening vector.
   const Graph& graph = model_->graph();
@@ -157,15 +160,20 @@ void WorkloadAblation(bench::BenchReport* report) {
   auto pools = BuildQueryPools(ds, engine.index(), setup.queries, opts);
   if (!pools.ok()) return;
 
-  CiRankRanker ci(engine.scorer());
-  AvgNonFreeImportanceRanker nonfree(engine.model(), engine.index());
-  AvgAllImportanceRanker all(engine.model());
-  AvgImportancePerSizeRanker per_size(engine.model());
-  LinearDampeningRanker linear(ds.graph, engine.model(), engine.index());
+  std::vector<std::unique_ptr<Ranker>> rankers;
+  for (const char* name : {"rwmp", "avg-nonfree-importance",
+                           "avg-all-importance", "avg-importance-per-size"}) {
+    auto r = MakeEvalRanker(name, engine.scorer());
+    if (!r.ok()) return;
+    rankers.push_back(std::move(r).value());
+  }
+  LinearDampeningScorer linear(ds.graph, engine.model(), engine.index());
+  rankers.push_back(std::make_unique<DelegatingRanker>(
+      "linear-dampening", [&linear](const Jtt& tree, const Query& query) {
+        return linear.Score(tree, query);
+      }));
 
-  for (const AnswerRanker* r :
-       std::vector<const AnswerRanker*>{&ci, &nonfree, &all, &per_size,
-                                        &linear}) {
+  for (const auto& r : rankers) {
     RankerEffectiveness eff = EvaluateRanker(*pools, *r, opts);
     std::printf("%-26s mrr=%.4f precision=%.4f\n", eff.name.c_str(), eff.mrr,
                 eff.precision);

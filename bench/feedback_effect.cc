@@ -10,13 +10,14 @@
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
+#include "eval/rankers.h"
 #include "eval/feedback_adapter.h"
 
 namespace cirank {
 namespace {
 
 void Report(const char* label, const char* key,
-            const std::vector<QueryPool>& pools, const AnswerRanker& ranker,
+            const std::vector<QueryPool>& pools, const Ranker& ranker,
             bench::BenchReport* report) {
   RankerEffectiveness eff = EvaluateRanker(pools, ranker);
   std::printf("%-28s mrr=%.4f precision=%.4f  (%d queries)\n", label,
@@ -60,8 +61,9 @@ int main() {
   report.AddMetric("total_clicks", feedback->total_clicks());
 
   // Baseline: the unbiased engine.
-  CiRankRanker plain(setup.engine->scorer());
-  Report("CI-Rank (no feedback)", "no_feedback", *pools, plain, &report);
+  auto plain = MakeEvalRanker("rwmp", setup.engine->scorer());
+  if (!plain.ok()) return 1;
+  Report("CI-Rank (no feedback)", "no_feedback", *pools, **plain, &report);
 
   // Teleport feedback: rebuild importance with the biased vector.
   FeedbackOptions fopts;
@@ -73,8 +75,9 @@ int main() {
   auto biased_model = RwmpModel::Create(ds.graph, biased_pr->scores);
   if (!biased_model.ok()) return 1;
   TreeScorer biased_scorer(*biased_model, setup.engine->index());
-  CiRankRanker with_teleport(biased_scorer);
-  Report("CI-Rank + teleport feedback", "teleport", *pools, with_teleport,
+  auto with_teleport = MakeEvalRanker("rwmp", biased_scorer);
+  if (!with_teleport.ok()) return 1;
+  Report("CI-Rank + teleport feedback", "teleport", *pools, **with_teleport,
          &report);
 
   // Teleport + edge feedback: also reweight edges toward clicked entities
@@ -88,8 +91,9 @@ int main() {
   auto boosted_model = RwmpModel::Create(*boosted_graph, pr_boosted->scores);
   if (!boosted_model.ok()) return 1;
   TreeScorer boosted_scorer(*boosted_model, boosted_index);
-  CiRankRanker with_edges(boosted_scorer);
-  Report("CI-Rank + teleport + edges", "teleport_edges", *pools, with_edges,
+  auto with_edges = MakeEvalRanker("rwmp", boosted_scorer);
+  if (!with_edges.ok()) return 1;
+  Report("CI-Rank + teleport + edges", "teleport_edges", *pools, **with_edges,
          &report);
   return report.Write() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
+#include "eval/rankers.h"
 #include "rw/pagerank.h"
 
 namespace cirank {
@@ -38,8 +39,9 @@ void SweepDataset(const bench::BenchSetup& setup, const char* label,
                                    params);
     if (!model.ok()) continue;
     TreeScorer scorer(*model, engine.index());
-    CiRankRanker ranker(scorer);
-    RankerEffectiveness eff = EvaluateRanker(*pools, ranker, opts);
+    auto ranker = MakeEvalRanker("rwmp", scorer);
+    if (!ranker.ok()) continue;
+    RankerEffectiveness eff = EvaluateRanker(*pools, **ranker, opts);
     std::printf("%-8.2f %-12.4f\n", alpha, eff.mrr);
     char metric[64];
     std::snprintf(metric, sizeof(metric), "mrr.%s.alpha_%.2f", key, alpha);

@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
+#include "eval/rankers.h"
 
 namespace cirank {
 namespace {
@@ -33,8 +34,9 @@ void SweepDataset(const bench::BenchSetup& setup, const char* label,
                                    params);
     if (!model.ok()) continue;
     TreeScorer scorer(*model, engine.index());
-    CiRankRanker ranker(scorer);
-    RankerEffectiveness eff = EvaluateRanker(*pools, ranker, opts);
+    auto ranker = MakeEvalRanker("rwmp", scorer);
+    if (!ranker.ok()) continue;
+    RankerEffectiveness eff = EvaluateRanker(*pools, **ranker, opts);
     std::printf("%-8.0f %-14.4f\n", g, eff.mrr);
     char metric[64];
     std::snprintf(metric, sizeof(metric), "mrr.%s.g_%.0f", key, g);

@@ -5,10 +5,14 @@
 // mostly directly connected nodes), but SPARK and BANKS collapse to ~0.5 on
 // the synthetic sets where free connector nodes must be chosen well.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
+#include "eval/rankers.h"
 
 namespace cirank {
 namespace {
@@ -18,11 +22,20 @@ void RunWorkload(const bench::BenchSetup& setup, const char* label,
   const Dataset& ds = *setup.dataset;
   const CiRankEngine& engine = *setup.engine;
 
-  CiRankRanker ci(engine.scorer());
-  SparkRanker spark(engine.index());
-  BanksRanker banks(ds.graph, engine.index(),
-                    engine.model().importance_vector());
-  std::vector<const AnswerRanker*> rankers{&spark, &banks, &ci};
+  // The composite ranker rides along so the MRR harness covers the new
+  // ranking layer, not just the paper's three systems.
+  std::vector<std::unique_ptr<Ranker>> owned;
+  for (const char* name : {"spark", "banks", "rwmp", "rwmp_x_text"}) {
+    auto r = MakeEvalRanker(name, engine.scorer());
+    if (!r.ok()) {
+      std::fprintf(stderr, "ranker %s: %s\n", name,
+                   r.status().ToString().c_str());
+      return;
+    }
+    owned.push_back(std::move(r).value());
+  }
+  std::vector<const Ranker*> rankers;
+  for (const auto& r : owned) rankers.push_back(r.get());
 
   auto results = RunEffectiveness(ds, engine.index(), setup.queries, rankers);
   if (!results.ok()) {

@@ -4,10 +4,14 @@
 // 0.75 on DBLP, with CI-Rank's margin coming from long queries matching
 // three or more non-free nodes.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "eval/experiment.h"
+#include "eval/rankers.h"
 
 namespace cirank {
 namespace {
@@ -17,11 +21,19 @@ void RunWorkload(const bench::BenchSetup& setup, const char* label,
   const Dataset& ds = *setup.dataset;
   const CiRankEngine& engine = *setup.engine;
 
-  CiRankRanker ci(engine.scorer());
-  SparkRanker spark(engine.index());
-  BanksRanker banks(ds.graph, engine.index(),
-                    engine.model().importance_vector());
-  std::vector<const AnswerRanker*> rankers{&spark, &banks, &ci};
+  // Same ranker set as Fig. 8, composite included.
+  std::vector<std::unique_ptr<Ranker>> owned;
+  for (const char* name : {"spark", "banks", "rwmp", "rwmp_x_text"}) {
+    auto r = MakeEvalRanker(name, engine.scorer());
+    if (!r.ok()) {
+      std::fprintf(stderr, "ranker %s: %s\n", name,
+                   r.status().ToString().c_str());
+      return;
+    }
+    owned.push_back(std::move(r).value());
+  }
+  std::vector<const Ranker*> rankers;
+  for (const auto& r : owned) rankers.push_back(r.get());
 
   auto results = RunEffectiveness(ds, engine.index(), setup.queries, rankers);
   if (!results.ok()) {

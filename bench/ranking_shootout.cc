@@ -1,0 +1,68 @@
+// Head-to-head shootout across the registered rankers: every ranker orders
+// the same precomputed candidate pools (IMDB, user-log-style queries), so
+// the quality columns isolate the scoring function and the wall-clock
+// column isolates its evaluation cost. Covers the paper's three systems,
+// the RWMP default, the weighted RWMP x BM25 composite, and one ablation.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/experiment.h"
+#include "eval/rankers.h"
+#include "util/timer.h"
+
+namespace cirank {
+namespace {
+
+const char* const kRankers[] = {
+    "rwmp", "rwmp_x_text", "spark", "banks", "discover2",
+    "avg-all-importance",
+};
+
+int Run() {
+  bench::PrintFigureHeader(
+      "Ranking shootout",
+      "per-ranker quality and scoring wall-clock over shared pools");
+
+  bench::BenchReport report("ranking_shootout");
+  bench::BenchSetup setup = bench::MakeImdbSetup(
+      /*num_queries=*/44, /*user_log_style=*/true, /*query_seed=*/901);
+  bench::PrintDatasetLine(*setup.dataset);
+
+  const CiRankEngine& engine = *setup.engine;
+  auto pools = BuildQueryPools(*setup.dataset, engine.index(), setup.queries);
+  if (!pools.ok()) {
+    std::fprintf(stderr, "pools: %s\n", pools.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu scored pools\n\n", pools->size());
+  std::printf("%-22s %8s %10s %10s\n", "ranker", "mrr", "precision",
+              "wall_ms");
+
+  for (const char* name : kRankers) {
+    auto ranker = MakeEvalRanker(name, engine.scorer());
+    if (!ranker.ok()) {
+      std::fprintf(stderr, "ranker %s: %s\n", name,
+                   ranker.status().ToString().c_str());
+      return 1;
+    }
+    Timer timer;
+    const RankerEffectiveness result = EvaluateRanker(*pools, **ranker);
+    const double wall_ms = timer.ElapsedMillis();
+    std::printf("%-22s %8.3f %10.3f %10.2f\n", result.name.c_str(),
+                result.mrr, result.precision, wall_ms);
+    report.AddMetric("mrr." + result.name, result.mrr);
+    report.AddMetric("precision." + result.name, result.precision);
+    report.AddMetric("wall_ms." + result.name, wall_ms);
+    report.AddCounter("queries." + result.name, result.evaluated_queries);
+  }
+  return report.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cirank
+
+int main() { return cirank::Run(); }

@@ -19,6 +19,12 @@
 //   --executor NAME         route queries through a registered executor:
 //                           bnb (default), parallel, naive, banks,
 //                           bidirectional, spark, discover2
+//   --ranker NAME           score answers with a registered ranker: rwmp
+//                           (default), rwmp_x_text, spark, banks,
+//                           discover2, or an ablation ranker
+//   --order-by SPEC         presentation order over the top-k, e.g.
+//                           "score desc, size asc" (fields: score, root,
+//                           external_key, relation, size, text)
 //   --deadline-ms X         per-query wall-clock deadline; on expiry the
 //                           search stops and returns its best-so-far
 //                           answers, marked "truncated" in the stats line
@@ -43,6 +49,8 @@
 
 #include "baselines/baseline_executors.h"
 #include "core/engine.h"
+#include "core/order_by.h"
+#include "core/ranker.h"
 #include "datasets/dblp_gen.h"
 #include "datasets/imdb_gen.h"
 #include "graph/serialize.h"
@@ -65,6 +73,8 @@ struct CliOptions {
   bool use_index = true;
   int threads = 1;
   std::string executor;  // empty = engine default ("bnb" / "parallel")
+  std::string ranker;    // empty = engine default ("rwmp")
+  std::string order_by;  // empty = score order
   double deadline_ms = 0.0;
   size_t cache_capacity = 1024;
   std::string metrics_out;  // empty = off; "-" = stdout; *.json = JSON
@@ -137,6 +147,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->executor = v;
+    } else if (arg == "--ranker") {
+      const char* v = next();
+      if (!v) return false;
+      opts->ranker = v;
+    } else if (arg == "--order-by") {
+      const char* v = next();
+      if (!v) return false;
+      opts->order_by = v;
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (!v) return false;
@@ -234,6 +252,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\n");
     return 1;
   }
+  if (!opts.ranker.empty() &&
+      !RankerRegistry::Global().Contains(opts.ranker)) {
+    std::fprintf(stderr, "unknown --ranker %s; registered:",
+                 opts.ranker.c_str());
+    for (const std::string& name : RankerRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  if (!opts.order_by.empty()) {
+    if (auto keys = ParseOrderBy(opts.order_by); !keys.ok()) {
+      std::fprintf(stderr, "bad --order-by: %s\n",
+                   keys.status().ToString().c_str());
+      return 1;
+    }
+  }
 
   // A CLI-local registry keeps the dump limited to this process's serving
   // metrics; the trace collector is wired in only when requested.
@@ -291,6 +326,8 @@ int main(int argc, char** argv) {
     }
     if (opts.threads > 1) overrides.num_threads = opts.threads;
     if (opts.deadline_ms > 0.0) overrides.deadline_ms = opts.deadline_ms;
+    if (!opts.ranker.empty()) overrides.ranker = opts.ranker;
+    if (!opts.order_by.empty()) overrides.order_by = opts.order_by;
 
     // With the cache on, requesting SearchStats would force a fresh search
     // (a memoized result has no stats to report), so repeated queries go
@@ -298,7 +335,9 @@ int main(int argc, char** argv) {
     // Everything that changes what runs — threads, a deadline, an explicit
     // executor — reports fresh stage stats.
     const bool want_stats = opts.threads > 1 || opts.cache_capacity == 0 ||
-                            opts.deadline_ms > 0.0 || !opts.executor.empty();
+                            opts.deadline_ms > 0.0 ||
+                            !opts.executor.empty() || !opts.ranker.empty() ||
+                            !opts.order_by.empty();
     Timer t;
     SearchStats stats;
     auto answers = engine->Search(query, overrides,

@@ -5,6 +5,10 @@
 //
 //   $ ./build/examples/ranking_shootout
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -17,7 +21,7 @@ namespace {
 
 void Shootout(const char* title, const CiRankEngine& engine,
               const Query& query, const std::vector<Jtt>& candidates,
-              const std::vector<const AnswerRanker*>& rankers) {
+              const std::vector<const Ranker*>& rankers) {
   const Graph& graph = engine.graph();
   std::printf("\n=== %s ===\n", title);
   std::string rendered;
@@ -25,7 +29,7 @@ void Shootout(const char* title, const CiRankEngine& engine,
     rendered += rendered.empty() ? k : " " + k;
   }
   std::printf("query: \"%s\"\n", rendered.c_str());
-  for (const AnswerRanker* r : rankers) {
+  for (const Ranker* r : rankers) {
     size_t best = 0;
     double best_score = -1e300;
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -35,7 +39,7 @@ void Shootout(const char* title, const CiRankEngine& engine,
         best = i;
       }
     }
-    std::printf("  %-12s prefers: %s\n", r->name().c_str(),
+    std::printf("  %-12s prefers: %s\n", std::string(r->name()).c_str(),
                 candidates[best].ToString(graph).c_str());
   }
   // End-to-end check: let the engine *search* (not just re-rank the
@@ -47,6 +51,28 @@ void Shootout(const char* title, const CiRankEngine& engine,
     std::printf("  %-12s returns: %s\n", "engine(bnb)",
                 (*found)[0].tree.ToString(graph).c_str());
   }
+}
+
+std::vector<std::unique_ptr<Ranker>> BuildRankers(
+    const CiRankEngine& engine, const std::vector<const char*>& names) {
+  std::vector<std::unique_ptr<Ranker>> out;
+  for (const char* name : names) {
+    auto r = MakeEvalRanker(name, engine.scorer());
+    if (!r.ok()) {
+      std::fprintf(stderr, "ranker %s: %s\n", name,
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+std::vector<const Ranker*> Views(
+    const std::vector<std::unique_ptr<Ranker>>& owned) {
+  std::vector<const Ranker*> out;
+  for (const auto& r : owned) out.push_back(r.get());
+  return out;
 }
 
 }  // namespace
@@ -65,13 +91,10 @@ int main() {
         Jtt::Create(ex.paper_b, {{ex.paper_b, ex.papakonstantinou},
                                  {ex.paper_b, ex.ullman}})
             .value()};
-    CiRankRanker ci(engine->scorer());
-    SparkRanker spark(engine->index());
-    Discover2Ranker discover(engine->index());
-    BanksRanker banks(ex.dataset.graph, engine->index(),
-                      engine->model().importance_vector());
+    auto rankers = BuildRankers(*engine, {"rwmp", "spark", "discover2",
+                                          "banks"});
     Shootout("TSIMMIS papers (Fig. 2): 7 vs 38 citations", *engine, q,
-             candidates, {&ci, &spark, &discover, &banks});
+             candidates, Views(rankers));
   }
 
   // --- Co-star example ---
@@ -89,13 +112,10 @@ int main() {
                                {ex.obscure_movie, ex.wood},
                                {ex.obscure_movie, ex.mortensen}})
             .value()};
-    CiRankRanker ci(engine->scorer());
-    SparkRanker spark(engine->index());
-    Discover2Ranker discover(engine->index());
-    BanksRanker banks(ex.dataset.graph, engine->index(),
-                      engine->model().importance_vector());
+    auto rankers = BuildRankers(*engine, {"rwmp", "spark", "discover2",
+                                          "banks"});
     Shootout("Co-stars (Fig. 3): popular vs obscure connecting movie", *engine,
-             q, candidates, {&ci, &spark, &discover, &banks});
+             q, candidates, Views(rankers));
   }
 
   // --- Free-node domination ---
@@ -111,10 +131,9 @@ int main() {
                      {ex.tom_hanks, ex.tribute},
                      {ex.tribute, ex.penelope_cruz}})
             .value()};
-    CiRankRanker ci(engine->scorer());
-    AvgAllImportanceRanker avg_all(engine->model());
+    auto rankers = BuildRankers(*engine, {"rwmp", "avg-all-importance"});
     Shootout("Free-node domination (Fig. 4): \"wilson cruz\"", *engine, q,
-             candidates, {&ci, &avg_all});
+             candidates, Views(rankers));
   }
 
   std::printf("\nCI-Rank picks the intended answer in every scenario.\n");

@@ -51,7 +51,7 @@ double BanksScorer::Score(const Jtt& tree, const Query& query,
 }
 
 Result<std::vector<RankedAnswer>> BanksSearch(
-    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Graph& graph, const InvertedIndex& index, const Ranker& ranker,
     const Query& query, const BanksSearchOptions& options,
     ExecutionContext* ctx) {
   if (query.empty()) return Status::InvalidArgument("empty query");
@@ -157,7 +157,7 @@ Result<std::vector<RankedAnswer>> BanksSearch(
     if (tree->Diameter() > options.max_diameter) continue;
     if (!tree->CoversAllKeywords(query, index)) continue;
     if (!seen.insert(tree->CanonicalKey()).second) continue;
-    const double s = scorer.Score(*tree, query, index);
+    const double s = ranker.ScoreAnswer(*tree, query);
     found.push_back(Scored{std::move(tree).value(), s});
   }
 

@@ -15,6 +15,7 @@
 
 #include "core/bnb_search.h"
 #include "core/jtt.h"
+#include "core/ranker.h"
 #include "text/inverted_index.h"
 
 namespace cirank {
@@ -47,11 +48,13 @@ struct BanksSearchOptions {
 
 // BANKS' backward expanding search: Dijkstra-style expansion from every
 // keyword-matching node toward common roots; each discovered root yields an
-// answer tree assembled from the per-keyword best paths. A non-null `ctx`
-// applies the execution pipeline's deadline/budget guard: when it fires the
-// search stops expanding and returns the answers assembled so far.
+// answer tree assembled from the per-keyword best paths. The search only
+// *enumerates* — assembled trees are scored by `ranker` (the "banks" ranker
+// for the classic baseline, but any Ranker works). A non-null `ctx` applies
+// the execution pipeline's deadline/budget guard: when it fires the search
+// stops expanding and returns the answers assembled so far.
 [[nodiscard]] Result<std::vector<RankedAnswer>> BanksSearch(
-    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Graph& graph, const InvertedIndex& index, const Ranker& ranker,
     const Query& query, const BanksSearchOptions& options,
     ExecutionContext* ctx = nullptr);
 

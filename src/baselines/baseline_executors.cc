@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -57,9 +56,10 @@ class RankedPool {
   std::set<std::string> seen_;
 };
 
-// BANKS and bidirectional share their scorer and their executor shape: the
-// baseline's own search runs inside Expand with the context's guard, and
-// Emit hands over whatever it assembled.
+// BANKS and bidirectional share their executor shape: the baseline's own
+// *enumeration* runs inside Expand with the context's guard, scoring goes
+// through the registry's "banks" ranker, and Emit hands over whatever was
+// assembled.
 class BanksFamilyExecutor final : public SearchExecutor {
  public:
   BanksFamilyExecutor(const ExecutorEnv& env, bool bidirectional)
@@ -75,9 +75,12 @@ class BanksFamilyExecutor final : public SearchExecutor {
   Status Prepare(ExecutionContext& ctx) override {
     (void)ctx;
     // Feed BANKS the same PageRank importance CI-Rank uses, so the baseline
-    // differs only in how it exploits it (root+leaf averaging).
-    banks_scorer_.emplace(scorer_.model().graph(),
-                          scorer_.model().importance_vector());
+    // differs only in how it exploits it (root+leaf averaging). Built
+    // directly (not via SearchOptions::ranker): this executor *is* the
+    // BANKS baseline — its scoring identity is fixed.
+    ranker_ = MakeBanksRanker(scorer_.model().graph(),
+                              scorer_.model().importance_vector(),
+                              scorer_.index());
     return Status::OK();
   }
 
@@ -89,15 +92,14 @@ class BanksFamilyExecutor final : public SearchExecutor {
       opts.k = options_.k;
       opts.max_diameter = options_.max_diameter;
       CIRANK_ASSIGN_OR_RETURN(
-          answers_, BidirectionalSearch(graph, index, *banks_scorer_, query_,
-                                        opts, &ctx));
+          answers_, BidirectionalSearch(graph, index, *ranker_, query_, opts,
+                                        &ctx));
     } else {
       BanksSearchOptions opts;
       opts.k = options_.k;
       opts.max_diameter = options_.max_diameter;
       CIRANK_ASSIGN_OR_RETURN(
-          answers_,
-          BanksSearch(graph, index, *banks_scorer_, query_, opts, &ctx));
+          answers_, BanksSearch(graph, index, *ranker_, query_, opts, &ctx));
     }
     ctx.stages().candidates_generated =
         static_cast<int64_t>(answers_.size());
@@ -110,6 +112,7 @@ class BanksFamilyExecutor final : public SearchExecutor {
   }
 
   void FillStats(SearchStats* stats) const override {
+    stats->ranker = std::string(ranker_->name());
     stats->answers_found = static_cast<int64_t>(answers_.size());
   }
 
@@ -118,13 +121,14 @@ class BanksFamilyExecutor final : public SearchExecutor {
   const Query& query_;
   const SearchOptions options_;
   const bool bidirectional_;
-  std::optional<BanksScorer> banks_scorer_;
+  std::unique_ptr<Ranker> ranker_;
   std::vector<RankedAnswer> answers_;
 };
 
 // SPARK and DISCOVER2 are pure scoring functions, so their executors rank
 // the neutral candidate pool (naive enumeration — the same pool the
-// effectiveness experiments use, so no system's own search biases it).
+// effectiveness experiments use, so no system's own search biases it)
+// through the identically named registry ranker.
 class PoolScoringExecutor final : public SearchExecutor {
  public:
   PoolScoringExecutor(const ExecutorEnv& env, bool spark)
@@ -139,6 +143,12 @@ class PoolScoringExecutor final : public SearchExecutor {
   }
 
   Status Prepare(ExecutionContext& ctx) override {
+    // Pool scoring never consults UpperBound, so the ranker is built
+    // without per-query bound state (null query in the env).
+    CIRANK_ASSIGN_OR_RETURN(
+        ranker_, RankerRegistry::Global().Create(
+                     std::string(name()),
+                     RankerEnv{&scorer_, nullptr, options_}));
     EnumerateOptions enum_options;
     enum_options.max_diameter = options_.max_diameter;
     CIRANK_ASSIGN_OR_RETURN(
@@ -150,18 +160,9 @@ class PoolScoringExecutor final : public SearchExecutor {
   }
 
   Status Expand(ExecutionContext& ctx) override {
-    std::optional<SparkScorer> spark;
-    std::optional<Discover2Scorer> discover2;
-    if (spark_) {
-      spark.emplace(scorer_.index());
-    } else {
-      discover2.emplace(scorer_.index());
-    }
     for (const Jtt& tree : pool_) {
       if (ctx.ShouldStop()) return ctx.stop_status();
-      const double score = spark_ ? spark->Score(tree, query_)
-                                  : discover2->Score(tree, query_);
-      answers_.Offer(tree, score);
+      answers_.Offer(tree, ranker_->ScoreAnswer(tree, query_));
       ++scored_;
     }
     return Status::OK();
@@ -173,6 +174,7 @@ class PoolScoringExecutor final : public SearchExecutor {
   }
 
   void FillStats(SearchStats* stats) const override {
+    stats->ranker = std::string(ranker_->name());
     stats->generated = scored_;
     stats->answers_found = static_cast<int64_t>(answers_.distinct());
   }
@@ -182,6 +184,7 @@ class PoolScoringExecutor final : public SearchExecutor {
   const Query& query_;
   const SearchOptions options_;
   const bool spark_;
+  std::unique_ptr<Ranker> ranker_;
   std::vector<Jtt> pool_;
   RankedPool answers_;
   int64_t scored_ = 0;
@@ -203,7 +206,68 @@ Result<std::unique_ptr<SearchExecutor>> MakePoolScoring(const ExecutorEnv& env,
   return executor;
 }
 
+Status ValidateRankerEnv(const RankerEnv& env) {
+  if (env.scorer == nullptr) {
+    return Status::InvalidArgument("ranker env missing scorer");
+  }
+  return Status::OK();
+}
+
+Status RegisterBaselineRankers(RankerRegistry& registry) {
+  Status s = registry.Register(
+      "spark", [](const RankerEnv& env) -> Result<std::unique_ptr<Ranker>> {
+        CIRANK_RETURN_IF_ERROR(ValidateRankerEnv(env));
+        return MakeSparkRanker(env.scorer->index());
+      });
+  if (s.ok()) {
+    s = registry.Register(
+        "discover2",
+        [](const RankerEnv& env) -> Result<std::unique_ptr<Ranker>> {
+          CIRANK_RETURN_IF_ERROR(ValidateRankerEnv(env));
+          return MakeDiscover2Ranker(env.scorer->index());
+        });
+  }
+  if (s.ok()) {
+    s = registry.Register(
+        "banks", [](const RankerEnv& env) -> Result<std::unique_ptr<Ranker>> {
+          CIRANK_RETURN_IF_ERROR(ValidateRankerEnv(env));
+          return MakeBanksRanker(env.scorer->model().graph(),
+                                 env.scorer->model().importance_vector(),
+                                 env.scorer->index());
+        });
+  }
+  return s;
+}
+
 }  // namespace
+
+std::unique_ptr<Ranker> MakeSparkRanker(const InvertedIndex& index) {
+  // Captured by value: SparkScorer is a (pointer, params) pair.
+  SparkScorer scorer(index);
+  return std::make_unique<DelegatingRanker>(
+      "spark", [scorer](const Jtt& tree, const Query& query) {
+        return scorer.Score(tree, query);
+      });
+}
+
+std::unique_ptr<Ranker> MakeDiscover2Ranker(const InvertedIndex& index) {
+  Discover2Scorer scorer(index);
+  return std::make_unique<DelegatingRanker>(
+      "discover2", [scorer](const Jtt& tree, const Query& query) {
+        return scorer.Score(tree, query);
+      });
+}
+
+std::unique_ptr<Ranker> MakeBanksRanker(const Graph& graph,
+                                        std::vector<double> importance,
+                                        const InvertedIndex& index) {
+  auto scorer = std::make_shared<BanksScorer>(graph, std::move(importance));
+  const InvertedIndex* idx = &index;
+  return std::make_unique<DelegatingRanker>(
+      "banks", [scorer, idx](const Jtt& tree, const Query& query) {
+        return scorer->Score(tree, query, *idx);
+      });
+}
 
 Status RegisterBaselineExecutors() {
   // once_flag rather than checking Contains(): two concurrent first calls
@@ -222,6 +286,7 @@ Status RegisterBaselineExecutors() {
     if (s.ok()) s = reg("bidirectional", true, MakeBanksFamily);
     if (s.ok()) s = reg("spark", true, MakePoolScoring);
     if (s.ok()) s = reg("discover2", false, MakePoolScoring);
+    if (s.ok()) s = RegisterBaselineRankers(RankerRegistry::Global());
     result = std::move(s);
   });
   return result;

@@ -1,24 +1,42 @@
-// SearchExecutor adapters for the baseline rankers, so the execution
-// pipeline (core/execution.h) can serve every algorithm through one code
-// path. Four executors are provided:
-//   * "banks"         -- BANKS backward expanding search + BANKS scoring
-//   * "bidirectional" -- bidirectional activation search + BANKS scoring
-//   * "spark"         -- neutral pool enumeration + SPARK IR scoring
-//   * "discover2"     -- neutral pool enumeration + DISCOVER2 TF-IDF scoring
-// The core registry cannot depend on this library (baselines already depend
-// on core), so registration is explicit: call RegisterBaselineExecutors()
-// once at startup before asking the engine for one of these names.
+// Baseline adapters for the pluggable ranking layer. This module registers
+// two kinds of objects:
+//   * Rankers ("spark", "discover2", "banks") in RankerRegistry::Global(),
+//     wrapping the baseline scoring functions as core Ranker objects via
+//     DelegatingRanker — usable with *any* executor (e.g. bnb + "spark").
+//   * SearchExecutors in ExecutorRegistry::Global(), thin enumeration
+//     adapters that score through those rankers:
+//       "banks"         -- BANKS backward expanding search, "banks" ranker
+//       "bidirectional" -- bidirectional activation search, "banks" ranker
+//       "spark"         -- neutral pool enumeration, "spark" ranker
+//       "discover2"     -- neutral pool enumeration, "discover2" ranker
+// The core registries cannot depend on this library (baselines already
+// depend on core), so registration is explicit: call
+// RegisterBaselineExecutors() once at startup before asking for the names.
 #ifndef CIRANK_BASELINES_BASELINE_EXECUTORS_H_
 #define CIRANK_BASELINES_BASELINE_EXECUTORS_H_
 
+#include <memory>
+#include <vector>
+
 #include "core/execution.h"
+#include "core/ranker.h"
 
 namespace cirank {
 
-// Adds the four baseline executors to ExecutorRegistry::Global().
-// Idempotent: repeat calls are no-ops, so library users, tests, and tools
-// can all call it defensively.
+// Adds the baseline executors to ExecutorRegistry::Global() and the
+// baseline rankers to RankerRegistry::Global(). Idempotent: repeat calls
+// are no-ops, so library users, tests, and tools can all call it
+// defensively.
 Status RegisterBaselineExecutors();
+
+// Standalone ranker factories for callers that hold raw ingredients instead
+// of a TreeScorer (tests, benches feeding custom importance vectors). The
+// referenced index/graph must outlive the ranker.
+std::unique_ptr<Ranker> MakeSparkRanker(const InvertedIndex& index);
+std::unique_ptr<Ranker> MakeDiscover2Ranker(const InvertedIndex& index);
+std::unique_ptr<Ranker> MakeBanksRanker(const Graph& graph,
+                                        std::vector<double> importance,
+                                        const InvertedIndex& index);
 
 }  // namespace cirank
 

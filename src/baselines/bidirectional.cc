@@ -19,7 +19,7 @@ struct Reach {
 }  // namespace
 
 Result<std::vector<RankedAnswer>> BidirectionalSearch(
-    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Graph& graph, const InvertedIndex& index, const Ranker& ranker,
     const Query& query, const BidirectionalSearchOptions& options,
     ExecutionContext* ctx) {
   if (query.empty()) return Status::InvalidArgument("empty query");
@@ -132,7 +132,7 @@ Result<std::vector<RankedAnswer>> BidirectionalSearch(
     if (!tree->CoversAllKeywords(query, index)) continue;
     if (!seen.insert(tree->CanonicalKey()).second) continue;
     found.push_back(
-        Scored{*tree, scorer.Score(*tree, query, index)});
+        Scored{*tree, ranker.ScoreAnswer(*tree, query)});
   }
 
   std::sort(found.begin(), found.end(), [](const Scored& a, const Scored& b) {

@@ -25,11 +25,12 @@ struct BidirectionalSearchOptions {
   int64_t max_iterations = 500000;
 };
 
-// A non-null `ctx` applies the execution pipeline's deadline/budget guard:
-// when it fires the search stops expanding and returns the answers
-// assembled so far.
+// The search only *enumerates* — assembled trees are scored by `ranker`
+// (the "banks" ranker for the classic baseline). A non-null `ctx` applies
+// the execution pipeline's deadline/budget guard: when it fires the search
+// stops expanding and returns the answers assembled so far.
 [[nodiscard]] Result<std::vector<RankedAnswer>> BidirectionalSearch(
-    const Graph& graph, const InvertedIndex& index, const BanksScorer& scorer,
+    const Graph& graph, const InvertedIndex& index, const Ranker& ranker,
     const Query& query, const BidirectionalSearchOptions& options = {},
     ExecutionContext* ctx = nullptr);
 

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <map>
-#include <optional>
+#include <memory>
 #include <queue>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "core/ranker.h"
 #include "core/topk.h"
 #include "util/check.h"
 
@@ -35,8 +36,14 @@ class BnbExecutor final : public SearchExecutor {
   std::string_view name() const override { return "bnb"; }
 
   Status Prepare(ExecutionContext& ctx) override {
-    calc_.emplace(scorer_, query_, options_.max_diameter, options_.bounds);
-    all_ = calc_->all_keywords_mask();
+    // The ranker owns all scoring *and* the Theorem-1 bound state; the
+    // executor only enumerates. The default "rwmp" ranker delegates to the
+    // same TreeScorer / UpperBoundCalculator pair the executor used to own,
+    // so the search stays byte-identical.
+    CIRANK_ASSIGN_OR_RETURN(
+        ranker_, RankerRegistry::Global().Create(
+                     options_.ranker, RankerEnv{&scorer_, &query_, options_}));
+    all_ = (KeywordMask{1} << query_.size()) - 1;
 
     // Seed with single-node candidates for every non-free node (line 3-6).
     const InvertedIndex& index = scorer_.index();
@@ -107,11 +114,12 @@ class BnbExecutor final : public SearchExecutor {
   }
 
   Result<std::vector<RankedAnswer>> Emit(ExecutionContext& ctx) override {
-    ctx.stages().bound_calls = calc_->calls();
+    ctx.stages().bound_calls = ranker_->bound_calls();
     return answers_.Take();
   }
 
   void FillStats(SearchStats* stats) const override {
+    stats->ranker = std::string(ranker_->name());
     stats->popped = popped_;
     stats->generated = generated_;
     stats->answers_found = answers_found_;
@@ -149,7 +157,7 @@ class BnbExecutor final : public SearchExecutor {
     // just admitted still completes so the partial state stays consistent.
     (void)ctx.ChargeCandidates(1);
 
-    c.upper_bound = calc_->UpperBound(c);
+    c.upper_bound = ranker_->UpperBound(c);
     const double chain_bound = std::min(ancestor_bound, c.upper_bound);
 
     if (c.IsComplete(all_) && c.tree.IsReduced(query_, scorer_.index())) {
@@ -158,13 +166,13 @@ class BnbExecutor final : public SearchExecutor {
       // reached this tree first — a precondition for the byte-identical
       // guarantee shared with the parallel executor.
       Jtt canon = c.tree.Canonicalized();
-      TreeScore ts = scorer_.Score(canon, query_);
-      CIRANK_DCHECK(ts.score <=
+      const double score = ranker_->ScoreAnswer(canon, query_);
+      CIRANK_DCHECK(score <=
                     chain_bound + 1e-9 * std::max(1.0, std::abs(chain_bound)))
           << "Theorem 1 admissibility violated: emitted tree "
-          << canon.CanonicalKey() << " scores " << ts.score
+          << canon.CanonicalKey() << " scores " << score
           << " above its derivation-chain bound " << chain_bound;
-      if (answers_.Offer(std::move(canon), ts.score)) ++answers_found_;
+      if (answers_.Offer(std::move(canon), score)) ++answers_found_;
     }
 
     Candidate* slot = ctx.arena().New<Candidate>(std::move(c));
@@ -224,7 +232,7 @@ class BnbExecutor final : public SearchExecutor {
   const Query& query_;
   const SearchOptions options_;
 
-  std::optional<UpperBoundCalculator> calc_;
+  std::unique_ptr<Ranker> ranker_;
   KeywordMask all_ = 0;
 
   // Arena-placed candidates; the priority queue and root registry hold

@@ -6,6 +6,7 @@
 
 #include "core/bnb_search.h"
 #include "core/naive_search.h"
+#include "core/order_by.h"
 #include "core/parallel_search.h"
 #include "util/annotations.h"
 #include "util/check.h"
@@ -249,12 +250,27 @@ Result<std::vector<RankedAnswer>> RunSearchPipeline(SearchExecutor& executor,
 
 Result<std::vector<RankedAnswer>> ExecuteSearch(const ExecutorEnv& env,
                                                 SearchStats* stats) {
+  // Parse order_by up front so a bad spec fails the query before any search
+  // work runs (and before the serving layer caches anything).
+  CIRANK_ASSIGN_OR_RETURN(std::vector<OrderKey> order_keys,
+                          ParseOrderBy(env.options.order_by));
   CIRANK_ASSIGN_OR_RETURN(
       std::unique_ptr<SearchExecutor> executor,
       ExecutorRegistry::Global().Create(env.options.executor, env));
   ExecutionContext ctx(ExecutionLimits::FromOptions(env.options));
   ctx.BindObservability(env.metrics, env.trace, env.trace_id);
-  return RunSearchPipeline(*executor, ctx, stats);
+  CIRANK_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
+                          RunSearchPipeline(*executor, ctx, stats));
+  if (stats != nullptr && stats->ranker.empty()) {
+    stats->ranker = env.options.ranker;
+  }
+  // Presentation pass: selection already happened under the ranker's score;
+  // order_by only rearranges the k selected answers. Empty spec = answers
+  // pass through byte-identical.
+  if (!order_keys.empty() && env.scorer != nullptr) {
+    ApplyOrderBy(order_keys, env.scorer->model().graph(), &answers);
+  }
+  return answers;
 }
 
 }  // namespace cirank

@@ -13,6 +13,10 @@
 //       through SearchStats, the CLI, and the bench JSON.
 // CiRankEngine selects executors by name through ExecutorRegistry
 // (SearchOverrides.executor), so one code path serves every algorithm.
+// Executors only *enumerate*: answer scoring is delegated to the Ranker
+// selected by SearchOptions::ranker (core/ranker.h), and ExecuteSearch
+// applies the optional SearchOptions::order_by presentation reordering
+// (core/order_by.h) to the emitted top-k.
 #ifndef CIRANK_CORE_EXECUTION_H_
 #define CIRANK_CORE_EXECUTION_H_
 
@@ -52,7 +56,7 @@ struct StageStats {
   int64_t candidates_generated = 0;  // admitted by grow/merge/seed
   int64_t candidates_pruned = 0;     // rejected: viability/diameter/bound
   int64_t candidates_merged = 0;     // admitted specifically via merge
-  int64_t bound_calls = 0;           // UpperBoundCalculator::UpperBound calls
+  int64_t bound_calls = 0;           // Ranker::UpperBound calls
   size_t arena_bytes = 0;            // ExecutionContext arena bytes used
   double prepare_seconds = 0.0;
   double expand_seconds = 0.0;
@@ -80,6 +84,9 @@ struct SearchStats {
   bool from_cache = false;
   // Name of the executor that served the query ("bnb", "parallel", ...).
   std::string executor;
+  // Name of the ranker that scored the answers ("rwmp", "rwmp_x_text", ...)
+  // as reported by the executor; empty for legacy direct entry points.
+  std::string ranker;
   StageStats stages;
 };
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+
+#include "core/ranker.h"
 
 #include "graph/traversal.h"
 
@@ -241,20 +244,30 @@ namespace {
 
 // The "naive" executor: the paper's Sec. IV-A algorithm decomposed into the
 // pipeline stages. Prepare enumerates the full answer pool (BFS + path
-// combination); Expand scores it, checking the deadline/budget guard
-// between trees; Emit ranks the collected answers.
+// combination) and builds the ranker; Expand scores the pool under the
+// selected ranker, checking the deadline/budget guard between trees; Emit
+// ranks the collected answers.
 class NaiveExecutor final : public SearchExecutor {
  public:
   NaiveExecutor(const TreeScorer& scorer, const Query& query,
-                const NaiveSearchOptions& options)
+                const NaiveSearchOptions& options,
+                const SearchOptions& search_options)
       : scorer_(scorer),
         query_(query),
         options_(options),
+        search_options_(search_options),
         answers_(static_cast<size_t>(options.k)) {}
 
   std::string_view name() const override { return "naive"; }
 
   Status Prepare(ExecutionContext& ctx) override {
+    // Pool scoring never consults UpperBound, so the ranker is built without
+    // per-query bound state (null query in the env).
+    CIRANK_ASSIGN_OR_RETURN(
+        ranker_,
+        RankerRegistry::Global().Create(
+            search_options_.ranker, RankerEnv{&scorer_, nullptr,
+                                              search_options_}));
     EnumerateOptions enum_options;
     enum_options.max_diameter = options_.max_diameter;
     enum_options.max_combinations_per_root = options_.max_combinations_per_root;
@@ -270,8 +283,7 @@ class NaiveExecutor final : public SearchExecutor {
   Status Expand(ExecutionContext& ctx) override {
     for (const Jtt& tree : pool_) {
       if (ctx.ShouldStop()) return ctx.stop_status();
-      TreeScore ts = scorer_.Score(tree, query_);
-      answers_.Offer(tree, ts.score);
+      answers_.Offer(tree, ranker_->ScoreAnswer(tree, query_));
       ++scored_;
     }
     return Status::OK();
@@ -283,6 +295,7 @@ class NaiveExecutor final : public SearchExecutor {
   }
 
   void FillStats(SearchStats* stats) const override {
+    stats->ranker = std::string(ranker_->name());
     stats->generated = scored_;
     stats->answers_found = static_cast<int64_t>(answers_.distinct());
   }
@@ -291,6 +304,8 @@ class NaiveExecutor final : public SearchExecutor {
   const TreeScorer& scorer_;
   const Query& query_;
   const NaiveSearchOptions options_;
+  const SearchOptions search_options_;
+  std::unique_ptr<Ranker> ranker_;
   std::vector<Jtt> pool_;
   AnswerCollector answers_;
   int64_t scored_ = 0;
@@ -312,7 +327,7 @@ Result<std::unique_ptr<SearchExecutor>> MakeNaiveExecutor(
   options.k = env.options.k;
   options.max_diameter = env.options.max_diameter;
   std::unique_ptr<SearchExecutor> executor = std::make_unique<NaiveExecutor>(
-      *env.scorer, *env.query, options);
+      *env.scorer, *env.query, options, env.options);
   return executor;
 }
 
@@ -325,7 +340,10 @@ Result<std::vector<RankedAnswer>> NaiveSearch(const TreeScorer& scorer,
     return Status::InvalidArgument("at most 31 keywords are supported");
   }
   if (options.k <= 0) return Status::InvalidArgument("k must be positive");
-  NaiveExecutor executor(scorer, query, options);
+  SearchOptions search_options;
+  search_options.k = options.k;
+  search_options.max_diameter = options.max_diameter;
+  NaiveExecutor executor(scorer, query, options, search_options);
   ExecutionContext ctx(ExecutionLimits{});
   return RunSearchPipeline(executor, ctx, stats);
 }

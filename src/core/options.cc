@@ -25,6 +25,14 @@ SearchOptions MergeOverrides(const SearchOptions& base,
   if (overrides.candidate_budget.has_value()) {
     merged.candidate_budget = *overrides.candidate_budget;
   }
+  if (overrides.ranker.has_value()) merged.ranker = *overrides.ranker;
+  if (overrides.order_by.has_value()) merged.order_by = *overrides.order_by;
+  if (overrides.composite_rwmp_weight.has_value()) {
+    merged.composite_rwmp_weight = *overrides.composite_rwmp_weight;
+  }
+  if (overrides.composite_text_weight.has_value()) {
+    merged.composite_text_weight = *overrides.composite_text_weight;
+  }
   if (overrides.bounds != nullptr) merged.bounds = overrides.bounds;
   return merged;
 }

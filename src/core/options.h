@@ -60,6 +60,25 @@ struct SearchOptions {
   // Cap on candidates *generated* (admitted) across the query; 0 =
   // unlimited. Like the deadline, exhaustion truncates instead of failing.
   int64_t candidate_budget = 0;
+
+  // --- Ranking knobs (DESIGN.md §15) --------------------------------------
+  // Ranker the executors score answers with; must name an entry of
+  // RankerRegistry ("rwmp", "rwmp_x_text", "spark", ...). The branch-and-
+  // bound executors also prune on the ranker's UpperBound, so the default
+  // "rwmp" keeps the pre-refactor Theorem-1 search byte-identical.
+  std::string ranker = "rwmp";
+  // Optional presentation reordering of the selected top-k: a comma-
+  // separated "key [asc|desc]" list over root attributes (core/order_by.h),
+  // e.g. "score desc, external_key asc". Empty = pipeline order (score
+  // descending, canonical-key ascending). Applied by ExecuteSearch; direct
+  // calls to BranchAndBoundSearch etc. ignore it.
+  std::string order_by;
+  // Mixing weights of the "rwmp_x_text" composite ranker:
+  //   score = composite_rwmp_weight * rwmp + composite_text_weight * bm25.
+  // Other rankers ignore them. Weights (1.0, 0.0) are bit-exactly the pure
+  // "rwmp" ranker.
+  double composite_rwmp_weight = 1.0;
+  double composite_text_weight = 0.5;
 };
 
 // Per-call overrides that are merged over the engine's default
@@ -80,6 +99,13 @@ struct SearchOverrides {
   std::optional<int> num_threads;
   std::optional<double> deadline_ms;
   std::optional<int64_t> candidate_budget;
+  // Ranking knobs (core/ranker.h, core/order_by.h): which registered Ranker
+  // scores answers, the optional multi-key presentation order, and the
+  // composite ranker's mixing weights.
+  std::optional<std::string> ranker;
+  std::optional<std::string> order_by;
+  std::optional<double> composite_rwmp_weight;
+  std::optional<double> composite_text_weight;
   // Non-null replaces the engine default's bound provider.
   const PairwiseBoundProvider* bounds = nullptr;
 
@@ -116,6 +142,20 @@ struct SearchOverrides {
   }
   SearchOverrides& WithCandidateBudget(int64_t value) {
     candidate_budget = value;
+    return *this;
+  }
+  SearchOverrides& WithRanker(std::string value) {
+    ranker = std::move(value);
+    return *this;
+  }
+  SearchOverrides& WithOrderBy(std::string value) {
+    order_by = std::move(value);
+    return *this;
+  }
+  SearchOverrides& WithCompositeWeights(double rwmp_weight,
+                                        double text_weight) {
+    composite_rwmp_weight = rwmp_weight;
+    composite_text_weight = text_weight;
     return *this;
   }
   SearchOverrides& WithBounds(const PairwiseBoundProvider* value) {

@@ -1,0 +1,118 @@
+#include "core/order_by.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/execution.h"
+
+namespace cirank {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<OrderKey::Field> ParseField(std::string_view name) {
+  if (name == "score") return OrderKey::Field::kScore;
+  if (name == "root") return OrderKey::Field::kRoot;
+  if (name == "external_key") return OrderKey::Field::kExternalKey;
+  if (name == "relation") return OrderKey::Field::kRelation;
+  if (name == "size") return OrderKey::Field::kSize;
+  if (name == "text") return OrderKey::Field::kText;
+  return Status::InvalidArgument(
+      "unknown order_by field '" + std::string(name) +
+      "' (known: score, root, external_key, relation, size, text)");
+}
+
+// Three-way comparison of one key; < 0 when a orders before b.
+int CompareKey(const OrderKey& key, const Graph& graph,
+               const RankedAnswer& a, const RankedAnswer& b) {
+  auto cmp = [](auto x, auto y) { return x < y ? -1 : (y < x ? 1 : 0); };
+  int c = 0;
+  switch (key.field) {
+    case OrderKey::Field::kScore:
+      c = cmp(a.score, b.score);
+      break;
+    case OrderKey::Field::kRoot:
+      c = cmp(a.tree.root(), b.tree.root());
+      break;
+    case OrderKey::Field::kExternalKey:
+      c = cmp(graph.external_key_of(a.tree.root()),
+              graph.external_key_of(b.tree.root()));
+      break;
+    case OrderKey::Field::kRelation:
+      c = cmp(graph.relation_of(a.tree.root()),
+              graph.relation_of(b.tree.root()));
+      break;
+    case OrderKey::Field::kSize:
+      c = cmp(a.tree.size(), b.tree.size());
+      break;
+    case OrderKey::Field::kText:
+      c = graph.text_of(a.tree.root()).compare(graph.text_of(b.tree.root()));
+      break;
+  }
+  return key.descending ? -c : c;
+}
+
+}  // namespace
+
+Result<std::vector<OrderKey>> ParseOrderBy(std::string_view spec) {
+  std::vector<OrderKey> keys;
+  if (Trim(spec).empty()) return keys;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    std::string_view entry = Trim(
+        spec.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start));
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty order_by entry in '" +
+                                     std::string(spec) + "'");
+    }
+    OrderKey key;
+    std::string_view field_name = entry;
+    const size_t space = entry.find_first_of(" \t");
+    if (space != std::string_view::npos) {
+      field_name = entry.substr(0, space);
+      const std::string_view dir = Trim(entry.substr(space));
+      if (dir == "asc") {
+        key.descending = false;
+      } else if (dir == "desc") {
+        key.descending = true;
+      } else {
+        return Status::InvalidArgument("unknown order_by direction '" +
+                                       std::string(dir) +
+                                       "' (expected asc or desc)");
+      }
+    }
+    CIRANK_ASSIGN_OR_RETURN(key.field, ParseField(field_name));
+    keys.push_back(key);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return keys;
+}
+
+void ApplyOrderBy(const std::vector<OrderKey>& keys, const Graph& graph,
+                  std::vector<RankedAnswer>* answers) {
+  if (keys.empty() || answers == nullptr) return;
+  std::sort(answers->begin(), answers->end(),
+            [&](const RankedAnswer& a, const RankedAnswer& b) {
+              for (const OrderKey& key : keys) {
+                const int c = CompareKey(key, graph, a, b);
+                if (c != 0) return c < 0;
+              }
+              // Implicit final tiebreak: the canonical tree encoding,
+              // ascending — makes the order total and shuffle-invariant.
+              return a.tree.CanonicalKey() < b.tree.CanonicalKey();
+            });
+}
+
+}  // namespace cirank

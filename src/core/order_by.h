@@ -1,0 +1,55 @@
+// Manticore-style multi-key result ordering (DESIGN.md §15): an optional
+// `ORDER BY key [asc|desc], ...` presentation pass over the selected top-k.
+// Keys are attributes of the answer tree's root tuple (plus the score and
+// the tree size); the comparator always appends a final CanonicalKey
+// ascending tiebreak, so any key list yields a deterministic *total* order —
+// two distinct answers never compare equal, and the sorted output is
+// independent of the input permutation (tie-shuffle invariance, pinned by
+// the ranker property tests).
+//
+// Selection still happens under the ranker's score (the executors return
+// the score-ranked top-k); order-by only rearranges those k answers. An
+// empty key list leaves the answer bytes completely untouched.
+#ifndef CIRANK_CORE_ORDER_BY_H_
+#define CIRANK_CORE_ORDER_BY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/jtt.h"
+#include "util/status.h"
+
+namespace cirank {
+
+struct RankedAnswer;  // core/execution.h
+
+struct OrderKey {
+  enum class Field {
+    kScore,        // the ranker's answer score
+    kRoot,         // root node id
+    kExternalKey,  // root tuple's external key
+    kRelation,     // root tuple's relation id
+    kSize,         // answer tree size in nodes
+    kText,         // root tuple's text, lexicographic
+  };
+  Field field = Field::kScore;
+  bool descending = false;
+};
+
+// Parses a comma-separated key list: "score desc, external_key asc". Each
+// entry is a field name ("score", "root", "external_key", "relation",
+// "size", "text") optionally followed by "asc" (the default) or "desc".
+// Whitespace-insensitive; an empty spec parses to an empty key list.
+// Unknown fields or directions are InvalidArgument naming the offender.
+[[nodiscard]] Result<std::vector<OrderKey>> ParseOrderBy(
+    std::string_view spec);
+
+// Reorders `answers` in place under `keys` (with the implicit CanonicalKey
+// tiebreak). No-op when `keys` is empty. `graph` supplies the root
+// attributes and must be the graph the answers were searched in.
+void ApplyOrderBy(const std::vector<OrderKey>& keys, const Graph& graph,
+                  std::vector<RankedAnswer>* answers);
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_ORDER_BY_H_

@@ -11,7 +11,7 @@
 #include <string>
 #include <utility>
 
-#include "core/bounds.h"
+#include "core/ranker.h"
 #include "core/topk.h"
 #include "util/annotations.h"
 #include "util/check.h"
@@ -76,22 +76,23 @@ struct SharedState {
   std::atomic<int64_t> pruned{0};
 };
 
-// Per-thread search context: owns a private UpperBoundCalculator (its
-// memo caches are not thread-safe) and runs the pop/expand loop against the
-// shared state under the query's ExecutionContext.
+// Per-thread search context: owns a private Ranker (the rwmp ranker's
+// bound-state memo caches are not thread-safe) and runs the pop/expand loop
+// against the shared state under the query's ExecutionContext.
 class Worker {
  public:
   Worker(SharedState* shared, ExecutionContext* ctx, const TreeScorer* scorer,
-         const Query* query, const SearchOptions* options)
+         const Query* query, const SearchOptions* options,
+         std::unique_ptr<Ranker> ranker)
       : s_(shared),
         ctx_(ctx),
         scorer_(scorer),
         query_(query),
         options_(options),
-        calc_(*scorer, *query, options->max_diameter, options->bounds),
-        all_(calc_.all_keywords_mask()) {}
+        ranker_(std::move(ranker)),
+        all_((KeywordMask{1} << query->size()) - 1) {}
 
-  int64_t bound_calls() const { return calc_.calls(); }
+  int64_t bound_calls() const { return ranker_->bound_calls(); }
 
   // Admits a candidate into the shared state. The dedup insert runs first
   // (short lock) so exactly one worker pays for the bound/score computation
@@ -115,7 +116,7 @@ class Worker {
     // the partial state stays consistent.
     (void)ctx_->ChargeCandidates(1);
 
-    c.upper_bound = calc_.UpperBound(c);
+    c.upper_bound = ranker_->UpperBound(c);
     const double chain_bound = std::min(ancestor_bound, c.upper_bound);
     const uint32_t leaves = NonRootLeafCount(c);
 
@@ -125,7 +126,7 @@ class Worker {
     if (c.IsComplete(all_) && c.tree.IsReduced(*query_, scorer_->index())) {
       complete = true;
       canon = c.tree.Canonicalized();
-      score = scorer_->Score(canon, *query_).score;
+      score = ranker_->ScoreAnswer(canon, *query_);
       CIRANK_DCHECK(score <=
                     chain_bound + 1e-9 * std::max(1.0, std::abs(chain_bound)))
           << "Theorem 1 admissibility violated: emitted tree "
@@ -278,7 +279,7 @@ class Worker {
   const TreeScorer* scorer_;
   const Query* query_;
   const SearchOptions* options_;
-  UpperBoundCalculator calc_;
+  std::unique_ptr<Ranker> ranker_;
   KeywordMask all_;
 };
 
@@ -301,8 +302,16 @@ class ParallelBnbExecutor final : public SearchExecutor {
     ctx_ = &ctx;
     workers_.reserve(static_cast<size_t>(options_.num_threads));
     for (int i = 0; i < options_.num_threads; ++i) {
-      workers_.push_back(std::make_unique<Worker>(&shared_, &ctx, &scorer_,
-                                                  &query_, &options_));
+      // One ranker per worker: ranker instances are not thread-safe (the
+      // rwmp bound state memoizes), exactly like the calculators they
+      // replaced. Scores stay byte-identical across workers because every
+      // ranker is a pure function of the same immutable model.
+      CIRANK_ASSIGN_OR_RETURN(
+          std::unique_ptr<Ranker> ranker,
+          RankerRegistry::Global().Create(
+              options_.ranker, RankerEnv{&scorer_, &query_, options_}));
+      workers_.push_back(std::make_unique<Worker>(
+          &shared_, &ctx, &scorer_, &query_, &options_, std::move(ranker)));
     }
 
     // Seed with single-node candidates for every non-free node, exactly as
@@ -354,6 +363,7 @@ class ParallelBnbExecutor final : public SearchExecutor {
   }
 
   void FillStats(SearchStats* stats) const override {
+    stats->ranker = options_.ranker;
     MutexLock lk(shared_.mu);
     stats->popped = shared_.popped;
     stats->generated = shared_.generated;

@@ -42,7 +42,7 @@ Result<std::vector<QueryPool>> BuildQueryPools(
 }
 
 RankerEffectiveness EvaluateRanker(const std::vector<QueryPool>& pools,
-                                   const AnswerRanker& ranker,
+                                   const Ranker& ranker,
                                    const EffectivenessOptions& options) {
   std::vector<double> rr_values, prec_values;
   for (const QueryPool& qp : pools) {
@@ -71,7 +71,7 @@ RankerEffectiveness EvaluateRanker(const std::vector<QueryPool>& pools,
   }
 
   RankerEffectiveness out;
-  out.name = ranker.name();
+  out.name = std::string(ranker.name());
   out.mrr = Mean(rr_values);
   out.precision = Mean(prec_values);
   out.evaluated_queries = static_cast<int>(rr_values.size());
@@ -81,14 +81,14 @@ RankerEffectiveness EvaluateRanker(const std::vector<QueryPool>& pools,
 Result<std::vector<RankerEffectiveness>> RunEffectiveness(
     const Dataset& dataset, const InvertedIndex& index,
     const std::vector<LabeledQuery>& queries,
-    const std::vector<const AnswerRanker*>& rankers,
+    const std::vector<const Ranker*>& rankers,
     const EffectivenessOptions& options) {
   if (rankers.empty()) return Status::InvalidArgument("no rankers");
   CIRANK_ASSIGN_OR_RETURN(std::vector<QueryPool> pools,
                           BuildQueryPools(dataset, index, queries, options));
 
   std::vector<RankerEffectiveness> out;
-  for (const AnswerRanker* ranker : rankers) {
+  for (const Ranker* ranker : rankers) {
     out.push_back(EvaluateRanker(pools, *ranker, options));
   }
   return out;

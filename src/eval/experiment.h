@@ -11,10 +11,10 @@
 #include <vector>
 
 #include "core/naive_search.h"
+#include "core/ranker.h"
 #include "datasets/dataset.h"
 #include "datasets/query_gen.h"
 #include "eval/oracle.h"
-#include "eval/rankers.h"
 #include "text/inverted_index.h"
 
 namespace cirank {
@@ -51,16 +51,17 @@ struct RankerEffectiveness {
   int evaluated_queries = 0;
 };
 
-// Ranks every pool under `ranker` and aggregates MRR / graded precision.
+// Ranks every pool under `ranker` (a core Ranker, typically built with
+// MakeEvalRanker) and aggregates MRR / graded precision.
 RankerEffectiveness EvaluateRanker(const std::vector<QueryPool>& pools,
-                                   const AnswerRanker& ranker,
+                                   const Ranker& ranker,
                                    const EffectivenessOptions& options = {});
 
 // Convenience: BuildQueryPools + EvaluateRanker for each ranker.
 [[nodiscard]] Result<std::vector<RankerEffectiveness>> RunEffectiveness(
     const Dataset& dataset, const InvertedIndex& index,
     const std::vector<LabeledQuery>& queries,
-    const std::vector<const AnswerRanker*>& rankers,
+    const std::vector<const Ranker*>& rankers,
     const EffectivenessOptions& options = {});
 
 }  // namespace cirank

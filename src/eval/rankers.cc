@@ -1,35 +1,16 @@
 #include "eval/rankers.h"
 
+#include <utility>
+
+#include "baselines/baseline_executors.h"
+
 namespace cirank {
 
-double AvgNonFreeImportanceRanker::ScoreAnswer(const Jtt& tree,
-                                               const Query& query) const {
-  double total = 0.0;
-  size_t count = 0;
-  for (NodeId v : tree.nodes()) {
-    if (index_->DistinctMatchedKeywords(v, query) > 0) {
-      total += model_->importance(v);
-      ++count;
-    }
-  }
-  return count == 0 ? 0.0 : total / static_cast<double>(count);
-}
-
-double AvgAllImportanceRanker::ScoreAnswer(const Jtt& tree,
-                                           const Query& query) const {
-  (void)query;
-  double total = 0.0;
-  for (NodeId v : tree.nodes()) total += model_->importance(v);
-  return total / static_cast<double>(tree.size());
-}
-
-double AvgImportancePerSizeRanker::ScoreAnswer(const Jtt& tree,
-                                               const Query& query) const {
-  (void)query;
-  double total = 0.0;
-  for (NodeId v : tree.nodes()) total += model_->importance(v);
-  const double n = static_cast<double>(tree.size());
-  return total / (n * n);  // average importance, then size-normalized again
+Result<std::unique_ptr<Ranker>> MakeEvalRanker(const std::string& name,
+                                               const TreeScorer& scorer) {
+  CIRANK_RETURN_IF_ERROR(RegisterBaselineExecutors());
+  return RankerRegistry::Global().Create(name,
+                                         RankerEnv{&scorer, nullptr, {}});
 }
 
 }  // namespace cirank

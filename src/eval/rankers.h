@@ -1,119 +1,28 @@
-// AnswerRanker adapters: a uniform scoring interface over CI-Rank, the
-// IR-style and graph-based baselines, and the rejected scoring alternatives
-// of Sec. III-B (used by the ablation bench to demonstrate their pitfalls).
-// The effectiveness experiments score one shared candidate pool per query
-// under every ranker, so no system's own search strategy biases the
-// comparison.
+// Factory shim over the core RankerRegistry for the effectiveness
+// experiments (Figs. 6-9). Historically this header defined a separate
+// AnswerRanker hierarchy that re-implemented every scoring function; the
+// experiments now score through the same core Ranker objects the serving
+// pipeline uses, so there is exactly one implementation of each scoring
+// scheme (the analyzer's tree-scoring rule enforces this).
 #ifndef CIRANK_EVAL_RANKERS_H_
 #define CIRANK_EVAL_RANKERS_H_
 
+#include <memory>
 #include <string>
-#include <vector>
 
-#include "baselines/banks.h"
-#include "baselines/discover2.h"
-#include "baselines/spark.h"
+#include "core/ranker.h"
 #include "core/scorer.h"
 
 namespace cirank {
 
-class AnswerRanker {
- public:
-  virtual ~AnswerRanker() = default;
-  virtual std::string name() const = 0;
-  // Higher is better. Must be deterministic.
-  virtual double ScoreAnswer(const Jtt& tree, const Query& query) const = 0;
-};
-
-class CiRankRanker : public AnswerRanker {
- public:
-  explicit CiRankRanker(const TreeScorer& scorer) : scorer_(&scorer) {}
-  std::string name() const override { return "CI-Rank"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override {
-    return scorer_->Score(tree, query).score;
-  }
-
- private:
-  const TreeScorer* scorer_;
-};
-
-class SparkRanker : public AnswerRanker {
- public:
-  explicit SparkRanker(const InvertedIndex& index) : scorer_(index) {}
-  std::string name() const override { return "SPARK"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override {
-    return scorer_.Score(tree, query);
-  }
-
- private:
-  SparkScorer scorer_;
-};
-
-class Discover2Ranker : public AnswerRanker {
- public:
-  explicit Discover2Ranker(const InvertedIndex& index) : scorer_(index) {}
-  std::string name() const override { return "DISCOVER2"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override {
-    return scorer_.Score(tree, query);
-  }
-
- private:
-  Discover2Scorer scorer_;
-};
-
-class BanksRanker : public AnswerRanker {
- public:
-  BanksRanker(const Graph& graph, const InvertedIndex& index,
-              std::vector<double> importance)
-      : scorer_(graph, std::move(importance)), index_(&index) {}
-  std::string name() const override { return "BANKS"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override {
-    return scorer_.Score(tree, query, *index_);
-  }
-
- private:
-  BanksScorer scorer_;
-  const InvertedIndex* index_;
-};
-
-// --- Rejected alternatives of Sec. III-B (ablations) ---
-
-// Average importance of the non-free nodes only: ignores cohesiveness.
-class AvgNonFreeImportanceRanker : public AnswerRanker {
- public:
-  AvgNonFreeImportanceRanker(const RwmpModel& model,
-                             const InvertedIndex& index)
-      : model_(&model), index_(&index) {}
-  std::string name() const override { return "avg-nonfree-importance"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override;
-
- private:
-  const RwmpModel* model_;
-  const InvertedIndex* index_;
-};
-
-// Average importance of all nodes: suffers free-node domination (Fig. 4).
-class AvgAllImportanceRanker : public AnswerRanker {
- public:
-  explicit AvgAllImportanceRanker(const RwmpModel& model) : model_(&model) {}
-  std::string name() const override { return "avg-all-importance"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override;
-
- private:
-  const RwmpModel* model_;
-};
-
-// Average importance divided by tree size: blind to structure.
-class AvgImportancePerSizeRanker : public AnswerRanker {
- public:
-  explicit AvgImportancePerSizeRanker(const RwmpModel& model)
-      : model_(&model) {}
-  std::string name() const override { return "avg-importance-per-size"; }
-  double ScoreAnswer(const Jtt& tree, const Query& query) const override;
-
- private:
-  const RwmpModel* model_;
-};
+// Builds a scoring-only Ranker by registry name ("rwmp", "spark",
+// "discover2", "banks", "rwmp_x_text", the avg-* ablations, ...). The
+// baseline rankers are registered on first call, so callers need not invoke
+// RegisterBaselineExecutors() themselves. The env carries no query, so the
+// returned ranker has no bound state (UpperBound is +inf) — the experiments
+// only re-rank precomputed pools. `scorer` must outlive the ranker.
+Result<std::unique_ptr<Ranker>> MakeEvalRanker(const std::string& name,
+                                               const TreeScorer& scorer);
 
 }  // namespace cirank
 

@@ -76,6 +76,11 @@ std::string RenderStatuszJson(const StatuszInfo& info) {
     if (i > 0) out.push_back(',');
     AppendJsonString(&out, info.executors[i]);
   }
+  out.append("],\"rankers\":[");
+  for (size_t i = 0; i < info.rankers.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, info.rankers[i]);
+  }
   // The declared lock hierarchy (DESIGN.md §12; mirrored from
   // tools/analyze/rules.py LOCK_HIERARCHY — the analyzer fixture grep in CI
   // keeps prose and code from drifting silently).

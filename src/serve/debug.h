@@ -42,6 +42,7 @@ struct StatuszInfo {
   std::string log_format;
   int64_t log_lines_emitted = 0;
   std::vector<std::string> executors;
+  std::vector<std::string> rankers;
 };
 
 std::string RenderStatuszJson(const StatuszInfo& info);

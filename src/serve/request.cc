@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "core/order_by.h"
+#include "core/ranker.h"
 #include "serve/json.h"
 
 namespace cirank {
@@ -68,6 +70,32 @@ Status ApplyExecutorName(const std::string& name, const char* field,
   return Status::OK();
 }
 
+// 'ranker' names a scoring function from RankerRegistry. A value matching
+// only an executor name keeps the pre-split behavior (executor alias) but
+// stamps a deprecation note the server surfaces as a response "warning".
+Status ApplyRankerName(const std::string& name, SearchRequest* request) {
+  if (RankerRegistry::Global().Contains(name)) {
+    request->overrides.WithRanker(name);
+    return Status::OK();
+  }
+  if (ExecutorRegistry::Global().Contains(name)) {
+    CIRANK_RETURN_IF_ERROR(ApplyExecutorName(name, "ranker", request));
+    request->deprecation_note =
+        "field 'ranker' value '" + name +
+        "' names an executor, not a ranker; the executor alias is "
+        "deprecated — use 'executor' to pick the search algorithm and "
+        "'ranker' to pick the scoring function";
+    return Status::OK();
+  }
+  std::string known;
+  for (const std::string& n : RankerRegistry::Global().Names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::InvalidArgument("unknown ranker '" + name +
+                                 "'; registered rankers: " + known);
+}
+
 }  // namespace
 
 Result<SearchRequest> ParseSearchRequest(std::string_view body) {
@@ -114,7 +142,25 @@ Result<SearchRequest> ParseSearchRequest(std::string_view body) {
       CIRANK_RETURN_IF_ERROR(ApplyExecutorName(name, "executor", &request));
     } else if (key == "ranker") {
       CIRANK_ASSIGN_OR_RETURN(std::string name, StringField(value, "ranker"));
-      CIRANK_RETURN_IF_ERROR(ApplyExecutorName(name, "ranker", &request));
+      CIRANK_RETURN_IF_ERROR(ApplyRankerName(name, &request));
+    } else if (key == "order_by") {
+      CIRANK_ASSIGN_OR_RETURN(std::string spec,
+                              StringField(value, "order_by"));
+      // Validate eagerly: a bad spec is a parse-time 400, not a mid-search
+      // failure deep inside ExecuteSearch.
+      CIRANK_RETURN_IF_ERROR(ParseOrderBy(spec).status());
+      request.overrides.WithOrderBy(spec);
+    } else if (key == "composite_rwmp_weight" ||
+               key == "composite_text_weight") {
+      if (!value.is_number() || value.number < 0.0) {
+        return Status::InvalidArgument("field '" + key +
+                                       "' must be a number >= 0");
+      }
+      if (key == "composite_rwmp_weight") {
+        request.overrides.composite_rwmp_weight = value.number;
+      } else {
+        request.overrides.composite_text_weight = value.number;
+      }
     } else if (key == "num_threads") {
       CIRANK_ASSIGN_OR_RETURN(int64_t n,
                               IntegralField(value, "num_threads", 1, 512));
@@ -184,10 +230,16 @@ std::string RenderSearchResponseJson(const SearchRequest& request,
                                      const Graph& graph) {
   std::string out = "{\"query\":";
   AppendJsonString(&out, request.normalized_query);
+  if (!request.deprecation_note.empty()) {
+    out += ",\"warning\":";
+    AppendJsonString(&out, request.deprecation_note);
+  }
   out += ",\"answers\":";
   out += RenderAnswersJson(answers, graph);
   out += ",\"stats\":{\"executor\":";
   AppendJsonString(&out, stats.executor);
+  out += ",\"ranker\":";
+  AppendJsonString(&out, stats.ranker);
   out += ",\"from_cache\":";
   out += stats.from_cache ? "true" : "false";
   out += ",\"truncated\":";

@@ -21,8 +21,16 @@
 //   max_expansions   integer >= 0 (0 = unlimited)
 //   strict_merge_rule bool
 //   executor         string naming a registered SearchExecutor
-//   ranker           alias for executor (ROADMAP item 4 will split rankers
-//                    from executors; the wire field is stable already)
+//   ranker           string naming a registered Ranker (scoring function,
+//                    e.g. "rwmp", "rwmp_x_text"); for backward
+//                    compatibility a value matching only an *executor* name
+//                    is still accepted as an executor alias, with a
+//                    deprecation note in the response's "warning" field
+//   order_by         string: comma-separated "field [asc|desc]" keys over
+//                    the selected top-k (fields: score, root, external_key,
+//                    relation, size, text); validated at parse time
+//   composite_rwmp_weight   number >= 0 (rwmp_x_text mixing weight)
+//   composite_text_weight   number >= 0 (rwmp_x_text mixing weight)
 //   num_threads      integer in [1, 512]
 //   deadline_ms      number >= 0 (0 = none)
 //   candidate_budget integer >= 0 (0 = unlimited)
@@ -47,6 +55,9 @@ struct SearchRequest {
   SearchOverrides overrides;
   // The normalized keyword string echoed back in the response envelope.
   std::string normalized_query;
+  // Non-empty when the request used a deprecated spelling (e.g. 'ranker'
+  // naming an executor); echoed as the response's top-level "warning".
+  std::string deprecation_note;
 };
 
 // Parses and validates one `/search` request body. Every failure is an

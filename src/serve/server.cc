@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/ranker.h"
 #include "obs/log.h"
 #include "obs/request_context.h"
 #include "serve/debug.h"
@@ -537,6 +538,7 @@ HttpResponse CirankServer::HandleStatusz() {
       logger.format() == obs::LogFormat::kJson ? "json" : "text";
   info.log_lines_emitted = logger.lines_emitted();
   info.executors = ExecutorRegistry::Global().Names();
+  info.rankers = RankerRegistry::Global().Names();
   HttpResponse response;
   response.body = RenderStatuszJson(info);
   return response;

@@ -1,0 +1,40 @@
+// Fixture: ScoreAnswer definitions outside src/core must be flagged — the
+// Ranker layer owns tree scoring; everyone else wraps a core Ranker.
+struct Jtt;
+struct Query;
+
+class RogueRanker {
+ public:
+  double ScoreAnswer(const Jtt& tree, const Query& query) const {
+    (void)tree;
+    (void)query;
+    return 0.0;
+  }
+};
+
+class OutOfLineRanker {
+ public:
+  double ScoreAnswer(const Jtt& tree, const Query& query) const;
+};
+
+double OutOfLineRanker::ScoreAnswer(const Jtt& tree,
+                                    const Query& query) const {
+  (void)tree;
+  (void)query;
+  return 1.0;
+}
+
+class SuppressedRanker {
+ public:
+  double ScoreAnswer(const Jtt& t,  // cirank-lint: disable=tree-scoring
+                     const Query& query) const {
+    (void)t;
+    (void)query;
+    return 2.0;
+  }
+};
+
+// A mere *call* is fine — wrapping a core Ranker is the sanctioned pattern.
+double Uses(const RogueRanker& r, const Jtt& tree, const Query& query) {
+  return r.ScoreAnswer(tree, query);
+}

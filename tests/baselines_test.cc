@@ -1,6 +1,7 @@
 // Baseline scorers: DISCOVER2, SPARK, BANKS, and the failure modes the
 // CI-Rank paper attributes to them (Sec. II-B).
 #include "baselines/banks.h"
+#include "baselines/baseline_executors.h"
 #include "baselines/discover2.h"
 #include "baselines/spark.h"
 
@@ -121,13 +122,13 @@ TEST(BanksSearchTest, FindsValidAnswers) {
   CostarExample ex = BuildCostarExample();
   InvertedIndex index(ex.dataset.graph);
   auto pr = ComputePageRank(ex.dataset.graph);
-  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  auto ranker = MakeBanksRanker(ex.dataset.graph, pr->scores, index);
 
   Query q = Query::MustParse("bloom wood mortensen");
   BanksSearchOptions opts;
   opts.k = 5;
   opts.max_diameter = 4;
-  auto result = BanksSearch(ex.dataset.graph, index, scorer, q, opts);
+  auto result = BanksSearch(ex.dataset.graph, index, *ranker, q, opts);
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->empty());
   for (const RankedAnswer& a : *result) {
@@ -144,9 +145,9 @@ TEST(BanksSearchTest, RejectsEmptyQuery) {
   CostarExample ex = BuildCostarExample();
   InvertedIndex index(ex.dataset.graph);
   auto pr = ComputePageRank(ex.dataset.graph);
-  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  auto ranker = MakeBanksRanker(ex.dataset.graph, pr->scores, index);
   EXPECT_FALSE(
-      BanksSearch(ex.dataset.graph, index, scorer, Query{}, {}).ok());
+      BanksSearch(ex.dataset.graph, index, *ranker, Query{}, {}).ok());
 }
 
 }  // namespace

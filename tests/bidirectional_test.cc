@@ -1,5 +1,7 @@
 #include "baselines/bidirectional.h"
 
+#include "baselines/baseline_executors.h"
+
 #include <gtest/gtest.h>
 
 #include "datasets/micro_graphs.h"
@@ -13,10 +15,10 @@ TEST(BidirectionalSearchTest, FindsCostarAnswers) {
   CostarExample ex = BuildCostarExample();
   InvertedIndex index(ex.dataset.graph);
   auto pr = ComputePageRank(ex.dataset.graph);
-  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  auto ranker = MakeBanksRanker(ex.dataset.graph, pr->scores, index);
 
   Query q = Query::MustParse("bloom wood mortensen");
-  auto result = BidirectionalSearch(ex.dataset.graph, index, scorer, q, {});
+  auto result = BidirectionalSearch(ex.dataset.graph, index, *ranker, q, {});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->empty());
   for (const RankedAnswer& a : *result) {
@@ -33,9 +35,9 @@ TEST(BidirectionalSearchTest, SingleKeywordReturnsMatches) {
   TsimmisExample ex = BuildTsimmisExample();
   InvertedIndex index(ex.dataset.graph);
   auto pr = ComputePageRank(ex.dataset.graph);
-  BanksScorer scorer(ex.dataset.graph, pr->scores);
+  auto ranker = MakeBanksRanker(ex.dataset.graph, pr->scores, index);
   Query q = Query::MustParse("ullman");
-  auto result = BidirectionalSearch(ex.dataset.graph, index, scorer, q, {});
+  auto result = BidirectionalSearch(ex.dataset.graph, index, *ranker, q, {});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->empty());
   EXPECT_TRUE((*result)[0].tree.contains(ex.ullman));
@@ -45,26 +47,26 @@ TEST(BidirectionalSearchTest, ValidatesArguments) {
   Graph g = testing_util::MakeRandomGraph(3, 10);
   InvertedIndex index(g);
   auto pr = ComputePageRank(g);
-  BanksScorer scorer(g, pr->scores);
+  auto ranker = MakeBanksRanker(g, pr->scores, index);
 
-  EXPECT_FALSE(BidirectionalSearch(g, index, scorer, Query{}, {}).ok());
+  EXPECT_FALSE(BidirectionalSearch(g, index, *ranker, Query{}, {}).ok());
   BidirectionalSearchOptions opts;
   opts.k = 0;
   EXPECT_FALSE(
-      BidirectionalSearch(g, index, scorer, Query::MustParse("kw0"), opts).ok());
+      BidirectionalSearch(g, index, *ranker, Query::MustParse("kw0"), opts).ok());
   opts = {};
   opts.activation_decay = 1.0;
   EXPECT_FALSE(
-      BidirectionalSearch(g, index, scorer, Query::MustParse("kw0"), opts).ok());
+      BidirectionalSearch(g, index, *ranker, Query::MustParse("kw0"), opts).ok());
 }
 
 TEST(BidirectionalSearchTest, NoMatchMeansNoAnswers) {
   Graph g = testing_util::MakeRandomGraph(4, 10);
   InvertedIndex index(g);
   auto pr = ComputePageRank(g);
-  BanksScorer scorer(g, pr->scores);
+  auto ranker = MakeBanksRanker(g, pr->scores, index);
   auto result =
-      BidirectionalSearch(g, index, scorer, Query::MustParse("zzzznope"), {});
+      BidirectionalSearch(g, index, *ranker, Query::MustParse("zzzznope"), {});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->empty());
 }
@@ -75,15 +77,15 @@ TEST(BidirectionalSearchTest, AgreesWithBanksOnEasyQueries) {
   Graph g = testing_util::MakeRandomGraph(6, 25);
   InvertedIndex index(g);
   auto pr = ComputePageRank(g);
-  BanksScorer scorer(g, pr->scores);
+  auto ranker = MakeBanksRanker(g, pr->scores, index);
   Query q = Query::MustParse("kw0 kw1");
 
   BanksSearchOptions banks_opts;
   banks_opts.k = 1;
-  auto banks = BanksSearch(g, index, scorer, q, banks_opts);
+  auto banks = BanksSearch(g, index, *ranker, q, banks_opts);
   BidirectionalSearchOptions bidi_opts;
   bidi_opts.k = 1;
-  auto bidi = BidirectionalSearch(g, index, scorer, q, bidi_opts);
+  auto bidi = BidirectionalSearch(g, index, *ranker, q, bidi_opts);
   ASSERT_TRUE(banks.ok() && bidi.ok());
   if (!banks->empty() && !bidi->empty()) {
     // Scores use the same function, so the shared top answer (if both find

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "core/engine.h"
 #include "datasets/imdb_gen.h"
 #include "eval/metrics.h"
+#include "eval/rankers.h"
 #include "eval/oracle.h"
 
 namespace cirank {
@@ -168,12 +173,14 @@ TEST(ExperimentTest, RunsEndToEndAndRanksCiRankFirst) {
   auto queries = GenerateQueries(*ds, qopts);
   ASSERT_TRUE(queries.ok());
 
-  CiRankRanker ci(engine->scorer());
-  SparkRanker spark(engine->index());
-  Discover2Ranker discover(engine->index());
-  BanksRanker banks(ds->graph, engine->index(),
-                    engine->model().importance_vector());
-  std::vector<const AnswerRanker*> rankers{&ci, &spark, &discover, &banks};
+  std::vector<std::unique_ptr<Ranker>> owned;
+  for (const char* name : {"rwmp", "spark", "discover2", "banks"}) {
+    auto r = MakeEvalRanker(name, engine->scorer());
+    ASSERT_TRUE(r.ok()) << name;
+    owned.push_back(std::move(r).value());
+  }
+  std::vector<const Ranker*> rankers;
+  for (const auto& r : owned) rankers.push_back(r.get());
 
   auto results = RunEffectiveness(*ds, engine->index(), *queries, rankers);
   ASSERT_TRUE(results.ok());

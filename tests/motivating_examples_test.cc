@@ -87,8 +87,9 @@ TEST(MotivatingExamples, FreeNodeDominationAvoided) {
   EXPECT_GT(engine->ScoreTree(t1, q).score,
             engine->ScoreTree(*t2, q).score);
 
-  AvgAllImportanceRanker avg_all(engine->model());
-  EXPECT_GT(avg_all.ScoreAnswer(*t2, q), avg_all.ScoreAnswer(t1, q))
+  auto avg_all = MakeEvalRanker("avg-all-importance", engine->scorer());
+  ASSERT_TRUE(avg_all.ok());
+  EXPECT_GT((*avg_all)->ScoreAnswer(*t2, q), (*avg_all)->ScoreAnswer(t1, q))
       << "the example should exhibit free-node domination under averaging";
 
   // The search puts T1 first.
@@ -126,9 +127,10 @@ TEST(MotivatingExamples, StarBeatsChainUnderRwmp) {
   EXPECT_GT(engine->ScoreTree(*star, q).score,
             engine->ScoreTree(*chain, q).score);
 
-  AvgImportancePerSizeRanker per_size(engine->model());
-  const double s1 = per_size.ScoreAnswer(*star, q);
-  const double s2 = per_size.ScoreAnswer(*chain, q);
+  auto per_size = MakeEvalRanker("avg-importance-per-size", engine->scorer());
+  ASSERT_TRUE(per_size.ok());
+  const double s1 = (*per_size)->ScoreAnswer(*star, q);
+  const double s2 = (*per_size)->ScoreAnswer(*chain, q);
   // Same size, near-identical importance: the alternative separates them by
   // less than 20% while RWMP separates them decisively.
   EXPECT_LT(std::abs(s1 - s2) / std::max(s1, s2), 0.2);

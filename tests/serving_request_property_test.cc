@@ -29,7 +29,9 @@ namespace {
 const char kValidBody[] =
     "{\"query\":\"tom hanks 1994\",\"k\":7,\"max_diameter\":4,"
     "\"max_expansions\":5000,\"strict_merge_rule\":true,"
-    "\"executor\":\"bnb\",\"num_threads\":2,\"deadline_ms\":25,"
+    "\"executor\":\"bnb\",\"ranker\":\"rwmp_x_text\","
+    "\"order_by\":\"score desc, size asc\",\"composite_rwmp_weight\":1.0,"
+    "\"composite_text_weight\":0.5,\"num_threads\":2,\"deadline_ms\":25,"
     "\"candidate_budget\":100}";
 
 std::string RandomBytes(Rng* rng, size_t max_len) {

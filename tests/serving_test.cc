@@ -111,6 +111,109 @@ TEST(ServingTest, UnknownExecutorIs400) {
       << response.body;
 }
 
+// Acceptance for the ranker/executor split: a composite ranker plus a
+// multi-key order_by requested over HTTP must match the direct engine
+// byte-for-byte, and the stats envelope must name the ranker that scored.
+TEST(ServingTest, CompositeRankerWithOrderByMatchesDirectEngine) {
+  auto h = MakeServingHarness(/*seed=*/11, /*num_nodes=*/150,
+                              /*cache_capacity=*/0);
+  const std::string body =
+      "{\"query\":\"kw0 kw1\",\"k\":5,\"ranker\":\"rwmp_x_text\","
+      "\"order_by\":\"score desc, size asc, root asc\"}";
+  ASSERT_OK_AND_MOVE(response, h->RoundTrip("POST", "/search", body));
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"ranker\":\"rwmp_x_text\""),
+            std::string::npos)
+      << response.body;
+  // A real ranker name is not the deprecated executor alias: no warning.
+  EXPECT_EQ(response.body.find("\"warning\":"), std::string::npos)
+      << response.body;
+
+  Query query = Query::MustParse("kw0 kw1");
+  ASSERT_OK_AND_MOVE(
+      direct,
+      h->engine->Search(query, SearchOverrides()
+                                   .WithK(5)
+                                   .WithRanker("rwmp_x_text")
+                                   .WithOrderBy("score desc, size asc, "
+                                                "root asc")));
+  ASSERT_FALSE(direct.empty());
+  const std::string rendered =
+      "\"answers\":" + serve::RenderAnswersJson(direct, h->graph);
+  EXPECT_NE(response.body.find(rendered), std::string::npos)
+      << "HTTP composite answers differ from direct engine.\nHTTP:   "
+      << response.body << "\nDirect: " << rendered;
+}
+
+// Composite with the text term weighted to zero is exactly RWMP: the
+// served answer bytes must equal a plain default-ranker request.
+TEST(ServingTest, CompositeWithZeroTextWeightEqualsPureRwmp) {
+  auto h = MakeServingHarness(/*seed=*/11, /*num_nodes=*/150,
+                              /*cache_capacity=*/0);
+  ASSERT_OK_AND_MOVE(plain, h->RoundTrip("POST", "/search",
+                                         "{\"query\":\"kw0 kw1\",\"k\":5}"));
+  ASSERT_EQ(plain.status_code, 200) << plain.body;
+  ASSERT_OK_AND_MOVE(
+      composite,
+      h->RoundTrip("POST", "/search",
+                   "{\"query\":\"kw0 kw1\",\"k\":5,"
+                   "\"ranker\":\"rwmp_x_text\","
+                   "\"composite_rwmp_weight\":1.0,"
+                   "\"composite_text_weight\":0.0}"));
+  ASSERT_EQ(composite.status_code, 200) << composite.body;
+
+  const auto answers_of = [](const std::string& body) {
+    const size_t begin = body.find("\"answers\":");
+    const size_t end = body.find(",\"stats\":");
+    EXPECT_NE(begin, std::string::npos) << body;
+    EXPECT_NE(end, std::string::npos) << body;
+    return body.substr(begin, end - begin);
+  };
+  EXPECT_EQ(answers_of(plain.body), answers_of(composite.body));
+}
+
+// Pre-split clients sent executor names through 'ranker'; the alias still
+// works but the response carries a deprecation warning.
+TEST(ServingTest, ExecutorAliasInRankerFieldWarnsButWorks) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(
+      response, h->RoundTrip("POST", "/search",
+                             "{\"query\":\"kw0\",\"k\":3,"
+                             "\"ranker\":\"bnb\"}"));
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"warning\":"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("deprecated"), std::string::npos);
+  EXPECT_NE(response.body.find("\"executor\":\"bnb\""), std::string::npos)
+      << response.body;
+}
+
+TEST(ServingTest, UnknownRankerIs400ListingRegistered) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(response,
+                     h->RoundTrip("POST", "/search",
+                                  "{\"query\":\"kw0\",\"ranker\":\"zeta\"}"));
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("unknown ranker 'zeta'"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("rwmp_x_text"), std::string::npos)
+      << "the 400 should list the registered rankers: " << response.body;
+}
+
+TEST(ServingTest, MalformedOrderByIs400AtParseTime) {
+  auto h = MakeServingHarness();
+  ASSERT_OK_AND_MOVE(
+      response, h->RoundTrip("POST", "/search",
+                             "{\"query\":\"kw0\","
+                             "\"order_by\":\"score sideways\"}"));
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos)
+      << response.body;
+}
+
 TEST(ServingTest, UnknownFieldIs400) {
   auto h = MakeServingHarness();
   ASSERT_OK_AND_MOVE(response,
@@ -437,6 +540,15 @@ TEST(ServingDiagnosticsTest, StatuszReportsBuildOptionsAndExecutors) {
   const serve::JsonValue* executors = doc.Find("executors");
   ASSERT_NE(executors, nullptr);
   EXPECT_FALSE(executors->array.empty());
+  const serve::JsonValue* rankers = doc.Find("rankers");
+  ASSERT_NE(rankers, nullptr) << response.body;
+  bool has_rwmp = false, has_composite = false;
+  for (const serve::JsonValue& r : rankers->array) {
+    if (r.string == "rwmp") has_rwmp = true;
+    if (r.string == "rwmp_x_text") has_composite = true;
+  }
+  EXPECT_TRUE(has_rwmp) << response.body;
+  EXPECT_TRUE(has_composite) << response.body;
   const serve::JsonValue* hierarchy = doc.Find("lock_hierarchy");
   ASSERT_NE(hierarchy, nullptr);
   EXPECT_EQ(hierarchy->array.size(), 4u);

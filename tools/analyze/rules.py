@@ -61,10 +61,10 @@ STATUS_FACTORIES = {"OK", "InvalidArgument", "NotFound", "OutOfRange",
                     "FailedPrecondition", "Internal", "Unimplemented",
                     "DeadlineExceeded"}
 
-# The one sanctioned raw `new` in src/core: the intentionally-leaked
-# ExecutorRegistry::Global() singleton (never destroyed, so executor
-# factories stay valid during static destruction).
-ARENA_EXEMPT_FILES = {"src/core/execution.cc"}
+# The sanctioned raw `new`s in src/core: the intentionally-leaked
+# ExecutorRegistry::Global() and RankerRegistry::Global() singletons (never
+# destroyed, so the factories stay valid during static destruction).
+ARENA_EXEMPT_FILES = {"src/core/execution.cc", "src/core/ranker.cc"}
 
 RAW_NEW = re.compile(r"(?:::)?\bnew\b")
 RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
@@ -74,6 +74,15 @@ DELETED_FUNCTION = re.compile(r"=\s*delete\b")
 # a time (the hot path the Arena exists for).
 PER_CANDIDATE_UNIQUE = re.compile(
     r"std::make_unique\s*<\s*(?:Candidate|ArenaEntry|FrontierEntry)\b")
+
+# A *definition* (body, not declaration) of a ScoreAnswer-style tree-scoring
+# method. Matches `double [Qualified::]ScoreAnswer(args) [const]
+# [override|final] {`; pure-virtual declarations and calls don't end in `{`
+# and stay out of scope. Runs over the stripped text, so args spanning lines
+# are handled by the non-greedy body match.
+TREE_SCORING_DEF = re.compile(
+    r"\bdouble\s+(?:[\w<>]+::)*ScoreAnswer\s*\([^;(){}]*\)"
+    r"(?:\s*const)?(?:\s*(?:override|final))*\s*\{")
 
 # The sanctioned raw-output sites in src/: the logger's stderr sink and the
 # two check-failure paths that must keep working when the logger itself is
@@ -354,6 +363,21 @@ def check_arena_discipline(analysis, src):
             yield Finding(src.rel, i, "arena-discipline",
                           "per-candidate std::make_unique in src/core; use "
                           "ExecutionContext::arena().New<T>() instead")
+
+
+@rule("tree-scoring",
+      "answer-tree scoring implementations (ScoreAnswer definitions) are "
+      "confined to src/core's Ranker layer; everything else registers a "
+      "factory or wraps a plain scorer in DelegatingRanker")
+def check_tree_scoring(analysis, src):
+    if src.rel.startswith("src/core/"):
+        return
+    for m in TREE_SCORING_DEF.finditer(src.text):
+        yield Finding(src.rel, src.line_of(m.start()), "tree-scoring",
+                      "ScoreAnswer definition outside src/core; implement "
+                      "scoring as a core Ranker (RankerRegistry factory or "
+                      "DelegatingRanker) so serving and eval share one "
+                      "scoring path")
 
 
 @rule("file-extension",

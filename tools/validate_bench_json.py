@@ -83,6 +83,9 @@ def validate(doc, errors):
             if not is_integer(v):
                 errors.append(f"counters[{k!r}] is not an integer: {v!r}")
 
+    if bench == "ranking_shootout" and isinstance(metrics, dict):
+        validate_ranking_shootout(metrics, errors)
+
     validate_registry(doc.get("registry"), errors)
 
     latency = doc.get("latency_ms")
@@ -113,6 +116,37 @@ def validate(doc, errors):
                 is_finite_number(stats.get("p95")) and \
                 stats["p95"] < stats["p50"]:
             errors.append(f"latency_ms[{series!r}]: p95 < p50")
+
+
+def validate_ranking_shootout(metrics, errors):
+    """Bench-specific schema for BENCH_ranking_shootout.json: per ranker a
+    complete {mrr, precision, wall_ms} triple, quality in [0, 1], and the
+    default plus composite rankers always covered."""
+    rankers = {k.split(".", 1)[1] for k in metrics
+               if k.startswith("mrr.")}
+    for required in ("rwmp", "rwmp_x_text"):
+        if required not in rankers:
+            errors.append(
+                f"ranking_shootout: missing metrics for ranker {required!r}")
+    for prefix in ("mrr", "precision", "wall_ms"):
+        for k in metrics:
+            if not k.startswith(prefix + "."):
+                continue
+            ranker = k.split(".", 1)[1]
+            if ranker not in rankers:
+                errors.append(
+                    f"ranking_shootout: {k!r} has no matching 'mrr.{ranker}'")
+    for ranker in sorted(rankers):
+        for prefix in ("mrr", "precision", "wall_ms"):
+            key = f"{prefix}.{ranker}"
+            v = metrics.get(key)
+            if not is_finite_number(v):
+                errors.append(f"ranking_shootout: missing metric {key!r}")
+            elif prefix in ("mrr", "precision") and not 0.0 <= v <= 1.0:
+                errors.append(
+                    f"ranking_shootout: {key} out of [0, 1]: {v!r}")
+            elif prefix == "wall_ms" and v < 0.0:
+                errors.append(f"ranking_shootout: {key} negative: {v!r}")
 
 
 def validate_registry(registry, errors):
