@@ -24,7 +24,7 @@ void PitfallExamples() {
   // Free-node domination (Fig. 4).
   {
     FreeNodeDominationExample ex = BuildFreeNodeDominationExample();
-    auto engine = CiRankEngine::Build(ex.dataset.graph);
+    auto engine = CiRankEngine::Builder(ex.dataset.graph).Build();
     Query q = Query::MustParse("wilson cruz");
     Jtt t1(ex.wilson_cruz);
     auto t2 = Jtt::Create(ex.charlie_wilsons_war,
@@ -48,7 +48,7 @@ void PitfallExamples() {
   // Structure blindness (star vs chain).
   {
     StarVsChainExample ex = BuildStarVsChainExample();
-    auto engine = CiRankEngine::Build(ex.dataset.graph);
+    auto engine = CiRankEngine::Builder(ex.dataset.graph).Build();
     Query q = Query::MustParse("alpha beta gamma delta");
     auto star = Jtt::Create(ex.star_nodes[4],
                             {{ex.star_nodes[4], ex.star_nodes[0]},

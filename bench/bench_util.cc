@@ -34,6 +34,26 @@ int Scaled(int base, double scale) {
   const int v = static_cast<int>(base * scale);
   return v < 4 ? 4 : v;
 }
+
+// Builds the engine through the fluent Builder (the construction surface
+// every caller now shares) and attaches the single-shard serving facade.
+void AttachEngine(BenchSetup* setup) {
+  auto engine = CiRankEngine::Builder(setup->dataset->graph).Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup->engine = std::make_unique<CiRankEngine>(std::move(engine).value());
+  auto sharded = shard::ShardedEngine::Attach(setup->engine.get());
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "shard attach failed: %s\n",
+                 sharded.status().ToString().c_str());
+    std::exit(1);
+  }
+  setup->sharded =
+      std::make_unique<shard::ShardedEngine>(std::move(sharded).value());
+}
 }  // namespace
 
 ImdbGenOptions ImdbBenchOptions(double scale) {
@@ -68,13 +88,7 @@ BenchSetup MakeImdbSetup(int num_queries, bool user_log_style,
     std::exit(1);
   }
   setup.dataset = std::make_unique<Dataset>(std::move(ds).value());
-  auto engine = CiRankEngine::Build(setup.dataset->graph);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine build failed: %s\n",
-                 engine.status().ToString().c_str());
-    std::exit(1);
-  }
-  setup.engine = std::make_unique<CiRankEngine>(std::move(engine).value());
+  AttachEngine(&setup);
 
   QueryGenOptions qopts;
   qopts.num_queries = num_queries;
@@ -101,13 +115,7 @@ BenchSetup MakeDblpSetup(int num_queries, uint64_t query_seed, double scale,
     std::exit(1);
   }
   setup.dataset = std::make_unique<Dataset>(std::move(ds).value());
-  auto engine = CiRankEngine::Build(setup.dataset->graph);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine build failed: %s\n",
-                 engine.status().ToString().c_str());
-    std::exit(1);
-  }
-  setup.engine = std::make_unique<CiRankEngine>(std::move(engine).value());
+  AttachEngine(&setup);
 
   QueryGenOptions qopts;
   qopts.num_queries = num_queries;

@@ -16,6 +16,7 @@
 #include "datasets/imdb_gen.h"
 #include "datasets/query_gen.h"
 #include "eval/experiment.h"
+#include "shard/sharded_engine.h"
 #include "util/timer.h"
 
 namespace cirank {
@@ -37,9 +38,12 @@ ImdbGenOptions ImdbBenchOptions(double scale = BenchScale());
 DblpGenOptions DblpBenchOptions(double scale = BenchScale());
 
 // An engine plus its dataset, queries, and rankers, ready for experiments.
+// `sharded` is the single-shard serving facade over `engine` (a byte-exact
+// passthrough); benches that fan out re-attach with more shards.
 struct BenchSetup {
   std::unique_ptr<Dataset> dataset;
   std::unique_ptr<CiRankEngine> engine;
+  std::unique_ptr<shard::ShardedEngine> sharded;
   std::vector<LabeledQuery> queries;
 };
 

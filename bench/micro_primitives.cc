@@ -22,7 +22,7 @@ struct MicroState {
     auto ds = BuildImdbDataset(
         bench::ImdbBenchOptions(bench::SmokeMode() ? 0.05 : 0.25));
     dataset = std::make_unique<Dataset>(std::move(ds).value());
-    auto eng = CiRankEngine::Build(dataset->graph);
+    auto eng = CiRankEngine::Builder(dataset->graph).Build();
     engine = std::make_unique<CiRankEngine>(std::move(eng).value());
     star_index = std::make_unique<StarIndex>(
         StarIndex::Build(dataset->graph, engine->model()).value());

@@ -23,6 +23,7 @@
 #include "serve/http.h"
 #include "serve/json.h"
 #include "serve/server.h"
+#include "shard/sharded_engine.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -57,14 +58,15 @@ std::string SearchBody(const Query& query, int k) {
   return body;
 }
 
-// One full measurement: a fresh server over `engine` with the given
-// options, `num_clients` keep-alive connections for `duration_seconds`.
-LoadResult RunLoad(const CiRankEngine* engine,
+// One full measurement: a fresh server over the sharded facade with the
+// given options, `num_clients` keep-alive connections for
+// `duration_seconds`.
+LoadResult RunLoad(const shard::ShardedEngine* sharded,
                    const serve::ServerOptions& server_opts, int num_clients,
                    double duration_seconds,
                    const std::vector<std::string>& bodies) {
   LoadResult result;
-  serve::CirankServer server(engine, server_opts);
+  serve::CirankServer server(sharded, server_opts);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
     result.failures = 1;
@@ -174,9 +176,9 @@ int main() {
   diag_off.request_log_capacity = 0;
   diag_off.slow_query_ms = -1.0;
 
-  const LoadResult on = RunLoad(setup.engine.get(), diag_on, num_clients,
+  const LoadResult on = RunLoad(setup.sharded.get(), diag_on, num_clients,
                                 duration_seconds, bodies);
-  const LoadResult off = RunLoad(setup.engine.get(), diag_off, num_clients,
+  const LoadResult off = RunLoad(setup.sharded.get(), diag_off, num_clients,
                                  duration_seconds, bodies);
   PrintRun("diagnostics-on", num_clients, on);
   PrintRun("diagnostics-off", num_clients, off);

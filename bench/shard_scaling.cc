@@ -1,0 +1,155 @@
+// Sharded scatter-gather scaling (DESIGN.md §16): QPS and latency of
+// ShardedEngine at 1/2/4/8 shards over the synthetic IMDB dataset, against
+// the single-graph engine as both the timing baseline and the exactness
+// reference. Exactness is part of the benchmark's contract: every sharded
+// result is compared byte for byte (bitwise scores, canonical tree keys)
+// against the single-engine answers, and any mismatch fails the binary —
+// a scaling number for a wrong answer list is worse than no number.
+//
+// Shards here are search scopes over one shared engine, so per-query work
+// is partly redundant where scope balls overlap; the interesting outputs
+// are how far the global early-termination threshold claws that back
+// (early-stop counts) and the wall-clock effect of fanning sub-searches
+// over the per-query pool. Speedups are hardware-bound: on a 1-core CI box
+// ~1.0x reads as expected, not broken.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "shard/sharded_engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cirank {
+namespace {
+
+struct Verified {
+  long long mismatches = 0;
+  long long compared = 0;
+};
+
+void CheckIdentical(const std::vector<RankedAnswer>& expected,
+                    const std::vector<RankedAnswer>& actual, Verified* v) {
+  ++v->compared;
+  if (expected.size() != actual.size()) {
+    ++v->mismatches;
+    return;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].score != actual[i].score ||
+        expected[i].tree.CanonicalKey() != actual[i].tree.CanonicalKey()) {
+      ++v->mismatches;
+      return;
+    }
+  }
+}
+
+// Returns true when every sharded run matched the single-engine reference.
+bool Run(bench::BenchReport* report) {
+  const bool smoke = bench::SmokeMode();
+  bench::BenchSetup setup = bench::MakeImdbSetup(
+      /*num_queries=*/smoke ? 6 : 24, /*user_log_style=*/false,
+      /*query_seed=*/4242, bench::BenchScale(), /*ambiguous_prob=*/0.0);
+  bench::PrintDatasetLine(*setup.dataset);
+  CiRankEngine& engine = *setup.engine;
+  std::printf("hardware threads detected: %d\n\n",
+              ThreadPool::HardwareThreads());
+
+  std::vector<Query> queries;
+  for (const LabeledQuery& lq : setup.queries) queries.push_back(lq.query);
+
+  // Unbudgeted, so every answer list is proven optimal — the byte-identity
+  // check below needs schedule-independent references (a hit budget cuts
+  // per-shard frontiers at schedule-dependent points).
+  const SearchOverrides overrides = SearchOverrides().WithK(5);
+
+  std::vector<std::vector<RankedAnswer>> reference;
+  Timer t;
+  for (const Query& q : queries) {
+    SearchStats stats;
+    auto r = engine.Search(q, overrides, &stats);
+    reference.push_back(r.ok() ? std::move(r).value()
+                               : std::vector<RankedAnswer>{});
+  }
+  const double serial_s = t.ElapsedSeconds();
+  std::printf("single-engine baseline: %7.3f s for %zu queries "
+              "(%.1f QPS, k=5)\n\n",
+              serial_s, queries.size(), queries.size() / serial_s);
+  report->AddCounter("queries", static_cast<int64_t>(queries.size()));
+  report->AddMetric("single_engine.seconds", serial_s);
+  report->AddMetric("single_engine.qps", queries.size() / serial_s);
+
+  std::printf("scatter-gather: ShardedEngine, merged-result cache off\n");
+  std::printf("    %-8s %10s %8s %10s %12s %12s\n", "shards", "time (s)",
+              "QPS", "p95 (ms)", "early-stops", "verified");
+  bool all_exact = true;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardedEngineOptions options;
+    options.num_shards = shards;
+    options.cache.capacity = 0;  // measure the scatter path, not the cache
+    auto attached = shard::ShardedEngine::Attach(&engine, options);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "attach at %u shards failed: %s\n", shards,
+                   attached.status().ToString().c_str());
+      return false;
+    }
+
+    Verified v;
+    int64_t early_stops = 0;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(queries.size());
+    Timer run;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SearchStats stats;
+      shard::ShardedSearchStats shard_stats;
+      Timer per_query;
+      auto r = attached->Search(queries[i], overrides, &stats, &shard_stats);
+      latencies_ms.push_back(per_query.ElapsedSeconds() * 1000.0);
+      if (!r.ok()) {
+        ++v.mismatches;
+        ++v.compared;
+        continue;
+      }
+      CheckIdentical(reference[i], *r, &v);
+      early_stops += shard_stats.early_stopped_shards;
+    }
+    const double total_s = run.ElapsedSeconds();
+    const double qps = queries.size() / total_s;
+    const double p95 = bench::PercentileMs(latencies_ms, 95.0);
+    std::printf("    %-8u %10.3f %8.1f %10.2f %12lld %8lld/%lld%s\n", shards,
+                total_s, qps, p95, static_cast<long long>(early_stops),
+                v.compared - v.mismatches, v.compared,
+                v.mismatches != 0 ? "  MISMATCH" : "");
+
+    const std::string key = "shards_" + std::to_string(shards);
+    report->AddMetric(key + ".seconds", total_s);
+    report->AddMetric(key + ".qps", qps);
+    report->AddLatencySeries(key, latencies_ms);
+    report->AddCounter(key + ".early_stopped_shards", early_stops);
+    report->AddCounter(key + ".exactness_checked", v.compared);
+    report->AddCounter(key + ".exactness_mismatches", v.mismatches);
+    all_exact &= v.mismatches == 0;
+  }
+
+  if (!all_exact) {
+    std::fprintf(stderr,
+                 "exactness violation: sharded top-k diverged from the "
+                 "single-engine reference\n");
+  }
+  return all_exact;
+}
+
+}  // namespace
+}  // namespace cirank
+
+int main() {
+  cirank::bench::PrintFigureHeader(
+      "Shard scaling",
+      "scatter-gather QPS/p95 at 1/2/4/8 shards, exactness-verified");
+  cirank::bench::BenchReport report("shard_scaling");
+  const bool exact = cirank::Run(&report);
+  const bool written = report.Write();
+  return exact && written ? 0 : 1;
+}

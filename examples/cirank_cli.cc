@@ -34,6 +34,9 @@
 //                           cache counters instead of expansion stats;
 //                           --threads > 1, --deadline-ms, and non-default
 //                           --executor report fresh stage stats instead
+//   --shards N              scatter-gather shard count (default 1; results
+//                           are byte-identical for any N — DESIGN.md §16)
+//   --partitioner NAME      shard partitioner: hash|star (default hash)
 //   --metrics-out PATH      on exit, dump the engine's metrics registry to
 //                           PATH: Prometheus text exposition, or JSON when
 //                           PATH ends in ".json"; "-" writes to stdout
@@ -51,12 +54,10 @@
 #include "core/engine.h"
 #include "core/order_by.h"
 #include "core/ranker.h"
-#include "datasets/dblp_gen.h"
-#include "datasets/imdb_gen.h"
 #include "graph/serialize.h"
-#include "index/star_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/builder.h"
 #include "util/timer.h"
 
 using namespace cirank;
@@ -77,6 +78,8 @@ struct CliOptions {
   std::string order_by;  // empty = score order
   double deadline_ms = 0.0;
   size_t cache_capacity = 1024;
+  uint32_t num_shards = 1;
+  std::string partitioner = "hash";
   std::string metrics_out;  // empty = off; "-" = stdout; *.json = JSON
   std::string trace_out;    // empty = off; "-" = stdout
 };
@@ -172,6 +175,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
       opts->cache_capacity = static_cast<size_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 1 || n > 256) {
+        std::fprintf(stderr, "--shards must be in [1, 256]\n");
+        return false;
+      }
+      opts->num_shards = static_cast<uint32_t>(n);
+    } else if (arg == "--partitioner") {
+      const char* v = next();
+      if (!v) return false;
+      opts->partitioner = v;
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (!v) return false;
@@ -188,30 +204,6 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
   return true;
 }
 
-Result<Graph> MakeGraph(const CliOptions& opts) {
-  if (!opts.load_path.empty()) return LoadGraphFromFile(opts.load_path);
-  if (opts.dataset == "imdb") {
-    ImdbGenOptions gen;
-    gen.num_movies = static_cast<int>(4000 * opts.scale);
-    gen.num_actors = static_cast<int>(5000 * opts.scale);
-    gen.num_actresses = static_cast<int>(3000 * opts.scale);
-    gen.num_directors = static_cast<int>(800 * opts.scale);
-    gen.num_producers = static_cast<int>(500 * opts.scale);
-    gen.num_companies = static_cast<int>(300 * opts.scale);
-    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildImdbDataset(gen));
-    return std::move(ds.graph);
-  }
-  if (opts.dataset == "dblp") {
-    DblpGenOptions gen;
-    gen.num_papers = static_cast<int>(6000 * opts.scale);
-    gen.num_authors = static_cast<int>(4000 * opts.scale);
-    gen.num_conferences = 24;
-    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildDblpDataset(gen));
-    return std::move(ds.graph);
-  }
-  return Status::InvalidArgument("unknown dataset: " + opts.dataset);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,22 +211,6 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opts)) return 1;
 
   Timer setup_timer;
-  auto graph = MakeGraph(opts);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "graph setup failed: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
-  }
-  if (!opts.save_path.empty()) {
-    Status st = SaveGraphToFile(*graph, opts.save_path);
-    if (!st.ok()) {
-      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("saved %zu nodes / %zu edges to %s\n", graph->num_nodes(),
-                graph->num_edges(), opts.save_path.c_str());
-    return 0;
-  }
 
   // Make every registered executor addressable via --executor.
   if (Status st = RegisterBaselineExecutors(); !st.ok()) {
@@ -274,30 +250,47 @@ int main(int argc, char** argv) {
   // metrics; the trace collector is wired in only when requested.
   obs::MetricsRegistry metrics;
   obs::TraceCollector trace;
-  CiRankOptions engine_opts;
-  engine_opts.cache.capacity = opts.cache_capacity;
-  engine_opts.metrics = &metrics;
-  if (!opts.trace_out.empty()) engine_opts.trace = &trace;
-  auto engine = CiRankEngine::Build(*graph, engine_opts);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine build failed: %s\n",
-                 engine.status().ToString().c_str());
+  QueryCacheOptions cache;
+  cache.capacity = opts.cache_capacity;
+  shard::EngineBuilder engine_builder;
+  engine_builder.WithDataset(opts.dataset)
+      .WithScale(opts.scale)
+      .WithCache(cache)
+      .WithMetrics(&metrics)
+      .WithStarIndex(opts.use_index)
+      .WithShards(opts.num_shards)
+      .WithPartitioner(opts.partitioner)
+      .WithShardCache(cache);
+  if (!opts.trace_out.empty()) engine_builder.WithTrace(&trace);
+  if (!opts.load_path.empty()) engine_builder.WithLoadPath(opts.load_path);
+  auto built = engine_builder.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "engine setup failed: %s\n",
+                 built.status().ToString().c_str());
     return 1;
   }
-
-  Result<StarIndex> index = Status::FailedPrecondition("index disabled");
-  if (opts.use_index) {
-    index = StarIndex::Build(*graph, engine->model());
-    if (!index.ok()) {
-      std::fprintf(stderr, "star index unavailable (%s); continuing\n",
-                   index.status().ToString().c_str());
+  const Graph& graph = *built->graph;
+  if (!opts.save_path.empty()) {
+    Status st = SaveGraphToFile(graph, opts.save_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
     }
+    std::printf("saved %zu nodes / %zu edges to %s\n", graph.num_nodes(),
+                graph.num_edges(), opts.save_path.c_str());
+    return 0;
+  }
+  if (opts.use_index && built->star_index == nullptr) {
+    std::fprintf(stderr, "star index unavailable (%s); continuing\n",
+                 built->star_index_note.c_str());
   }
 
-  std::printf("ready: %zu nodes, %zu edges, %s star index, %d thread%s, "
-              "cache %zu (%.1f s setup)\n",
-              graph->num_nodes(), graph->num_edges(),
-              index.ok() ? "with" : "without", opts.threads,
+  std::printf("ready: %zu nodes, %zu edges, %s star index, %u shard%s "
+              "[%s], %d thread%s, cache %zu (%.1f s setup)\n",
+              graph.num_nodes(), graph.num_edges(),
+              built->star_index != nullptr ? "with" : "without",
+              opts.num_shards, opts.num_shards == 1 ? "" : "s",
+              opts.partitioner.c_str(), opts.threads,
               opts.threads == 1 ? "" : "s", opts.cache_capacity,
               setup_timer.ElapsedSeconds());
   std::printf("type keywords (empty line quits):\n");
@@ -318,7 +311,8 @@ int main(int argc, char** argv) {
     overrides.k = opts.k;
     overrides.max_diameter = opts.diameter;
     overrides.max_expansions = 500000;
-    if (index.ok()) overrides.bounds = &index.value();
+    // The star index (when built) is already wired into the engine's
+    // default bounds by the EngineBuilder; no per-query override needed.
     if (!opts.executor.empty()) {
       overrides.executor = opts.executor;
     } else if (opts.threads > 1) {
@@ -340,8 +334,8 @@ int main(int argc, char** argv) {
                             !opts.order_by.empty();
     Timer t;
     SearchStats stats;
-    auto answers = engine->Search(query, overrides,
-                                  want_stats ? &stats : nullptr);
+    auto answers = built->sharded->Search(query, overrides,
+                                          want_stats ? &stats : nullptr);
     if (!answers.ok()) {
       std::printf("  error: %s\n", answers.status().ToString().c_str());
       continue;
@@ -363,7 +357,7 @@ int main(int argc, char** argv) {
                   stats.stages.expand_seconds * 1e3,
                   stats.stages.emit_seconds * 1e3);
     } else {
-      QueryCacheStats cs = engine->cache_stats();
+      QueryCacheStats cs = built->sharded->cache_stats();
       std::printf("  %zu answers in %.3f s (cache: %llu hits / %llu misses)\n",
                   answers->size(), t.ElapsedSeconds(),
                   static_cast<unsigned long long>(cs.hits),
@@ -371,7 +365,7 @@ int main(int argc, char** argv) {
     }
     for (size_t i = 0; i < answers->size(); ++i) {
       std::printf("  #%zu score=%.5g %s\n", i + 1, (*answers)[i].score,
-                  (*answers)[i].tree.ToString(*graph).c_str());
+                  (*answers)[i].tree.ToString(graph).c_str());
     }
   }
 

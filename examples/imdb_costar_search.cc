@@ -31,7 +31,7 @@ int main() {
   std::printf("synthetic IMDB: %zu nodes, %zu edges\n",
               dataset->graph.num_nodes(), dataset->graph.num_edges());
 
-  auto engine = CiRankEngine::Build(dataset->graph);
+  auto engine = CiRankEngine::Builder(dataset->graph).Build();
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed\n");
     return 1;

@@ -1,6 +1,6 @@
 // Quickstart: build a tiny bibliography graph by hand, stand up a
 // CiRankEngine, and run a keyword query. Demonstrates the minimal public
-// API surface: Schema/GraphBuilder -> CiRankEngine::Build -> Search.
+// API surface: Schema/GraphBuilder -> CiRankEngine::Builder -> Search.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
@@ -44,7 +44,7 @@ int main() {
   Graph graph = builder.Finalize();
 
   // 3. Build the engine (inverted index + PageRank + RWMP model).
-  auto engine = CiRankEngine::Build(graph);
+  auto engine = CiRankEngine::Builder(graph).Build();
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed: %s\n",
                  engine.status().ToString().c_str());

@@ -81,7 +81,7 @@ int main() {
   // --- TSIMMIS example ---
   {
     TsimmisExample ex = BuildTsimmisExample();
-    auto engine = CiRankEngine::Build(ex.dataset.graph);
+    auto engine = CiRankEngine::Builder(ex.dataset.graph).Build();
     if (!engine.ok()) return 1;
     Query q = Query::MustParse("papakonstantinou ullman");
     std::vector<Jtt> candidates{
@@ -100,7 +100,7 @@ int main() {
   // --- Co-star example ---
   {
     CostarExample ex = BuildCostarExample();
-    auto engine = CiRankEngine::Build(ex.dataset.graph);
+    auto engine = CiRankEngine::Builder(ex.dataset.graph).Build();
     if (!engine.ok()) return 1;
     Query q = Query::MustParse("bloom wood mortensen");
     std::vector<Jtt> candidates{
@@ -121,7 +121,7 @@ int main() {
   // --- Free-node domination ---
   {
     FreeNodeDominationExample ex = BuildFreeNodeDominationExample();
-    auto engine = CiRankEngine::Build(ex.dataset.graph);
+    auto engine = CiRankEngine::Builder(ex.dataset.graph).Build();
     if (!engine.ok()) return 1;
     Query q = Query::MustParse("wilson cruz");
     std::vector<Jtt> candidates{

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/ranker.h"
+#include "core/shard_hooks.h"
 #include "core/topk.h"
 #include "util/check.h"
 
@@ -31,6 +32,7 @@ class BnbExecutor final : public SearchExecutor {
       : scorer_(*env.scorer),
         query_(*env.query),
         options_(env.options),
+        shard_(env.options.shard_hooks),
         answers_(static_cast<size_t>(env.options.k)) {}
 
   std::string_view name() const override { return "bnb"; }
@@ -52,6 +54,11 @@ class BnbExecutor final : public SearchExecutor {
       for (NodeId v : index.MatchingNodes(k)) seeds.insert(v);
     }
     for (NodeId v : seeds) {
+      // Sharded sub-search: only seeds inside this shard's scope ball. Every
+      // answer tree of diameter ≤ D lies entirely within the scope of the
+      // shard owning its minimum node (DESIGN.md §16), so dropping
+      // out-of-scope seeds loses nothing globally.
+      if (shard_ != nullptr && !shard_->InScope(v)) continue;
       Candidate c;
       c.tree = Jtt(v);
       c.covered = NodeKeywordMask(v, query_, index);
@@ -73,12 +80,20 @@ class BnbExecutor final : public SearchExecutor {
       // Stopping rule (lines 9-11): nothing left can beat — or canonically
       // displace a tie with — the k-th answer. The inequality is strict so
       // candidates tying with the k-th score are still expanded; that makes
-      // the output independent of expansion order (see bnb_search.h).
-      if (answers_.Full() && ub < answers_.MinScore()) {
+      // the output independent of expansion order (see bnb_search.h). A
+      // sharded sub-search additionally stops once its best remaining bound
+      // falls below the cross-shard global k-th score (DESIGN.md §16): the
+      // published threshold never exceeds the final merged k-th answer, so
+      // with the same strict inequality the early exit discards only
+      // candidates provably outside the global top-k.
+      const bool local_stop = answers_.Full() && ub < answers_.MinScore();
+      if (local_stop ||
+          (shard_ != nullptr && ub < shard_->GlobalThreshold())) {
         max_pruned_bound_ = std::max(max_pruned_bound_, ub);
         ctx.stages().candidates_pruned +=
             static_cast<int64_t>(queue_.size()) + 1;
         proven_optimal_ = true;
+        if (!local_stop) shard_early_stopped_ = true;
         break;
       }
       ++popped_;
@@ -93,6 +108,10 @@ class BnbExecutor final : public SearchExecutor {
       const NodeId root = c.root();
       std::vector<NodeId> neighbors;
       for (const Edge& e : graph.out_edges(root)) {
+        // Sharded sub-search: never grow a tree across the scope boundary —
+        // trees crossing it are enumerated (in full) by the shard that owns
+        // them.
+        if (shard_ != nullptr && !shard_->InScope(e.to)) continue;
         if (!c.tree.contains(e.to)) neighbors.push_back(e.to);
       }
       for (NodeId nb : neighbors) {
@@ -126,6 +145,7 @@ class BnbExecutor final : public SearchExecutor {
     stats->budget_exhausted = budget_exhausted_;
     stats->proven_optimal = proven_optimal_;
     stats->max_pruned_bound = max_pruned_bound_;
+    stats->shard_early_stopped = shard_early_stopped_;
   }
 
  private:
@@ -172,7 +192,18 @@ class BnbExecutor final : public SearchExecutor {
           << "Theorem 1 admissibility violated: emitted tree "
           << canon.CanonicalKey() << " scores " << score
           << " above its derivation-chain bound " << chain_bound;
-      if (answers_.Offer(std::move(canon), score)) ++answers_found_;
+      // Publication key, captured before the move below. Offer() returns
+      // true for every tree new to *this* shard — including one immediately
+      // truncated off the local top-k — and publishing those too is safe:
+      // the gatherer's k-th-distinct-score threshold over the published set
+      // equals the one over the union of the local top-k lists (an answer
+      // truncated locally had k better answers in the same shard).
+      std::string publish_key;
+      if (shard_ != nullptr) publish_key = canon.CanonicalKey();
+      if (answers_.Offer(std::move(canon), score)) {
+        ++answers_found_;
+        if (shard_ != nullptr) shard_->PublishAnswer(publish_key, score);
+      }
     }
 
     Candidate* slot = ctx.arena().New<Candidate>(std::move(c));
@@ -231,6 +262,8 @@ class BnbExecutor final : public SearchExecutor {
   const TreeScorer& scorer_;
   const Query& query_;
   const SearchOptions options_;
+  // Null unless this query is a per-shard sub-search (core/shard_hooks.h).
+  const ShardHooks* const shard_;
 
   std::unique_ptr<Ranker> ranker_;
   KeywordMask all_ = 0;
@@ -249,6 +282,7 @@ class BnbExecutor final : public SearchExecutor {
   int64_t answers_found_ = 0;
   bool budget_exhausted_ = false;
   bool proven_optimal_ = false;
+  bool shard_early_stopped_ = false;
   double max_pruned_bound_ = 0.0;
 };
 

@@ -33,7 +33,11 @@ std::string CacheKey(const Query& query, const SearchOptions& options) {
       << "|e=" << options.executor << "|t=" << options.num_threads
       << "|r=" << options.ranker << "|o=" << options.order_by
       << "|w=" << options.composite_rwmp_weight << ','
-      << options.composite_text_weight;
+      << options.composite_text_weight
+      // Defensive: shard-scoped sub-searches go through the explicit-options
+      // Search (never cached), but if one ever reached here its scope mask
+      // must not alias an unsharded entry.
+      << "|h=" << static_cast<const void*>(options.shard_hooks);
   return std::move(key).str();
 }
 
@@ -199,10 +203,10 @@ Result<std::vector<RankedAnswer>> CiRankEngine::Search(
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::Search(
-    const Query& query, const SearchOptions& options,
-    SearchStats* stats) const {
+    const Query& query, const SearchOptions& options, SearchStats* stats,
+    uint64_t trace_id) const {
   if (serving_->obs.queries != nullptr) serving_->obs.queries->Increment();
-  return ExecuteUncached(query, options, stats);
+  return ExecuteUncached(query, options, stats, trace_id);
 }
 
 Result<std::vector<RankedAnswer>> CiRankEngine::ExecuteUncached(

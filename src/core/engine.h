@@ -73,8 +73,17 @@ struct QueryCacheStats {
 
 class CiRankEngine {
  public:
+  class Builder;  // fluent construction surface; definition below
+
   // Builds the index, runs PageRank, and derives the RWMP model. `graph`
   // must outlive the engine.
+  //
+  // DEPRECATED construction path (DESIGN.md §16): new call sites should use
+  // CiRankEngine::Builder (graph + knobs in one fluent chain) or, for the
+  // full dataset/star-index/sharding surface, shard::EngineBuilder — the
+  // `engine-construction` analyzer rule flags direct Build() calls in
+  // bench/ and examples/. Kept public because Builder::Build() and the
+  // existing unit tests route through it.
   [[nodiscard]] static Result<CiRankEngine> Build(const Graph& graph,
                                     const CiRankOptions& options = {});
 
@@ -90,9 +99,14 @@ class CiRankEngine {
 
   // Top-k search with explicit per-call options replacing every engine
   // default (never cached: the caller owns the exact configuration).
+  // `trace_id` optionally stamps the query's spans with a request
+  // correlation id (DESIGN.md §14) — the sharded serving layer threads the
+  // request id into each per-shard sub-search through it. Never affects
+  // ranking.
   [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
                                            const SearchOptions& options,
-                                           SearchStats* stats = nullptr) const;
+                                           SearchStats* stats = nullptr,
+                                           uint64_t trace_id = 0) const;
 
   // Top-k search with per-call overrides merged over the engine defaults.
   [[nodiscard]] Result<std::vector<RankedAnswer>> Search(const Query& query,
@@ -200,6 +214,75 @@ class CiRankEngine {
   std::unique_ptr<RwmpModel> model_;
   std::unique_ptr<TreeScorer> scorer_;
   std::unique_ptr<Serving> serving_;
+};
+
+// The one sanctioned way to construct an engine (PR 10's half of the
+// construction-API redesign; shard::EngineBuilder layers datasets, the star
+// index, and sharding on top). Mirrors the SearchOverrides fluent-builder
+// style from core/options.h: every setter returns *this, unset knobs keep
+// the CiRankOptions defaults, and Build() funnels into the same validated
+// factory as before, so the two paths cannot drift.
+//
+//   auto engine = CiRankEngine::Builder(graph)
+//                     .WithSearchDefaults(defaults)
+//                     .WithCache({.capacity = 512})
+//                     .Build();
+class CiRankEngine::Builder {
+ public:
+  // `graph` must outlive the built engine.
+  explicit Builder(const Graph& graph) : graph_(&graph) {}
+
+  // Wholesale replacement of every knob (for callers that already hold a
+  // CiRankOptions); the field setters below refine it.
+  Builder& WithOptions(const CiRankOptions& options) {
+    options_ = options;
+    return *this;
+  }
+  Builder& WithRwmp(const RwmpParams& rwmp) {
+    options_.rwmp = rwmp;
+    return *this;
+  }
+  Builder& WithPageRank(const PageRankOptions& pagerank) {
+    options_.pagerank = pagerank;
+    return *this;
+  }
+  // Default SearchOptions for every Search() call on the built engine.
+  Builder& WithSearchDefaults(const SearchOptions& search) {
+    options_.search = search;
+    return *this;
+  }
+  Builder& WithCache(const QueryCacheOptions& cache) {
+    options_.cache = cache;
+    return *this;
+  }
+  // Pairwise bound provider wired into the default SearchOptions (the star
+  // index); the provider must outlive the engine.
+  Builder& WithBounds(const PairwiseBoundProvider* bounds) {
+    options_.search.bounds = bounds;
+    return *this;
+  }
+  Builder& WithMetrics(obs::MetricsRegistry* metrics) {
+    options_.metrics = metrics;
+    return *this;
+  }
+  Builder& WithMetricsEnabled(bool enabled) {
+    options_.metrics_enabled = enabled;
+    return *this;
+  }
+  Builder& WithTrace(obs::TraceCollector* trace) {
+    options_.trace = trace;
+    return *this;
+  }
+
+  const CiRankOptions& options() const { return options_; }
+
+  [[nodiscard]] Result<CiRankEngine> Build() const {
+    return CiRankEngine::Build(*graph_, options_);
+  }
+
+ private:
+  const Graph* graph_;
+  CiRankOptions options_;
 };
 
 }  // namespace cirank

@@ -87,6 +87,12 @@ struct SearchStats {
   // Name of the ranker that scored the answers ("rwmp", "rwmp_x_text", ...)
   // as reported by the executor; empty for legacy direct entry points.
   std::string ranker;
+  // Sharded sub-searches only (DESIGN.md §16): the stopping rule fired
+  // because of the *global* cross-shard threshold while the shard's own
+  // local top-k would have kept expanding. The early-termination property
+  // test keys off this flag: such a shard must never have discarded a bound
+  // at or above the global k-th answer.
+  bool shard_early_stopped = false;
   StageStats stages;
 };
 

@@ -26,6 +26,7 @@
 namespace cirank {
 
 class PairwiseBoundProvider;  // core/bounds.h
+class ShardHooks;             // core/shard_hooks.h
 
 struct SearchOptions {
   // Number of answers to return.
@@ -79,6 +80,17 @@ struct SearchOptions {
   // "rwmp" ranker.
   double composite_rwmp_weight = 1.0;
   double composite_text_weight = 0.5;
+
+  // --- Sharded serving (DESIGN.md §16) ------------------------------------
+  // Scatter-gather hooks installed by shard::ShardedEngine for the per-shard
+  // sub-searches: scope membership, answer publication, and the shared
+  // global pruning threshold. Null (the default, and the only value external
+  // callers should ever set) means unsharded — executors must behave
+  // byte-identically to the pre-shard code path. Carried here rather than on
+  // ExecutorEnv so it reaches executors through the one options-resolution
+  // path, like `bounds` above. Not exposed on SearchOverrides: the hooks are
+  // per-sub-search plumbing, not a caller-facing knob.
+  const ShardHooks* shard_hooks = nullptr;
 };
 
 // Per-call overrides that are merged over the engine's default

@@ -1,0 +1,59 @@
+// Scatter-gather hooks the sharded serving layer (src/shard) plugs into the
+// branch-and-bound executor. A shard is a *search scope* over the one shared
+// engine — not a physical subgraph: PageRank (and hence every RWMP score) is
+// a global property of the full graph, so partitioned per-shard models would
+// change scores and break the byte-identity guarantee. Instead every shard
+// searches the same model restricted to a node mask, and the hooks let
+// concurrently running shards share one global pruning threshold:
+//
+//   InScope(v)        — membership test for this shard's node mask. The bnb
+//                       executor drops out-of-scope seeds and never grows a
+//                       tree across the scope boundary.
+//   PublishAnswer     — called once per distinct complete answer found in
+//                       this shard (keyed by canonical tree, exactly the
+//                       TopKAnswers dedup rule) so the gatherer can raise the
+//                       global k-th-score threshold.
+//   GlobalThreshold   — current k-th best *distinct* published score across
+//                       all shards, or -inf until k distinct answers exist.
+//                       A shard whose best remaining upper bound is strictly
+//                       below it can stop expanding: by Theorem 1 nothing it
+//                       still holds can enter the global top-k (the strict
+//                       inequality keeps tie-scoring answers expanding, so
+//                       canonical-key tie-breaks stay byte-identical).
+//
+// The interface is logically const — implementations synchronize internally
+// (the engine's Search() is likewise const yet touches the query cache) —
+// so it can be carried by SearchOptions as a const pointer, mirroring the
+// PairwiseBoundProvider plumbing. Null means unsharded: every call site
+// must behave byte-identically when no hooks are installed.
+#ifndef CIRANK_CORE_SHARD_HOOKS_H_
+#define CIRANK_CORE_SHARD_HOOKS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cirank {
+
+class ShardHooks {
+ public:
+  virtual ~ShardHooks() = default;
+
+  // True when node `v` belongs to this shard's search scope.
+  virtual bool InScope(uint32_t v) const = 0;
+
+  // Reports a distinct complete answer (canonical tree key + its score)
+  // found by this shard. Implementations must deduplicate by key across
+  // shards before counting the score toward the global threshold —
+  // overlapping scopes surface the same answer from several shards, and
+  // double-counting would overstate the k-th score and over-prune.
+  virtual void PublishAnswer(const std::string& canonical_key,
+                             double score) const = 0;
+
+  // The global pruning threshold: the k-th best distinct published score,
+  // or -infinity while fewer than k distinct answers have been published.
+  virtual double GlobalThreshold() const = 0;
+};
+
+}  // namespace cirank
+
+#endif  // CIRANK_CORE_SHARD_HOOKS_H_

@@ -31,6 +31,27 @@ void AppendBoolField(std::string* out, std::string_view key, bool value) {
   out->append(value ? "true" : "false");
 }
 
+void AppendShardArray(std::string* out,
+                      const std::vector<ShardSizeEntry>& shards) {
+  out->push_back('[');
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('{');
+    AppendNumberField(out, "shard", static_cast<double>(i));
+    out->push_back(',');
+    AppendNumberField(out, "owned_nodes",
+                      static_cast<double>(shards[i].owned_nodes));
+    out->push_back(',');
+    AppendNumberField(out, "scope_nodes",
+                      static_cast<double>(shards[i].scope_nodes));
+    out->push_back(',');
+    AppendNumberField(out, "scope_edges",
+                      static_cast<double>(shards[i].scope_edges));
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
 }  // namespace
 
 std::string RenderStatuszJson(const StatuszInfo& info) {
@@ -81,11 +102,50 @@ std::string RenderStatuszJson(const StatuszInfo& info) {
     if (i > 0) out.push_back(',');
     AppendJsonString(&out, info.rankers[i]);
   }
+  out.append("],\"sharding\":{");
+  AppendNumberField(&out, "shard_count",
+                    static_cast<double>(info.shard_count));
+  out.push_back(',');
+  AppendStringField(&out, "partitioner", info.shard_partitioner);
+  out.append(",\"shards\":");
+  AppendShardArray(&out, info.shards);
   // The declared lock hierarchy (DESIGN.md §12; mirrored from
   // tools/analyze/rules.py LOCK_HIERARCHY — the analyzer fixture grep in CI
   // keeps prose and code from drifting silently).
-  out.append("],\"lock_hierarchy\":[\"engine\",\"cache-shard\","
+  out.append("},\"lock_hierarchy\":[\"engine\",\"cache-shard\",\"gather\","
              "\"connection-table\",\"pool\"]}");
+  return out;
+}
+
+std::string RenderShardzJson(const ShardzInfo& info) {
+  std::string out;
+  out.reserve(256 + info.shards.size() * 96);
+  out.push_back('{');
+  AppendNumberField(&out, "shard_count",
+                    static_cast<double>(info.shard_count));
+  out.push_back(',');
+  AppendStringField(&out, "partitioner", info.partitioner);
+  out.push_back(',');
+  AppendNumberField(&out, "scope_radius",
+                    static_cast<double>(info.scope_radius));
+  out.push_back(',');
+  AppendNumberField(&out, "default_parallelism", info.default_parallelism);
+  out.push_back(',');
+  AppendNumberField(&out, "graph_nodes",
+                    static_cast<double>(info.graph_nodes));
+  out.append(",\"shards\":");
+  AppendShardArray(&out, info.shards);
+  out.append(",\"cache\":{");
+  AppendNumberField(&out, "hits", static_cast<double>(info.cache_hits));
+  out.push_back(',');
+  AppendNumberField(&out, "misses", static_cast<double>(info.cache_misses));
+  out.push_back(',');
+  AppendNumberField(&out, "invalidations",
+                    static_cast<double>(info.cache_invalidations));
+  out.push_back(',');
+  AppendNumberField(&out, "entries",
+                    static_cast<double>(info.cache_entries));
+  out.append("}}");
   return out;
 }
 

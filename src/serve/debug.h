@@ -6,8 +6,11 @@
 //                         requests with their StageStats breakdowns
 //   GET /debug/tracez   — recent TraceCollector spans sampled per span
 //                         family (name), with per-family counts/totals
+//   GET /debug/shardz   — the sharded-serving plan (DESIGN.md §16):
+//                         partitioner, scope radius, per-shard owned/scope
+//                         sizes, and the merged-result cache counters
 //
-// All three are pure (state in, JSON string out) so the tests exercise
+// All four are pure (state in, JSON string out) so the tests exercise
 // them without a socket; CirankServer only assembles the inputs.
 #ifndef CIRANK_SERVE_DEBUG_H_
 #define CIRANK_SERVE_DEBUG_H_
@@ -21,6 +24,14 @@
 
 namespace cirank {
 namespace serve {
+
+// One shard's size accounting as both /debug/statusz and /debug/shardz
+// report it (mirrors shard::ShardInfo without the dependency).
+struct ShardSizeEntry {
+  int64_t owned_nodes = 0;
+  int64_t scope_nodes = 0;
+  int64_t scope_edges = 0;
+};
 
 // Everything /debug/statusz reports; the server fills this from its own
 // options, the engine, and Logger::Default().
@@ -43,9 +54,31 @@ struct StatuszInfo {
   int64_t log_lines_emitted = 0;
   std::vector<std::string> executors;
   std::vector<std::string> rankers;
+  // Sharded serving (DESIGN.md §16): shard count, the partitioner that
+  // built the plan, and per-shard tuple/edge counts.
+  int64_t shard_count = 1;
+  std::string shard_partitioner;
+  std::vector<ShardSizeEntry> shards;
 };
 
 std::string RenderStatuszJson(const StatuszInfo& info);
+
+// Everything /debug/shardz reports: the full shard plan plus the sharded
+// facade's merged-result cache counters.
+struct ShardzInfo {
+  int64_t shard_count = 1;
+  std::string partitioner;
+  int64_t scope_radius = 0;
+  int default_parallelism = 0;
+  int64_t graph_nodes = 0;
+  std::vector<ShardSizeEntry> shards;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_invalidations = 0;
+  int64_t cache_entries = 0;
+};
+
+std::string RenderShardzJson(const ShardzInfo& info);
 
 // {"capacity":N,"total_recorded":M,"requests":[...]} — oldest first, each
 // request carrying its trace id (16 hex digits), query, outcome flags, and

@@ -175,6 +175,10 @@ Result<SearchRequest> ParseSearchRequest(std::string_view body) {
       CIRANK_ASSIGN_OR_RETURN(
           int64_t n, IntegralField(value, "candidate_budget", 0, INT64_MAX));
       request.overrides.WithCandidateBudget(n);
+    } else if (key == "shard_parallelism") {
+      CIRANK_ASSIGN_OR_RETURN(
+          int64_t n, IntegralField(value, "shard_parallelism", 1, 64));
+      request.shard_parallelism = static_cast<int>(n);
     } else {
       return Status::InvalidArgument("unknown field '" + key + "'");
     }

@@ -34,6 +34,9 @@
 //   num_threads      integer in [1, 512]
 //   deadline_ms      number >= 0 (0 = none)
 //   candidate_budget integer >= 0 (0 = unlimited)
+//   shard_parallelism integer in [1, 64]: per-query scatter fan-out width
+//                    for sharded serving (DESIGN.md §16); never affects
+//                    results, only scheduling. Ignored at num_shards = 1.
 #ifndef CIRANK_SERVE_REQUEST_H_
 #define CIRANK_SERVE_REQUEST_H_
 
@@ -58,6 +61,10 @@ struct SearchRequest {
   // Non-empty when the request used a deprecated spelling (e.g. 'ranker'
   // naming an executor); echoed as the response's top-level "warning".
   std::string deprecation_note;
+  // Scatter fan-out width for sharded serving; 0 = server default. Not a
+  // SearchOverrides field — it configures the scatter layer above the
+  // engine, not the search itself.
+  int shard_parallelism = 0;
 };
 
 // Parses and validates one `/search` request body. Every failure is an

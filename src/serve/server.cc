@@ -110,8 +110,10 @@ void CirankServer::Obs::CountResponse(int status_code) const {
   if (counter != nullptr) counter->Increment();
 }
 
-CirankServer::CirankServer(const CiRankEngine* engine, ServerOptions options)
-    : engine_(engine),
+CirankServer::CirankServer(const shard::ShardedEngine* sharded,
+                           ServerOptions options)
+    : sharded_(sharded),
+      engine_(&sharded->engine()),
       options_(std::move(options)),
       request_log_(options_.request_log_capacity) {
   metrics_ = options_.metrics != nullptr ? options_.metrics
@@ -392,7 +394,7 @@ HttpResponse CirankServer::Route(const HttpRequest& request) {
     return HandleHealthz();
   }
   if (path == "/debug/statusz" || path == "/debug/requestz" ||
-      path == "/debug/tracez") {
+      path == "/debug/tracez" || path == "/debug/shardz") {
     if (obs_.requests_debug != nullptr) obs_.requests_debug->Increment();
     if (request.method != "GET") {
       return ErrorResponse(
@@ -400,6 +402,7 @@ HttpResponse CirankServer::Route(const HttpRequest& request) {
     }
     if (path == "/debug/statusz") return HandleStatusz();
     if (path == "/debug/requestz") return HandleRequestz();
+    if (path == "/debug/shardz") return HandleShardz();
     return HandleTracez();
   }
   if (obs_.requests_other != nullptr) obs_.requests_other->Increment();
@@ -426,8 +429,9 @@ HttpResponse CirankServer::HandleSearch(const HttpRequest& request) {
   if (!parsed.ok()) {
     response = ErrorResponse(400, parsed.status());
   } else {
-    auto answers =
-        engine_->ServingSearch(parsed->query, parsed->overrides, &stats, &ctx);
+    auto answers = sharded_->ServingSearch(parsed->query, parsed->overrides,
+                                           &stats, &ctx,
+                                           parsed->shard_parallelism);
     if (!answers.ok()) {
       response = ErrorResponse(HttpStatusForStatus(answers.status()),
                                answers.status());
@@ -539,8 +543,45 @@ HttpResponse CirankServer::HandleStatusz() {
   info.log_lines_emitted = logger.lines_emitted();
   info.executors = ExecutorRegistry::Global().Names();
   info.rankers = RankerRegistry::Global().Names();
+  const shard::ShardPlan& plan = sharded_->plan();
+  info.shard_count = static_cast<int64_t>(plan.num_shards());
+  info.shard_partitioner = plan.partitioner_name();
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    const shard::ShardInfo& si = plan.info(s);
+    ShardSizeEntry entry;
+    entry.owned_nodes = static_cast<int64_t>(si.owned_nodes);
+    entry.scope_nodes = static_cast<int64_t>(si.scope_nodes);
+    entry.scope_edges = static_cast<int64_t>(si.scope_edges);
+    info.shards.push_back(entry);
+  }
   HttpResponse response;
   response.body = RenderStatuszJson(info);
+  return response;
+}
+
+HttpResponse CirankServer::HandleShardz() {
+  const shard::ShardPlan& plan = sharded_->plan();
+  ShardzInfo info;
+  info.shard_count = static_cast<int64_t>(plan.num_shards());
+  info.partitioner = plan.partitioner_name();
+  info.scope_radius = static_cast<int64_t>(plan.scope_radius());
+  info.default_parallelism = sharded_->options().default_parallelism;
+  info.graph_nodes = static_cast<int64_t>(engine_->graph().num_nodes());
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    const shard::ShardInfo& si = plan.info(s);
+    ShardSizeEntry entry;
+    entry.owned_nodes = static_cast<int64_t>(si.owned_nodes);
+    entry.scope_nodes = static_cast<int64_t>(si.scope_nodes);
+    entry.scope_edges = static_cast<int64_t>(si.scope_edges);
+    info.shards.push_back(entry);
+  }
+  const QueryCacheStats cache = sharded_->cache_stats();
+  info.cache_hits = static_cast<int64_t>(cache.hits);
+  info.cache_misses = static_cast<int64_t>(cache.misses);
+  info.cache_invalidations = static_cast<int64_t>(cache.invalidations);
+  info.cache_entries = static_cast<int64_t>(cache.entries);
+  HttpResponse response;
+  response.body = RenderShardzJson(info);
   return response;
 }
 

@@ -5,18 +5,22 @@
 // and routes:
 //
 //   POST /search   — JSON query DSL (serve/request.h) mapped onto
-//                    SearchOverrides, served by CiRankEngine::ServingSearch;
-//                    the 200 envelope carries answers + SearchStats, errors
-//                    carry {"error":{"code","message"}}. Every response
-//                    carries an `x-cirank-trace-id` header: the request's
-//                    correlation id (minted here, or accepted from the same
-//                    header on the request — DESIGN.md §14).
+//                    SearchOverrides, served by ShardedEngine::ServingSearch
+//                    (exact scatter-gather, DESIGN.md §16 — a byte-exact
+//                    passthrough at one shard); the 200 envelope carries
+//                    answers + SearchStats, errors carry
+//                    {"error":{"code","message"}}. Every response carries an
+//                    `x-cirank-trace-id` header: the request's correlation
+//                    id (minted here, or accepted from the same header on
+//                    the request — DESIGN.md §14).
 //   GET  /metrics  — MetricsRegistry Prometheus text, verbatim; or the
 //                    registry's JSON rendering with `?format=json`.
 //   GET  /healthz  — {"status":"ok"} liveness probe.
-//   GET  /debug/statusz  — build info, uptime, options, dataset, executors.
+//   GET  /debug/statusz  — build info, uptime, options, dataset, executors,
+//                          and the shard plan summary.
 //   GET  /debug/requestz — ring of recently completed /search requests.
 //   GET  /debug/tracez   — recent trace spans grouped per span family.
+//   GET  /debug/shardz   — the full shard plan + merged-result cache stats.
 //
 // Graceful drain (Stop, idempotent): latch `stopping_`, shutdown() the
 // listening socket to wake the blocked accept, wait for the accept task,
@@ -41,6 +45,7 @@
 #include "obs/metrics.h"
 #include "obs/request_log.h"
 #include "serve/http.h"
+#include "shard/sharded_engine.h"
 #include "util/timer.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -88,8 +93,12 @@ struct ServerStats {
 
 class CirankServer {
  public:
-  // `engine` must outlive the server. No sockets are touched until Start.
-  CirankServer(const CiRankEngine* engine, ServerOptions options = {});
+  // `sharded` must outlive the server. No sockets are touched until Start.
+  // The server serves exclusively through the sharded facade — at one shard
+  // it is a byte-exact passthrough to the underlying engine, so there is no
+  // separate unsharded constructor (shard::EngineBuilder assembles the
+  // engine + facade pair in one step).
+  CirankServer(const shard::ShardedEngine* sharded, ServerOptions options = {});
 
   // Stops (drains) if still running.
   ~CirankServer();
@@ -149,10 +158,12 @@ class CirankServer {
   HttpResponse HandleStatusz();
   HttpResponse HandleRequestz();
   HttpResponse HandleTracez();
+  HttpResponse HandleShardz();
 
   bool IsStopping() const CIRANK_EXCLUDES(conn_mu_);
 
-  const CiRankEngine* engine_;
+  const shard::ShardedEngine* sharded_;
+  const CiRankEngine* engine_;  // == &sharded_->engine(); read-side shorthand
   ServerOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;  // resolved; may be null
   Obs obs_;

@@ -1,0 +1,31 @@
+#include "shard/gather.h"
+
+namespace cirank {
+namespace shard {
+
+void GatherState::Publish(const std::string& canonical_key, double score) {
+  MutexLock lk(gather_mu_);
+  if (!seen_.insert(canonical_key).second) return;
+  if (best_.size() < k_) {
+    best_.push(score);
+  } else if (score > best_.top()) {
+    best_.pop();
+    best_.push(score);
+  } else {
+    return;  // not among the k best; threshold unchanged
+  }
+  if (best_.size() >= k_) {
+    // Release pairs with the acquire in Threshold(): a shard observing the
+    // new threshold may prune immediately. The value only ever increases —
+    // the heap holds the running k best distinct scores.
+    threshold_.store(best_.top(), std::memory_order_release);
+  }
+}
+
+size_t GatherState::distinct_answers() const {
+  MutexLock lk(gather_mu_);
+  return seen_.size();
+}
+
+}  // namespace shard
+}  // namespace cirank

@@ -1,0 +1,108 @@
+// The gather half of scatter-gather search (DESIGN.md §16): one GatherState
+// per logical query collects every distinct complete answer the per-shard
+// sub-searches publish and exposes the k-th best distinct score as the
+// global early-termination threshold the bnb executor consults through
+// ShardHooks (core/shard_hooks.h).
+//
+// Exactness argument (proof sketch in DESIGN.md §16): shards publish every
+// answer new to their own accumulator — including answers immediately
+// truncated off their local top-k — and the k-th distinct score over that
+// published set equals the k-th distinct score over the union of the local
+// top-k lists (a locally truncated answer had k better answers in the same
+// shard). Hence the threshold never exceeds the final merged k-th score,
+// and a shard stopping on `ub < threshold` (strict, matching the local
+// stopping rule so tie-scoring answers still expand) discards only
+// candidates provably outside the global top-k.
+#ifndef CIRANK_SHARD_GATHER_H_
+#define CIRANK_SHARD_GATHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/shard_hooks.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace cirank {
+namespace shard {
+
+// Cross-shard answer board for one query. Thread-safe: Publish is called
+// concurrently from every shard's worker; Threshold is a lock-free acquire
+// load so the bnb hot loop can poll it per pop.
+class GatherState {
+ public:
+  explicit GatherState(size_t k) : k_(k) {}
+
+  GatherState(const GatherState&) = delete;
+  GatherState& operator=(const GatherState&) = delete;
+
+  // Records one distinct-per-shard answer. Deduplicates by canonical key
+  // across shards (overlapping scope balls surface the same tree from
+  // several shards; double-counting would overstate the k-th score and
+  // over-prune) and, once k distinct answers exist, publishes the smallest
+  // of the k best scores as the threshold.
+  void Publish(const std::string& canonical_key, double score);
+
+  // Current global pruning threshold: the k-th best distinct published
+  // score, or -infinity while fewer than k distinct answers exist. Acquire
+  // pairs with the release in Publish.
+  double Threshold() const {
+    return threshold_.load(std::memory_order_acquire);
+  }
+
+  // Distinct answers published so far (diagnostics/tests).
+  size_t distinct_answers() const;
+
+ private:
+  const size_t k_;
+  // gather_mu_ sits between cache-shard and connection-table in the
+  // declared lock hierarchy (DESIGN.md §12); no other project lock is ever
+  // acquired while it is held.
+  mutable Mutex gather_mu_;
+  std::set<std::string> seen_ CIRANK_GUARDED_BY(gather_mu_);
+  // Min-heap of the k best distinct scores; top() is the running k-th.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      best_ CIRANK_GUARDED_BY(gather_mu_);
+  std::atomic<double> threshold_{-std::numeric_limits<double>::infinity()};
+};
+
+// The ShardHooks implementation ShardedEngine installs on each per-shard
+// sub-search: a scope-mask membership test plus the shared GatherState.
+// Logically const (the interface contract); the gather pointer is where the
+// mutation happens, internally synchronized.
+class ShardScopeHooks final : public ShardHooks {
+ public:
+  // `scope` is a num_nodes-sized 0/1 mask; nullptr means everything is in
+  // scope (the full-scope fallback for oversized query diameters). `gather`
+  // may be null in tests that only exercise scoping.
+  ShardScopeHooks(const std::vector<uint8_t>* scope, GatherState* gather)
+      : scope_(scope), gather_(gather) {}
+
+  bool InScope(uint32_t v) const override {
+    return scope_ == nullptr ||
+           (v < scope_->size() && (*scope_)[v] != 0);
+  }
+  void PublishAnswer(const std::string& canonical_key,
+                     double score) const override {
+    if (gather_ != nullptr) gather_->Publish(canonical_key, score);
+  }
+  double GlobalThreshold() const override {
+    return gather_ != nullptr
+               ? gather_->Threshold()
+               : -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  const std::vector<uint8_t>* scope_;
+  GatherState* gather_;
+};
+
+}  // namespace shard
+}  // namespace cirank
+
+#endif  // CIRANK_SHARD_GATHER_H_

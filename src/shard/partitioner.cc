@@ -1,0 +1,105 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace cirank {
+namespace shard {
+
+namespace {
+
+// splitmix64 finalizer (same mixer Rng::Fork uses): a NodeId is a dense
+// sequential id, so taking it modulo the shard count directly would stripe
+// relations across shards in allocation order; the mix decorrelates.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint32_t HashOwner(NodeId v, uint32_t num_shards) {
+  return static_cast<uint32_t>(SplitMix64(v) % num_shards);
+}
+
+Status ValidateShardCount(uint32_t num_shards) {
+  if (num_shards < 1 || num_shards > 256) {
+    return Status::InvalidArgument("num_shards must be in [1, 256], got " +
+                                   std::to_string(num_shards));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> HashPartitioner::Partition(
+    const Graph& graph, uint32_t num_shards) const {
+  CIRANK_RETURN_IF_ERROR(ValidateShardCount(num_shards));
+  std::vector<uint32_t> owner(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    owner[v] = HashOwner(v, num_shards);
+  }
+  return owner;
+}
+
+Result<std::vector<uint32_t>> StarAwarePartitioner::Partition(
+    const Graph& graph, uint32_t num_shards) const {
+  CIRANK_RETURN_IF_ERROR(ValidateShardCount(num_shards));
+  const std::vector<RelationId> star_tables = graph.schema().FindStarTables();
+  const std::set<RelationId> star_set(star_tables.begin(), star_tables.end());
+
+  std::vector<uint32_t> owner(graph.num_nodes());
+  // Pass 1: star nodes by hash — they are the connector tuples the star
+  // index stores pairwise, so spreading them uniformly balances the scopes.
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (star_set.count(graph.relation_of(v)) != 0) {
+      owner[v] = HashOwner(v, num_shards);
+    }
+  }
+  // Pass 2: every non-star node follows its lowest-id star neighbor
+  // (deterministic regardless of edge order), keeping each satellite tuple
+  // on the same shard as the connector it joins through — the star-index
+  // Case 2 composition then never leaves the shard's scope ball. Isolated
+  // non-star nodes (no star neighbor) fall back to the hash.
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (star_set.count(graph.relation_of(v)) != 0) continue;
+    NodeId anchor = kInvalidNode;
+    for (const Edge& e : graph.out_edges(v)) {
+      if (star_set.count(graph.relation_of(e.to)) != 0) {
+        anchor = std::min(anchor, e.to);
+      }
+    }
+    for (const Edge& e : graph.in_edges(v)) {
+      // in_edges entries hold the *source* node in `to` (see graph.h).
+      if (star_set.count(graph.relation_of(e.to)) != 0) {
+        anchor = std::min(anchor, e.to);
+      }
+    }
+    owner[v] = anchor != kInvalidNode ? owner[anchor]
+                                      : HashOwner(v, num_shards);
+  }
+  return owner;
+}
+
+Result<std::unique_ptr<GraphPartitioner>> MakePartitioner(
+    const std::string& name) {
+  if (name == "hash") {
+    return std::unique_ptr<GraphPartitioner>(new HashPartitioner());
+  }
+  if (name == "star") {
+    return std::unique_ptr<GraphPartitioner>(new StarAwarePartitioner());
+  }
+  std::string known;
+  for (const std::string& n : PartitionerNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::NotFound("unknown partitioner '" + name +
+                          "' (registered: " + known + ")");
+}
+
+std::vector<std::string> PartitionerNames() { return {"hash", "star"}; }
+
+}  // namespace shard
+}  // namespace cirank

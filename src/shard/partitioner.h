@@ -1,0 +1,75 @@
+// GraphPartitioner: assigns every node of the data graph an owner shard
+// (DESIGN.md §16). Ownership drives *answer homing*, not data placement —
+// shards search the one shared model restricted to a scope ball around
+// their owned nodes (see sharded_engine.h), so a partitioner only has to
+// produce a total assignment; balance and locality affect speed, never
+// correctness. Kept as its own small interface so future disk-resident
+// shard layouts (EMBANKS-style, see PAPERS.md) slot in without touching
+// the merge path.
+//
+// Implementations:
+//   "hash" — splitmix64 of the NodeId, modulo the shard count. Uniform and
+//            schema-oblivious; the default.
+//   "star" — star-table-aware: tuples of the schema's star tables (the
+//            minimum vertex cover from Schema::FindStarTables) are hashed,
+//            and every non-star tuple follows its lowest-id star neighbor.
+//            Because star tables cover the schema graph, each non-star
+//            node's neighbors are all star nodes, so the star-index
+//            Case 1/2 lookups a shard issues stay within its scope ball.
+#ifndef CIRANK_SHARD_PARTITIONER_H_
+#define CIRANK_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cirank {
+namespace shard {
+
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+
+  // Registry name of this partitioner ("hash", "star").
+  virtual std::string_view name() const = 0;
+
+  // Returns owner[v] ∈ [0, num_shards) for every node of `graph`.
+  // Deterministic: the same graph and shard count always produce the same
+  // assignment (the differential tests depend on that).
+  [[nodiscard]] virtual Result<std::vector<uint32_t>> Partition(
+      const Graph& graph, uint32_t num_shards) const = 0;
+};
+
+// Uniform hash of the NodeId (splitmix64 finalizer, modulo shard count).
+class HashPartitioner final : public GraphPartitioner {
+ public:
+  std::string_view name() const override { return "hash"; }
+  [[nodiscard]] Result<std::vector<uint32_t>> Partition(
+      const Graph& graph, uint32_t num_shards) const override;
+};
+
+// Star nodes by hash; non-star nodes adopt the owner of their lowest-id
+// star neighbor (falling back to hash for isolated nodes).
+class StarAwarePartitioner final : public GraphPartitioner {
+ public:
+  std::string_view name() const override { return "star"; }
+  [[nodiscard]] Result<std::vector<uint32_t>> Partition(
+      const Graph& graph, uint32_t num_shards) const override;
+};
+
+// Factory over the registered names; fails with NotFound for anything else.
+[[nodiscard]] Result<std::unique_ptr<GraphPartitioner>> MakePartitioner(
+    const std::string& name);
+
+// The names MakePartitioner accepts, sorted.
+std::vector<std::string> PartitionerNames();
+
+}  // namespace shard
+}  // namespace cirank
+
+#endif  // CIRANK_SHARD_PARTITIONER_H_

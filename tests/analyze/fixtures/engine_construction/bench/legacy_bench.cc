@@ -1,0 +1,17 @@
+// Fixture: the deprecated one-shot factory is flagged in bench/, while the
+// Builder spelling and chained .Build() calls stay clean.
+#include "core/engine.h"
+
+namespace cirank {
+
+void Deprecated(const Graph& graph) {
+  auto engine = CiRankEngine::Build(graph);
+  (void)engine;
+}
+
+void Sanctioned(const Graph& graph) {
+  auto engine = CiRankEngine::Builder(graph).Build();
+  (void)engine;
+}
+
+}  // namespace cirank

@@ -1,0 +1,12 @@
+// Fixture: the deprecated factory is flagged in examples/ too.
+#include "core/engine.h"
+
+namespace cirank {
+
+int MainLike() {
+  Graph graph;
+  auto engine = CiRankEngine::Build(graph);
+  return engine.ok() ? 0 : 1;
+}
+
+}  // namespace cirank

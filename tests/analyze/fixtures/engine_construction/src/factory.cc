@@ -1,0 +1,12 @@
+// Fixture: src/ keeps the legacy factory's definition and internal callers;
+// the engine-construction rule only patrols bench/ and examples/.
+#include "core/engine.h"
+
+namespace cirank {
+
+void Internal(const Graph& graph) {
+  auto engine = CiRankEngine::Build(graph);
+  (void)engine;
+}
+
+}  // namespace cirank

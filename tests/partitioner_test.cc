@@ -1,0 +1,157 @@
+// Unit tests for the GraphPartitioner interface (DESIGN.md §16): the hash
+// and star-aware assignments, their determinism contract (the differential
+// gate depends on it), shard-count validation, and the factory registry.
+#include "shard/partitioner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "tests/test_util.h"
+#include "util/status.h"
+
+namespace cirank {
+namespace shard {
+namespace {
+
+using testing_util::MakeRandomGraph;
+
+TEST(HashPartitionerTest, DeterministicTotalAssignmentInRange) {
+  Graph graph = MakeRandomGraph(3, 50);
+  HashPartitioner partitioner;
+  auto first = partitioner.Partition(graph, 4);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->size(), graph.num_nodes());
+  for (uint32_t owner : *first) EXPECT_LT(owner, 4u);
+
+  auto second = partitioner.Partition(graph, 4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second) << "hash assignment must be deterministic";
+}
+
+TEST(HashPartitionerTest, SingleShardOwnsEverything) {
+  Graph graph = MakeRandomGraph(7, 20);
+  HashPartitioner partitioner;
+  auto owners = partitioner.Partition(graph, 1);
+  ASSERT_TRUE(owners.ok());
+  for (uint32_t owner : *owners) EXPECT_EQ(owner, 0u);
+}
+
+TEST(HashPartitionerTest, SpreadsALargeGraphAcrossEveryShard) {
+  // Not a balance guarantee, but with 200 nodes and the splitmix64 mix an
+  // empty shard would indicate a striping bug, not bad luck.
+  Graph graph = MakeRandomGraph(5, 200);
+  HashPartitioner partitioner;
+  auto owners = partitioner.Partition(graph, 4);
+  ASSERT_TRUE(owners.ok());
+  std::vector<size_t> counts(4, 0);
+  for (uint32_t owner : *owners) ++counts[owner];
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_GT(counts[s], 0u) << "shard " << s << " owns nothing";
+  }
+}
+
+TEST(PartitionerTest, ShardCountOutsideRangeIsRejected) {
+  Graph graph = MakeRandomGraph(1, 10);
+  HashPartitioner hash;
+  StarAwarePartitioner star;
+  for (uint32_t bad : {0u, 257u, 1000u}) {
+    EXPECT_TRUE(hash.Partition(graph, bad).status().IsInvalidArgument())
+        << "hash accepted " << bad;
+    EXPECT_TRUE(star.Partition(graph, bad).status().IsInvalidArgument())
+        << "star accepted " << bad;
+  }
+  EXPECT_TRUE(hash.Partition(graph, 256).ok());
+}
+
+TEST(PartitionerTest, FactoryResolvesRegisteredNames) {
+  auto hash = MakePartitioner("hash");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ((*hash)->name(), "hash");
+  auto star = MakePartitioner("star");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ((*star)->name(), "star");
+
+  auto unknown = MakePartitioner("bogus");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.status().IsNotFound());
+  // The error enumerates the registry so a typoed --partitioner is
+  // self-explaining.
+  EXPECT_NE(unknown.status().ToString().find("hash, star"),
+            std::string::npos)
+      << unknown.status().ToString();
+}
+
+TEST(PartitionerTest, NamesListsTheRegistrySorted) {
+  EXPECT_EQ(PartitionerNames(), (std::vector<std::string>{"hash", "star"}));
+}
+
+// On a one-relation schema every node is a star-table tuple (the relation
+// covers its own self-edge), so the star-aware pass-1 hash is the whole
+// assignment and the two partitioners agree exactly.
+TEST(StarAwarePartitionerTest, AllStarSchemaDegeneratesToHash) {
+  Graph graph = MakeRandomGraph(9, 40);
+  auto hash = HashPartitioner().Partition(graph, 8);
+  auto star = StarAwarePartitioner().Partition(graph, 8);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(*hash, *star);
+}
+
+// A two-level star schema: Star covers both schema edges (Star—A, Star—B),
+// so A and B tuples are satellites that must land on the shard of their
+// lowest-id Star neighbor, and an isolated satellite falls back to hash.
+TEST(StarAwarePartitionerTest, SatellitesFollowLowestIdStarNeighbor) {
+  Schema schema;
+  RelationId star = schema.AddRelation("Star");
+  RelationId a = schema.AddRelation("A");
+  RelationId b = schema.AddRelation("B");
+  EdgeTypeId sa = schema.AddEdgeType("sa", star, a, 1.0);
+  EdgeTypeId as = schema.AddEdgeType("as", a, star, 1.0);
+  EdgeTypeId sb = schema.AddEdgeType("sb", star, b, 1.0);
+  EdgeTypeId bs = schema.AddEdgeType("bs", b, star, 1.0);
+
+  GraphBuilder builder(schema);
+  const NodeId s0 = builder.AddNode(star, "s0", 0);
+  const NodeId s1 = builder.AddNode(star, "s1", 1);
+  const NodeId s2 = builder.AddNode(star, "s2", 2);
+  const NodeId a0 = builder.AddNode(a, "a0", 3);  // joins s2 and s1
+  const NodeId a1 = builder.AddNode(a, "a1", 4);  // joins s0 only
+  const NodeId b0 = builder.AddNode(b, "b0", 5);  // joins s2 only
+  const NodeId isolated = builder.AddNode(b, "b1", 6);  // no star neighbor
+  CIRANK_CHECK_OK(builder.AddBidirectionalEdge(s2, a0, sa, as));
+  CIRANK_CHECK_OK(builder.AddBidirectionalEdge(s1, a0, sa, as));
+  CIRANK_CHECK_OK(builder.AddBidirectionalEdge(s0, a1, sa, as));
+  CIRANK_CHECK_OK(builder.AddBidirectionalEdge(s2, b0, sb, bs));
+  Graph graph = builder.Finalize();
+  ASSERT_EQ(graph.schema().FindStarTables(),
+            std::vector<RelationId>{star});
+
+  auto owners = StarAwarePartitioner().Partition(graph, 4);
+  ASSERT_TRUE(owners.ok()) << owners.status().ToString();
+  // Satellites co-locate with their lowest-id star neighbor regardless of
+  // edge insertion order.
+  EXPECT_EQ((*owners)[a0], (*owners)[s1]) << "a0's lowest star neighbor is s1";
+  EXPECT_EQ((*owners)[a1], (*owners)[s0]);
+  EXPECT_EQ((*owners)[b0], (*owners)[s2]);
+  // The isolated satellite takes the hash fallback — the same owner the
+  // hash partitioner assigns it.
+  auto hash = HashPartitioner().Partition(graph, 4);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ((*owners)[isolated], (*hash)[isolated]);
+  // Star nodes themselves are hashed (pass 1).
+  for (NodeId v : {s0, s1, s2}) {
+    EXPECT_EQ((*owners)[v], (*hash)[v]);
+  }
+
+  // Determinism across calls, like the hash partitioner.
+  auto again = StarAwarePartitioner().Partition(graph, 4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*owners, *again);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace cirank

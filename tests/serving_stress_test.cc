@@ -85,11 +85,12 @@ TEST(ServingStressTest, ConcurrentSearchesSurviveCacheInvalidation) {
   }
 
   // Main thread: pound feedback into the engine until every client is
-  // done. Each click bumps node importance and invalidates the cache.
+  // done. Each click bumps node importance and invalidates both result
+  // caches (the sharded facade forwards and clears its own merged cache).
   const size_t num_nodes = h->graph.num_nodes();
   size_t clicks = 0;
   while (remaining.load(std::memory_order_acquire) > 0) {
-    CIRANK_CHECK_OK(h->engine->RecordClick(
+    CIRANK_CHECK_OK(h->sharded->RecordClick(
         static_cast<NodeId>(clicks % num_nodes), /*weight=*/0.1));
     ++clicks;
   }

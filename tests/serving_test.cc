@@ -551,7 +551,14 @@ TEST(ServingDiagnosticsTest, StatuszReportsBuildOptionsAndExecutors) {
   EXPECT_TRUE(has_composite) << response.body;
   const serve::JsonValue* hierarchy = doc.Find("lock_hierarchy");
   ASSERT_NE(hierarchy, nullptr);
-  EXPECT_EQ(hierarchy->array.size(), 4u);
+  EXPECT_EQ(hierarchy->array.size(), 5u);
+  EXPECT_EQ(hierarchy->array[2].string, "gather");
+
+  const serve::JsonValue* sharding = doc.Find("sharding");
+  ASSERT_NE(sharding, nullptr) << response.body;
+  EXPECT_EQ(sharding->Find("shard_count")->number, 1.0);
+  EXPECT_EQ(sharding->Find("partitioner")->string, "hash");
+  EXPECT_EQ(sharding->Find("shards")->array.size(), 1u);
 
   // /debug endpoints are GET-only.
   ASSERT_OK_AND_MOVE(post, h->RoundTrip("POST", "/debug/statusz", "{}"));

@@ -17,6 +17,8 @@
 #include "rw/pagerank.h"
 #include "serve/http.h"
 #include "serve/server.h"
+#include "shard/builder.h"
+#include "shard/sharded_engine.h"
 #include "text/inverted_index.h"
 #include "util/random.h"
 
@@ -88,16 +90,19 @@ inline ScorerBundle MakeScorerBundle(Graph graph, RwmpParams params = {}) {
 }
 
 // --- In-process serving harness (tests/serving_*.cc) ----------------------
-// A random graph, an engine recording into a test-local registry, and a
-// CirankServer bound to an ephemeral 127.0.0.1 port. Heap-allocated because
-// MetricsRegistry is pinned (the engine and server hold resolved instrument
-// pointers into it). The server is started before the factory returns and
-// drained by the destructor (CirankServer::~CirankServer calls Stop).
+// A random graph, an engine recording into a test-local registry, the
+// sharded facade the server serves through (a byte-exact passthrough at the
+// default one shard), and a CirankServer bound to an ephemeral 127.0.0.1
+// port. Heap-allocated because MetricsRegistry is pinned (the engine and
+// server hold resolved instrument pointers into it). The server is started
+// before the factory returns and drained by the destructor
+// (CirankServer::~CirankServer calls Stop).
 struct ServingHarness {
   Graph graph;
   obs::MetricsRegistry metrics;
   obs::TraceCollector trace;  // wired into the engine when requested
   std::unique_ptr<CiRankEngine> engine;
+  std::unique_ptr<shard::ShardedEngine> sharded;
   std::unique_ptr<serve::CirankServer> server;
 
   int port() const { return server->port(); }
@@ -123,23 +128,32 @@ struct ServingHarnessDiagnostics {
 
 inline std::unique_ptr<ServingHarness> MakeServingHarness(
     uint64_t seed = 7, size_t num_nodes = 120, size_t cache_capacity = 64,
-    int num_workers = 4, const ServingHarnessDiagnostics& diag = {}) {
+    int num_workers = 4, const ServingHarnessDiagnostics& diag = {},
+    uint32_t num_shards = 1, const std::string& partitioner = "hash") {
   auto harness = std::make_unique<ServingHarness>();
   harness->graph = MakeRandomGraph(seed, num_nodes);
   CiRankOptions options;
   options.cache.capacity = cache_capacity;
   options.metrics = &harness->metrics;
   if (diag.enable_trace) options.trace = &harness->trace;
-  auto engine = CiRankEngine::Build(harness->graph, options);
-  CIRANK_CHECK_OK(engine.status());
-  harness->engine =
-      std::make_unique<CiRankEngine>(std::move(engine).value());
+  QueryCacheOptions shard_cache;
+  shard_cache.capacity = cache_capacity;
+  auto built = shard::EngineBuilder()
+                   .WithGraph(&harness->graph)
+                   .WithEngineOptions(options)
+                   .WithShards(num_shards)
+                   .WithPartitioner(partitioner)
+                   .WithShardCache(shard_cache)
+                   .Build();
+  CIRANK_CHECK_OK(built.status());
+  harness->engine = std::move(built->engine);
+  harness->sharded = std::move(built->sharded);
   serve::ServerOptions server_options;
   server_options.num_workers = num_workers;
   server_options.request_log_capacity = diag.request_log_capacity;
   server_options.slow_query_ms = diag.slow_query_ms;
   harness->server = std::make_unique<serve::CirankServer>(
-      harness->engine.get(), server_options);
+      harness->sharded.get(), server_options);
   CIRANK_CHECK_OK(harness->server->Start());
   return harness;
 }

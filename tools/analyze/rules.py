@@ -94,6 +94,17 @@ RAW_OUTPUT_IMPL_FILES = {"src/obs/log.h", "src/obs/log.cc",
 
 RAW_OUTPUT_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
 
+# The deprecated one-shot engine factory. New code constructs engines via
+# CiRankEngine::Builder (or shard::EngineBuilder when fronting shards);
+# bench/ and examples/ are the showcase trees, so the old spelling is
+# flagged there. src/core keeps the definition (Builder delegates to it)
+# and tests/ keeps coverage of the legacy path until it is deleted.
+# `Build\s*\(` cannot match `CiRankEngine::Builder(` — the trailing `er`
+# breaks the adjacency — nor chained `.Build()` calls.
+DEPRECATED_ENGINE_FACTORY = re.compile(r"\bCiRankEngine::Build\s*\(")
+
+ENGINE_CONSTRUCTION_PREFIXES = ("bench/", "examples/")
+
 # stdio writers and the iostream globals. \b keeps buffer formatters
 # (snprintf/sprintf) out of scope — they don't touch a stream.
 BANNED_OUTPUT = re.compile(
@@ -114,11 +125,13 @@ MANUAL_UNLOCK = re.compile(r"([\w.\->\[\]]*(?:\.|->))Unlock\s*\(\s*\)")
 # thread holding a lock may only acquire locks of strictly greater rank.
 #   engine (Engine::Serving::feedback_mu)
 #     → cache-shard (ShardedLruCache::Shard::mu)
-#       → connection-table (CirankServer::conn_mu_)
-#         → pool (ThreadPool::pool_mu_)
+#       → gather (shard::GatherState::gather_mu_)
+#         → connection-table (CirankServer::conn_mu_)
+#           → pool (ThreadPool::pool_mu_)
 LOCK_HIERARCHY = (
     ("engine", re.compile(r"\bfeedback_mu\b")),
     ("cache-shard", re.compile(r"\bshard\w*\s*(?:\.|->)\s*mu\b")),
+    ("gather", re.compile(r"\bgather_mu_?\b")),
     ("connection-table", re.compile(r"\bconn_mu_?\b")),
     ("pool", re.compile(r"\bpool_mu_?\b")),
 )
@@ -251,7 +264,8 @@ def check_raw_mutex(analysis, src):
 
 @rule("lock-order",
       "acquisitions of ranked locks must follow the declared hierarchy "
-      "engine -> cache-shard -> pool; inversions risk deadlock")
+      "engine -> cache-shard -> gather -> connection-table -> pool; "
+      "inversions risk deadlock")
 def check_lock_order(analysis, src):
     # Lexical simulation of lock state: walk braces and acquisition sites in
     # source order. MutexLock scopes release at their closing brace; manual
@@ -303,7 +317,7 @@ def check_lock_order(analysis, src):
                         f"acquires {level}-level lock `{payload}` while "
                         f"holding {h['level']}-level lock `{h['expr']}`; "
                         f"the declared order is engine -> cache-shard -> "
-                        f"pool")
+                        f"gather -> connection-table -> pool")
             held.append({"kind": kind, "expr": payload, "rank": rank,
                          "level": level, "depth": depth})
 
@@ -417,3 +431,17 @@ def check_using_namespace(analysis, src):
         if USING_NAMESPACE.search(line):
             yield Finding(src.rel, i, "using-namespace",
                           "banned in headers (pollutes every includer)")
+
+
+@rule("engine-construction",
+      "bench/ and examples/ construct engines through CiRankEngine::Builder "
+      "or shard::EngineBuilder; the one-shot CiRankEngine::Build(...) "
+      "factory is deprecated outside src/ and tests/")
+def check_engine_construction(analysis, src):
+    if not src.rel.startswith(ENGINE_CONSTRUCTION_PREFIXES):
+        return
+    for m in DEPRECATED_ENGINE_FACTORY.finditer(src.text):
+        yield Finding(src.rel, src.line_of(m.start()), "engine-construction",
+                      "deprecated CiRankEngine::Build(...); construct via "
+                      "CiRankEngine::Builder(graph).Build(), or "
+                      "shard::EngineBuilder when serving shards")

@@ -17,6 +17,11 @@
 //   --cache N            query-result LRU capacity (default 1024; 0 = off)
 //   --no-index           skip building the star index (engine default
 //                        bounds are then index-free)
+//   --shards N           scatter-gather shard count (default 1; exact for
+//                        any N — DESIGN.md §16)
+//   --partitioner NAME   shard partitioner: hash|star (default hash)
+//   --shard-parallelism N  per-query shard fan-out width (default 0 = one
+//                        thread per shard)
 //   --trace-out PATH     record per-query trace spans; flushed as Chrome
 //                        trace_event JSON to PATH during graceful shutdown
 //   --log-level L        debug|info|warning|error|off (default info)
@@ -45,14 +50,11 @@
 
 #include "baselines/baseline_executors.h"
 #include "core/engine.h"
-#include "datasets/dblp_gen.h"
-#include "datasets/imdb_gen.h"
-#include "graph/serialize.h"
-#include "index/star_index.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/server.h"
+#include "shard/builder.h"
 #include "util/timer.h"
 
 using namespace cirank;
@@ -77,6 +79,9 @@ struct DaemonOptions {
   obs::LogFormat log_format = obs::LogFormat::kText;
   double slow_query_ms = 100.0;
   size_t requestz_capacity = 128;
+  uint32_t num_shards = 1;
+  std::string partitioner = "hash";
+  int shard_parallelism = 0;
 };
 
 bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
@@ -165,36 +170,33 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
         return false;
       }
       opts->requestz_capacity = static_cast<size_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 1 || n > 256) {
+        std::fprintf(stderr, "--shards must be in [1, 256]\n");
+        return false;
+      }
+      opts->num_shards = static_cast<uint32_t>(n);
+    } else if (arg == "--partitioner") {
+      const char* v = next();
+      if (!v) return false;
+      opts->partitioner = v;
+    } else if (arg == "--shard-parallelism") {
+      const char* v = next();
+      if (!v) return false;
+      opts->shard_parallelism = std::atoi(v);
+      if (opts->shard_parallelism < 0) {
+        std::fprintf(stderr, "--shard-parallelism must be >= 0\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
     }
   }
   return true;
-}
-
-Result<Graph> MakeGraph(const DaemonOptions& opts) {
-  if (!opts.load_path.empty()) return LoadGraphFromFile(opts.load_path);
-  if (opts.dataset == "imdb") {
-    ImdbGenOptions gen;
-    gen.num_movies = static_cast<int>(4000 * opts.scale);
-    gen.num_actors = static_cast<int>(5000 * opts.scale);
-    gen.num_actresses = static_cast<int>(3000 * opts.scale);
-    gen.num_directors = static_cast<int>(800 * opts.scale);
-    gen.num_producers = static_cast<int>(500 * opts.scale);
-    gen.num_companies = static_cast<int>(300 * opts.scale);
-    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildImdbDataset(gen));
-    return std::move(ds.graph);
-  }
-  if (opts.dataset == "dblp") {
-    DblpGenOptions gen;
-    gen.num_papers = static_cast<int>(6000 * opts.scale);
-    gen.num_authors = static_cast<int>(4000 * opts.scale);
-    gen.num_conferences = 24;
-    CIRANK_ASSIGN_OR_RETURN(Dataset ds, BuildDblpDataset(gen));
-    return std::move(ds.graph);
-  }
-  return Status::InvalidArgument("unknown dataset: " + opts.dataset);
 }
 
 }  // namespace
@@ -204,12 +206,6 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opts)) return 1;
 
   Timer setup_timer;
-  auto graph = MakeGraph(opts);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "graph setup failed: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
-  }
 
   // Every registered executor is addressable through the query DSL's
   // "executor" field.
@@ -227,35 +223,33 @@ int main(int argc, char** argv) {
   // daemon; without --trace-out the collector is a bounded ring (recent
   // spans only), with it the collector is unbounded for a complete dump.
   obs::TraceCollector trace(opts.trace_out.empty() ? 4096 : 0);
-  CiRankOptions engine_opts;
-  engine_opts.cache.capacity = opts.cache_capacity;
-  engine_opts.metrics = &metrics;
-  engine_opts.trace = &trace;
-  auto engine = CiRankEngine::Build(*graph, engine_opts);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine build failed: %s\n",
-                 engine.status().ToString().c_str());
+
+  // One construction surface for everything the daemon used to hand-roll:
+  // dataset generation or graph load, the engine, the star index (and its
+  // build-index-rebuild dance), and the sharded serving facade.
+  QueryCacheOptions cache;
+  cache.capacity = opts.cache_capacity;
+  shard::EngineBuilder builder;
+  builder.WithDataset(opts.dataset)
+      .WithScale(opts.scale)
+      .WithCache(cache)
+      .WithMetrics(&metrics)
+      .WithTrace(&trace)
+      .WithStarIndex(opts.use_index)
+      .WithShards(opts.num_shards)
+      .WithPartitioner(opts.partitioner)
+      .WithShardParallelism(opts.shard_parallelism)
+      .WithShardCache(cache);
+  if (!opts.load_path.empty()) builder.WithLoadPath(opts.load_path);
+  auto built = builder.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "engine setup failed: %s\n",
+                 built.status().ToString().c_str());
     return 1;
   }
-
-  // The star index sharpens the branch-and-bound pruning; wiring it into
-  // the engine's default options makes every /search benefit without a
-  // per-request knob.
-  Result<StarIndex> index = Status::FailedPrecondition("index disabled");
-  if (opts.use_index) {
-    index = StarIndex::Build(*graph, engine->model());
-    if (index.ok()) {
-      engine_opts.search.bounds = &index.value();
-      engine = CiRankEngine::Build(*graph, engine_opts);
-      if (!engine.ok()) {
-        std::fprintf(stderr, "engine rebuild with index failed: %s\n",
-                     engine.status().ToString().c_str());
-        return 1;
-      }
-    } else {
-      std::fprintf(stderr, "star index unavailable (%s); continuing\n",
-                   index.status().ToString().c_str());
-    }
+  if (opts.use_index && built->star_index == nullptr) {
+    std::fprintf(stderr, "star index unavailable (%s); continuing\n",
+                 built->star_index_note.c_str());
   }
 
   serve::ServerOptions server_opts;
@@ -265,9 +259,8 @@ int main(int argc, char** argv) {
   server_opts.metrics = &metrics;
   server_opts.request_log_capacity = opts.requestz_capacity;
   server_opts.slow_query_ms = opts.slow_query_ms;
-  server_opts.dataset =
-      opts.load_path.empty() ? opts.dataset : opts.load_path;
-  serve::CirankServer server(&engine.value(), server_opts);
+  server_opts.dataset = built->dataset;
+  serve::CirankServer server(built->sharded.get(), server_opts);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
     return 1;
@@ -277,9 +270,13 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
 
   std::printf("cirankd listening on %s:%d (%zu nodes, %zu edges, %s star "
-              "index, %d workers, cache %zu, %.1f s setup)\n",
-              server.host().c_str(), server.port(), graph->num_nodes(),
-              graph->num_edges(), index.ok() ? "with" : "without",
+              "index, %u shards [%s], %d workers, cache %zu, %.1f s "
+              "setup)\n",
+              server.host().c_str(), server.port(),
+              built->graph->num_nodes(), built->graph->num_edges(),
+              built->star_index != nullptr ? "with" : "without",
+              built->sharded->num_shards(),
+              built->sharded->plan().partitioner_name().c_str(),
               opts.workers, opts.cache_capacity,
               setup_timer.ElapsedSeconds());
   std::fflush(stdout);
